@@ -1,0 +1,35 @@
+// Extension ablation (beyond the paper): the three readings of the
+// Tr(Cov)-maximization selection — exact top-norm, PCA-leverage (default),
+// and greedy D-optimal log-det — compared on two benchmarks.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+  std::vector<bench::ImageBenchmark> benchmarks = {
+      bench::AllImageBenchmarks()[0],
+      bench::AllImageBenchmarks()[1],
+  };
+
+  util::Table table({"Entropy mode", "Benchmark", "Acc", "Fgt"});
+  struct Mode {
+    const char* factory_name;
+    const char* label;
+  };
+  for (Mode mode : {Mode{"edsr-norm", "top-norm (exact trace)"},
+                    Mode{"edsr", "pca-leverage (default)"},
+                    Mode{"edsr-logdet", "greedy log-det (D-optimal)"}}) {
+    for (const auto& benchmark : benchmarks) {
+      bench::MethodResult result = bench::RunNamedMethod(
+          mode.factory_name, benchmark, flags.seeds, flags.quick);
+      table.AddRow({mode.label, benchmark.label,
+                    util::Table::MeanStd(result.acc.mean, result.acc.stddev),
+                    util::Table::MeanStd(result.fgt.mean, result.fgt.stddev)});
+      std::fprintf(stderr, "[ablation] %s %s done\n", mode.factory_name,
+                   benchmark.label.c_str());
+    }
+  }
+  bench::EmitTable(table, flags,
+                   "Ablation — entropy-selection scoring modes (%)");
+  return 0;
+}

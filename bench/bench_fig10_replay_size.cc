@@ -1,0 +1,36 @@
+// Fig. 10 — replay batch size: time cost vs effectiveness.
+//
+// Paper shape: time grows monotonically with the replayed-batch size while
+// accuracy rises then falls — replaying too much stored data crowds out
+// learning the new increment; a mid-sized replay batch is the sweet spot.
+#include "bench/bench_common.h"
+
+#include "src/core/edsr.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+  bench::ImageBenchmark benchmark = bench::AllImageBenchmarks()[1];
+
+  util::Table table({"Replay batch", "Train seconds/run", "Acc", "Fgt"});
+  for (int64_t replay : {2, 4, 8, 16, 32, 64}) {
+    bench::MethodResult result = bench::RunSeeds(
+        [&](uint64_t seed) {
+          cl::StrategyContext context = bench::ContextFor(benchmark, seed, flags.quick);
+          context.replay_batch_size = replay;
+          // A larger budget so big replay batches are meaningful.
+          context.memory_per_task = 8;
+          return std::make_unique<core::Edsr>(context);
+        },
+        benchmark, flags.seeds);
+    table.AddRow({std::to_string(replay),
+                  util::Table::Fixed(result.train_seconds, 2),
+                  util::Table::MeanStd(result.acc.mean, result.acc.stddev),
+                  util::Table::MeanStd(result.fgt.mean, result.fgt.stddev)});
+    std::fprintf(stderr, "[fig10] replay=%lld done\n",
+                 static_cast<long long>(replay));
+  }
+  bench::EmitTable(table, flags,
+                   "Fig. 10 — replayed-data size on " + benchmark.label);
+  return 0;
+}

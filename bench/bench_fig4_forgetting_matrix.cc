@@ -1,0 +1,27 @@
+// Fig. 4 — forgetting-matrix heatmaps per method on synth-cifar10.
+//
+// Paper shape: Finetune/SI/DER rows darken quickly (large forgetting of
+// early increments); LUMP is lighter; CaSSLe and especially EDSR stay
+// near-white everywhere.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 1);
+  bench::ImageBenchmark benchmark = bench::AllImageBenchmarks()[0];
+
+  for (const char* method :
+       {"finetune", "si", "der", "lump", "cassle", "edsr"}) {
+    bench::MethodResult result =
+        bench::RunNamedMethod(method, benchmark, flags.seeds, flags.quick);
+    std::printf(
+        "\nFig. 4 [%s on %s] — log10 percent forgetting "
+        "(. = none):\n%s",
+        method, benchmark.label.c_str(),
+        result.matrices.front().ForgettingHeatmap().c_str());
+    std::printf("accuracy matrix (%%):\n%s",
+                result.matrices.front().ToString().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

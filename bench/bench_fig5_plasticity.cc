@@ -1,0 +1,43 @@
+// Fig. 5 — new-increment accuracy A[i][i] (plasticity curves).
+//
+// Paper shape: the strongest forgetting-prevention methods (EDSR, CaSSLe)
+// do NOT lead on the new increment — they trade plasticity for stability;
+// Finetune/LUMP tend to sit higher on A[i][i].
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+
+  for (int benchmark_index : {0, 1}) {  // synth-cifar10, synth-cifar100
+    bench::ImageBenchmark benchmark =
+        bench::AllImageBenchmarks()[benchmark_index];
+    std::vector<std::string> header = {"Method"};
+    data::TaskSequence probe = bench::MakeSequence(benchmark, 0);
+    for (int64_t i = 0; i < probe.num_tasks(); ++i) {
+      header.push_back("A[" + std::to_string(i) + "][" + std::to_string(i) +
+                       "]");
+    }
+    util::Table table(header);
+    for (const char* method : {"finetune", "lump", "cassle", "edsr"}) {
+      bench::MethodResult result =
+          bench::RunNamedMethod(method, benchmark, flags.seeds, flags.quick);
+      std::vector<std::string> row = {method};
+      for (int64_t i = 0; i < probe.num_tasks(); ++i) {
+        std::vector<double> values;
+        for (const auto& matrix : result.matrices) {
+          values.push_back(matrix.NewTaskAccuracy(i) * 100.0);
+        }
+        util::MeanStdDev stat = util::ComputeMeanStd(values);
+        row.push_back(util::Table::MeanStd(stat.mean, stat.stddev, 1));
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig5] %s %s done\n", method,
+                   benchmark.label.c_str());
+    }
+    bench::EmitTable(table, flags,
+                     "Fig. 5 — new-increment accuracy per step on " +
+                         benchmark.label + " (%)");
+  }
+  return 0;
+}

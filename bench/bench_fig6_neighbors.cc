@@ -1,0 +1,42 @@
+// Fig. 6 — sensitivity to the kNN neighbour count in r(x^m).
+//
+// Paper shape: accuracy rises from k=0 (= L_dis) to a sweet spot, then
+// falls as remote neighbours make the noise misleading; the CaSSLe
+// baseline sits below the curve.
+#include "bench/bench_common.h"
+
+#include "src/core/edsr.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+  bench::ImageBenchmark benchmark = bench::AllImageBenchmarks()[1];
+
+  util::Table table({"Neighbors k", "Acc", "Fgt"});
+  bench::MethodResult base =
+      bench::RunNamedMethod("cassle", benchmark, flags.seeds, flags.quick);
+  table.AddRow({"CaSSLe (reference)",
+                util::Table::MeanStd(base.acc.mean, base.acc.stddev),
+                util::Table::MeanStd(base.fgt.mean, base.fgt.stddev)});
+
+  for (int64_t k : {0, 2, 5, 10, 25, 60}) {
+    bench::MethodResult result = bench::RunSeeds(
+        [&](uint64_t seed) {
+          core::EdsrOptions options;
+          options.noise_neighbors = k;
+          if (k == 0) options.replay_mode = core::ReplayLossMode::kDis;
+          return std::make_unique<core::Edsr>(
+              bench::ContextFor(benchmark, seed, flags.quick), options);
+        },
+        benchmark, flags.seeds);
+    table.AddRow({std::to_string(k),
+                  util::Table::MeanStd(result.acc.mean, result.acc.stddev),
+                  util::Table::MeanStd(result.fgt.mean, result.fgt.stddev)});
+    std::fprintf(stderr, "[fig6] k=%lld done\n",
+                 static_cast<long long>(k));
+  }
+  bench::EmitTable(table, flags,
+                   "Fig. 6 — neighbour count for the replay noise on " +
+                       benchmark.label + " (%; k=0 equals L_dis)");
+  return 0;
+}

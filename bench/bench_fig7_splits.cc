@@ -1,0 +1,64 @@
+// Fig. 7 — different task-split settings on synth-cifar100.
+//
+// Paper shape: Acc_i rises over the first increments (small early data is
+// inadequately learned), then methods separate; EDSR stays on top across
+// both splits; Multitask is a flat reference line.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 1);
+  bench::ImageBenchmark base = bench::AllImageBenchmarks()[1];
+
+  struct Split {
+    const char* label;
+    int64_t num_tasks;
+  };
+  for (Split split : {Split{"10 tasks x 4 classes", 10},
+                      Split{"5 tasks x 8 classes", 5}}) {
+    bench::ImageBenchmark benchmark = base;
+    benchmark.num_tasks = split.num_tasks;
+
+    std::vector<std::string> header = {"Method"};
+    for (int64_t i = 0; i < split.num_tasks; ++i) {
+      header.push_back("Acc_" + std::to_string(i + 1));
+    }
+    util::Table table(header);
+
+    // Multitask flat reference.
+    {
+      std::vector<double> accs;
+      for (int64_t seed = 0; seed < flags.seeds; ++seed) {
+        accs.push_back(
+            cl::MultitaskAccuracy(bench::ContextFor(benchmark, seed, flags.quick),
+                                  bench::MakeSequence(benchmark, seed), {}) *
+            100.0);
+      }
+      util::MeanStdDev acc = util::ComputeMeanStd(accs);
+      std::vector<std::string> row = {"multitask"};
+      for (int64_t i = 0; i < split.num_tasks; ++i) {
+        row.push_back(util::Table::Fixed(acc.mean, 1));
+      }
+      table.AddRow(row);
+    }
+
+    for (const char* method : {"finetune", "lump", "cassle", "edsr"}) {
+      bench::MethodResult result =
+          bench::RunNamedMethod(method, benchmark, flags.seeds, flags.quick);
+      std::vector<std::string> row = {method};
+      for (int64_t i = 0; i < split.num_tasks; ++i) {
+        std::vector<double> values;
+        for (const auto& matrix : result.matrices) {
+          values.push_back(matrix.Acc(i) * 100.0);
+        }
+        row.push_back(util::Table::Fixed(util::ComputeMeanStd(values).mean, 1));
+      }
+      table.AddRow(row);
+      std::fprintf(stderr, "[fig7] %s %s done\n", method, split.label);
+    }
+    bench::EmitTable(table, flags,
+                     std::string("Fig. 7 — Acc_i per increment, ") +
+                         split.label + " on " + base.label + " (%)");
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 8 — effect of the memory budget (noise disabled, L_dis replay),
+// random vs high-entropy selection.
+//
+// Paper shape: more memory helps both; the high-entropy advantage first
+// grows with the budget then shrinks once random sampling also covers the
+// representative data; CaSSLe is the flat no-memory baseline.
+#include "bench/bench_common.h"
+
+#include "src/core/edsr.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+
+  for (int benchmark_index : {1, 2}) {  // synth-cifar100, synth-tinyimagenet
+    bench::ImageBenchmark benchmark =
+        bench::AllImageBenchmarks()[benchmark_index];
+    util::Table table(
+        {"Memory/task", "Random Acc", "High-Entropy Acc", "Delta"});
+    bench::MethodResult base =
+        bench::RunNamedMethod("cassle", benchmark, flags.seeds, flags.quick);
+    table.AddRow({"0 (CaSSLe)",
+                  util::Table::MeanStd(base.acc.mean, base.acc.stddev),
+                  util::Table::MeanStd(base.acc.mean, base.acc.stddev), "-"});
+    for (int64_t budget : {2, 4, 8}) {
+      double means[2] = {0.0, 0.0};
+      std::string cells[2];
+      for (int variant = 0; variant < 2; ++variant) {
+        bench::MethodResult result = bench::RunSeeds(
+            [&](uint64_t seed) {
+              cl::StrategyContext context =
+                  bench::ContextFor(benchmark, seed, flags.quick);
+              context.memory_per_task = budget;
+              core::EdsrOptions options;
+              options.replay_mode = core::ReplayLossMode::kDis;  // noise off
+              std::unique_ptr<cl::DataSelector> selector;
+              if (variant == 0) {
+                selector = std::make_unique<cl::RandomSelector>();
+              } else {
+                selector = std::make_unique<cl::HighEntropySelector>();
+              }
+              return std::make_unique<core::Edsr>(
+                  context, options, std::move(selector),
+                  variant == 0 ? "edsr-random" : "edsr");
+            },
+            benchmark, flags.seeds);
+        means[variant] = result.acc.mean;
+        cells[variant] =
+            util::Table::MeanStd(result.acc.mean, result.acc.stddev);
+      }
+      table.AddRow({std::to_string(budget), cells[0], cells[1],
+                    util::Table::Fixed(means[1] - means[0], 2)});
+      std::fprintf(stderr, "[fig8] %s budget=%lld done\n",
+                   benchmark.label.c_str(), static_cast<long long>(budget));
+    }
+    bench::EmitTable(table, flags,
+                     "Fig. 8 — stored-data amount on " + benchmark.label +
+                         " (Acc %, noise off)");
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fig. 9 — efficiency vs effectiveness across methods.
+//
+// Paper shape: UCL methods spend more time than the SCL baselines but reach
+// higher accuracy; LUMP and EDSR are the slowest (they replay old data), and
+// EDSR's extra time buys the largest accuracy gain.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+  bench::ImageBenchmark benchmark = bench::AllImageBenchmarks()[1];
+
+  util::Table table({"Method", "Train seconds/run", "Acc", "Fgt"});
+  for (const char* method :
+       {"finetune", "si", "der", "lump", "cassle", "edsr"}) {
+    bench::MethodResult result =
+        bench::RunNamedMethod(method, benchmark, flags.seeds, flags.quick);
+    table.AddRow({method, util::Table::Fixed(result.train_seconds, 2),
+                  util::Table::MeanStd(result.acc.mean, result.acc.stddev),
+                  util::Table::MeanStd(result.fgt.mean, result.fgt.stddev)});
+    std::fprintf(stderr, "[fig9] %s done\n", method);
+  }
+  bench::EmitTable(table, flags,
+                   "Fig. 9 — time vs effectiveness on " + benchmark.label);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// experiments: matmul, conv2d forward/backward, selector scoring, KNN eval.
+#include <benchmark/benchmark.h>
+
+#include "src/cl/selection.h"
+#include "src/eval/knn.h"
+#include "src/tensor/conv.h"
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace edsr;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  util::Rng rng(0);
+  tensor::Tensor a = tensor::Tensor::Randn({n, n}, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn({n, n}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  int64_t batch = state.range(0);
+  util::Rng rng(0);
+  tensor::Tensor input = tensor::Tensor::Randn({batch, 3, 8, 8}, &rng);
+  tensor::Tensor weight = tensor::Tensor::Randn({8, 3, 3, 3}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tensor::Conv2d(input, weight, tensor::Tensor(), {1, 1}).data().data());
+  }
+}
+BENCHMARK(BM_Conv2dForward)->Arg(8)->Arg(32);
+
+void BM_MlpTrainStep(benchmark::State& state) {
+  util::Rng rng(0);
+  tensor::Tensor w1 = tensor::Tensor::Randn({192, 64}, &rng, 0, 0.05f, true);
+  tensor::Tensor w2 = tensor::Tensor::Randn({64, 32}, &rng, 0, 0.05f, true);
+  tensor::Tensor x = tensor::Tensor::Randn({32, 192}, &rng);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    tensor::Tensor loss = tensor::MeanAll(tensor::Square(tensor::MatMul(h, w2)));
+    loss.Backward();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+}
+BENCHMARK(BM_MlpTrainStep);
+
+eval::RepresentationMatrix RandomReps(int64_t n, int64_t d, uint64_t seed) {
+  util::Rng rng(seed);
+  eval::RepresentationMatrix reps;
+  reps.n = n;
+  reps.d = d;
+  reps.values.resize(n * d);
+  for (float& v : reps.values) v = rng.Normal();
+  return reps;
+}
+
+void BM_HighEntropySelect(benchmark::State& state) {
+  eval::RepresentationMatrix reps = RandomReps(state.range(0), 32, 1);
+  cl::SelectionContext context{&reps, {}};
+  cl::HighEntropySelector selector;
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(context, 32, &rng));
+  }
+}
+BENCHMARK(BM_HighEntropySelect)->Arg(120)->Arg(600);
+
+void BM_GreedyLogDetSelect(benchmark::State& state) {
+  eval::RepresentationMatrix reps = RandomReps(state.range(0), 32, 3);
+  cl::SelectionContext context{&reps, {}};
+  cl::HighEntropySelector selector(
+      cl::HighEntropySelector::Mode::kGreedyLogDet);
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(context, 32, &rng));
+  }
+}
+BENCHMARK(BM_GreedyLogDetSelect)->Arg(120);
+
+void BM_KnnEvaluate(benchmark::State& state) {
+  int64_t n = state.range(0);
+  eval::RepresentationMatrix bank = RandomReps(n, 32, 5);
+  eval::RepresentationMatrix queries = RandomReps(64, 32, 6);
+  std::vector<int64_t> bank_labels(n), query_labels(64);
+  util::Rng rng(7);
+  for (auto& l : bank_labels) l = rng.UniformInt(0, 9);
+  for (auto& l : query_labels) l = rng.UniformInt(0, 9);
+  eval::KnnOptions options;
+  options.k = 10;
+  options.num_classes = 10;
+  eval::KnnClassifier knn(bank, bank_labels, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(knn.Evaluate(queries, query_labels));
+  }
+}
+BENCHMARK(BM_KnnEvaluate)->Arg(120)->Arg(1200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table III — main comparison on the four image benchmarks.
+//
+// Paper shape to reproduce: Multitask (upper bound) on top; among continual
+// methods EDSR has the best Acc and lowest Fgt, CaSSLe second; the SCL
+// baselines (SI, DER) and Finetune trail with much larger forgetting.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 2);
+  const char* methods[] = {"finetune", "si",     "der",
+                           "lump",     "cassle", "edsr"};
+
+  std::vector<std::string> header = {"Model"};
+  for (const auto& benchmark : bench::AllImageBenchmarks()) {
+    header.push_back(benchmark.label + " Acc");
+    header.push_back(benchmark.label + " Fgt");
+  }
+  util::Table table(header);
+
+  // Multitask row (upper bound; no forgetting by construction).
+  {
+    std::vector<std::string> row = {"multitask"};
+    for (const auto& benchmark : bench::AllImageBenchmarks()) {
+      std::vector<double> accs;
+      for (int64_t seed = 0; seed < flags.seeds; ++seed) {
+        data::TaskSequence sequence = bench::MakeSequence(benchmark, seed);
+        accs.push_back(
+            cl::MultitaskAccuracy(bench::ContextFor(benchmark, seed, flags.quick),
+                                  sequence, {}) *
+            100.0);
+      }
+      util::MeanStdDev acc = util::ComputeMeanStd(accs);
+      row.push_back(util::Table::MeanStd(acc.mean, acc.stddev));
+      row.push_back("-");
+      std::fprintf(stderr, "[table3] multitask %s done\n",
+                   benchmark.label.c_str());
+    }
+    table.AddRow(row);
+  }
+
+  for (const char* method : methods) {
+    std::vector<std::string> row = {method};
+    for (const auto& benchmark : bench::AllImageBenchmarks()) {
+      bench::MethodResult result =
+          bench::RunNamedMethod(method, benchmark, flags.seeds, flags.quick);
+      row.push_back(util::Table::MeanStd(result.acc.mean, result.acc.stddev));
+      row.push_back(util::Table::MeanStd(result.fgt.mean, result.fgt.stddev));
+      std::fprintf(stderr, "[table3] %s %s done\n", method,
+                   benchmark.label.c_str());
+    }
+    table.AddRow(row);
+  }
+
+  bench::EmitTable(table, flags,
+                   "Table III — model comparison (Acc ↑ / Fgt ↓, % over " +
+                       std::to_string(flags.seeds) + " seeds)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table V — data-selection methods under L_dis and L_rpl replay.
+//
+// Paper shape: any selection beats no replay; high-entropy selection is the
+// strongest/most consistent; clustering methods are competitive but less
+// stable; L_rpl generally improves on L_dis.
+#include "bench/bench_common.h"
+
+#include "src/core/edsr.h"
+
+namespace {
+
+std::unique_ptr<edsr::cl::ContinualStrategy> MakeVariant(
+    const std::string& selector, bool noise, const edsr::cl::StrategyContext& context) {
+  using namespace edsr;
+  core::EdsrOptions options;
+  options.replay_mode =
+      noise ? core::ReplayLossMode::kRpl : core::ReplayLossMode::kDis;
+  std::unique_ptr<cl::DataSelector> sel;
+  if (selector == "random") sel = std::make_unique<cl::RandomSelector>();
+  if (selector == "kmeans") sel = std::make_unique<cl::KMeansSelector>();
+  if (selector == "minvar") sel = std::make_unique<cl::MinVarSelector>();
+  if (selector == "distant") sel = std::make_unique<cl::DistantSelector>();
+  if (selector == "high-entropy") {
+    sel = std::make_unique<cl::HighEntropySelector>();
+  }
+  return std::make_unique<core::Edsr>(context, options, std::move(sel),
+                                      "edsr-" + selector);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  bench::BenchFlags flags = bench::BenchFlags::Parse(argc, argv, 1);
+  const char* selectors[] = {"random", "kmeans", "minvar", "distant",
+                             "high-entropy"};
+  std::vector<bench::ImageBenchmark> benchmarks = {
+      bench::AllImageBenchmarks()[0],
+      bench::AllImageBenchmarks()[1],
+  };
+
+  for (bool noise : {false, true}) {
+    std::vector<std::string> header = {"Dataset", "Metric",
+                                       "No Replay (CaSSLe)"};
+    for (const char* s : selectors) header.push_back(s);
+    util::Table table(header);
+    for (const auto& benchmark : benchmarks) {
+      std::vector<std::string> acc_row = {benchmark.label, "Acc"};
+      std::vector<std::string> fgt_row = {benchmark.label, "Fgt"};
+      bench::MethodResult base =
+          bench::RunNamedMethod("cassle", benchmark, flags.seeds, flags.quick);
+      acc_row.push_back(util::Table::MeanStd(base.acc.mean, base.acc.stddev));
+      fgt_row.push_back(util::Table::MeanStd(base.fgt.mean, base.fgt.stddev));
+      for (const char* selector : selectors) {
+        bench::MethodResult result = bench::RunSeeds(
+            [&](uint64_t seed) {
+              return MakeVariant(selector, noise,
+                                 bench::ContextFor(benchmark, seed, flags.quick));
+            },
+            benchmark, flags.seeds);
+        acc_row.push_back(
+            util::Table::MeanStd(result.acc.mean, result.acc.stddev));
+        fgt_row.push_back(
+            util::Table::MeanStd(result.fgt.mean, result.fgt.stddev));
+        std::fprintf(stderr, "[table5] %s %s noise=%d done\n",
+                     benchmark.label.c_str(), selector, noise ? 1 : 0);
+      }
+      table.AddRow(acc_row);
+      table.AddRow(fgt_row);
+    }
+    bench::EmitTable(table, flags,
+                     std::string("Table V — selection methods, replay with ") +
+                         (noise ? "L_rpl" : "L_dis") + " (%)");
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: train EDSR on a two-increment synthetic image stream and
+// inspect accuracy, forgetting, and the selected memory.
+//
+//   ./quickstart
+//
+// Walks through the full public API surface: dataset generation, task
+// splitting, strategy construction, the continual loop, and evaluation.
+#include <cstdio>
+
+#include "src/cl/trainer.h"
+#include "src/core/edsr.h"
+#include "src/data/synthetic.h"
+
+int main() {
+  using namespace edsr;
+
+  // 1. Generate an unlabeled-for-training synthetic image benchmark:
+  //    8 classes rendered from latent class prototypes.
+  data::SyntheticImageConfig data_config;
+  data_config.name = "quickstart";
+  data_config.num_classes = 8;
+  data_config.train_per_class = 30;
+  data_config.test_per_class = 20;
+  data_config.geometry = {3, 8, 8};
+  data_config.latent_dim = 10;
+  data_config.class_separation = 1.5f;
+  data_config.latent_noise = 1.0f;
+  data_config.seed = 42;
+  data::SyntheticImagePair pair = MakeSyntheticImageData(data_config);
+  std::printf("generated %lld train / %lld test images (%lld dims)\n",
+              static_cast<long long>(pair.train.size()),
+              static_cast<long long>(pair.test.size()),
+              static_cast<long long>(pair.train.dim()));
+
+  // 2. Split into a class-incremental sequence: 2 increments x 4 classes.
+  util::Rng split_rng(7);
+  data::TaskSequence sequence =
+      data::TaskSequence::SplitByClasses(pair.train, pair.test, 2, &split_rng);
+
+  // 3. Configure the encoder + training regime.
+  cl::StrategyContext context;
+  context.encoder.mlp_dims = {pair.train.dim(), 64, 64};
+  context.encoder.projector_hidden = 64;
+  context.encoder.representation_dim = 32;
+  context.epochs = 10;
+  context.batch_size = 32;
+  context.lr = 0.05f;
+  context.weight_decay = 0.03f;
+  context.memory_per_task = 8;   // the storage budget s per increment
+  context.replay_batch_size = 16;
+  context.seed = 0;
+
+  // 4. Build EDSR (entropy-based selection + noise-enhanced replay) and run
+  //    the continual loop; evaluation uses the paper's KNN protocol.
+  core::Edsr edsr(context);
+  cl::ContinualRunResult result = cl::RunContinual(&edsr, sequence, {});
+
+  std::printf("\naccuracy matrix (row i = after increment i):\n%s",
+              result.matrix.ToString().c_str());
+  std::printf("final Acc = %.1f%%, final Fgt = %.1f%%\n",
+              result.matrix.FinalAcc() * 100.0,
+              result.matrix.FinalFgt() * 100.0);
+
+  // 5. Peek at the memory the entropy selector kept.
+  std::printf("\nmemory: %lld stored samples (budget %lld per increment)\n",
+              static_cast<long long>(edsr.memory().size()),
+              static_cast<long long>(context.memory_per_task));
+  const cl::MemoryEntry& entry = edsr.memory().entry(0);
+  std::printf("first entry: increment %lld, source row %lld, "
+              "noise scale dims %zu\n",
+              static_cast<long long>(entry.task_id),
+              static_cast<long long>(entry.source_index),
+              entry.noise_scale.size());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Tabular continual learning across heterogeneous feature spaces: the five
+// Table II tabular presets (16/17/14/20/10 features) learned as a
+// 5-increment sequence through per-increment input heads, with EDSR's
+// memory replay routed through the right head for each stored sample.
+//
+//   ./tabular_continual [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/cl/trainer.h"
+#include "src/core/edsr.h"
+#include "src/data/synthetic.h"
+
+int main(int argc, char** argv) {
+  using namespace edsr;
+  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+
+  std::vector<std::pair<data::Dataset, data::Dataset>> pairs;
+  std::vector<int64_t> head_dims;
+  for (const auto& config : data::TabularBenchmarkConfigs(seed)) {
+    auto pair = MakeSyntheticTabularData(config);
+    std::printf("%-16s %lld features, %lld train rows, positive rate %.1f%%\n",
+                config.name.c_str(),
+                static_cast<long long>(config.num_features),
+                static_cast<long long>(config.train_size),
+                config.positive_rate * 100.0f);
+    head_dims.push_back(config.num_features);
+    pairs.emplace_back(pair.train, pair.test);
+  }
+  data::TaskSequence sequence = data::TaskSequence::FromDatasets(pairs);
+
+  cl::StrategyContext context;
+  context.encoder.mlp_dims = {24, 32, 32, 32};  // shared trunk
+  context.encoder.projector_hidden = 32;
+  context.encoder.representation_dim = 16;
+  context.encoder.input_head_dims = head_dims;  // data-specific first layer
+  context.epochs = 12;
+  context.batch_size = 32;
+  context.use_adam = true;  // the paper's tabular optimizer
+  context.memory_per_task = 8;
+  context.replay_batch_size = 16;
+  context.seed = seed;
+
+  core::Edsr edsr(context);
+  cl::ContinualRunResult result = cl::RunContinual(&edsr, sequence, {});
+  std::printf("\naccuracy matrix:\n%s", result.matrix.ToString().c_str());
+  std::printf("final Acc = %.1f%%, Fgt = %.1f%%\n",
+              result.matrix.FinalAcc() * 100.0,
+              result.matrix.FinalFgt() * 100.0);
+  std::printf("memory spans %lld entries with per-increment dims:",
+              static_cast<long long>(edsr.memory().size()));
+  for (int64_t i = 0; i < edsr.memory().size();
+       i += context.memory_per_task) {
+    std::printf(" %zu", edsr.memory().entry(i).features.size());
+  }
+  std::printf("\n");
+  return 0;
+}

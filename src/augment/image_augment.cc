@@ -1,0 +1,168 @@
+#include "src/augment/image_augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace edsr::augment {
+
+using data::ImageGeometry;
+
+void RandomCrop::Apply(float* image, const ImageGeometry& g,
+                       util::Rng* rng) const {
+  if (padding_ <= 0) return;
+  int64_t ph = g.height + 2 * padding_;
+  int64_t pw = g.width + 2 * padding_;
+  int64_t off_i = rng->UniformInt(0, 2 * padding_);
+  int64_t off_j = rng->UniformInt(0, 2 * padding_);
+  std::vector<float> padded(g.channels * ph * pw, 0.0f);
+  for (int64_t c = 0; c < g.channels; ++c) {
+    for (int64_t i = 0; i < g.height; ++i) {
+      std::copy(image + (c * g.height + i) * g.width,
+                image + (c * g.height + i + 1) * g.width,
+                padded.data() + (c * ph + i + padding_) * pw + padding_);
+    }
+  }
+  for (int64_t c = 0; c < g.channels; ++c) {
+    for (int64_t i = 0; i < g.height; ++i) {
+      std::copy(padded.data() + (c * ph + i + off_i) * pw + off_j,
+                padded.data() + (c * ph + i + off_i) * pw + off_j + g.width,
+                image + (c * g.height + i) * g.width);
+    }
+  }
+}
+
+void HorizontalFlip::Apply(float* image, const ImageGeometry& g,
+                           util::Rng* rng) const {
+  if (!rng->Bernoulli(probability_)) return;
+  for (int64_t c = 0; c < g.channels; ++c) {
+    for (int64_t i = 0; i < g.height; ++i) {
+      float* row = image + (c * g.height + i) * g.width;
+      std::reverse(row, row + g.width);
+    }
+  }
+}
+
+void ColorJitter::Apply(float* image, const ImageGeometry& g,
+                        util::Rng* rng) const {
+  if (!rng->Bernoulli(probability_)) return;
+  float brightness = rng->Uniform(-strength_, strength_);
+  float contrast = rng->Uniform(1.0f - strength_, 1.0f + strength_);
+  int64_t area = g.height * g.width;
+  for (int64_t c = 0; c < g.channels; ++c) {
+    float channel_scale = rng->Uniform(1.0f - strength_, 1.0f + strength_);
+    float* plane = image + c * area;
+    // Contrast pivots around the channel mean.
+    float mean = 0.0f;
+    for (int64_t i = 0; i < area; ++i) mean += plane[i];
+    mean /= static_cast<float>(area);
+    for (int64_t i = 0; i < area; ++i) {
+      float v = (plane[i] - mean) * contrast * channel_scale + mean +
+                brightness;
+      plane[i] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+void RandomGrayscale::Apply(float* image, const ImageGeometry& g,
+                            util::Rng* rng) const {
+  if (g.channels < 2 || !rng->Bernoulli(probability_)) return;
+  int64_t area = g.height * g.width;
+  for (int64_t i = 0; i < area; ++i) {
+    float mean = 0.0f;
+    for (int64_t c = 0; c < g.channels; ++c) mean += image[c * area + i];
+    mean /= static_cast<float>(g.channels);
+    for (int64_t c = 0; c < g.channels; ++c) image[c * area + i] = mean;
+  }
+}
+
+void GaussianBlur::Apply(float* image, const ImageGeometry& g,
+                         util::Rng* rng) const {
+  if (!rng->Bernoulli(probability_)) return;
+  float sigma = rng->Uniform(sigma_min_, sigma_max_);
+  int64_t radius = std::max<int64_t>(1, static_cast<int64_t>(2.0f * sigma));
+  std::vector<float> kernel(2 * radius + 1);
+  float total = 0.0f;
+  for (int64_t k = -radius; k <= radius; ++k) {
+    float v = std::exp(-0.5f * (k * k) / (sigma * sigma));
+    kernel[k + radius] = v;
+    total += v;
+  }
+  for (float& v : kernel) v /= total;
+
+  int64_t area = g.height * g.width;
+  std::vector<float> tmp(area);
+  for (int64_t c = 0; c < g.channels; ++c) {
+    float* plane = image + c * area;
+    // Horizontal pass.
+    for (int64_t i = 0; i < g.height; ++i) {
+      for (int64_t j = 0; j < g.width; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          int64_t jj = std::clamp<int64_t>(j + k, 0, g.width - 1);
+          acc += kernel[k + radius] * plane[i * g.width + jj];
+        }
+        tmp[i * g.width + j] = acc;
+      }
+    }
+    // Vertical pass.
+    for (int64_t i = 0; i < g.height; ++i) {
+      for (int64_t j = 0; j < g.width; ++j) {
+        float acc = 0.0f;
+        for (int64_t k = -radius; k <= radius; ++k) {
+          int64_t ii = std::clamp<int64_t>(i + k, 0, g.height - 1);
+          acc += kernel[k + radius] * tmp[ii * g.width + j];
+        }
+        plane[i * g.width + j] = acc;
+      }
+    }
+  }
+}
+
+void Cutout::Apply(float* image, const ImageGeometry& g,
+                   util::Rng* rng) const {
+  if (!rng->Bernoulli(probability_)) return;
+  int64_t size = std::min({size_, g.height, g.width});
+  int64_t top = rng->UniformInt(0, g.height - size);
+  int64_t left = rng->UniformInt(0, g.width - size);
+  for (int64_t c = 0; c < g.channels; ++c) {
+    for (int64_t i = top; i < top + size; ++i) {
+      float* row = image + (c * g.height + i) * g.width;
+      std::fill(row + left, row + left + size, 0.0f);
+    }
+  }
+}
+
+void ImagePipeline::Apply(float* image, const ImageGeometry& geometry,
+                          util::Rng* rng) const {
+  for (const auto& op : ops_) op->Apply(image, geometry, rng);
+}
+
+ImagePipeline ImagePipeline::SimSiamDefault() {
+  ImagePipeline pipeline;
+  pipeline.Add<RandomCrop>(1)
+      .Add<HorizontalFlip>(0.5f)
+      .Add<ColorJitter>(0.4f, 0.8f)
+      .Add<RandomGrayscale>(0.2f)
+      .Add<GaussianBlur>(0.3f, 1.0f, 0.3f);
+  return pipeline;
+}
+
+tensor::Tensor AugmentView(const data::Dataset& dataset,
+                           const std::vector<int64_t>& indices,
+                           const ImagePipeline& pipeline, util::Rng* rng) {
+  EDSR_CHECK(dataset.is_image()) << "AugmentView requires image data";
+  int64_t dim = dataset.dim();
+  std::vector<float> batch(indices.size() * dim);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const float* row = dataset.Row(indices[k]);
+    float* dst = batch.data() + k * dim;
+    std::copy(row, row + dim, dst);
+    pipeline.Apply(dst, dataset.geometry(), rng);
+  }
+  return tensor::Tensor::FromVector(
+      std::move(batch), {static_cast<int64_t>(indices.size()), dim});
+}
+
+}  // namespace edsr::augment

@@ -1,0 +1,133 @@
+// Image augmentations (paper §IV-A5 uses {crop, horizontalFlip, colorJitter,
+// grayScale, gaussianBlur}, the SimSiam recipe).
+//
+// Augmentations transform one flat C x H x W float image in place. The
+// pipeline draws all randomness from the caller's Rng, keeping runs
+// reproducible.
+#ifndef EDSR_SRC_AUGMENT_IMAGE_AUGMENT_H_
+#define EDSR_SRC_AUGMENT_IMAGE_AUGMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace edsr::augment {
+
+class ImageAugmentation {
+ public:
+  virtual ~ImageAugmentation() = default;
+  virtual void Apply(float* image, const data::ImageGeometry& geometry,
+                     util::Rng* rng) const = 0;
+};
+
+// Zero-pads by `padding` then crops back to the original size at a random
+// offset (the classic CIFAR random crop).
+class RandomCrop : public ImageAugmentation {
+ public:
+  explicit RandomCrop(int64_t padding) : padding_(padding) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  int64_t padding_;
+};
+
+class HorizontalFlip : public ImageAugmentation {
+ public:
+  explicit HorizontalFlip(float probability = 0.5f)
+      : probability_(probability) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  float probability_;
+};
+
+// Random brightness/contrast (all channels) and per-channel saturation-like
+// scaling, each drawn from [1-strength, 1+strength].
+class ColorJitter : public ImageAugmentation {
+ public:
+  ColorJitter(float strength, float probability)
+      : strength_(strength), probability_(probability) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  float strength_;
+  float probability_;
+};
+
+// Replaces all channels by their mean with some probability.
+class RandomGrayscale : public ImageAugmentation {
+ public:
+  explicit RandomGrayscale(float probability = 0.2f)
+      : probability_(probability) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  float probability_;
+};
+
+// Separable Gaussian blur with sigma drawn from [sigma_min, sigma_max].
+class GaussianBlur : public ImageAugmentation {
+ public:
+  GaussianBlur(float sigma_min, float sigma_max, float probability)
+      : sigma_min_(sigma_min), sigma_max_(sigma_max),
+        probability_(probability) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  float sigma_min_;
+  float sigma_max_;
+  float probability_;
+};
+
+// Zeroes a random square patch (extension op; not in the SimSiam default).
+class Cutout : public ImageAugmentation {
+ public:
+  Cutout(int64_t size, float probability)
+      : size_(size), probability_(probability) {}
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const override;
+
+ private:
+  int64_t size_;
+  float probability_;
+};
+
+// Applies augmentations in sequence (Eq. 2 of the paper).
+class ImagePipeline {
+ public:
+  ImagePipeline() = default;
+
+  template <typename A, typename... Args>
+  ImagePipeline& Add(Args&&... args) {
+    ops_.push_back(std::make_unique<A>(std::forward<Args>(args)...));
+    return *this;
+  }
+
+  void Apply(float* image, const data::ImageGeometry& geometry,
+             util::Rng* rng) const;
+
+  size_t size() const { return ops_.size(); }
+
+  // The SimSiam default recipe used by the main experiments.
+  static ImagePipeline SimSiamDefault();
+
+ private:
+  std::vector<std::unique_ptr<ImageAugmentation>> ops_;
+};
+
+// Builds one augmented view of the selected rows: (k, dim) tensor.
+tensor::Tensor AugmentView(const data::Dataset& dataset,
+                           const std::vector<int64_t>& indices,
+                           const ImagePipeline& pipeline, util::Rng* rng);
+
+}  // namespace edsr::augment
+
+#endif  // EDSR_SRC_AUGMENT_IMAGE_AUGMENT_H_

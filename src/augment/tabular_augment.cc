@@ -1,0 +1,40 @@
+#include "src/augment/tabular_augment.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace edsr::augment {
+
+TabularCorruption::TabularCorruption(float corruption_rate)
+    : corruption_rate_(corruption_rate) {
+  EDSR_CHECK(corruption_rate >= 0.0f && corruption_rate <= 1.0f);
+}
+
+void TabularCorruption::Apply(float* row, const data::Dataset& marginal_source,
+                              util::Rng* rng) const {
+  int64_t dim = marginal_source.dim();
+  EDSR_CHECK_GT(marginal_source.size(), 0);
+  for (int64_t j = 0; j < dim; ++j) {
+    if (!rng->Bernoulli(corruption_rate_)) continue;
+    int64_t donor = rng->UniformInt(0, marginal_source.size() - 1);
+    row[j] = marginal_source.Row(donor)[j];
+  }
+}
+
+tensor::Tensor TabularCorruption::AugmentView(
+    const data::Dataset& dataset, const std::vector<int64_t>& indices,
+    util::Rng* rng) const {
+  int64_t dim = dataset.dim();
+  std::vector<float> batch(indices.size() * dim);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const float* row = dataset.Row(indices[k]);
+    float* dst = batch.data() + k * dim;
+    std::copy(row, row + dim, dst);
+    Apply(dst, dataset, rng);
+  }
+  return tensor::Tensor::FromVector(
+      std::move(batch), {static_cast<int64_t>(indices.size()), dim});
+}
+
+}  // namespace edsr::augment

@@ -1,0 +1,37 @@
+// SCARF-style tabular corruption ("tabularCrop" in the paper, citing
+// Bahri et al., ICLR 2022): a random feature subset of each row is replaced
+// by values drawn from the per-feature empirical marginal — i.e. by that
+// feature's value in a random other row of the same dataset.
+#ifndef EDSR_SRC_AUGMENT_TABULAR_AUGMENT_H_
+#define EDSR_SRC_AUGMENT_TABULAR_AUGMENT_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace edsr::augment {
+
+class TabularCorruption {
+ public:
+  explicit TabularCorruption(float corruption_rate = 0.3f);
+
+  // Corrupts one row in place, sampling replacements from `marginal_source`.
+  void Apply(float* row, const data::Dataset& marginal_source,
+             util::Rng* rng) const;
+
+  // Builds one corrupted view of the selected rows.
+  tensor::Tensor AugmentView(const data::Dataset& dataset,
+                             const std::vector<int64_t>& indices,
+                             util::Rng* rng) const;
+
+  float corruption_rate() const { return corruption_rate_; }
+
+ private:
+  float corruption_rate_;
+};
+
+}  // namespace edsr::augment
+
+#endif  // EDSR_SRC_AUGMENT_TABULAR_AUGMENT_H_

@@ -1,0 +1,93 @@
+#include "src/cl/agem.h"
+
+#include "src/tensor/ops.h"
+
+namespace edsr::cl {
+
+using tensor::Tensor;
+
+Agem::Agem(const StrategyContext& context)
+    : ContinualStrategy(context, "agem"), memory_(context.memory_per_task) {
+  EDSR_CHECK(context.encoder.input_head_dims.empty())
+      << "A-GEM replay assumes homogeneous input dims";
+}
+
+Tensor Agem::ComputeBatchLoss(const data::Task& task,
+                              const std::vector<int64_t>& indices,
+                              const Tensor& view1, const Tensor& view2) {
+  reference_valid_ = false;
+  if (!memory_.empty()) {
+    // Reference gradient: backward the memory batch's L_css in isolation,
+    // snapshot, then clear so the caller's backward sees clean buffers.
+    replay_geometry_ =
+        task.train.is_image() ? task.train.geometry() : data::ImageGeometry{};
+    std::vector<int64_t> replay =
+        memory_.SampleIndices(context_.replay_batch_size, &rng_);
+    Tensor raw = memory_.GatherFeatures(replay);
+    Tensor m1 = ViewOfRaw(raw, replay_geometry_);
+    Tensor m2 = ViewOfRaw(raw, replay_geometry_);
+    Tensor memory_loss = loss_->Loss(encoder_->Forward(m1), encoder_->Forward(m2));
+    memory_loss.Backward();
+
+    std::vector<Tensor> params = encoder_->Parameters();
+    for (const Tensor& p : loss_->Parameters()) params.push_back(p);
+    reference_grad_.resize(params.size());
+    for (size_t k = 0; k < params.size(); ++k) {
+      const auto& grad = params[k].grad();
+      if (grad.empty()) {
+        reference_grad_[k].assign(params[k].numel(), 0.0f);
+      } else {
+        reference_grad_[k] = grad;
+      }
+      const_cast<Tensor&>(params[k]).ZeroGrad();
+    }
+    reference_valid_ = true;
+  }
+  return ContinualStrategy::ComputeBatchLoss(task, indices, view1, view2);
+}
+
+void Agem::BeforeOptimizerStep() {
+  if (!reference_valid_) return;
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (const Tensor& p : loss_->Parameters()) params.push_back(p);
+  EDSR_CHECK_EQ(params.size(), reference_grad_.size());
+  double dot = 0.0;
+  double ref_sq = 0.0;
+  for (size_t k = 0; k < params.size(); ++k) {
+    const auto& grad = params[k].grad();
+    const auto& ref = reference_grad_[k];
+    for (size_t j = 0; j < ref.size(); ++j) {
+      float g = grad.empty() ? 0.0f : grad[j];
+      dot += static_cast<double>(g) * ref[j];
+      ref_sq += static_cast<double>(ref[j]) * ref[j];
+    }
+  }
+  if (dot >= 0.0 || ref_sq <= 1e-12) return;  // no conflict: keep g as-is
+  float scale = static_cast<float>(dot / ref_sq);
+  for (size_t k = 0; k < params.size(); ++k) {
+    auto& grad = const_cast<Tensor&>(params[k]).mutable_grad();
+    const auto& ref = reference_grad_[k];
+    for (size_t j = 0; j < grad.size(); ++j) grad[j] -= scale * ref[j];
+  }
+  ++projections_;
+}
+
+void Agem::OnIncrementEnd(const data::Task& task) {
+  int64_t budget =
+      std::min<int64_t>(memory_.per_task_budget(), task.train.size());
+  if (budget <= 0) return;
+  std::vector<int64_t> picks =
+      rng_.SampleWithoutReplacement(task.train.size(), budget);
+  std::vector<MemoryEntry> entries(picks.size());
+  for (size_t k = 0; k < picks.size(); ++k) {
+    MemoryEntry& e = entries[k];
+    const float* row = task.train.Row(picks[k]);
+    e.features.assign(row, row + task.train.dim());
+    e.task_id = task.task_id;
+    e.source_index = picks[k];
+    e.label = task.train.Label(picks[k]);
+  }
+  memory_.AddIncrement(std::move(entries));
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,66 @@
+#include "src/cl/cassle.h"
+
+#include "src/tensor/ops.h"
+
+namespace edsr::cl {
+
+using tensor::Tensor;
+
+Cassle::Cassle(const StrategyContext& context, const CassleOptions& options,
+               std::string name)
+    : ContinualStrategy(context, std::move(name)), cassle_options_(options) {}
+
+void Cassle::OnIncrementStart(const data::Task& task) {
+  (void)task;
+  if (increments_seen_ == 0) return;  // nothing to distill from yet
+  if (teacher_ == nullptr) {
+    util::Rng teacher_rng = rng_.Fork();
+    teacher_ = ssl::Encoder::Make(context_.encoder, &teacher_rng);
+  }
+  teacher_->CopyStateFrom(*encoder_);
+  teacher_->SetRequiresGrad(false);
+  teacher_->SetTraining(false);
+  if (distill_projector_ == nullptr || cassle_options_.fresh_projector) {
+    int64_t d = context_.encoder.representation_dim;
+    util::Rng projector_rng = rng_.Fork();
+    distill_projector_ = std::make_unique<nn::Mlp>(
+        std::vector<int64_t>{d, d, d}, &projector_rng);
+  }
+  teacher_active_ = true;
+}
+
+Tensor Cassle::TeacherForward(const Tensor& view, int64_t head) {
+  EDSR_CHECK(teacher_active_) << "TeacherForward without a teacher";
+  if (teacher_->has_input_heads() && head >= 0) teacher_->SetActiveHead(head);
+  return teacher_->Forward(view).Detach();
+}
+
+Tensor Cassle::DistillLoss(const Tensor& student_z, const Tensor& target) {
+  EDSR_CHECK(distill_projector_ != nullptr);
+  return loss_->Align(distill_projector_->Forward(student_z), target);
+}
+
+Tensor Cassle::ComputeBatchLoss(const data::Task& task,
+                                const std::vector<int64_t>& indices,
+                                const Tensor& view1, const Tensor& view2) {
+  (void)indices;
+  Tensor z1 = encoder_->Forward(view1);
+  Tensor z2 = encoder_->Forward(view2);
+  Tensor total = loss_->Loss(z1, z2);
+  if (teacher_active_) {
+    Tensor t1 = TeacherForward(view1, task.task_id);
+    Tensor t2 = TeacherForward(view2, task.task_id);
+    // The ½(L_dis(x1) + L_dis(x2)) term of §III-C.
+    Tensor distill = (DistillLoss(z1, t1) + DistillLoss(z2, t2)) *
+                     cassle_options_.distill_weight;
+    total = total + distill;
+  }
+  return total;
+}
+
+std::vector<Tensor> Cassle::ExtraParameters() {
+  if (distill_projector_ == nullptr) return {};
+  return distill_projector_->Parameters();
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,56 @@
+#include "src/cl/factory.h"
+
+#include "src/cl/cassle.h"
+#include "src/cl/der.h"
+#include "src/cl/lump.h"
+#include "src/cl/si.h"
+#include "src/core/edsr.h"
+
+namespace edsr::cl {
+
+namespace {
+std::unique_ptr<ContinualStrategy> MakeEdsrVariant(
+    const std::string& name, const StrategyContext& context) {
+  core::EdsrOptions options;
+  if (name == "edsr") {
+    return std::make_unique<core::Edsr>(context, options);
+  }
+  if (name == "edsr-css" || name == "edsr-dis") {
+    options.replay_mode = name == "edsr-css" ? core::ReplayLossMode::kCss
+                                             : core::ReplayLossMode::kDis;
+    return std::make_unique<core::Edsr>(
+        context, options, std::make_unique<HighEntropySelector>(), name);
+  }
+  if (name == "edsr-random" || name == "edsr-distant" ||
+      name == "edsr-kmeans" || name == "edsr-minvar") {
+    SelectorKind kind = SelectorKind::kRandom;
+    if (name == "edsr-distant") kind = SelectorKind::kDistant;
+    if (name == "edsr-kmeans") kind = SelectorKind::kKMeans;
+    if (name == "edsr-minvar") kind = SelectorKind::kMinVar;
+    return std::make_unique<core::Edsr>(context, options, MakeSelector(kind),
+                                        name);
+  }
+  if (name == "edsr-norm" || name == "edsr-logdet") {
+    auto mode = name == "edsr-norm"
+                    ? HighEntropySelector::Mode::kNorm
+                    : HighEntropySelector::Mode::kGreedyLogDet;
+    return std::make_unique<core::Edsr>(
+        context, options, std::make_unique<HighEntropySelector>(mode), name);
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::unique_ptr<ContinualStrategy> MakeStrategy(
+    const std::string& name, const StrategyContext& context) {
+  if (name == "finetune") return std::make_unique<Finetune>(context);
+  if (name == "si") return std::make_unique<Si>(context);
+  if (name == "der") return std::make_unique<Der>(context);
+  if (name == "lump") return std::make_unique<Lump>(context);
+  if (name == "cassle") return std::make_unique<Cassle>(context);
+  if (auto edsr = MakeEdsrVariant(name, context)) return edsr;
+  EDSR_CHECK(false) << "unknown strategy name: " << name;
+  return nullptr;
+}
+
+}  // namespace edsr::cl

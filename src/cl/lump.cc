@@ -1,0 +1,56 @@
+#include "src/cl/lump.h"
+
+#include "src/tensor/ops.h"
+
+namespace edsr::cl {
+
+using tensor::Tensor;
+
+Lump::Lump(const StrategyContext& context, const LumpOptions& options)
+    : ContinualStrategy(context, "lump"),
+      options_(options),
+      memory_(context.memory_per_task) {
+  EDSR_CHECK(context.encoder.input_head_dims.empty())
+      << "LUMP's mixup cannot span heterogeneous input dims (paper §IV-E)";
+}
+
+Tensor Lump::ComputeBatchLoss(const data::Task& task,
+                              const std::vector<int64_t>& indices,
+                              const Tensor& view1, const Tensor& view2) {
+  if (memory_.empty()) {
+    return ContinualStrategy::ComputeBatchLoss(task, indices, view1, view2);
+  }
+  // Draw one stored sample per new sample (with replacement if the buffer
+  // is smaller than the batch).
+  std::vector<int64_t> replay(indices.size());
+  for (size_t k = 0; k < replay.size(); ++k) {
+    replay[k] = rng_.UniformInt(0, memory_.size() - 1);
+  }
+  Tensor raw = memory_.GatherFeatures(replay);
+  Tensor mem_view1 = ViewOfRaw(raw, task.train.geometry());
+  Tensor mem_view2 = ViewOfRaw(raw, task.train.geometry());
+  float omega = rng_.Beta(options_.mixup_alpha, options_.mixup_alpha);
+  Tensor mixed1 = view1 * omega + mem_view1 * (1.0f - omega);
+  Tensor mixed2 = view2 * omega + mem_view2 * (1.0f - omega);
+  return loss_->Loss(encoder_->Forward(mixed1), encoder_->Forward(mixed2));
+}
+
+void Lump::OnIncrementEnd(const data::Task& task) {
+  int64_t budget =
+      std::min<int64_t>(memory_.per_task_budget(), task.train.size());
+  if (budget <= 0) return;
+  std::vector<int64_t> picks =
+      rng_.SampleWithoutReplacement(task.train.size(), budget);
+  std::vector<MemoryEntry> entries(picks.size());
+  for (size_t k = 0; k < picks.size(); ++k) {
+    MemoryEntry& e = entries[k];
+    const float* row = task.train.Row(picks[k]);
+    e.features.assign(row, row + task.train.dim());
+    e.task_id = task.task_id;
+    e.source_index = picks[k];
+    e.label = task.train.Label(picks[k]);
+  }
+  memory_.AddIncrement(std::move(entries));
+}
+
+}  // namespace edsr::cl

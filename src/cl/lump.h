@@ -1,0 +1,37 @@
+// LUMP (Madaan et al., ICLR'22): stores randomly selected old data and
+// replays it by mixing it into the new batch —
+//   x̄ = ω x^n + (1-ω) x^m, ω ~ Beta(α, α)   (paper §II-B2)
+// then optimizing L_css on the mixed views only.
+#ifndef EDSR_SRC_CL_LUMP_H_
+#define EDSR_SRC_CL_LUMP_H_
+
+#include "src/cl/memory.h"
+#include "src/cl/strategy.h"
+
+namespace edsr::cl {
+
+struct LumpOptions {
+  float mixup_alpha = 0.4f;  // Beta concentration
+};
+
+class Lump : public ContinualStrategy {
+ public:
+  Lump(const StrategyContext& context, const LumpOptions& options = {});
+
+  const MemoryBuffer& memory() const { return memory_; }
+
+ protected:
+  tensor::Tensor ComputeBatchLoss(const data::Task& task,
+                                  const std::vector<int64_t>& indices,
+                                  const tensor::Tensor& view1,
+                                  const tensor::Tensor& view2) override;
+  void OnIncrementEnd(const data::Task& task) override;
+
+ private:
+  LumpOptions options_;
+  MemoryBuffer memory_;
+};
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_LUMP_H_

@@ -1,0 +1,72 @@
+#include "src/cl/memory.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace edsr::cl {
+
+MemoryBuffer::MemoryBuffer(int64_t per_task_budget)
+    : per_task_budget_(per_task_budget) {
+  EDSR_CHECK_GE(per_task_budget, 0);
+}
+
+void MemoryBuffer::AddIncrement(std::vector<MemoryEntry> entries) {
+  EDSR_CHECK_LE(static_cast<int64_t>(entries.size()), per_task_budget_)
+      << "increment exceeds the per-task memory budget";
+  if (entries.empty()) return;
+  int64_t task_id = entries.front().task_id;
+  for (const MemoryEntry& e : entries) {
+    EDSR_CHECK_EQ(e.task_id, task_id)
+        << "AddIncrement entries must share a task id";
+    EDSR_CHECK(!e.features.empty());
+  }
+  for (const MemoryEntry& existing : entries_) {
+    EDSR_CHECK_NE(existing.task_id, task_id)
+        << "increment " << task_id << " already stored";
+  }
+  for (MemoryEntry& e : entries) entries_.push_back(std::move(e));
+}
+
+const MemoryEntry& MemoryBuffer::entry(int64_t i) const {
+  EDSR_CHECK(i >= 0 && i < size());
+  return entries_[i];
+}
+
+std::vector<int64_t> MemoryBuffer::SampleIndices(int64_t k,
+                                                 util::Rng* rng) const {
+  EDSR_CHECK(rng != nullptr);
+  EDSR_CHECK_GT(size(), 0);
+  if (k >= size()) {
+    std::vector<int64_t> all(size());
+    for (int64_t i = 0; i < size(); ++i) all[i] = i;
+    return all;
+  }
+  return rng->SampleWithoutReplacement(size(), k);
+}
+
+tensor::Tensor MemoryBuffer::GatherFeatures(
+    const std::vector<int64_t>& indices) const {
+  EDSR_CHECK(!indices.empty());
+  int64_t dim = static_cast<int64_t>(entry(indices[0]).features.size());
+  std::vector<float> batch(indices.size() * dim);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const MemoryEntry& e = entry(indices[k]);
+    EDSR_CHECK_EQ(static_cast<int64_t>(e.features.size()), dim)
+        << "GatherFeatures requires homogeneous feature dims";
+    std::copy(e.features.begin(), e.features.end(), batch.data() + k * dim);
+  }
+  return tensor::Tensor::FromVector(
+      std::move(batch), {static_cast<int64_t>(indices.size()), dim});
+}
+
+std::vector<std::vector<int64_t>> MemoryBuffer::GroupByTask(
+    const std::vector<int64_t>& indices) const {
+  int64_t max_task = 0;
+  for (int64_t i : indices) max_task = std::max(max_task, entry(i).task_id);
+  std::vector<std::vector<int64_t>> groups(max_task + 1);
+  for (int64_t i : indices) groups[entry(i).task_id].push_back(i);
+  return groups;
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,55 @@
+#include "src/cl/reservoir.h"
+
+#include "src/util/check.h"
+
+namespace edsr::cl {
+
+ReservoirBuffer::ReservoirBuffer(int64_t capacity) : capacity_(capacity) {
+  EDSR_CHECK_GT(capacity, 0);
+}
+
+void ReservoirBuffer::Offer(MemoryEntry entry, util::Rng* rng) {
+  EDSR_CHECK(rng != nullptr);
+  EDSR_CHECK(!entry.features.empty());
+  ++observed_;
+  if (size() < capacity_) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  // Classic reservoir: keep with probability capacity / observed.
+  int64_t slot = rng->UniformInt(0, observed_ - 1);
+  if (slot < capacity_) entries_[slot] = std::move(entry);
+}
+
+const MemoryEntry& ReservoirBuffer::entry(int64_t i) const {
+  EDSR_CHECK(i >= 0 && i < size());
+  return entries_[i];
+}
+
+std::vector<int64_t> ReservoirBuffer::SampleIndices(int64_t k,
+                                                    util::Rng* rng) const {
+  EDSR_CHECK(rng != nullptr);
+  EDSR_CHECK_GT(size(), 0);
+  if (k >= size()) {
+    std::vector<int64_t> all(size());
+    for (int64_t i = 0; i < size(); ++i) all[i] = i;
+    return all;
+  }
+  return rng->SampleWithoutReplacement(size(), k);
+}
+
+tensor::Tensor ReservoirBuffer::GatherFeatures(
+    const std::vector<int64_t>& indices) const {
+  EDSR_CHECK(!indices.empty());
+  int64_t dim = static_cast<int64_t>(entry(indices[0]).features.size());
+  std::vector<float> batch(indices.size() * dim);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    const MemoryEntry& e = entry(indices[k]);
+    EDSR_CHECK_EQ(static_cast<int64_t>(e.features.size()), dim);
+    std::copy(e.features.begin(), e.features.end(), batch.data() + k * dim);
+  }
+  return tensor::Tensor::FromVector(
+      std::move(batch), {static_cast<int64_t>(indices.size()), dim});
+}
+
+}  // namespace edsr::cl

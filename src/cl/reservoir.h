@@ -1,0 +1,43 @@
+// ReservoirBuffer — the streaming alternative to per-increment quotas.
+//
+// LUMP's original formulation maintains one fixed-size buffer filled by
+// reservoir sampling over the whole stream: after t observed samples, a new
+// sample replaces a uniformly random slot with probability capacity/t,
+// giving every observed sample an equal chance of residing in the buffer.
+// Provided as an extension so the per-increment MemoryBuffer policy can be
+// ablated against the faithful streaming policy.
+#ifndef EDSR_SRC_CL_RESERVOIR_H_
+#define EDSR_SRC_CL_RESERVOIR_H_
+
+#include <vector>
+
+#include "src/cl/memory.h"
+
+namespace edsr::cl {
+
+class ReservoirBuffer {
+ public:
+  explicit ReservoirBuffer(int64_t capacity);
+
+  // Offers one sample from the stream.
+  void Offer(MemoryEntry entry, util::Rng* rng);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  int64_t capacity() const { return capacity_; }
+  int64_t observed() const { return observed_; }
+  bool empty() const { return entries_.empty(); }
+  const MemoryEntry& entry(int64_t i) const;
+  const std::vector<MemoryEntry>& entries() const { return entries_; }
+
+  std::vector<int64_t> SampleIndices(int64_t k, util::Rng* rng) const;
+  tensor::Tensor GatherFeatures(const std::vector<int64_t>& indices) const;
+
+ private:
+  int64_t capacity_;
+  int64_t observed_ = 0;
+  std::vector<MemoryEntry> entries_;
+};
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_RESERVOIR_H_

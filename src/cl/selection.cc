@@ -1,0 +1,311 @@
+#include "src/cl/selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "src/linalg/pca.h"
+#include "src/util/check.h"
+
+namespace edsr::cl {
+
+namespace {
+
+using eval::RepresentationMatrix;
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    double diff = static_cast<double>(a[i]) - b[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+// Indices of the `budget` largest scores.
+std::vector<int64_t> TopK(const std::vector<double>& scores, int64_t budget) {
+  std::vector<int64_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  int64_t k = std::min<int64_t>(budget, order.size());
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](int64_t a, int64_t b) { return scores[a] > scores[b]; });
+  order.resize(k);
+  return order;
+}
+
+const RepresentationMatrix& Reps(const SelectionContext& context) {
+  EDSR_CHECK(context.representations != nullptr)
+      << "SelectionContext.representations required";
+  return *context.representations;
+}
+
+// k-means++ D^2 seeding over the representation rows.
+std::vector<int64_t> DSquaredSeeding(const RepresentationMatrix& reps,
+                                     int64_t budget, util::Rng* rng) {
+  int64_t n = reps.n;
+  int64_t k = std::min(budget, n);
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  chosen.push_back(rng->UniformInt(0, n - 1));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int64_t>(chosen.size()) < k) {
+    int64_t last = chosen.back();
+    std::vector<float> weights(n);
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(
+          min_dist[i], SquaredDistance(reps.Row(i), reps.Row(last), reps.d));
+      weights[i] = static_cast<float>(min_dist[i]);
+    }
+    // Already-chosen points have weight 0 and cannot be re-drawn.
+    int64_t next = rng->Categorical(weights);
+    if (min_dist[next] <= 0.0) {
+      // Degenerate duplicates: fall back to the farthest point.
+      next = static_cast<int64_t>(
+          std::max_element(min_dist.begin(), min_dist.end()) -
+          min_dist.begin());
+      if (min_dist[next] <= 0.0) break;  // all points identical
+    }
+    chosen.push_back(next);
+  }
+  // Pad with random extras if the data collapsed to fewer distinct points.
+  while (static_cast<int64_t>(chosen.size()) < k) {
+    chosen.push_back(rng->UniformInt(0, n - 1));
+  }
+  return chosen;
+}
+
+struct KMeansResult {
+  std::vector<std::vector<float>> centroids;
+  std::vector<int64_t> assignment;  // per sample
+};
+
+KMeansResult LloydKMeans(const RepresentationMatrix& reps, int64_t clusters,
+                         int64_t iterations, util::Rng* rng) {
+  clusters = std::min(clusters, reps.n);
+  std::vector<int64_t> seeds = DSquaredSeeding(reps, clusters, rng);
+  KMeansResult result;
+  result.centroids.resize(clusters, std::vector<float>(reps.d));
+  for (int64_t c = 0; c < clusters; ++c) {
+    const float* row = reps.Row(seeds[c]);
+    std::copy(row, row + reps.d, result.centroids[c].begin());
+  }
+  result.assignment.assign(reps.n, 0);
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (int64_t i = 0; i < reps.n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (int64_t c = 0; c < clusters; ++c) {
+        double dist =
+            SquaredDistance(reps.Row(i), result.centroids[c].data(), reps.d);
+        if (dist < best) {
+          best = dist;
+          result.assignment[i] = c;
+        }
+      }
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(clusters,
+                                          std::vector<double>(reps.d, 0.0));
+    std::vector<int64_t> counts(clusters, 0);
+    for (int64_t i = 0; i < reps.n; ++i) {
+      int64_t c = result.assignment[i];
+      ++counts[c];
+      for (int64_t j = 0; j < reps.d; ++j) sums[c][j] += reps.Row(i)[j];
+    }
+    for (int64_t c = 0; c < clusters; ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its centroid
+      for (int64_t j = 0; j < reps.d; ++j) {
+        result.centroids[c][j] =
+            static_cast<float>(sums[c][j] / static_cast<double>(counts[c]));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<int64_t> RandomSelector::Select(const SelectionContext& context,
+                                            int64_t budget,
+                                            util::Rng* rng) const {
+  const RepresentationMatrix& reps = Reps(context);
+  return rng->SampleWithoutReplacement(reps.n, std::min(budget, reps.n));
+}
+
+std::vector<int64_t> DistantSelector::Select(const SelectionContext& context,
+                                             int64_t budget,
+                                             util::Rng* rng) const {
+  return DSquaredSeeding(Reps(context), budget, rng);
+}
+
+std::vector<int64_t> KMeansSelector::Select(const SelectionContext& context,
+                                            int64_t budget,
+                                            util::Rng* rng) const {
+  const RepresentationMatrix& reps = Reps(context);
+  int64_t k = std::min(budget, reps.n);
+  KMeansResult kmeans = LloydKMeans(reps, k, iterations_, rng);
+  // Nearest distinct sample to each centroid.
+  std::vector<bool> taken(reps.n, false);
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  for (int64_t c = 0; c < static_cast<int64_t>(kmeans.centroids.size()); ++c) {
+    int64_t best = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int64_t i = 0; i < reps.n; ++i) {
+      if (taken[i]) continue;
+      double dist =
+          SquaredDistance(reps.Row(i), kmeans.centroids[c].data(), reps.d);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best >= 0) {
+      taken[best] = true;
+      chosen.push_back(best);
+    }
+  }
+  return chosen;
+}
+
+std::vector<int64_t> MinVarSelector::Select(const SelectionContext& context,
+                                            int64_t budget,
+                                            util::Rng* rng) const {
+  const RepresentationMatrix& reps = Reps(context);
+  EDSR_CHECK_EQ(context.augmentation_variance.size(),
+                static_cast<size_t>(reps.n))
+      << "MinVar requires augmentation variance scores";
+  int64_t k = std::min(budget, reps.n);
+  int64_t clusters = num_clusters_ > 0
+                         ? std::min(num_clusters_, reps.n)
+                         : std::max<int64_t>(1, std::min<int64_t>(k, 10));
+  KMeansResult kmeans = LloydKMeans(reps, clusters, 10, rng);
+  // Per-cluster quota proportional to cluster size; inside each cluster,
+  // keep the lowest-variance samples.
+  std::vector<std::vector<int64_t>> members(clusters);
+  for (int64_t i = 0; i < reps.n; ++i) {
+    members[kmeans.assignment[i]].push_back(i);
+  }
+  for (auto& m : members) {
+    std::sort(m.begin(), m.end(), [&](int64_t a, int64_t b) {
+      return context.augmentation_variance[a] <
+             context.augmentation_variance[b];
+    });
+  }
+  std::vector<int64_t> chosen;
+  std::vector<size_t> cursor(clusters, 0);
+  // Round-robin weighted by size until the budget is filled.
+  while (static_cast<int64_t>(chosen.size()) < k) {
+    bool advanced = false;
+    for (int64_t c = 0; c < clusters && static_cast<int64_t>(chosen.size()) < k;
+         ++c) {
+      if (cursor[c] < members[c].size()) {
+        chosen.push_back(members[c][cursor[c]++]);
+        advanced = true;
+      }
+    }
+    if (!advanced) break;
+  }
+  return chosen;
+}
+
+std::vector<int64_t> HighEntropySelector::Select(
+    const SelectionContext& context, int64_t budget, util::Rng* rng) const {
+  (void)rng;  // fully deterministic given the representations
+  const RepresentationMatrix& reps = Reps(context);
+  switch (mode_) {
+    case Mode::kNorm: {
+      std::vector<double> scores(reps.n);
+      for (int64_t i = 0; i < reps.n; ++i) {
+        scores[i] = SquaredDistance(
+            reps.Row(i), std::vector<float>(reps.d, 0.0f).data(), reps.d);
+      }
+      return TopK(scores, budget);
+    }
+    case Mode::kPcaLeverage: {
+      int64_t components =
+          std::min<int64_t>({num_components_, reps.d, reps.n});
+      // Cov(A) = A^T A per the paper's convention: uncentered PCA.
+      linalg::Pca pca = linalg::Pca::Fit(reps.values, reps.n, reps.d,
+                                         components, /*center=*/false);
+      std::vector<double> scores(reps.n);
+      for (int64_t i = 0; i < reps.n; ++i) {
+        scores[i] = pca.LeverageScore(reps.Row(i));
+      }
+      return TopK(scores, budget);
+    }
+    case Mode::kGreedyLogDet:
+      return SelectGreedyLogDet(reps, budget);
+  }
+  EDSR_CHECK(false) << "unknown HighEntropySelector mode";
+  return {};
+}
+
+std::vector<int64_t> HighEntropySelector::SelectGreedyLogDet(
+    const RepresentationMatrix& reps, int64_t budget) const {
+  // Greedy D-optimal design: repeatedly add the sample maximizing
+  // log det(A + z z^T) - log det(A) = log(1 + z^T A^{-1} z), maintaining
+  // A^{-1} via Sherman–Morrison. A starts as the identity (regularizer).
+  int64_t d = reps.d;
+  int64_t k = std::min(budget, reps.n);
+  std::vector<double> a_inv(d * d, 0.0);
+  for (int64_t i = 0; i < d; ++i) a_inv[i * d + i] = 1.0;
+  std::vector<bool> taken(reps.n, false);
+  std::vector<int64_t> chosen;
+  std::vector<double> ainv_z(d);
+  for (int64_t step = 0; step < k; ++step) {
+    int64_t best = -1;
+    double best_gain = -1.0;
+    for (int64_t i = 0; i < reps.n; ++i) {
+      if (taken[i]) continue;
+      const float* z = reps.Row(i);
+      double quad = 0.0;
+      for (int64_t r = 0; r < d; ++r) {
+        double acc = 0.0;
+        for (int64_t c = 0; c < d; ++c) acc += a_inv[r * d + c] * z[c];
+        quad += acc * z[r];
+      }
+      if (quad > best_gain) {
+        best_gain = quad;
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    taken[best] = true;
+    chosen.push_back(best);
+    // Sherman–Morrison update: A^{-1} -= (A^{-1} z z^T A^{-1}) / (1 + z^T A^{-1} z).
+    const float* z = reps.Row(best);
+    for (int64_t r = 0; r < d; ++r) {
+      double acc = 0.0;
+      for (int64_t c = 0; c < d; ++c) acc += a_inv[r * d + c] * z[c];
+      ainv_z[r] = acc;
+    }
+    double denom = 1.0 + best_gain;
+    for (int64_t r = 0; r < d; ++r) {
+      for (int64_t c = 0; c < d; ++c) {
+        a_inv[r * d + c] -= ainv_z[r] * ainv_z[c] / denom;
+      }
+    }
+  }
+  return chosen;
+}
+
+std::unique_ptr<DataSelector> MakeSelector(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kRandom:
+      return std::make_unique<RandomSelector>();
+    case SelectorKind::kDistant:
+      return std::make_unique<DistantSelector>();
+    case SelectorKind::kKMeans:
+      return std::make_unique<KMeansSelector>();
+    case SelectorKind::kMinVar:
+      return std::make_unique<MinVarSelector>();
+    case SelectorKind::kHighEntropy:
+      return std::make_unique<HighEntropySelector>();
+  }
+  EDSR_CHECK(false) << "unknown selector kind";
+  return nullptr;
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,122 @@
+// Data selection methods (paper §III-A and Table V baselines).
+//
+// A DataSelector picks `budget` sample indices from one increment, given the
+// representations extracted by the just-trained model. MinVar additionally
+// consumes a per-sample augmentation-variance score; selectors declare
+// whether they need it so the trainer only pays for it when required.
+#ifndef EDSR_SRC_CL_SELECTION_H_
+#define EDSR_SRC_CL_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/eval/representations.h"
+#include "src/util/rng.h"
+
+namespace edsr::cl {
+
+struct SelectionContext {
+  // (n, d) representations of the increment under the trained model f̂.
+  const eval::RepresentationMatrix* representations = nullptr;
+  // Per-sample variance of augmented-view representations (MinVar); empty
+  // unless the selector asked for it.
+  std::vector<double> augmentation_variance;
+};
+
+class DataSelector {
+ public:
+  virtual ~DataSelector() = default;
+
+  virtual std::vector<int64_t> Select(const SelectionContext& context,
+                                      int64_t budget,
+                                      util::Rng* rng) const = 0;
+  virtual bool needs_augmentation_variance() const { return false; }
+  virtual std::string name() const = 0;
+};
+
+// "Random" baseline: uniform sample without replacement.
+class RandomSelector : public DataSelector {
+ public:
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) const override;
+  std::string name() const override { return "random"; }
+};
+
+// "Distant" baseline: k-means++ seeding — iteratively add the sample whose
+// squared distance to the chosen set is largest (D^2 sampling).
+class DistantSelector : public DataSelector {
+ public:
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) const override;
+  std::string name() const override { return "distant"; }
+};
+
+// "K-means" baseline: Lloyd clustering in representation space; stores the
+// samples nearest to each centroid (clusters = budget).
+class KMeansSelector : public DataSelector {
+ public:
+  explicit KMeansSelector(int64_t iterations = 10) : iterations_(iterations) {}
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) const override;
+  std::string name() const override { return "kmeans"; }
+
+ private:
+  int64_t iterations_;
+};
+
+// "Min-Var" baseline (Lin et al.): cluster, then keep the samples whose
+// augmented views have the smallest representation variance.
+class MinVarSelector : public DataSelector {
+ public:
+  explicit MinVarSelector(int64_t num_clusters = 0)
+      : num_clusters_(num_clusters) {}
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) const override;
+  bool needs_augmentation_variance() const override { return true; }
+  std::string name() const override { return "minvar"; }
+
+ private:
+  int64_t num_clusters_;  // 0 = one cluster per budget slot
+};
+
+// EDSR's entropy-based selection (§III-A): maximize Tr(Cov(f̂(M))).
+class HighEntropySelector : public DataSelector {
+ public:
+  enum class Mode {
+    // Exact trace maximization: Tr(AᵀA) decomposes into squared row norms,
+    // so pick the top-budget norms.
+    kNorm,
+    // PCA-leverage (default): score_i = Σ_j <v_j, z_i>² over the top
+    // principal components — the subset that best reconstructs the
+    // representation space (the paper's "via PCA" reading).
+    kPcaLeverage,
+    // Greedy D-optimal log-det maximization (extension/ablation).
+    kGreedyLogDet,
+  };
+
+  explicit HighEntropySelector(Mode mode = Mode::kPcaLeverage,
+                               int64_t num_components = 8)
+      : mode_(mode), num_components_(num_components) {}
+
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) const override;
+  std::string name() const override { return "high-entropy"; }
+
+  Mode mode() const { return mode_; }
+
+ private:
+  std::vector<int64_t> SelectGreedyLogDet(
+      const eval::RepresentationMatrix& reps, int64_t budget) const;
+
+  Mode mode_;
+  int64_t num_components_;
+};
+
+enum class SelectorKind { kRandom, kDistant, kKMeans, kMinVar, kHighEntropy };
+
+std::unique_ptr<DataSelector> MakeSelector(SelectorKind kind);
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_SELECTION_H_

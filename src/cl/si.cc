@@ -1,0 +1,103 @@
+#include "src/cl/si.h"
+
+#include "src/tensor/ops.h"
+
+namespace edsr::cl {
+
+using tensor::Tensor;
+
+Si::Si(const StrategyContext& context, const SiOptions& options)
+    : ContinualStrategy(context, "si"), options_(options) {
+  tracked_ = encoder_->Parameters();
+}
+
+void Si::SnapshotInto(Buffers* buffers) const {
+  buffers->resize(tracked_.size());
+  for (size_t k = 0; k < tracked_.size(); ++k) {
+    (*buffers)[k] = tracked_[k].data();
+  }
+}
+
+double Si::TotalImportance() const {
+  double total = 0.0;
+  for (const auto& buf : omega_) {
+    for (float v : buf) total += v;
+  }
+  return total;
+}
+
+void Si::OnIncrementStart(const data::Task& task) {
+  (void)task;
+  if (!initialized_) {
+    omega_.resize(tracked_.size());
+    path_integral_.resize(tracked_.size());
+    for (size_t k = 0; k < tracked_.size(); ++k) {
+      omega_[k].assign(tracked_[k].numel(), 0.0f);
+      path_integral_[k].assign(tracked_[k].numel(), 0.0f);
+    }
+    SnapshotInto(&anchor_);
+    initialized_ = true;
+  }
+  SnapshotInto(&increment_start_);
+  for (auto& w : path_integral_) std::fill(w.begin(), w.end(), 0.0f);
+}
+
+Tensor Si::ComputeBatchLoss(const data::Task& task,
+                            const std::vector<int64_t>& indices,
+                            const Tensor& view1, const Tensor& view2) {
+  Tensor base = ContinualStrategy::ComputeBatchLoss(task, indices, view1, view2);
+  if (increments_seen_ == 0) return base;
+  // Quadratic consolidation penalty c * sum_k Omega_k (theta_k - theta*_k)^2.
+  Tensor penalty = Tensor::Zeros({1});
+  for (size_t k = 0; k < tracked_.size(); ++k) {
+    Tensor omega = Tensor::FromVector(omega_[k], tracked_[k].shape());
+    Tensor anchor = Tensor::FromVector(anchor_[k], tracked_[k].shape());
+    penalty =
+        penalty + tensor::SumAll(tensor::Square(tracked_[k] - anchor) * omega);
+  }
+  return base + penalty * options_.strength;
+}
+
+void Si::BeforeOptimizerStep() {
+  SnapshotInto(&pre_step_values_);
+  pre_step_grads_.resize(tracked_.size());
+  for (size_t k = 0; k < tracked_.size(); ++k) {
+    const auto& grad = tracked_[k].grad();
+    if (grad.empty()) {
+      pre_step_grads_[k].assign(tracked_[k].numel(), 0.0f);
+    } else {
+      pre_step_grads_[k] = grad;
+    }
+  }
+}
+
+void Si::AfterOptimizerStep() {
+  for (size_t k = 0; k < tracked_.size(); ++k) {
+    const auto& now = tracked_[k].data();
+    const auto& before = pre_step_values_[k];
+    const auto& grad = pre_step_grads_[k];
+    auto& w = path_integral_[k];
+    for (size_t j = 0; j < w.size(); ++j) {
+      w[j] += -grad[j] * (now[j] - before[j]);
+    }
+  }
+}
+
+void Si::OnIncrementEnd(const data::Task& task) {
+  (void)task;
+  for (size_t k = 0; k < tracked_.size(); ++k) {
+    const auto& now = tracked_[k].data();
+    const auto& start = increment_start_[k];
+    auto& omega = omega_[k];
+    const auto& w = path_integral_[k];
+    for (size_t j = 0; j < omega.size(); ++j) {
+      float delta = now[j] - start[j];
+      float contribution = w[j] / (delta * delta + options_.damping);
+      // Negative path integrals (loss increases) carry no importance.
+      if (contribution > 0.0f) omega[j] += contribution;
+    }
+  }
+  SnapshotInto(&anchor_);
+}
+
+}  // namespace edsr::cl

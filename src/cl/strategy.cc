@@ -1,0 +1,103 @@
+#include "src/cl/strategy.h"
+
+#include "src/data/batching.h"
+#include "src/tensor/ops.h"
+#include "src/util/logging.h"
+
+namespace edsr::cl {
+
+using tensor::Tensor;
+
+ContinualStrategy::ContinualStrategy(const StrategyContext& context,
+                                     std::string name)
+    : context_(context), rng_(context.seed), name_(std::move(name)) {
+  encoder_ = ssl::Encoder::Make(context.encoder, &rng_);
+  loss_ = ssl::MakeCsslLoss(context.loss_kind, context.encoder.representation_dim,
+                            &rng_);
+}
+
+Tensor ContinualStrategy::ComputeBatchLoss(const data::Task& task,
+                                           const std::vector<int64_t>& indices,
+                                           const Tensor& view1,
+                                           const Tensor& view2) {
+  (void)task;
+  (void)indices;
+  Tensor z1 = encoder_->Forward(view1);
+  Tensor z2 = encoder_->Forward(view2);
+  return loss_->Loss(z1, z2);
+}
+
+Tensor ContinualStrategy::View(const data::Dataset& dataset,
+                               const std::vector<int64_t>& indices) {
+  EDSR_CHECK(views_ != nullptr) << "View called outside LearnIncrement";
+  return views_->View(dataset, indices, &rng_);
+}
+
+Tensor ContinualStrategy::ViewOfRaw(const Tensor& raw,
+                                    const data::ImageGeometry& geometry) {
+  EDSR_CHECK(views_ != nullptr) << "ViewOfRaw called outside LearnIncrement";
+  EDSR_CHECK_EQ(raw.dim(), 2);
+  int64_t n = raw.shape()[0];
+  std::vector<int64_t> labels(n, 0);
+  data::Dataset wrapper("raw", raw.data(), labels, raw.shape()[1],
+                        /*num_classes=*/1, geometry);
+  std::vector<int64_t> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  return views_->View(wrapper, all, &rng_);
+}
+
+void ContinualStrategy::LearnIncrement(const data::Task& task) {
+  EDSR_CHECK_GT(task.train.size(), 1)
+      << "increment " << task.task_id << " too small to train on";
+  if (encoder_->has_input_heads()) encoder_->SetActiveHead(task.task_id);
+  views_ = augment::ViewProvider::ForDataset(task.train);
+  encoder_->SetTraining(true);
+  loss_->SetTraining(true);
+
+  OnIncrementStart(task);
+
+  std::vector<Tensor> params = encoder_->Parameters();
+  for (const Tensor& p : loss_->Parameters()) params.push_back(p);
+  for (const Tensor& p : ExtraParameters()) params.push_back(p);
+  if (context_.use_adam) {
+    optim::AdamOptions options;
+    options.lr = context_.adam_lr;
+    optimizer_ = std::make_unique<optim::Adam>(params, options);
+  } else {
+    optim::SgdOptions options;
+    options.lr = context_.lr;
+    options.momentum = context_.momentum;
+    options.weight_decay = context_.weight_decay;
+    optimizer_ = std::make_unique<optim::Sgd>(params, options);
+  }
+
+  data::BatchIterator iterator(task.train.size(), context_.batch_size, &rng_);
+  std::vector<int64_t> batch;
+  for (int64_t epoch = 0; epoch < context_.epochs; ++epoch) {
+    iterator.Reset();
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    while (iterator.Next(&batch)) {
+      Tensor view1 = View(task.train, batch);
+      Tensor view2 = View(task.train, batch);
+      optimizer_->ZeroGrad();
+      Tensor batch_loss = ComputeBatchLoss(task, batch, view1, view2);
+      batch_loss.Backward();
+      if (context_.grad_clip > 0.0f) {
+        optim::ClipGradNorm(params, context_.grad_clip);
+      }
+      BeforeOptimizerStep();
+      optimizer_->Step();
+      AfterOptimizerStep();
+      epoch_loss += batch_loss.item();
+      ++batches;
+    }
+    EDSR_LOG(Debug) << name_ << " task " << task.task_id << " epoch " << epoch
+                    << " loss " << (batches > 0 ? epoch_loss / batches : 0.0);
+  }
+
+  OnIncrementEnd(task);
+  ++increments_seen_;
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,91 @@
+// ContinualStrategy: the template-method base for every UCL method.
+//
+// LearnIncrement drives the shared per-increment loop:
+//   OnIncrementStart -> [epochs x batches: two augmented views ->
+//   ComputeBatchLoss -> backward -> step (with Before/AfterOptimizerStep
+//   hooks)] -> OnIncrementEnd.
+// Subclasses override the hooks:
+//   Finetune  — default loss only;
+//   SI        — adds a synaptic-importance penalty + path-integral tracking;
+//   DER       — stores random data + backbone outputs, replays with MSE;
+//   LUMP      — stores random data, mixes it into the new batch (mixup);
+//   CaSSLe    — snapshots a frozen teacher + distillation projector;
+//   EDSR      — CaSSLe + entropy-based selection + noise-enhanced replay
+//               (src/core/edsr.h).
+#ifndef EDSR_SRC_CL_STRATEGY_H_
+#define EDSR_SRC_CL_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/augment/view_provider.h"
+#include "src/cl/strategy_context.h"
+#include "src/data/task_sequence.h"
+#include "src/optim/optimizer.h"
+
+namespace edsr::cl {
+
+class ContinualStrategy {
+ public:
+  ContinualStrategy(const StrategyContext& context, std::string name);
+  virtual ~ContinualStrategy() = default;
+  ContinualStrategy(const ContinualStrategy&) = delete;
+  ContinualStrategy& operator=(const ContinualStrategy&) = delete;
+
+  // Trains on one data increment (the template method).
+  void LearnIncrement(const data::Task& task);
+
+  ssl::Encoder* encoder() { return encoder_.get(); }
+  ssl::CsslLoss* loss() { return loss_.get(); }
+  const std::string& name() const { return name_; }
+  const StrategyContext& context() const { return context_; }
+  int64_t increments_seen() const { return increments_seen_; }
+  util::Rng* rng() { return &rng_; }
+
+ protected:
+  // ---- Hooks -----------------------------------------------------------
+  virtual void OnIncrementStart(const data::Task& task) { (void)task; }
+  // The per-batch training loss. `view1`/`view2` are two augmented views of
+  // the rows `indices` of task.train. Default: L_css on the two views.
+  virtual tensor::Tensor ComputeBatchLoss(const data::Task& task,
+                                          const std::vector<int64_t>& indices,
+                                          const tensor::Tensor& view1,
+                                          const tensor::Tensor& view2);
+  virtual void OnIncrementEnd(const data::Task& task) { (void)task; }
+  virtual void BeforeOptimizerStep() {}
+  virtual void AfterOptimizerStep() {}
+  // Additional trainable parameters beyond encoder + loss (e.g. p_dis).
+  virtual std::vector<tensor::Tensor> ExtraParameters() { return {}; }
+
+  // Augmented view of arbitrary dataset rows using this increment's
+  // view provider.
+  tensor::Tensor View(const data::Dataset& dataset,
+                      const std::vector<int64_t>& indices);
+  // Augmented view of a raw (k, dim) feature tensor sharing the increment's
+  // modality (used for memory replay where rows live outside a Dataset).
+  tensor::Tensor ViewOfRaw(const tensor::Tensor& raw,
+                           const data::ImageGeometry& geometry);
+
+  StrategyContext context_;
+  std::unique_ptr<ssl::Encoder> encoder_;
+  std::unique_ptr<ssl::CsslLoss> loss_;
+  std::unique_ptr<augment::ViewProvider> views_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  util::Rng rng_;
+  int64_t increments_seen_ = 0;
+
+ private:
+  std::string name_;
+};
+
+// The vanilla baseline: L_css only, no forgetting prevention.
+class Finetune : public ContinualStrategy {
+ public:
+  explicit Finetune(const StrategyContext& context)
+      : ContinualStrategy(context, "finetune") {}
+};
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_STRATEGY_H_

@@ -1,0 +1,36 @@
+// StrategyContext: the experiment configuration shared by every continual
+// learning strategy (RocksDB-style options struct).
+#ifndef EDSR_SRC_CL_STRATEGY_CONTEXT_H_
+#define EDSR_SRC_CL_STRATEGY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/ssl/encoder.h"
+#include "src/ssl/losses.h"
+
+namespace edsr::cl {
+
+struct StrategyContext {
+  ssl::EncoderConfig encoder;
+  ssl::CsslLossKind loss_kind = ssl::CsslLossKind::kSimSiam;
+
+  // Per-increment optimization.
+  int64_t epochs = 8;
+  int64_t batch_size = 32;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  bool use_adam = false;  // paper: SGD for images, Adam for tabular
+  float adam_lr = 1e-3f;
+  float grad_clip = 10.0f;  // 0 disables
+
+  // Memory (methods that store data).
+  int64_t memory_per_task = 32;
+  int64_t replay_batch_size = 16;
+
+  uint64_t seed = 0;
+};
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_STRATEGY_CONTEXT_H_

@@ -1,0 +1,101 @@
+#include "src/cl/trainer.h"
+
+#include <algorithm>
+
+#include "src/eval/representations.h"
+#include "src/util/logging.h"
+#include "src/util/stopwatch.h"
+
+namespace edsr::cl {
+
+double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
+                    const EvalOptions& options) {
+  int64_t head = encoder->has_input_heads() ? task.task_id : -1;
+  eval::RepresentationMatrix bank =
+      eval::ExtractRepresentations(encoder, task.train, 64, head);
+  eval::RepresentationMatrix queries =
+      eval::ExtractRepresentations(encoder, task.test, 64, head);
+  eval::KnnOptions knn_options;
+  knn_options.k = options.knn_k;
+  knn_options.temperature = options.knn_temperature;
+  knn_options.num_classes = task.train.num_classes();
+  eval::KnnClassifier knn(std::move(bank), task.train.labels(), knn_options);
+  return knn.Evaluate(queries, task.test.labels());
+}
+
+ContinualRunResult RunContinual(ContinualStrategy* strategy,
+                                const data::TaskSequence& sequence,
+                                const EvalOptions& options) {
+  EDSR_CHECK(strategy != nullptr);
+  ContinualRunResult result{eval::AccuracyMatrix(sequence.num_tasks())};
+  util::Stopwatch total;
+  for (int64_t i = 0; i < sequence.num_tasks(); ++i) {
+    util::Stopwatch train_watch;
+    strategy->LearnIncrement(sequence.task(i));
+    result.train_seconds += train_watch.ElapsedSeconds();
+
+    util::Stopwatch eval_watch;
+    for (int64_t j = 0; j <= i; ++j) {
+      double acc =
+          EvaluateTask(strategy->encoder(), sequence.task(j), options);
+      result.matrix.Set(i, j, acc);
+    }
+    result.eval_seconds += eval_watch.ElapsedSeconds();
+    EDSR_LOG(Debug) << strategy->name() << " after task " << i << ": Acc="
+                    << result.matrix.Acc(i) * 100.0
+                    << " Fgt=" << result.matrix.Fgt(i) * 100.0;
+  }
+  (void)total;
+  return result;
+}
+
+double MultitaskAccuracy(const StrategyContext& context,
+                         const data::TaskSequence& sequence,
+                         const EvalOptions& options, int64_t checkpoints) {
+  EDSR_CHECK_GT(checkpoints, 0);
+  bool homogeneous = context.encoder.input_head_dims.empty();
+  for (int64_t t = 1; homogeneous && t < sequence.num_tasks(); ++t) {
+    homogeneous = sequence.task(t).train.dim() == sequence.task(0).train.dim();
+  }
+
+  auto average_task_accuracy = [&](ssl::Encoder* encoder) {
+    double total = 0.0;
+    for (int64_t t = 0; t < sequence.num_tasks(); ++t) {
+      total += EvaluateTask(encoder, sequence.task(t), options);
+    }
+    return total / static_cast<double>(sequence.num_tasks());
+  };
+
+  StrategyContext chunk_context = context;
+  chunk_context.epochs =
+      std::max<int64_t>(1, context.epochs / checkpoints);
+  Finetune joint(chunk_context);
+  double best = 0.0;
+  if (homogeneous) {
+    data::Task merged;
+    merged.task_id = 0;
+    merged.train = sequence.MergedTrain(sequence.num_tasks() - 1);
+    merged.test = sequence.MergedTest(sequence.num_tasks() - 1);
+    for (int64_t chunk = 0; chunk < checkpoints; ++chunk) {
+      joint.LearnIncrement(merged);
+      best = std::max(best, average_task_accuracy(joint.encoder()));
+    }
+  } else {
+    // Heterogeneous dims: round-robin joint training through the heads.
+    StrategyContext round_context = context;
+    round_context.epochs = 1;
+    Finetune round_joint(round_context);
+    for (int64_t round = 0; round < context.epochs; ++round) {
+      for (int64_t t = 0; t < sequence.num_tasks(); ++t) {
+        round_joint.LearnIncrement(sequence.task(t));
+      }
+      if ((round + 1) % std::max<int64_t>(1, context.epochs / checkpoints) ==
+          0) {
+        best = std::max(best, average_task_accuracy(round_joint.encoder()));
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace edsr::cl

@@ -1,0 +1,49 @@
+// ContinualTrainer: runs a strategy over a task sequence and fills the
+// accuracy matrix using the paper's KNN protocol, plus the Multitask
+// joint-training upper bound.
+#ifndef EDSR_SRC_CL_TRAINER_H_
+#define EDSR_SRC_CL_TRAINER_H_
+
+#include "src/cl/strategy.h"
+#include "src/eval/knn.h"
+#include "src/eval/metrics.h"
+
+namespace edsr::cl {
+
+struct EvalOptions {
+  int64_t knn_k = 10;
+  float knn_temperature = 0.1f;
+};
+
+struct ContinualRunResult {
+  eval::AccuracyMatrix matrix;
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+// KNN accuracy on one increment: bank = task.train representations,
+// queries = task.test (the LUMP/CaSSLe per-task protocol).
+double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
+                    const EvalOptions& options);
+
+// Learns every increment in order; after increment i, evaluates on
+// increments 0..i to fill row i of the accuracy matrix.
+ContinualRunResult RunContinual(ContinualStrategy* strategy,
+                                const data::TaskSequence& sequence,
+                                const EvalOptions& options);
+
+// Multitask upper bound: joint training on all increments at once.
+// Homogeneous sequences merge the data; heterogeneous (tabular) sequences
+// train round-robin across increments with the per-increment input heads.
+// Training runs in `checkpoints` chunks of context.epochs / checkpoints
+// epochs each, evaluating after every chunk, and the best checkpoint's
+// average per-task KNN accuracy is returned — the joint model is a
+// trained-until-optimized reference (paper §II-B: "each dataset can be
+// repeatedly learned until optimization"), not a continual learner.
+double MultitaskAccuracy(const StrategyContext& context,
+                         const data::TaskSequence& sequence,
+                         const EvalOptions& options, int64_t checkpoints = 4);
+
+}  // namespace edsr::cl
+
+#endif  // EDSR_SRC_CL_TRAINER_H_

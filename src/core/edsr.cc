@@ -1,0 +1,184 @@
+#include "src/core/edsr.h"
+
+#include <algorithm>
+
+#include "src/core/noise.h"
+#include "src/eval/representations.h"
+#include "src/tensor/ops.h"
+
+namespace edsr::core {
+
+using cl::MemoryEntry;
+using tensor::Tensor;
+
+Edsr::Edsr(const cl::StrategyContext& context, const EdsrOptions& options)
+    : Edsr(context, options,
+           std::make_unique<cl::HighEntropySelector>(options.entropy_mode,
+                                                     options.pca_components),
+           "edsr") {}
+
+Edsr::Edsr(const cl::StrategyContext& context, const EdsrOptions& options,
+           std::unique_ptr<cl::DataSelector> selector, std::string name)
+    : cl::Cassle(context, cl::CassleOptions{}, std::move(name)),
+      options_(options),
+      selector_(std::move(selector)),
+      memory_(context.memory_per_task) {
+  EDSR_CHECK(selector_ != nullptr);
+}
+
+Tensor Edsr::ComputeBatchLoss(const data::Task& task,
+                              const std::vector<int64_t>& indices,
+                              const Tensor& view1, const Tensor& view2) {
+  Tensor total = Cassle::ComputeBatchLoss(task, indices, view1, view2);
+  Tensor replay = ReplayLoss(task);
+  if (replay.defined()) {
+    total = total + replay * options_.replay_weight;
+  }
+  return total;
+}
+
+Tensor Edsr::ReplayLoss(const data::Task& task) {
+  if (memory_.empty() || options_.replay_mode == ReplayLossMode::kNone) {
+    return Tensor();
+  }
+  std::vector<int64_t> replay =
+      memory_.SampleIndices(context_.replay_batch_size, &rng_);
+  Tensor total;
+  int64_t total_count = 0;
+  if (encoder_->has_input_heads()) {
+    // Heterogeneous inputs: replay each source increment through its head.
+    for (const std::vector<int64_t>& group : memory_.GroupByTask(replay)) {
+      if (group.empty()) continue;
+      Tensor part = GroupReplayLoss(task, group) *
+                    static_cast<float>(group.size());
+      total = total.defined() ? total + part : part;
+      total_count += static_cast<int64_t>(group.size());
+    }
+    encoder_->SetActiveHead(task.task_id);  // restore the increment's head
+  } else {
+    total = GroupReplayLoss(task, replay) * static_cast<float>(replay.size());
+    total_count = static_cast<int64_t>(replay.size());
+  }
+  if (!total.defined() || total_count == 0) return Tensor();
+  return total * (1.0f / static_cast<float>(total_count));
+}
+
+Tensor Edsr::GroupReplayLoss(const data::Task& task,
+                             const std::vector<int64_t>& entry_indices) {
+  int64_t group_head = memory_.entry(entry_indices.front()).task_id;
+  if (encoder_->has_input_heads()) encoder_->SetActiveHead(group_head);
+
+  Tensor raw = memory_.GatherFeatures(entry_indices);
+  data::ImageGeometry geometry =
+      task.train.is_image() ? task.train.geometry() : data::ImageGeometry{};
+  Tensor view1 = ViewOfRaw(raw, geometry);
+  Tensor z1 = encoder_->Forward(view1);
+
+  switch (options_.replay_mode) {
+    case ReplayLossMode::kCss: {
+      // Naive contrastive replay — the over-fitting variant of Table IV.
+      Tensor view2 = ViewOfRaw(raw, geometry);
+      return loss_->Loss(z1, encoder_->Forward(view2));
+    }
+    case ReplayLossMode::kDis: {
+      EDSR_CHECK(has_teacher()) << "distillation replay requires a teacher";
+      return DistillLoss(z1, TeacherForward(view1, group_head));
+    }
+    case ReplayLossMode::kRpl: {
+      EDSR_CHECK(has_teacher()) << "distillation replay requires a teacher";
+      Tensor target = TeacherForward(view1, group_head);
+      // z̃ + r(x^m) ⊙ σ, σ ~ N(0, I) drawn fresh every replay (Eq. 16).
+      std::vector<float> noisy = target.data();
+      int64_t d = target.shape()[1];
+      for (size_t k = 0; k < entry_indices.size(); ++k) {
+        const MemoryEntry& entry = memory_.entry(entry_indices[k]);
+        if (entry.noise_scale.empty()) continue;
+        EDSR_CHECK_EQ(static_cast<int64_t>(entry.noise_scale.size()), d);
+        for (int64_t j = 0; j < d; ++j) {
+          noisy[k * d + j] += entry.noise_scale[j] * rng_.Normal();
+        }
+      }
+      Tensor noisy_target =
+          Tensor::FromVector(std::move(noisy), target.shape());
+      return DistillLoss(z1, noisy_target);
+    }
+    case ReplayLossMode::kNone:
+      break;
+  }
+  EDSR_CHECK(false) << "unreachable replay mode";
+  return Tensor();
+}
+
+std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
+  int64_t n = task.train.size();
+  int64_t d = encoder_->representation_dim();
+  int64_t views = std::max<int64_t>(2, options_.variance_views);
+  std::vector<double> sum(n * d, 0.0);
+  std::vector<double> sum_sq(n * d, 0.0);
+  bool was_training = encoder_->training();
+  encoder_->SetTraining(false);
+  std::vector<int64_t> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  for (int64_t v = 0; v < views; ++v) {
+    for (int64_t start = 0; start < n; start += 64) {
+      int64_t count = std::min<int64_t>(64, n - start);
+      std::vector<int64_t> chunk(all.begin() + start,
+                                 all.begin() + start + count);
+      Tensor reps = encoder_->Forward(View(task.train, chunk));
+      for (int64_t k = 0; k < count; ++k) {
+        for (int64_t j = 0; j < d; ++j) {
+          double value = reps.at(k, j);
+          sum[(start + k) * d + j] += value;
+          sum_sq[(start + k) * d + j] += value * value;
+        }
+      }
+    }
+  }
+  encoder_->SetTraining(was_training);
+  std::vector<double> variance(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      double mean = sum[i * d + j] / views;
+      acc += std::max(0.0, sum_sq[i * d + j] / views - mean * mean);
+    }
+    variance[i] = acc / d;
+  }
+  return variance;
+}
+
+void Edsr::OnIncrementEnd(const data::Task& task) {
+  int64_t budget =
+      std::min<int64_t>(memory_.per_task_budget(), task.train.size());
+  if (budget <= 0) return;
+  // Selecting stage (§III-C2): representations of the *un-augmented*
+  // increment under the freshly trained model f̂.
+  int64_t head = encoder_->has_input_heads() ? task.task_id : -1;
+  eval::RepresentationMatrix reps =
+      eval::ExtractRepresentations(encoder_.get(), task.train, 64, head);
+  cl::SelectionContext selection;
+  selection.representations = &reps;
+  if (selector_->needs_augmentation_variance()) {
+    selection.augmentation_variance = AugmentationVariance(task);
+  }
+  std::vector<int64_t> picks = selector_->Select(selection, budget, &rng_);
+
+  std::vector<MemoryEntry> entries;
+  entries.reserve(picks.size());
+  for (int64_t pick : picks) {
+    MemoryEntry entry;
+    const float* row = task.train.Row(pick);
+    entry.features.assign(row, row + task.train.dim());
+    entry.task_id = task.task_id;
+    entry.source_index = pick;
+    entry.label = task.train.Label(pick);
+    if (options_.replay_mode == ReplayLossMode::kRpl &&
+        options_.noise_neighbors > 0) {
+      entry.noise_scale = KnnNoiseScale(reps, pick, options_.noise_neighbors);
+    }
+    entries.push_back(std::move(entry));
+  }
+  memory_.AddIncrement(std::move(entries));
+}
+
+}  // namespace edsr::core

@@ -1,0 +1,55 @@
+#include "src/core/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace edsr::core {
+
+std::vector<int64_t> NearestNeighbors(const eval::RepresentationMatrix& reps,
+                                      int64_t index, int64_t k) {
+  EDSR_CHECK(index >= 0 && index < reps.n);
+  k = std::min<int64_t>(k, reps.n - 1);
+  if (k <= 0) return {};
+  std::vector<std::pair<double, int64_t>> dists;
+  dists.reserve(reps.n - 1);
+  const float* anchor = reps.Row(index);
+  for (int64_t i = 0; i < reps.n; ++i) {
+    if (i == index) continue;
+    double dist = 0.0;
+    const float* row = reps.Row(i);
+    for (int64_t j = 0; j < reps.d; ++j) {
+      double diff = static_cast<double>(anchor[j]) - row[j];
+      dist += diff * diff;
+    }
+    dists.emplace_back(dist, i);
+  }
+  std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
+  std::vector<int64_t> neighbors(k);
+  for (int64_t i = 0; i < k; ++i) neighbors[i] = dists[i].second;
+  return neighbors;
+}
+
+std::vector<float> KnnNoiseScale(const eval::RepresentationMatrix& reps,
+                                 int64_t index, int64_t k) {
+  std::vector<float> scale(reps.d, 0.0f);
+  std::vector<int64_t> neighbors = NearestNeighbors(reps, index, k);
+  if (neighbors.size() < 2) return scale;  // std undefined below 2 points
+  for (int64_t j = 0; j < reps.d; ++j) {
+    double mean = 0.0;
+    for (int64_t i : neighbors) mean += reps.Row(i)[j];
+    mean /= static_cast<double>(neighbors.size());
+    double var = 0.0;
+    for (int64_t i : neighbors) {
+      double diff = reps.Row(i)[j] - mean;
+      var += diff * diff;
+    }
+    var /= static_cast<double>(neighbors.size());
+    scale[j] = static_cast<float>(std::sqrt(var));
+  }
+  return scale;
+}
+
+}  // namespace edsr::core

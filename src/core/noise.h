@@ -1,0 +1,26 @@
+// Data-dependent noise magnitude r(x^m) for EDSR's replay (paper §III-B):
+// the per-dimension standard deviation of the representations of the k
+// nearest neighbours of x^m within its increment X^n.
+#ifndef EDSR_SRC_CORE_NOISE_H_
+#define EDSR_SRC_CORE_NOISE_H_
+
+#include <vector>
+
+#include "src/eval/representations.h"
+
+namespace edsr::core {
+
+// Indices of the k nearest neighbours of row `index` in `reps` (euclidean
+// distance in representation space, excluding the row itself).
+std::vector<int64_t> NearestNeighbors(const eval::RepresentationMatrix& reps,
+                                      int64_t index, int64_t k);
+
+// r(x^m): per-dimension std over {ẑ' : x' ∈ Nei(x^m | X^n)}. Returns a
+// d-vector. k is clamped to the available neighbour count; k <= 0 returns
+// all-zeros (degenerates L_rpl to L_dis, the Fig. 6 "0 neighbours" point).
+std::vector<float> KnnNoiseScale(const eval::RepresentationMatrix& reps,
+                                 int64_t index, int64_t k);
+
+}  // namespace edsr::core
+
+#endif  // EDSR_SRC_CORE_NOISE_H_

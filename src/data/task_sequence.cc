@@ -1,0 +1,90 @@
+#include "src/data/task_sequence.h"
+
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace edsr::data {
+
+TaskSequence TaskSequence::SplitByClasses(const Dataset& train,
+                                          const Dataset& test,
+                                          int64_t num_tasks, util::Rng* rng) {
+  EDSR_CHECK_GT(num_tasks, 0);
+  int64_t num_classes = train.num_classes();
+  EDSR_CHECK_EQ(num_classes, test.num_classes());
+  EDSR_CHECK_EQ(num_classes % num_tasks, 0)
+      << "num_classes " << num_classes << " not divisible by " << num_tasks
+      << " tasks";
+  int64_t per_task = num_classes / num_tasks;
+
+  std::vector<int64_t> class_order(num_classes);
+  std::iota(class_order.begin(), class_order.end(), 0);
+  if (rng != nullptr) rng->Shuffle(&class_order);
+
+  TaskSequence sequence;
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    Task task;
+    task.task_id = t;
+    task.classes.assign(class_order.begin() + t * per_task,
+                        class_order.begin() + (t + 1) * per_task);
+    std::string suffix = "-task" + std::to_string(t);
+    task.train = train.Subset(train.IndicesOfClasses(task.classes),
+                              train.name() + suffix);
+    task.test =
+        test.Subset(test.IndicesOfClasses(task.classes), test.name() + suffix);
+    sequence.tasks_.push_back(std::move(task));
+  }
+  return sequence;
+}
+
+TaskSequence TaskSequence::FromDatasets(
+    const std::vector<std::pair<Dataset, Dataset>>& pairs) {
+  EDSR_CHECK(!pairs.empty());
+  TaskSequence sequence;
+  int64_t id = 0;
+  for (const auto& [train, test] : pairs) {
+    Task task;
+    task.task_id = id++;
+    task.train = train;
+    task.test = test;
+    task.classes.resize(train.num_classes());
+    std::iota(task.classes.begin(), task.classes.end(), 0);
+    sequence.tasks_.push_back(std::move(task));
+  }
+  return sequence;
+}
+
+const Task& TaskSequence::task(int64_t i) const {
+  EDSR_CHECK(i >= 0 && i < num_tasks());
+  return tasks_[i];
+}
+
+namespace {
+Dataset MergeDatasets(const std::vector<Task>& tasks, int64_t upto,
+                      bool use_train, const std::string& name) {
+  EDSR_CHECK(!tasks.empty());
+  EDSR_CHECK(upto >= 0 && upto < static_cast<int64_t>(tasks.size()));
+  const Dataset& first = use_train ? tasks[0].train : tasks[0].test;
+  std::vector<float> features;
+  std::vector<int64_t> labels;
+  for (int64_t t = 0; t <= upto; ++t) {
+    const Dataset& d = use_train ? tasks[t].train : tasks[t].test;
+    EDSR_CHECK_EQ(d.dim(), first.dim())
+        << "cannot merge datasets with different dims";
+    features.insert(features.end(), d.features().begin(), d.features().end());
+    labels.insert(labels.end(), d.labels().begin(), d.labels().end());
+  }
+  return Dataset(name, std::move(features), std::move(labels), first.dim(),
+                 first.num_classes(), first.geometry());
+}
+}  // namespace
+
+Dataset TaskSequence::MergedTrain(int64_t upto) const {
+  return MergeDatasets(tasks_, upto, /*use_train=*/true, "merged-train");
+}
+
+Dataset TaskSequence::MergedTest(int64_t upto) const {
+  return MergeDatasets(tasks_, upto, /*use_train=*/false, "merged-test");
+}
+
+}  // namespace edsr::data

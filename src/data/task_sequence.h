@@ -1,0 +1,51 @@
+// Class-incremental task splitting (paper §IV-A2).
+//
+// A TaskSequence is the ordered list of data increments {X^1, ..., X^n} the
+// continual learner sees. For image benchmarks, the class set is partitioned
+// into equal disjoint chunks (e.g. CIFAR-10 -> 5 tasks x 2 classes). For the
+// tabular benchmark, each dataset is its own increment (heterogeneous dims).
+#ifndef EDSR_SRC_DATA_TASK_SEQUENCE_H_
+#define EDSR_SRC_DATA_TASK_SEQUENCE_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/util/rng.h"
+
+namespace edsr::data {
+
+struct Task {
+  Dataset train;
+  Dataset test;
+  std::vector<int64_t> classes;  // global class ids in this increment
+  int64_t task_id = 0;
+};
+
+class TaskSequence {
+ public:
+  // Partitions train/test by class into `num_tasks` increments of equal
+  // class count. Class order is shuffled with `rng` (pass nullptr for the
+  // natural order), matching the random task compositions in the paper.
+  static TaskSequence SplitByClasses(const Dataset& train, const Dataset& test,
+                                     int64_t num_tasks, util::Rng* rng);
+
+  // One increment per (train, test) pair; used by the tabular benchmark.
+  static TaskSequence FromDatasets(
+      const std::vector<std::pair<Dataset, Dataset>>& pairs);
+
+  int64_t num_tasks() const { return static_cast<int64_t>(tasks_.size()); }
+  const Task& task(int64_t i) const;
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  // Union of all train (resp. test) increments up to and including `upto`.
+  // Used by the Multitask upper bound and by evaluation.
+  Dataset MergedTrain(int64_t upto) const;
+  Dataset MergedTest(int64_t upto) const;
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace edsr::data
+
+#endif  // EDSR_SRC_DATA_TASK_SEQUENCE_H_

@@ -1,0 +1,131 @@
+#include "src/eval/cluster_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/check.h"
+
+namespace edsr::eval {
+
+ClusterScores ScoreClustering(const std::vector<int64_t>& assignment,
+                              const std::vector<int64_t>& labels,
+                              int64_t num_clusters, int64_t num_classes) {
+  EDSR_CHECK_EQ(assignment.size(), labels.size());
+  EDSR_CHECK(!assignment.empty());
+  int64_t n = static_cast<int64_t>(assignment.size());
+  // Contingency table.
+  std::vector<int64_t> table(num_clusters * num_classes, 0);
+  std::vector<int64_t> cluster_size(num_clusters, 0);
+  std::vector<int64_t> class_size(num_classes, 0);
+  for (int64_t i = 0; i < n; ++i) {
+    EDSR_CHECK(assignment[i] >= 0 && assignment[i] < num_clusters);
+    EDSR_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    ++table[assignment[i] * num_classes + labels[i]];
+    ++cluster_size[assignment[i]];
+    ++class_size[labels[i]];
+  }
+
+  ClusterScores scores;
+  int64_t majority_total = 0;
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    int64_t best = 0;
+    for (int64_t k = 0; k < num_classes; ++k) {
+      best = std::max(best, table[c * num_classes + k]);
+    }
+    majority_total += best;
+  }
+  scores.purity = static_cast<double>(majority_total) / n;
+
+  // NMI = 2 I(C; K) / (H(C) + H(K)); all entropies in nats.
+  double mutual = 0.0;
+  for (int64_t c = 0; c < num_clusters; ++c) {
+    for (int64_t k = 0; k < num_classes; ++k) {
+      int64_t joint = table[c * num_classes + k];
+      if (joint == 0) continue;
+      double p_joint = static_cast<double>(joint) / n;
+      double p_c = static_cast<double>(cluster_size[c]) / n;
+      double p_k = static_cast<double>(class_size[k]) / n;
+      mutual += p_joint * std::log(p_joint / (p_c * p_k));
+    }
+  }
+  auto entropy = [&](const std::vector<int64_t>& sizes) {
+    double h = 0.0;
+    for (int64_t s : sizes) {
+      if (s == 0) continue;
+      double p = static_cast<double>(s) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  double denom = entropy(cluster_size) + entropy(class_size);
+  scores.nmi = denom > 1e-12 ? 2.0 * mutual / denom : 0.0;
+  scores.nmi = std::clamp(scores.nmi, 0.0, 1.0);
+  return scores;
+}
+
+ClusterScores KMeansClusterScores(const RepresentationMatrix& reps,
+                                  const std::vector<int64_t>& labels,
+                                  int64_t num_clusters, int64_t num_classes,
+                                  util::Rng* rng, int64_t iterations) {
+  EDSR_CHECK_EQ(reps.n, static_cast<int64_t>(labels.size()));
+  EDSR_CHECK_GT(num_clusters, 0);
+  num_clusters = std::min(num_clusters, reps.n);
+
+  // k-means++ seeding.
+  std::vector<std::vector<float>> centroids;
+  centroids.reserve(num_clusters);
+  auto sq_dist = [&](const float* a, const float* b) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < reps.d; ++j) {
+      double diff = static_cast<double>(a[j]) - b[j];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+  int64_t first = rng->UniformInt(0, reps.n - 1);
+  centroids.emplace_back(reps.Row(first), reps.Row(first) + reps.d);
+  std::vector<double> min_dist(reps.n, std::numeric_limits<double>::infinity());
+  while (static_cast<int64_t>(centroids.size()) < num_clusters) {
+    std::vector<float> weights(reps.n);
+    for (int64_t i = 0; i < reps.n; ++i) {
+      min_dist[i] = std::min(min_dist[i],
+                             sq_dist(reps.Row(i), centroids.back().data()));
+      weights[i] = static_cast<float>(min_dist[i]);
+    }
+    int64_t pick = rng->Categorical(weights);
+    centroids.emplace_back(reps.Row(pick), reps.Row(pick) + reps.d);
+  }
+
+  std::vector<int64_t> assignment(reps.n, 0);
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    for (int64_t i = 0; i < reps.n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        double dist = sq_dist(reps.Row(i), centroids[c].data());
+        if (dist < best) {
+          best = dist;
+          assignment[i] = static_cast<int64_t>(c);
+        }
+      }
+    }
+    std::vector<std::vector<double>> sums(
+        centroids.size(), std::vector<double>(reps.d, 0.0));
+    std::vector<int64_t> counts(centroids.size(), 0);
+    for (int64_t i = 0; i < reps.n; ++i) {
+      ++counts[assignment[i]];
+      for (int64_t j = 0; j < reps.d; ++j) {
+        sums[assignment[i]][j] += reps.Row(i)[j];
+      }
+    }
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0) continue;
+      for (int64_t j = 0; j < reps.d; ++j) {
+        centroids[c][j] = static_cast<float>(sums[c][j] / counts[c]);
+      }
+    }
+  }
+  return ScoreClustering(assignment, labels, num_clusters, num_classes);
+}
+
+}  // namespace edsr::eval

@@ -1,0 +1,35 @@
+// Label-free quality metrics for learned representations (extension).
+//
+// Complements the KNN protocol with clustering-based scores: run k-means on
+// the representations and compare the clustering against the hidden labels
+// via purity and normalized mutual information (NMI) — standard measures of
+// unsupervised representation quality.
+#ifndef EDSR_SRC_EVAL_CLUSTER_METRICS_H_
+#define EDSR_SRC_EVAL_CLUSTER_METRICS_H_
+
+#include <vector>
+
+#include "src/eval/representations.h"
+
+namespace edsr::eval {
+
+struct ClusterScores {
+  double purity = 0.0;  // fraction assigned to their cluster's majority class
+  double nmi = 0.0;     // normalized mutual information in [0, 1]
+};
+
+// Purity and NMI of a clustering against ground-truth labels.
+ClusterScores ScoreClustering(const std::vector<int64_t>& assignment,
+                              const std::vector<int64_t>& labels,
+                              int64_t num_clusters, int64_t num_classes);
+
+// k-means (k-means++ init, `iterations` Lloyd steps) over the rows of
+// `reps`, scored against `labels`.
+ClusterScores KMeansClusterScores(const RepresentationMatrix& reps,
+                                  const std::vector<int64_t>& labels,
+                                  int64_t num_clusters, int64_t num_classes,
+                                  util::Rng* rng, int64_t iterations = 15);
+
+}  // namespace edsr::eval
+
+#endif  // EDSR_SRC_EVAL_CLUSTER_METRICS_H_

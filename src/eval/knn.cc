@@ -1,0 +1,74 @@
+#include "src/eval/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace edsr::eval {
+
+namespace {
+void NormalizeRows(RepresentationMatrix* m) {
+  for (int64_t i = 0; i < m->n; ++i) {
+    float* row = m->values.data() + i * m->d;
+    double norm = 0.0;
+    for (int64_t j = 0; j < m->d; ++j) norm += static_cast<double>(row[j]) * row[j];
+    float inv = 1.0f / static_cast<float>(std::sqrt(norm) + 1e-12);
+    for (int64_t j = 0; j < m->d; ++j) row[j] *= inv;
+  }
+}
+}  // namespace
+
+KnnClassifier::KnnClassifier(RepresentationMatrix bank,
+                             std::vector<int64_t> labels,
+                             const KnnOptions& options)
+    : bank_(std::move(bank)), labels_(std::move(labels)), options_(options) {
+  EDSR_CHECK_EQ(bank_.n, static_cast<int64_t>(labels_.size()));
+  EDSR_CHECK_GT(bank_.n, 0);
+  EDSR_CHECK_GT(options_.num_classes, 0) << "KnnOptions.num_classes required";
+  EDSR_CHECK_GT(options_.k, 0);
+  NormalizeRows(&bank_);
+}
+
+int64_t KnnClassifier::Predict(const float* representation) const {
+  // Normalize the query.
+  std::vector<float> q(representation, representation + bank_.d);
+  double norm = 0.0;
+  for (float v : q) norm += static_cast<double>(v) * v;
+  float inv = 1.0f / static_cast<float>(std::sqrt(norm) + 1e-12);
+  for (float& v : q) v *= inv;
+
+  // Cosine similarities against the bank.
+  std::vector<std::pair<float, int64_t>> sims(bank_.n);
+  for (int64_t i = 0; i < bank_.n; ++i) {
+    const float* row = bank_.Row(i);
+    float sim = 0.0f;
+    for (int64_t j = 0; j < bank_.d; ++j) sim += q[j] * row[j];
+    sims[i] = {sim, labels_[i]};
+  }
+  int64_t k = std::min(options_.k, bank_.n);
+  std::partial_sort(sims.begin(), sims.begin() + k, sims.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  // Exponentially weighted vote among the top-k.
+  std::vector<double> votes(options_.num_classes, 0.0);
+  for (int64_t i = 0; i < k; ++i) {
+    votes[sims[i].second] += std::exp(sims[i].first / options_.temperature);
+  }
+  return static_cast<int64_t>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double KnnClassifier::Evaluate(const RepresentationMatrix& queries,
+                               const std::vector<int64_t>& labels) const {
+  EDSR_CHECK_EQ(queries.n, static_cast<int64_t>(labels.size()));
+  EDSR_CHECK_EQ(queries.d, bank_.d);
+  EDSR_CHECK_GT(queries.n, 0);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < queries.n; ++i) {
+    if (Predict(queries.Row(i)) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.n);
+}
+
+}  // namespace edsr::eval

@@ -1,0 +1,66 @@
+#include "src/eval/linear_probe.h"
+
+#include <algorithm>
+
+#include "src/data/batching.h"
+#include "src/nn/layers.h"
+#include "src/optim/optimizer.h"
+#include "src/tensor/ops.h"
+
+namespace edsr::eval {
+
+double LinearProbeAccuracy(const RepresentationMatrix& train_reps,
+                           const std::vector<int64_t>& train_labels,
+                           const RepresentationMatrix& test_reps,
+                           const std::vector<int64_t>& test_labels,
+                           const LinearProbeOptions& options) {
+  EDSR_CHECK_GT(options.num_classes, 0);
+  EDSR_CHECK_EQ(train_reps.n, static_cast<int64_t>(train_labels.size()));
+  EDSR_CHECK_EQ(test_reps.n, static_cast<int64_t>(test_labels.size()));
+  util::Rng rng(options.seed);
+  nn::Linear probe(train_reps.d, options.num_classes, &rng);
+  optim::SgdOptions sgd_options;
+  sgd_options.lr = options.lr;
+  sgd_options.momentum = 0.9f;
+  optim::Sgd sgd(probe.Parameters(), sgd_options);
+
+  data::BatchIterator iterator(train_reps.n, options.batch_size, &rng,
+                               /*min_batch=*/1);
+  std::vector<int64_t> batch;
+  for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+    iterator.Reset();
+    while (iterator.Next(&batch)) {
+      std::vector<float> features(batch.size() * train_reps.d);
+      std::vector<int64_t> labels(batch.size());
+      for (size_t k = 0; k < batch.size(); ++k) {
+        const float* row = train_reps.Row(batch[k]);
+        std::copy(row, row + train_reps.d, features.data() + k * train_reps.d);
+        labels[k] = train_labels[batch[k]];
+      }
+      tensor::Tensor x = tensor::Tensor::FromVector(
+          std::move(features),
+          {static_cast<int64_t>(batch.size()), train_reps.d});
+      sgd.ZeroGrad();
+      tensor::Tensor loss =
+          tensor::CrossEntropyWithLogits(probe.Forward(x), labels);
+      loss.Backward();
+      sgd.Step();
+    }
+  }
+
+  // Test accuracy by argmax logits.
+  int64_t correct = 0;
+  tensor::Tensor x = tensor::Tensor::FromVector(
+      test_reps.values, {test_reps.n, test_reps.d});
+  tensor::Tensor logits = probe.Forward(x);
+  for (int64_t i = 0; i < test_reps.n; ++i) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < options.num_classes; ++c) {
+      if (logits.at(i, c) > logits.at(i, best)) best = c;
+    }
+    if (best == test_labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test_reps.n);
+}
+
+}  // namespace edsr::eval

@@ -1,0 +1,29 @@
+// Linear-probe evaluation (extension beyond the paper's KNN protocol):
+// trains a single linear classifier on frozen representations with
+// cross-entropy and reports test accuracy.
+#ifndef EDSR_SRC_EVAL_LINEAR_PROBE_H_
+#define EDSR_SRC_EVAL_LINEAR_PROBE_H_
+
+#include "src/eval/representations.h"
+#include "src/util/rng.h"
+
+namespace edsr::eval {
+
+struct LinearProbeOptions {
+  int64_t num_classes = 0;  // required
+  int64_t epochs = 30;
+  int64_t batch_size = 64;
+  float lr = 0.1f;
+  uint64_t seed = 0;
+};
+
+// Returns test accuracy in [0, 1].
+double LinearProbeAccuracy(const RepresentationMatrix& train_reps,
+                           const std::vector<int64_t>& train_labels,
+                           const RepresentationMatrix& test_reps,
+                           const std::vector<int64_t>& test_labels,
+                           const LinearProbeOptions& options);
+
+}  // namespace edsr::eval
+
+#endif  // EDSR_SRC_EVAL_LINEAR_PROBE_H_

@@ -1,0 +1,95 @@
+#include "src/eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace edsr::eval {
+
+AccuracyMatrix::AccuracyMatrix(int64_t num_tasks) : num_tasks_(num_tasks) {
+  EDSR_CHECK_GT(num_tasks, 0);
+  values_.assign(num_tasks * num_tasks, 0.0);
+  set_.assign(num_tasks * num_tasks, false);
+}
+
+void AccuracyMatrix::Set(int64_t after_task, int64_t on_task,
+                         double accuracy) {
+  EDSR_CHECK(after_task >= 0 && after_task < num_tasks_);
+  EDSR_CHECK(on_task >= 0 && on_task <= after_task)
+      << "A[i][j] is only defined for j <= i";
+  EDSR_CHECK(accuracy >= 0.0 && accuracy <= 1.0)
+      << "accuracy must be a fraction in [0, 1]";
+  values_[after_task * num_tasks_ + on_task] = accuracy;
+  set_[after_task * num_tasks_ + on_task] = true;
+}
+
+double AccuracyMatrix::Get(int64_t after_task, int64_t on_task) const {
+  EDSR_CHECK(IsSet(after_task, on_task))
+      << "A[" << after_task << "][" << on_task << "] not recorded";
+  return values_[after_task * num_tasks_ + on_task];
+}
+
+bool AccuracyMatrix::IsSet(int64_t after_task, int64_t on_task) const {
+  EDSR_CHECK(after_task >= 0 && after_task < num_tasks_);
+  EDSR_CHECK(on_task >= 0 && on_task < num_tasks_);
+  return set_[after_task * num_tasks_ + on_task];
+}
+
+double AccuracyMatrix::Acc(int64_t after_task) const {
+  double total = 0.0;
+  for (int64_t j = 0; j <= after_task; ++j) total += Get(after_task, j);
+  return total / static_cast<double>(after_task + 1);
+}
+
+double AccuracyMatrix::Forgetting(int64_t after_task, int64_t on_task) const {
+  double best = 0.0;
+  for (int64_t i = on_task; i <= after_task; ++i) {
+    best = std::max(best, Get(i, on_task));
+  }
+  return best - Get(after_task, on_task);
+}
+
+double AccuracyMatrix::Fgt(int64_t after_task) const {
+  if (after_task == 0) return 0.0;
+  double total = 0.0;
+  for (int64_t j = 0; j < after_task; ++j) {
+    total += Forgetting(after_task, j);
+  }
+  return total / static_cast<double>(after_task);
+}
+
+std::string AccuracyMatrix::ToString() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  for (int64_t i = 0; i < num_tasks_; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      out << std::setw(6) << Get(i, j) * 100.0;
+    }
+    out << "   | Acc=" << std::setw(5) << Acc(i) * 100.0;
+    if (i > 0) out << " Fgt=" << std::setw(5) << Fgt(i) * 100.0;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string AccuracyMatrix::ForgettingHeatmap() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  for (int64_t i = 0; i < num_tasks_; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double f = Forgetting(i, j) * 100.0;  // percent
+      if (f < 0.05) {
+        out << "    . ";
+      } else {
+        out << std::setw(5) << std::log10(std::max(f, 0.1)) << " ";
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace edsr::eval

@@ -1,0 +1,53 @@
+// Continual-learning metrics (paper §IV-A3, Fig. 3, Eqs. 17-18).
+//
+// The accuracy matrix A records A[i][j] = test accuracy on increment j after
+// learning increment i (j <= i). Derived quantities:
+//   Acc_i   = mean_j<=i A[i][j]                       (Eq. 17)
+//   F[i][j] = max_{i' <= i} A[i'][j] - A[i][j]        (forgetting of j at i)
+//   Fgt_i   = mean_{j<i} F[i][j]                      (Eq. 18)
+#ifndef EDSR_SRC_EVAL_METRICS_H_
+#define EDSR_SRC_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace edsr::eval {
+
+class AccuracyMatrix {
+ public:
+  explicit AccuracyMatrix(int64_t num_tasks);
+
+  void Set(int64_t after_task, int64_t on_task, double accuracy);
+  double Get(int64_t after_task, int64_t on_task) const;
+  bool IsSet(int64_t after_task, int64_t on_task) const;
+
+  int64_t num_tasks() const { return num_tasks_; }
+
+  // Average accuracy after learning increment i (Eq. 17).
+  double Acc(int64_t after_task) const;
+  // Forgetting of increment j after learning increment i.
+  double Forgetting(int64_t after_task, int64_t on_task) const;
+  // Average forgetting after learning increment i (Eq. 18); 0 when i == 0.
+  double Fgt(int64_t after_task) const;
+  // New-increment accuracy A[i][i] (the plasticity curve of Fig. 5).
+  double NewTaskAccuracy(int64_t task) const { return Get(task, task); }
+
+  // Final-row conveniences used in the tables.
+  double FinalAcc() const { return Acc(num_tasks_ - 1); }
+  double FinalFgt() const { return Fgt(num_tasks_ - 1); }
+
+  // Pretty-printed lower-triangular matrix (values in percent).
+  std::string ToString() const;
+  // The forgetting matrix rendered like Fig. 4 (log10 of percent forgetting,
+  // floored; "." for ~zero entries).
+  std::string ForgettingHeatmap() const;
+
+ private:
+  int64_t num_tasks_;
+  std::vector<double> values_;
+  std::vector<bool> set_;
+};
+
+}  // namespace edsr::eval
+
+#endif  // EDSR_SRC_EVAL_METRICS_H_

@@ -1,0 +1,47 @@
+#include "src/eval/representations.h"
+
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace edsr::eval {
+
+RepresentationMatrix ExtractRepresentationsFor(
+    ssl::Encoder* encoder, const data::Dataset& dataset,
+    const std::vector<int64_t>& indices, int64_t batch_size, int64_t head) {
+  EDSR_CHECK(encoder != nullptr);
+  EDSR_CHECK_GT(batch_size, 0);
+  bool was_training = encoder->training();
+  int64_t previous_head = encoder->has_input_heads() ? encoder->active_head()
+                                                     : -1;
+  encoder->SetTraining(false);
+  if (head >= 0) encoder->SetActiveHead(head);
+
+  RepresentationMatrix result;
+  result.n = static_cast<int64_t>(indices.size());
+  result.d = encoder->representation_dim();
+  result.values.resize(result.n * result.d);
+  for (int64_t start = 0; start < result.n; start += batch_size) {
+    int64_t count = std::min(batch_size, result.n - start);
+    std::vector<int64_t> batch(indices.begin() + start,
+                               indices.begin() + start + count);
+    tensor::Tensor reps = encoder->Forward(dataset.Gather(batch));
+    EDSR_CHECK_EQ(reps.shape()[1], result.d);
+    std::copy(reps.data().begin(), reps.data().end(),
+              result.values.begin() + start * result.d);
+  }
+
+  encoder->SetTraining(was_training);
+  if (head >= 0 && previous_head >= 0) encoder->SetActiveHead(previous_head);
+  return result;
+}
+
+RepresentationMatrix ExtractRepresentations(ssl::Encoder* encoder,
+                                            const data::Dataset& dataset,
+                                            int64_t batch_size, int64_t head) {
+  std::vector<int64_t> all(dataset.size());
+  std::iota(all.begin(), all.end(), 0);
+  return ExtractRepresentationsFor(encoder, dataset, all, batch_size, head);
+}
+
+}  // namespace edsr::eval

@@ -1,0 +1,38 @@
+// Batch extraction of representations for evaluation and selection.
+#ifndef EDSR_SRC_EVAL_REPRESENTATIONS_H_
+#define EDSR_SRC_EVAL_REPRESENTATIONS_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/ssl/encoder.h"
+
+namespace edsr::eval {
+
+// Row-major (n, d) representation matrix.
+struct RepresentationMatrix {
+  std::vector<float> values;
+  int64_t n = 0;
+  int64_t d = 0;
+
+  const float* Row(int64_t i) const { return values.data() + i * d; }
+};
+
+// Runs the encoder over the dataset (un-augmented, eval mode, no gradient
+// use) and returns all representations. The encoder's training mode is
+// restored afterwards. `head` selects the input head for heterogeneous
+// encoders (-1 keeps the current one).
+RepresentationMatrix ExtractRepresentations(ssl::Encoder* encoder,
+                                            const data::Dataset& dataset,
+                                            int64_t batch_size = 64,
+                                            int64_t head = -1);
+
+// Same, but only for the given rows.
+RepresentationMatrix ExtractRepresentationsFor(
+    ssl::Encoder* encoder, const data::Dataset& dataset,
+    const std::vector<int64_t>& indices, int64_t batch_size = 64,
+    int64_t head = -1);
+
+}  // namespace edsr::eval
+
+#endif  // EDSR_SRC_EVAL_REPRESENTATIONS_H_

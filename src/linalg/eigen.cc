@@ -1,0 +1,160 @@
+#include "src/linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace edsr::linalg {
+
+std::vector<float> EigenDecomposition::Eigenvector(int64_t j) const {
+  EDSR_CHECK(j >= 0 && j < dim);
+  std::vector<float> v(dim);
+  for (int64_t i = 0; i < dim; ++i) v[i] = eigenvectors[i * dim + j];
+  return v;
+}
+
+EigenDecomposition SymmetricEigen(const std::vector<float>& matrix,
+                                  int64_t dim, int64_t max_sweeps) {
+  EDSR_CHECK_EQ(static_cast<int64_t>(matrix.size()), dim * dim);
+  // Work in double for stability; symmetry check.
+  std::vector<double> a(dim * dim);
+  double max_abs = 0.0;
+  for (int64_t i = 0; i < dim * dim; ++i) {
+    a[i] = matrix[i];
+    max_abs = std::max(max_abs, std::fabs(a[i]));
+  }
+  for (int64_t i = 0; i < dim; ++i) {
+    for (int64_t j = i + 1; j < dim; ++j) {
+      EDSR_CHECK(std::fabs(a[i * dim + j] - a[j * dim + i]) <=
+                 1e-3 * std::max(1.0, max_abs))
+          << "SymmetricEigen requires a symmetric matrix";
+      // Symmetrize exactly to avoid drift.
+      double avg = 0.5 * (a[i * dim + j] + a[j * dim + i]);
+      a[i * dim + j] = avg;
+      a[j * dim + i] = avg;
+    }
+  }
+
+  std::vector<double> v(dim * dim, 0.0);
+  for (int64_t i = 0; i < dim; ++i) v[i * dim + i] = 1.0;
+
+  for (int64_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t i = 0; i < dim; ++i) {
+      for (int64_t j = i + 1; j < dim; ++j) off += a[i * dim + j] * a[i * dim + j];
+    }
+    if (off < 1e-18 * std::max(1.0, max_abs * max_abs)) break;
+    for (int64_t p = 0; p < dim; ++p) {
+      for (int64_t q = p + 1; q < dim; ++q) {
+        double apq = a[p * dim + q];
+        if (std::fabs(apq) < 1e-20) continue;
+        double app = a[p * dim + p];
+        double aqq = a[q * dim + q];
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Rotate rows/cols p and q of A.
+        for (int64_t k = 0; k < dim; ++k) {
+          double akp = a[k * dim + p];
+          double akq = a[k * dim + q];
+          a[k * dim + p] = c * akp - s * akq;
+          a[k * dim + q] = s * akp + c * akq;
+        }
+        for (int64_t k = 0; k < dim; ++k) {
+          double apk = a[p * dim + k];
+          double aqk = a[q * dim + k];
+          a[p * dim + k] = c * apk - s * aqk;
+          a[q * dim + k] = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors.
+        for (int64_t k = 0; k < dim; ++k) {
+          double vkp = v[k * dim + p];
+          double vkq = v[k * dim + q];
+          v[k * dim + p] = c * vkp - s * vkq;
+          v[k * dim + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs descending by eigenvalue.
+  std::vector<int64_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return a[x * dim + x] > a[y * dim + y];
+  });
+
+  EigenDecomposition result;
+  result.dim = dim;
+  result.eigenvalues.resize(dim);
+  result.eigenvectors.resize(dim * dim);
+  for (int64_t j = 0; j < dim; ++j) {
+    result.eigenvalues[j] = static_cast<float>(a[order[j] * dim + order[j]]);
+    for (int64_t i = 0; i < dim; ++i) {
+      result.eigenvectors[i * dim + j] =
+          static_cast<float>(v[i * dim + order[j]]);
+    }
+  }
+  return result;
+}
+
+std::vector<float> CovarianceGram(const std::vector<float>& rows, int64_t n,
+                                  int64_t d) {
+  EDSR_CHECK_EQ(static_cast<int64_t>(rows.size()), n * d);
+  std::vector<float> cov(d * d, 0.0f);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* x = rows.data() + r * d;
+    for (int64_t i = 0; i < d; ++i) {
+      float xi = x[i];
+      if (xi == 0.0f) continue;
+      float* row = cov.data() + i * d;
+      for (int64_t j = 0; j < d; ++j) row[j] += xi * x[j];
+    }
+  }
+  return cov;
+}
+
+std::vector<float> CovarianceCentered(const std::vector<float>& rows,
+                                      int64_t n, int64_t d) {
+  EDSR_CHECK_EQ(static_cast<int64_t>(rows.size()), n * d);
+  EDSR_CHECK_GT(n, 0);
+  std::vector<double> mean(d, 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t i = 0; i < d; ++i) mean[i] += rows[r * d + i];
+  }
+  for (int64_t i = 0; i < d; ++i) mean[i] /= static_cast<double>(n);
+  std::vector<float> centered(rows.size());
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t i = 0; i < d; ++i) {
+      centered[r * d + i] =
+          rows[r * d + i] - static_cast<float>(mean[i]);
+    }
+  }
+  std::vector<float> cov = CovarianceGram(centered, n, d);
+  for (float& v : cov) v /= static_cast<float>(n);
+  return cov;
+}
+
+double Trace(const std::vector<float>& matrix, int64_t d) {
+  EDSR_CHECK_EQ(static_cast<int64_t>(matrix.size()), d * d);
+  double tr = 0.0;
+  for (int64_t i = 0; i < d; ++i) tr += matrix[i * d + i];
+  return tr;
+}
+
+double LogDetIdentityPlus(const std::vector<float>& matrix, int64_t d,
+                          double scale) {
+  EigenDecomposition eig = SymmetricEigen(matrix, d);
+  double log_det = 0.0;
+  for (float w : eig.eigenvalues) {
+    double term = 1.0 + scale * std::max(0.0, static_cast<double>(w));
+    log_det += std::log(term);
+  }
+  return log_det;
+}
+
+}  // namespace edsr::linalg

@@ -1,0 +1,52 @@
+// Dense symmetric eigendecomposition and derived quantities.
+//
+// These routines run outside the autograd graph: the entropy-based selector
+// (paper §III-A) only needs eigen-analysis of representation covariance
+// matrices for *scoring*, never for gradients.
+#ifndef EDSR_SRC_LINALG_EIGEN_H_
+#define EDSR_SRC_LINALG_EIGEN_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace edsr::linalg {
+
+// Result of decomposing a symmetric d x d matrix A = V diag(w) V^T.
+struct EigenDecomposition {
+  // Eigenvalues sorted in descending order.
+  std::vector<float> eigenvalues;
+  // Row-major d x d; row i is NOT an eigenvector — column j (i.e.
+  // eigenvectors[i*d + j] over i) is the eigenvector for eigenvalues[j].
+  std::vector<float> eigenvectors;
+  int64_t dim = 0;
+
+  // Convenience: copy of eigenvector j as a dense vector.
+  std::vector<float> Eigenvector(int64_t j) const;
+};
+
+// Cyclic Jacobi rotation method. `matrix` is row-major d x d and must be
+// symmetric (checked up to a tolerance). Converges to machine precision for
+// the sizes this library uses (d <= a few hundred).
+EigenDecomposition SymmetricEigen(const std::vector<float>& matrix,
+                                  int64_t dim, int64_t max_sweeps = 64);
+
+// Uncentered covariance in the paper's convention: Cov(A) = A^T A for a
+// row-major n x d matrix of representations. Returns row-major d x d.
+std::vector<float> CovarianceGram(const std::vector<float>& rows, int64_t n,
+                                  int64_t d);
+// Classical (mean-centered, 1/n) covariance.
+std::vector<float> CovarianceCentered(const std::vector<float>& rows,
+                                      int64_t n, int64_t d);
+
+// Trace of a row-major d x d matrix.
+double Trace(const std::vector<float>& matrix, int64_t d);
+
+// log det(I + scale * M) for symmetric PSD M, via eigenvalues; this is the
+// lossy-coding-length entropy surrogate of paper Eq. (14) before the trace
+// relaxation.
+double LogDetIdentityPlus(const std::vector<float>& matrix, int64_t d,
+                          double scale);
+
+}  // namespace edsr::linalg
+
+#endif  // EDSR_SRC_LINALG_EIGEN_H_

@@ -1,0 +1,69 @@
+#include "src/linalg/pca.h"
+
+#include <cmath>
+
+#include "src/linalg/eigen.h"
+#include "src/util/check.h"
+
+namespace edsr::linalg {
+
+Pca Pca::Fit(const std::vector<float>& rows, int64_t n, int64_t d,
+             int64_t num_components, bool center) {
+  EDSR_CHECK_GT(n, 0);
+  EDSR_CHECK_GT(d, 0);
+  EDSR_CHECK_EQ(static_cast<int64_t>(rows.size()), n * d);
+  if (num_components <= 0 || num_components > d) num_components = d;
+
+  Pca pca;
+  pca.dim_ = d;
+  pca.num_components_ = num_components;
+  pca.mean_.assign(d, 0.0f);
+  if (center) {
+    std::vector<double> mean(d, 0.0);
+    for (int64_t r = 0; r < n; ++r) {
+      for (int64_t i = 0; i < d; ++i) mean[i] += rows[r * d + i];
+    }
+    for (int64_t i = 0; i < d; ++i) {
+      pca.mean_[i] = static_cast<float>(mean[i] / static_cast<double>(n));
+    }
+  }
+
+  std::vector<float> cov =
+      center ? CovarianceCentered(rows, n, d) : CovarianceGram(rows, n, d);
+  EigenDecomposition eig = SymmetricEigen(cov, d);
+
+  pca.components_.resize(num_components * d);
+  pca.variance_.resize(num_components);
+  for (int64_t j = 0; j < num_components; ++j) {
+    pca.variance_[j] = std::max(0.0f, eig.eigenvalues[j]);
+    std::vector<float> v = eig.Eigenvector(j);
+    for (int64_t i = 0; i < d; ++i) pca.components_[j * d + i] = v[i];
+  }
+  return pca;
+}
+
+std::vector<float> Pca::Component(int64_t j) const {
+  EDSR_CHECK(j >= 0 && j < num_components_);
+  return std::vector<float>(components_.begin() + j * dim_,
+                            components_.begin() + (j + 1) * dim_);
+}
+
+std::vector<float> Pca::Project(const float* x) const {
+  std::vector<float> coords(num_components_, 0.0f);
+  for (int64_t j = 0; j < num_components_; ++j) {
+    double acc = 0.0;
+    const float* comp = components_.data() + j * dim_;
+    for (int64_t i = 0; i < dim_; ++i) acc += comp[i] * (x[i] - mean_[i]);
+    coords[j] = static_cast<float>(acc);
+  }
+  return coords;
+}
+
+double Pca::LeverageScore(const float* x) const {
+  std::vector<float> coords = Project(x);
+  double score = 0.0;
+  for (float c : coords) score += static_cast<double>(c) * c;
+  return score;
+}
+
+}  // namespace edsr::linalg

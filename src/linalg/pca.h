@@ -1,0 +1,49 @@
+// Principal Component Analysis over representation matrices.
+//
+// Used by the high-entropy data selector (paper §III-A): the selected memory
+// subset should preserve the top singular directions of the increment's
+// representation space.
+#ifndef EDSR_SRC_LINALG_PCA_H_
+#define EDSR_SRC_LINALG_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace edsr::linalg {
+
+class Pca {
+ public:
+  // Fits on a row-major n x d matrix. `num_components` <= d (0 = all).
+  // If `center` is true the column means are removed first (classical PCA);
+  // the paper's Cov(A) = A^T A convention corresponds to center = false.
+  static Pca Fit(const std::vector<float>& rows, int64_t n, int64_t d,
+                 int64_t num_components = 0, bool center = true);
+
+  int64_t dim() const { return dim_; }
+  int64_t num_components() const { return num_components_; }
+  // Variance captured by component j (eigenvalue of the covariance).
+  const std::vector<float>& explained_variance() const { return variance_; }
+  // Component j as a unit-norm d-vector.
+  std::vector<float> Component(int64_t j) const;
+
+  // Projects a single d-vector onto the components -> num_components coords.
+  std::vector<float> Project(const float* x) const;
+
+  // Leverage score of a sample: sum over components of the squared projection
+  // coordinate. High-leverage samples dominate the reconstruction of the
+  // representation space — exactly the samples the entropy criterion keeps.
+  double LeverageScore(const float* x) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+
+ private:
+  int64_t dim_ = 0;
+  int64_t num_components_ = 0;
+  std::vector<float> mean_;        // d (zeros when uncentered)
+  std::vector<float> components_;  // num_components x d, row-major
+  std::vector<float> variance_;    // num_components
+};
+
+}  // namespace edsr::linalg
+
+#endif  // EDSR_SRC_LINALG_PCA_H_

@@ -1,0 +1,154 @@
+#include "src/nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace edsr::nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> params;
+  std::vector<NamedTensor> named;
+  CollectState("", /*include_buffers=*/false, &named);
+  params.reserve(named.size());
+  for (const NamedTensor& nt : named) params.push_back(nt.value);
+  return params;
+}
+
+std::vector<NamedTensor> Module::NamedState() const {
+  std::vector<NamedTensor> named;
+  CollectState("", /*include_buffers=*/true, &named);
+  return named;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t count = 0;
+  for (const tensor::Tensor& p : Parameters()) count += p.numel();
+  return count;
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+void Module::SetRequiresGrad(bool requires_grad) {
+  for (NamedTensor& p : parameters_) {
+    p.value.impl()->requires_grad = requires_grad;
+  }
+  for (auto& [name, child] : children_) child->SetRequiresGrad(requires_grad);
+}
+
+void Module::ZeroGrad() {
+  for (const tensor::Tensor& p : Parameters()) {
+    const_cast<tensor::Tensor&>(p).ZeroGrad();
+  }
+}
+
+void Module::CopyStateFrom(const Module& other) {
+  std::vector<NamedTensor> mine = NamedState();
+  std::vector<NamedTensor> theirs = other.NamedState();
+  EDSR_CHECK_EQ(mine.size(), theirs.size())
+      << "CopyStateFrom: structural mismatch";
+  for (size_t i = 0; i < mine.size(); ++i) {
+    EDSR_CHECK(mine[i].name == theirs[i].name)
+        << "CopyStateFrom: name mismatch " << mine[i].name << " vs "
+        << theirs[i].name;
+    EDSR_CHECK(mine[i].value.shape() == theirs[i].value.shape())
+        << "CopyStateFrom: shape mismatch for " << mine[i].name;
+    mine[i].value.mutable_data() = theirs[i].value.data();
+  }
+}
+
+util::Status Module::SaveState(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::vector<NamedTensor> state = NamedState();
+  uint64_t count = state.size();
+  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const NamedTensor& nt : state) {
+    uint64_t name_len = nt.name.size();
+    file.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    file.write(nt.name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t ndim = nt.value.shape().size();
+    file.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
+    for (int64_t d : nt.value.shape()) {
+      file.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    file.write(reinterpret_cast<const char*>(nt.value.data().data()),
+               static_cast<std::streamsize>(nt.value.numel() * sizeof(float)));
+  }
+  if (!file) return util::Status::IoError("write failed for " + path);
+  return util::Status::OK();
+}
+
+util::Status Module::LoadState(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return util::Status::IoError("cannot open " + path);
+  std::vector<NamedTensor> state = NamedState();
+  uint64_t count = 0;
+  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != state.size()) {
+    return util::Status::InvalidArgument(
+        "state entry count mismatch loading " + path);
+  }
+  for (NamedTensor& nt : state) {
+    uint64_t name_len = 0;
+    file.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    std::string name(name_len, '\0');
+    file.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (name != nt.name) {
+      return util::Status::InvalidArgument("state name mismatch: expected " +
+                                           nt.name + ", found " + name);
+    }
+    uint64_t ndim = 0;
+    file.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    tensor::Shape shape(ndim);
+    for (uint64_t d = 0; d < ndim; ++d) {
+      file.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+    }
+    if (shape != nt.value.shape()) {
+      return util::Status::InvalidArgument("state shape mismatch for " +
+                                           nt.name);
+    }
+    file.read(reinterpret_cast<char*>(nt.value.mutable_data().data()),
+              static_cast<std::streamsize>(nt.value.numel() * sizeof(float)));
+    if (!file) return util::Status::IoError("truncated state file " + path);
+  }
+  return util::Status::OK();
+}
+
+tensor::Tensor Module::RegisterParameter(const std::string& name,
+                                         tensor::Tensor value) {
+  value.impl()->requires_grad = true;
+  parameters_.push_back({name, value});
+  return value;
+}
+
+tensor::Tensor Module::RegisterBuffer(const std::string& name,
+                                      tensor::Tensor value) {
+  value.impl()->requires_grad = false;
+  buffers_.push_back({name, value});
+  return value;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  EDSR_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+void Module::CollectState(const std::string& prefix, bool include_buffers,
+                          std::vector<NamedTensor>* out) const {
+  for (const NamedTensor& p : parameters_) {
+    out->push_back({prefix + p.name, p.value});
+  }
+  if (include_buffers) {
+    for (const NamedTensor& b : buffers_) {
+      out->push_back({prefix + b.name, b.value});
+    }
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectState(prefix + name + ".", include_buffers, out);
+  }
+}
+
+}  // namespace edsr::nn

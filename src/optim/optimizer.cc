@@ -1,0 +1,108 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace edsr::optim {
+
+Optimizer::Optimizer(std::vector<tensor::Tensor> parameters, float lr)
+    : parameters_(std::move(parameters)), lr_(lr) {
+  for (const tensor::Tensor& p : parameters_) {
+    EDSR_CHECK(p.defined()) << "undefined parameter passed to optimizer";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (tensor::Tensor& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> parameters, const SgdOptions& options)
+    : Optimizer(std::move(parameters), options.lr), options_(options) {
+  velocity_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    velocity_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    tensor::Tensor& p = parameters_[i];
+    if (p.grad().empty()) continue;  // parameter untouched this step
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& vel = velocity_[i];
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      float g = grad[j] + options_.weight_decay * data[j];
+      vel[j] = options_.momentum * vel[j] + g;
+      data[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Tensor> parameters, const AdamOptions& options)
+    : Optimizer(std::move(parameters), options.lr), options_(options) {
+  m_.resize(parameters_.size());
+  v_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    m_[i].assign(parameters_[i].numel(), 0.0f);
+    v_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  float bc1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    tensor::Tensor& p = parameters_[i];
+    if (p.grad().empty()) continue;
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      float g = grad[j] + options_.weight_decay * data[j];
+      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * g;
+      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * g * g;
+      float mhat = m_[i][j] / bc1;
+      float vhat = v_[i][j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+CosineLr::CosineLr(float base_lr, int64_t total_steps, float min_lr)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  EDSR_CHECK_GT(total_steps, 0);
+}
+
+float CosineLr::At(int64_t step) const {
+  if (step >= total_steps_) return min_lr_;
+  double progress = static_cast<double>(step) / total_steps_;
+  double cosine = 0.5 * (1.0 + std::cos(progress * 3.14159265358979323846));
+  return static_cast<float>(min_lr_ + (base_lr_ - min_lr_) * cosine);
+}
+
+void CosineLr::Apply(Optimizer* optimizer, int64_t step) const {
+  EDSR_CHECK(optimizer != nullptr);
+  optimizer->set_lr(At(step));
+}
+
+double ClipGradNorm(const std::vector<tensor::Tensor>& parameters,
+                    double max_norm) {
+  EDSR_CHECK_GT(max_norm, 0.0);
+  double total = 0.0;
+  for (const tensor::Tensor& p : parameters) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  double norm = std::sqrt(total);
+  if (norm > max_norm) {
+    float scale = static_cast<float>(max_norm / (norm + 1e-12));
+    for (const tensor::Tensor& p : parameters) {
+      auto& grad = const_cast<tensor::Tensor&>(p).mutable_grad();
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace edsr::optim

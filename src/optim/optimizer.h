@@ -1,0 +1,90 @@
+// First-order optimizers and learning-rate schedules.
+//
+// The paper trains image models with SGD (momentum) and tabular models with
+// Adam; both are provided, plus a cosine learning-rate schedule and global
+// gradient-norm clipping.
+#ifndef EDSR_SRC_OPTIM_OPTIMIZER_H_
+#define EDSR_SRC_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace edsr::optim {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> parameters, float lr);
+  virtual ~Optimizer() = default;
+
+  // Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  size_t num_parameters() const { return parameters_.size(); }
+
+ protected:
+  std::vector<tensor::Tensor> parameters_;
+  float lr_;
+};
+
+struct SgdOptions {
+  float lr = 0.03f;
+  float momentum = 0.9f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> parameters, const SgdOptions& options);
+  void Step() override;
+
+ private:
+  SgdOptions options_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+struct AdamOptions {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> parameters, const AdamOptions& options);
+  void Step() override;
+
+ private:
+  AdamOptions options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t t_ = 0;
+};
+
+// Cosine annealing from base_lr to min_lr over total_steps.
+class CosineLr {
+ public:
+  CosineLr(float base_lr, int64_t total_steps, float min_lr = 0.0f);
+  float At(int64_t step) const;
+  // Convenience: sets the optimizer's lr for the given step.
+  void Apply(Optimizer* optimizer, int64_t step) const;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  int64_t total_steps_;
+};
+
+// Scales gradients so their global L2 norm is at most max_norm.
+// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<tensor::Tensor>& parameters,
+                    double max_norm);
+
+}  // namespace edsr::optim
+
+#endif  // EDSR_SRC_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,59 @@
+#include "src/ssl/byol.h"
+
+#include "src/tensor/ops.h"
+
+namespace edsr::ssl {
+
+using tensor::Tensor;
+
+EmaTracker::EmaTracker(nn::Module* online, nn::Module* target, float tau)
+    : online_(online), target_(target), tau_(tau) {
+  EDSR_CHECK(online != nullptr && target != nullptr);
+  EDSR_CHECK(tau >= 0.0f && tau <= 1.0f);
+  EDSR_CHECK_EQ(online->NamedState().size(), target->NamedState().size())
+      << "EmaTracker requires structurally identical modules";
+}
+
+void EmaTracker::HardCopy() { target_->CopyStateFrom(*online_); }
+
+void EmaTracker::Update() {
+  std::vector<nn::NamedTensor> online_state = online_->NamedState();
+  std::vector<nn::NamedTensor> target_state = target_->NamedState();
+  for (size_t i = 0; i < online_state.size(); ++i) {
+    EDSR_CHECK(online_state[i].name == target_state[i].name);
+    const std::vector<float>& o = online_state[i].value.data();
+    std::vector<float>& t = target_state[i].value.mutable_data();
+    EDSR_CHECK_EQ(o.size(), t.size());
+    for (size_t j = 0; j < t.size(); ++j) {
+      t[j] = tau_ * t[j] + (1.0f - tau_) * o[j];
+    }
+  }
+}
+
+ByolLoss::ByolLoss(int64_t representation_dim, int64_t predictor_hidden,
+                   util::Rng* rng) {
+  predictor_ = std::make_unique<nn::Mlp>(
+      std::vector<int64_t>{representation_dim, predictor_hidden,
+                           representation_dim},
+      rng);
+}
+
+namespace {
+// ||a_norm - b_norm||² per row, averaged — equals 2 - 2 cos(a, b).
+Tensor NormalizedMse(const Tensor& a, const Tensor& b) {
+  Tensor an = tensor::L2NormalizeRows(a);
+  Tensor bn = tensor::L2NormalizeRows(b);
+  return tensor::MeanAll(tensor::Sum(tensor::Square(an - bn), 1));
+}
+}  // namespace
+
+Tensor ByolLoss::Loss(const Tensor& online_z1, const Tensor& online_z2,
+                      const Tensor& target_z1, const Tensor& target_z2) {
+  Tensor p1 = predictor_->Forward(online_z1);
+  Tensor p2 = predictor_->Forward(online_z2);
+  Tensor term1 = NormalizedMse(p1, target_z2.Detach());
+  Tensor term2 = NormalizedMse(p2, target_z1.Detach());
+  return (term1 + term2) * 0.5f;
+}
+
+}  // namespace edsr::ssl

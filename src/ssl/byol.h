@@ -1,0 +1,60 @@
+// BYOL (Grill et al., NeurIPS'20) — extension beyond the paper's two losses.
+//
+// BYOL predicts a slowly-moving *target network*'s representation instead of
+// the sibling view's: loss = || h(z_online) - sg(z_target) ||² on
+// L2-normalized vectors (equivalently 2 - 2·cos). The target is an
+// exponential moving average (EMA) of the online encoder. This file provides
+// the loss head and the EMA tracker; see `ByolTrainer` in the tests for the
+// composition pattern.
+#ifndef EDSR_SRC_SSL_BYOL_H_
+#define EDSR_SRC_SSL_BYOL_H_
+
+#include <memory>
+
+#include "src/nn/networks.h"
+
+namespace edsr::ssl {
+
+// Keeps `target` as an EMA of `online`: θ_t ← τ θ_t + (1-τ) θ_o.
+// Both modules must be structurally identical.
+class EmaTracker {
+ public:
+  EmaTracker(nn::Module* online, nn::Module* target, float tau = 0.99f);
+
+  // Copies online into target exactly (initialization).
+  void HardCopy();
+  // One EMA update step.
+  void Update();
+
+  float tau() const { return tau_; }
+  void set_tau(float tau) { tau_ = tau; }
+
+ private:
+  nn::Module* online_;
+  nn::Module* target_;
+  float tau_;
+};
+
+// The BYOL regression head + loss. Symmetric form:
+//   L = ½ [ ||h(z1) - sg(t2)||² + ||h(z2) - sg(t1)||² ]  (normalized rows)
+// where z* come from the online encoder and t* from the EMA target.
+class ByolLoss {
+ public:
+  ByolLoss(int64_t representation_dim, int64_t predictor_hidden,
+           util::Rng* rng);
+
+  tensor::Tensor Loss(const tensor::Tensor& online_z1,
+                      const tensor::Tensor& online_z2,
+                      const tensor::Tensor& target_z1,
+                      const tensor::Tensor& target_z2);
+
+  std::vector<tensor::Tensor> Parameters() { return predictor_->Parameters(); }
+  void SetTraining(bool training) { predictor_->SetTraining(training); }
+
+ private:
+  std::unique_ptr<nn::Mlp> predictor_;
+};
+
+}  // namespace edsr::ssl
+
+#endif  // EDSR_SRC_SSL_BYOL_H_

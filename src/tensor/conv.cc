@@ -1,0 +1,225 @@
+#include "src/tensor/conv.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/tensor/ops.h"
+
+namespace edsr::tensor {
+
+namespace {
+int64_t OutSize(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+float* GradBufferOrNull(const std::shared_ptr<TensorImpl>& impl) {
+  if (!impl->requires_grad) return nullptr;
+  impl->EnsureGrad();
+  return impl->grad.data();
+}
+}  // namespace
+
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* columns) {
+  int64_t oh = OutSize(height, kernel, stride, padding);
+  int64_t ow = OutSize(width, kernel, stride, padding);
+  int64_t out_area = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        int64_t row = (c * kernel + ki) * kernel + kj;
+        float* dst = columns + row * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          int64_t ii = oi * stride + ki - padding;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            int64_t jj = oj * stride + kj - padding;
+            bool inside = ii >= 0 && ii < height && jj >= 0 && jj < width;
+            dst[oi * ow + oj] =
+                inside ? image[(c * height + ii) * width + jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* image) {
+  int64_t oh = OutSize(height, kernel, stride, padding);
+  int64_t ow = OutSize(width, kernel, stride, padding);
+  int64_t out_area = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        int64_t row = (c * kernel + ki) * kernel + kj;
+        const float* src = columns + row * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          int64_t ii = oi * stride + ki - padding;
+          if (ii < 0 || ii >= height) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            int64_t jj = oj * stride + kj - padding;
+            if (jj < 0 || jj >= width) continue;
+            image[(c * height + ii) * width + jj] += src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec) {
+  EDSR_CHECK_EQ(input.dim(), 4) << "Conv2d input must be NCHW";
+  EDSR_CHECK_EQ(weight.dim(), 4) << "Conv2d weight must be OCKK";
+  int64_t n = input.shape()[0];
+  int64_t c = input.shape()[1];
+  int64_t h = input.shape()[2];
+  int64_t w = input.shape()[3];
+  int64_t o = weight.shape()[0];
+  int64_t k = weight.shape()[2];
+  EDSR_CHECK_EQ(weight.shape()[1], c) << "Conv2d channel mismatch";
+  EDSR_CHECK_EQ(weight.shape()[3], k) << "Conv2d kernel must be square";
+  if (bias.defined()) {
+    EDSR_CHECK_EQ(bias.numel(), o) << "Conv2d bias size mismatch";
+  }
+  int64_t oh = OutSize(h, k, spec.stride, spec.padding);
+  int64_t ow = OutSize(w, k, spec.stride, spec.padding);
+  EDSR_CHECK(oh > 0 && ow > 0)
+      << "Conv2d output empty for input " << ShapeToString(input.shape());
+  int64_t col_rows = c * k * k;
+  int64_t out_area = oh * ow;
+
+  std::vector<float> out(n * o * out_area, 0.0f);
+  std::vector<float> cols(col_rows * out_area);
+  const float* pin = input.data().data();
+  const float* pw = weight.data().data();
+  for (int64_t b = 0; b < n; ++b) {
+    Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride, spec.padding,
+           cols.data());
+    // out_b (o x out_area) = weight (o x col_rows) * cols
+    MatMulRaw(pw, cols.data(), out.data() + b * o * out_area, o, col_rows,
+              out_area, false, false, true);
+  }
+  if (bias.defined()) {
+    const float* pb = bias.data().data();
+    for (int64_t b = 0; b < n; ++b) {
+      for (int64_t ch = 0; ch < o; ++ch) {
+        float* dst = out.data() + (b * o + ch) * out_area;
+        for (int64_t i = 0; i < out_area; ++i) dst[i] += pb[ch];
+      }
+    }
+  }
+
+  std::vector<Tensor> parents = {input, weight};
+  if (bias.defined()) parents.push_back(bias);
+  Tensor input_copy = input;
+  Tensor weight_copy = weight;
+  Tensor bias_copy = bias;
+  Conv2dSpec spec_copy = spec;
+  return MakeOp(
+      std::move(out), {n, o, oh, ow}, parents,
+      [input_copy, weight_copy, bias_copy, spec_copy, n, c, h, w, o, k, oh,
+       ow](TensorImpl& self) {
+        int64_t col_rows = c * k * k;
+        int64_t out_area = oh * ow;
+        const float* go = self.grad.data();
+        float* gin = GradBufferOrNull(input_copy.impl_ptr());
+        float* gw = GradBufferOrNull(weight_copy.impl_ptr());
+        float* gb = bias_copy.defined()
+                        ? GradBufferOrNull(bias_copy.impl_ptr())
+                        : nullptr;
+        std::vector<float> cols(col_rows * out_area);
+        std::vector<float> dcols(col_rows * out_area);
+        const float* pin = input_copy.data().data();
+        const float* pw = weight_copy.data().data();
+        for (int64_t b = 0; b < n; ++b) {
+          const float* gout_b = go + b * o * out_area;
+          if (gw != nullptr) {
+            Im2Col(pin + b * c * h * w, c, h, w, k, spec_copy.stride,
+                   spec_copy.padding, cols.data());
+            // dW (o x col_rows) += dOut_b (o x out_area) * cols^T
+            MatMulRaw(gout_b, cols.data(), gw, o, out_area, col_rows, false,
+                      true, true);
+          }
+          if (gin != nullptr) {
+            // dCols (col_rows x out_area) = W^T (col_rows x o) * dOut_b
+            MatMulRaw(pw, gout_b, dcols.data(), col_rows, o, out_area, true,
+                      false, false);
+            Col2Im(dcols.data(), c, h, w, k, spec_copy.stride,
+                   spec_copy.padding, gin + b * c * h * w);
+          }
+          if (gb != nullptr) {
+            for (int64_t ch = 0; ch < o; ++ch) {
+              const float* src = gout_b + ch * out_area;
+              float acc = 0.0f;
+              for (int64_t i = 0; i < out_area; ++i) acc += src[i];
+              gb[ch] += acc;
+            }
+          }
+        }
+      });
+}
+
+Tensor MaxPool2d(const Tensor& input, int64_t window) {
+  EDSR_CHECK_EQ(input.dim(), 4);
+  EDSR_CHECK_GT(window, 0);
+  int64_t n = input.shape()[0];
+  int64_t c = input.shape()[1];
+  int64_t h = input.shape()[2];
+  int64_t w = input.shape()[3];
+  EDSR_CHECK(h % window == 0 && w % window == 0)
+      << "MaxPool2d requires dimensions divisible by the window";
+  int64_t oh = h / window;
+  int64_t ow = w / window;
+  std::vector<float> out(n * c * oh * ow);
+  std::vector<int64_t> argmax(out.size());
+  const float* pin = input.data().data();
+  int64_t out_idx = 0;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = pin + (b * c + ch) * h * w;
+      int64_t plane_offset = (b * c + ch) * h * w;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t di = 0; di < window; ++di) {
+            for (int64_t dj = 0; dj < window; ++dj) {
+              int64_t idx = (oi * window + di) * w + (oj * window + dj);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = plane_offset + idx;
+              }
+            }
+          }
+          out[out_idx] = best;
+          argmax[out_idx] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  Tensor input_copy = input;
+  return MakeOp(std::move(out), {n, c, oh, ow}, {input},
+                [input_copy, argmax](TensorImpl& self) {
+                  float* gin = GradBufferOrNull(input_copy.impl_ptr());
+                  if (gin == nullptr) return;
+                  const float* go = self.grad.data();
+                  for (size_t i = 0; i < argmax.size(); ++i) {
+                    gin[argmax[i]] += go[i];
+                  }
+                });
+}
+
+Tensor GlobalAvgPool2d(const Tensor& input) {
+  EDSR_CHECK_EQ(input.dim(), 4);
+  int64_t n = input.shape()[0];
+  int64_t c = input.shape()[1];
+  int64_t area = input.shape()[2] * input.shape()[3];
+  Tensor flat = Reshape(input, {n, c, area});
+  return Reshape(Mean(flat, /*axis=*/2), {n, c});
+}
+
+}  // namespace edsr::tensor

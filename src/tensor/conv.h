@@ -1,0 +1,37 @@
+// 2-D convolution and pooling over NCHW tensors (im2col formulation).
+#ifndef EDSR_SRC_TENSOR_CONV_H_
+#define EDSR_SRC_TENSOR_CONV_H_
+
+#include "src/tensor/tensor.h"
+
+namespace edsr::tensor {
+
+struct Conv2dSpec {
+  int64_t stride = 1;
+  int64_t padding = 0;
+};
+
+// input: (N, C, H, W); weight: (O, C, K, K); bias: (O) or undefined.
+// Output: (N, O, OH, OW) with OH = (H + 2p - K)/s + 1.
+Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              const Conv2dSpec& spec);
+
+// Max pooling with square window / stride = window.
+Tensor MaxPool2d(const Tensor& input, int64_t window);
+
+// Global average pooling: (N, C, H, W) -> (N, C).
+Tensor GlobalAvgPool2d(const Tensor& input);
+
+// Exposed for testing: unfolds one image (C,H,W) into columns
+// (C*K*K, OH*OW).
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* columns);
+// Adjoint of Im2Col: scatter-adds columns back into the image buffer.
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* image);
+
+}  // namespace edsr::tensor
+
+#endif  // EDSR_SRC_TENSOR_CONV_H_

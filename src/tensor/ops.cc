@@ -1,0 +1,650 @@
+#include "src/tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace edsr::tensor {
+
+namespace {
+
+// Accumulation target for a parent tensor, or nullptr when the parent does
+// not require grad.
+float* GradBufferOrNull(const std::shared_ptr<TensorImpl>& impl) {
+  if (!impl->requires_grad) return nullptr;
+  impl->EnsureGrad();
+  return impl->grad.data();
+}
+
+// Broadcast bookkeeping: output shape plus, for each output dimension, the
+// flat stride into each input (0 where the input dimension is stretched).
+struct Bcast {
+  Shape out;
+  std::vector<int64_t> stride_a;
+  std::vector<int64_t> stride_b;
+  int64_t out_numel = 0;
+};
+
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 0);
+  int64_t acc = 1;
+  for (int64_t d = static_cast<int64_t>(shape.size()) - 1; d >= 0; --d) {
+    strides[d] = acc;
+    acc *= shape[d];
+  }
+  return strides;
+}
+
+Bcast ComputeBcast(const Shape& a, const Shape& b) {
+  int64_t nd = std::max(a.size(), b.size());
+  Bcast bc;
+  bc.out.resize(nd);
+  bc.stride_a.resize(nd);
+  bc.stride_b.resize(nd);
+  std::vector<int64_t> sa = RowMajorStrides(a);
+  std::vector<int64_t> sb = RowMajorStrides(b);
+  for (int64_t d = 0; d < nd; ++d) {
+    int64_t ad = d - (nd - static_cast<int64_t>(a.size()));
+    int64_t bd = d - (nd - static_cast<int64_t>(b.size()));
+    int64_t da = ad >= 0 ? a[ad] : 1;
+    int64_t db = bd >= 0 ? b[bd] : 1;
+    EDSR_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    bc.out[d] = std::max(da, db);
+    bc.stride_a[d] = (ad >= 0 && da != 1) ? sa[ad] : 0;
+    bc.stride_b[d] = (bd >= 0 && db != 1) ? sb[bd] : 0;
+  }
+  bc.out_numel = NumElements(bc.out);
+  return bc;
+}
+
+// Iterates the broadcast index space calling fn(out_flat, a_flat, b_flat).
+template <typename Fn>
+void ForEachBroadcast(const Bcast& bc, Fn&& fn) {
+  int64_t nd = static_cast<int64_t>(bc.out.size());
+  if (nd == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> idx(nd, 0);
+  int64_t ia = 0;
+  int64_t ib = 0;
+  for (int64_t i = 0; i < bc.out_numel; ++i) {
+    fn(i, ia, ib);
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      ia += bc.stride_a[d];
+      ib += bc.stride_b[d];
+      if (idx[d] < bc.out[d]) break;
+      idx[d] = 0;
+      ia -= bc.stride_a[d] * bc.out[d];
+      ib -= bc.stride_b[d] * bc.out[d];
+    }
+  }
+}
+
+// Generic broadcasting binary op. `fwd(av, bv)` computes the output value;
+// `dfda` / `dfdb` give partial derivatives as functions of the two input
+// values (sufficient for arithmetic ops).
+template <typename Fwd, typename Dfda, typename Dfdb>
+Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
+                Dfdb dfdb) {
+  Bcast bc = ComputeBcast(a.shape(), b.shape());
+  std::vector<float> out(bc.out_numel);
+  const float* pa = a.data().data();
+  const float* pb = b.data().data();
+  ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
+    out[i] = fwd(pa[ia], pb[ib]);
+  });
+  Tensor a_copy = a;
+  Tensor b_copy = b;
+  return MakeOp(
+      std::move(out), bc.out, {a, b},
+      [a_copy, b_copy, bc, dfda, dfdb](TensorImpl& self) {
+        float* ga = GradBufferOrNull(a_copy.impl_ptr());
+        float* gb = GradBufferOrNull(b_copy.impl_ptr());
+        const float* pa = a_copy.data().data();
+        const float* pb = b_copy.data().data();
+        const float* go = self.grad.data();
+        ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
+          float g = go[i];
+          if (ga != nullptr) ga[ia] += g * dfda(pa[ia], pb[ib]);
+          if (gb != nullptr) gb[ib] += g * dfdb(pa[ia], pb[ib]);
+        });
+      });
+}
+
+// Generic elementwise unary op; `dfdv(v, outv)` may use either the input or
+// the output value (whichever is cheaper).
+template <typename Fwd, typename Dfdv>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
+  std::vector<float> out(a.numel());
+  const float* pa = a.data().data();
+  for (int64_t i = 0; i < a.numel(); ++i) out[i] = fwd(pa[i]);
+  Tensor a_copy = a;
+  Tensor result = MakeOp(std::move(out), a.shape(), {a},
+                         [a_copy, dfdv](TensorImpl& self) {
+                           float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                           if (ga == nullptr) return;
+                           const float* pa = a_copy.data().data();
+                           const float* po = self.data.data();
+                           const float* go = self.grad.data();
+                           for (int64_t i = 0; i < self.numel(); ++i) {
+                             ga[i] += go[i] * dfdv(pa[i], po[i]);
+                           }
+                         });
+  return result;
+}
+
+}  // namespace
+
+// ---- Binary --------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float) { return 1.0f; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y) { return y; }, [](float x, float) { return x; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y) { return 1.0f / y; },
+      [](float x, float y) { return -x / (y * y); });
+}
+
+// ---- Unary -----------------------------------------------------------------
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return -v; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::exp(v); },
+      [](float, float o) { return o; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::log(v); },
+      [](float v, float) { return 1.0f / v; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::sqrt(v); },
+      [](float, float o) { return 0.5f / (o + 1e-12f); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::tanh(v); },
+      [](float, float o) { return 1.0f - o * o; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float o) { return o * (1.0f - o); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::fabs(v); },
+      [](float v, float) { return v >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor PowScalar(const Tensor& a, float p) {
+  return UnaryOp(
+      a, [p](float v) { return std::pow(v, p); },
+      [p](float v, float) { return p * std::pow(v, p - 1.0f); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v * v; },
+      [](float v, float) { return 2.0f * v; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float v) { return v > 0.0f ? v : negative_slope * v; },
+      [negative_slope](float v, float) {
+        return v > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))).
+  constexpr float kAlpha = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kBeta = 0.044715f;
+  return UnaryOp(
+      a,
+      [](float v) {
+        float inner = kAlpha * (v + kBeta * v * v * v);
+        return 0.5f * v * (1.0f + std::tanh(inner));
+      },
+      [](float v, float) {
+        float inner = kAlpha * (v + kBeta * v * v * v);
+        float t = std::tanh(inner);
+        float dinner = kAlpha * (1.0f + 3.0f * kBeta * v * v);
+        return 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * dinner;
+      });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  EDSR_CHECK_LE(lo, hi);
+  return UnaryOp(
+      a,
+      [lo, hi](float v) { return v < lo ? lo : (v > hi ? hi : v); },
+      [lo, hi](float v, float) { return (v > lo && v < hi) ? 1.0f : 0.0f; });
+}
+
+Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
+  EDSR_CHECK(p >= 0.0f && p < 1.0f) << "dropout probability must be in [0,1)";
+  if (p == 0.0f) return a * 1.0f;  // keep graph semantics uniform
+  EDSR_CHECK(rng != nullptr);
+  std::vector<float> mask(a.numel());
+  float scale = 1.0f / (1.0f - p);
+  for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
+  return a * Tensor::FromVector(std::move(mask), a.shape());
+}
+
+// ---- Linear algebra ---------------------------------------------------------
+
+void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  // Index helpers: logical A is (m x k), logical B is (k x n).
+  auto at_a = [&](int64_t i, int64_t p) {
+    return trans_a ? a[p * m + i] : a[i * k + p];
+  };
+  auto at_b = [&](int64_t p, int64_t j) {
+    return trans_b ? b[j * k + p] : b[p * n + j];
+  };
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float av = at_a(i, p);
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      if (!trans_b) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * at_b(p, j);
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EDSR_CHECK_EQ(a.dim(), 2) << "MatMul expects 2-D lhs";
+  EDSR_CHECK_EQ(b.dim(), 2) << "MatMul expects 2-D rhs";
+  int64_t m = a.shape()[0];
+  int64_t k = a.shape()[1];
+  int64_t n = b.shape()[1];
+  EDSR_CHECK_EQ(k, b.shape()[0])
+      << "MatMul inner dims: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  std::vector<float> out(m * n);
+  MatMulRaw(a.data().data(), b.data().data(), out.data(), m, k, n, false,
+            false, true);
+  Tensor a_copy = a;
+  Tensor b_copy = b;
+  return MakeOp(std::move(out), {m, n}, {a, b},
+                [a_copy, b_copy, m, k, n](TensorImpl& self) {
+                  const float* go = self.grad.data();
+                  if (float* ga = GradBufferOrNull(a_copy.impl_ptr())) {
+                    // dA (m x k) += dOut (m x n) * B^T (n x k)
+                    MatMulRaw(go, b_copy.data().data(), ga, m, n, k, false,
+                              true, true);
+                  }
+                  if (float* gb = GradBufferOrNull(b_copy.impl_ptr())) {
+                    // dB (k x n) += A^T (k x m) * dOut (m x n)
+                    MatMulRaw(a_copy.data().data(), go, gb, k, m, n, true,
+                              false, true);
+                  }
+                });
+}
+
+Tensor Transpose(const Tensor& a) {
+  EDSR_CHECK_EQ(a.dim(), 2) << "Transpose expects 2-D input";
+  int64_t r = a.shape()[0];
+  int64_t c = a.shape()[1];
+  std::vector<float> out(a.numel());
+  const float* pa = a.data().data();
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < c; ++j) out[j * r + i] = pa[i * c + j];
+  }
+  Tensor a_copy = a;
+  return MakeOp(std::move(out), {c, r}, {a}, [a_copy, r, c](TensorImpl& self) {
+    float* ga = GradBufferOrNull(a_copy.impl_ptr());
+    if (ga == nullptr) return;
+    const float* go = self.grad.data();
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < c; ++j) ga[i * c + j] += go[j * r + i];
+    }
+  });
+}
+
+// ---- Shape ops ----------------------------------------------------------------
+
+Tensor Reshape(const Tensor& a, Shape new_shape) {
+  int64_t wildcard = -1;
+  int64_t known = 1;
+  for (size_t d = 0; d < new_shape.size(); ++d) {
+    if (new_shape[d] == -1) {
+      EDSR_CHECK_EQ(wildcard, -1) << "at most one -1 in Reshape";
+      wildcard = static_cast<int64_t>(d);
+    } else {
+      known *= new_shape[d];
+    }
+  }
+  if (wildcard >= 0) {
+    EDSR_CHECK(known > 0 && a.numel() % known == 0)
+        << "cannot infer -1 reshaping " << ShapeToString(a.shape()) << " to "
+        << ShapeToString(new_shape);
+    new_shape[wildcard] = a.numel() / known;
+  }
+  EDSR_CHECK_EQ(NumElements(new_shape), a.numel())
+      << "Reshape " << ShapeToString(a.shape()) << " -> "
+      << ShapeToString(new_shape);
+  std::vector<float> out = a.data();
+  Tensor a_copy = a;
+  return MakeOp(std::move(out), new_shape, {a}, [a_copy](TensorImpl& self) {
+    float* ga = GradBufferOrNull(a_copy.impl_ptr());
+    if (ga == nullptr) return;
+    const float* go = self.grad.data();
+    for (int64_t i = 0; i < self.numel(); ++i) ga[i] += go[i];
+  });
+}
+
+Tensor Narrow(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
+  int64_t nd = a.dim();
+  if (axis < 0) axis += nd;
+  EDSR_CHECK(axis >= 0 && axis < nd);
+  int64_t dim_size = a.shape()[axis];
+  EDSR_CHECK(start >= 0 && length >= 0 && start + length <= dim_size)
+      << "Narrow [" << start << ", " << start + length << ") out of range "
+      << dim_size;
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= a.shape()[d];
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < nd; ++d) inner *= a.shape()[d];
+
+  Shape out_shape = a.shape();
+  out_shape[axis] = length;
+  std::vector<float> out(outer * length * inner);
+  const float* pa = a.data().data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pa + (o * dim_size + start) * inner;
+    float* dst = out.data() + o * length * inner;
+    std::copy(src, src + length * inner, dst);
+  }
+  Tensor a_copy = a;
+  return MakeOp(std::move(out), out_shape, {a},
+                [a_copy, outer, inner, dim_size, start,
+                 length](TensorImpl& self) {
+                  float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                  if (ga == nullptr) return;
+                  const float* go = self.grad.data();
+                  for (int64_t o = 0; o < outer; ++o) {
+                    float* dst = ga + (o * dim_size + start) * inner;
+                    const float* src = go + o * length * inner;
+                    for (int64_t i = 0; i < length * inner; ++i) dst[i] += src[i];
+                  }
+                });
+}
+
+Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& rows) {
+  EDSR_CHECK_GE(a.dim(), 1);
+  int64_t n = a.shape()[0];
+  int64_t row_size = n == 0 ? 0 : a.numel() / n;
+  Shape out_shape = a.shape();
+  out_shape[0] = static_cast<int64_t>(rows.size());
+  std::vector<float> out(rows.size() * row_size);
+  const float* pa = a.data().data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int64_t r = rows[i];
+    EDSR_CHECK(r >= 0 && r < n) << "row index " << r << " out of range " << n;
+    std::copy(pa + r * row_size, pa + (r + 1) * row_size,
+              out.data() + i * row_size);
+  }
+  Tensor a_copy = a;
+  std::vector<int64_t> rows_copy = rows;
+  return MakeOp(std::move(out), out_shape, {a},
+                [a_copy, rows_copy, row_size](TensorImpl& self) {
+                  float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                  if (ga == nullptr) return;
+                  const float* go = self.grad.data();
+                  for (size_t i = 0; i < rows_copy.size(); ++i) {
+                    float* dst = ga + rows_copy[i] * row_size;
+                    const float* src = go + i * row_size;
+                    for (int64_t j = 0; j < row_size; ++j) dst[j] += src[j];
+                  }
+                });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& tensors) {
+  EDSR_CHECK(!tensors.empty());
+  Shape out_shape = tensors[0].shape();
+  int64_t row_size =
+      out_shape[0] == 0 ? 0 : tensors[0].numel() / out_shape[0];
+  int64_t total_rows = 0;
+  for (const Tensor& t : tensors) {
+    EDSR_CHECK_EQ(t.dim(), static_cast<int64_t>(out_shape.size()));
+    for (size_t d = 1; d < out_shape.size(); ++d) {
+      EDSR_CHECK_EQ(t.shape()[d], out_shape[d])
+          << "ConcatRows trailing dims must match";
+    }
+    total_rows += t.shape()[0];
+  }
+  out_shape[0] = total_rows;
+  std::vector<float> out;
+  out.reserve(total_rows * row_size);
+  for (const Tensor& t : tensors) {
+    out.insert(out.end(), t.data().begin(), t.data().end());
+  }
+  std::vector<Tensor> parents = tensors;
+  return MakeOp(std::move(out), out_shape, tensors,
+                [parents, row_size](TensorImpl& self) {
+                  const float* go = self.grad.data();
+                  int64_t offset = 0;
+                  for (const Tensor& t : parents) {
+                    int64_t count = t.numel();
+                    if (float* g = GradBufferOrNull(t.impl_ptr())) {
+                      for (int64_t i = 0; i < count; ++i) g[i] += go[offset + i];
+                    }
+                    offset += count;
+                  }
+                  (void)row_size;
+                });
+}
+
+// ---- Reductions ------------------------------------------------------------------
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0.0;
+  for (float v : a.data()) total += v;
+  Tensor a_copy = a;
+  return MakeOp({static_cast<float>(total)}, {1}, {a},
+                [a_copy](TensorImpl& self) {
+                  float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                  if (ga == nullptr) return;
+                  float g = self.grad[0];
+                  for (int64_t i = 0; i < a_copy.numel(); ++i) ga[i] += g;
+                });
+}
+
+Tensor MeanAll(const Tensor& a) {
+  EDSR_CHECK_GT(a.numel(), 0);
+  return SumAll(a) * (1.0f / static_cast<float>(a.numel()));
+}
+
+namespace {
+struct AxisGeometry {
+  int64_t outer = 1;
+  int64_t dim = 1;
+  int64_t inner = 1;
+};
+
+AxisGeometry ResolveAxis(const Tensor& a, int64_t* axis) {
+  int64_t nd = a.dim();
+  if (*axis < 0) *axis += nd;
+  EDSR_CHECK(*axis >= 0 && *axis < nd)
+      << "axis out of range for " << ShapeToString(a.shape());
+  AxisGeometry g;
+  for (int64_t d = 0; d < *axis; ++d) g.outer *= a.shape()[d];
+  g.dim = a.shape()[*axis];
+  for (int64_t d = *axis + 1; d < nd; ++d) g.inner *= a.shape()[d];
+  return g;
+}
+
+Shape ReducedShape(const Tensor& a, int64_t axis, bool keepdims) {
+  Shape s = a.shape();
+  if (keepdims) {
+    s[axis] = 1;
+  } else {
+    s.erase(s.begin() + axis);
+    if (s.empty()) s.push_back(1);
+  }
+  return s;
+}
+}  // namespace
+
+Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
+  AxisGeometry g = ResolveAxis(a, &axis);
+  std::vector<float> out(g.outer * g.inner, 0.0f);
+  const float* pa = a.data().data();
+  for (int64_t o = 0; o < g.outer; ++o) {
+    for (int64_t d = 0; d < g.dim; ++d) {
+      const float* src = pa + (o * g.dim + d) * g.inner;
+      float* dst = out.data() + o * g.inner;
+      for (int64_t i = 0; i < g.inner; ++i) dst[i] += src[i];
+    }
+  }
+  Tensor a_copy = a;
+  return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
+                [a_copy, g](TensorImpl& self) {
+                  float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                  if (ga == nullptr) return;
+                  const float* go = self.grad.data();
+                  for (int64_t o = 0; o < g.outer; ++o) {
+                    for (int64_t d = 0; d < g.dim; ++d) {
+                      float* dst = ga + (o * g.dim + d) * g.inner;
+                      const float* src = go + o * g.inner;
+                      for (int64_t i = 0; i < g.inner; ++i) dst[i] += src[i];
+                    }
+                  }
+                });
+}
+
+Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
+  int64_t resolved = axis < 0 ? axis + a.dim() : axis;
+  EDSR_CHECK(resolved >= 0 && resolved < a.dim());
+  int64_t n = a.shape()[resolved];
+  EDSR_CHECK_GT(n, 0);
+  return Sum(a, axis, keepdims) * (1.0f / static_cast<float>(n));
+}
+
+Tensor ReduceMax(const Tensor& a, int64_t axis, bool keepdims) {
+  AxisGeometry g = ResolveAxis(a, &axis);
+  std::vector<float> out(g.outer * g.inner,
+                         -std::numeric_limits<float>::infinity());
+  std::vector<int64_t> argmax(g.outer * g.inner, 0);
+  const float* pa = a.data().data();
+  for (int64_t o = 0; o < g.outer; ++o) {
+    for (int64_t d = 0; d < g.dim; ++d) {
+      for (int64_t i = 0; i < g.inner; ++i) {
+        int64_t src = (o * g.dim + d) * g.inner + i;
+        int64_t dst = o * g.inner + i;
+        if (pa[src] > out[dst]) {
+          out[dst] = pa[src];
+          argmax[dst] = src;
+        }
+      }
+    }
+  }
+  Tensor a_copy = a;
+  return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
+                [a_copy, argmax](TensorImpl& self) {
+                  float* ga = GradBufferOrNull(a_copy.impl_ptr());
+                  if (ga == nullptr) return;
+                  const float* go = self.grad.data();
+                  for (size_t i = 0; i < argmax.size(); ++i) {
+                    ga[argmax[i]] += go[i];
+                  }
+                });
+}
+
+Tensor ReduceMin(const Tensor& a, int64_t axis, bool keepdims) {
+  return Neg(ReduceMax(Neg(a), axis, keepdims));
+}
+
+// ---- Composites --------------------------------------------------------------------
+
+Tensor L2NormalizeRows(const Tensor& a, float eps) {
+  EDSR_CHECK_EQ(a.dim(), 2) << "L2NormalizeRows expects 2-D input";
+  Tensor norm = Sqrt(Sum(Square(a), /*axis=*/1, /*keepdims=*/true) + eps);
+  return a / norm;
+}
+
+Tensor CosineSimilarityRows(const Tensor& a, const Tensor& b, float eps) {
+  EDSR_CHECK(a.shape() == b.shape())
+      << "CosineSimilarityRows shape mismatch: " << ShapeToString(a.shape())
+      << " vs " << ShapeToString(b.shape());
+  Tensor an = L2NormalizeRows(a, eps);
+  Tensor bn = L2NormalizeRows(b, eps);
+  return Sum(an * bn, /*axis=*/1, /*keepdims=*/true);
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  EDSR_CHECK_EQ(a.dim(), 2);
+  // Stabilize with a detached row max (constant shift, exact gradients).
+  Tensor shifted = a - ReduceMax(a, 1, true).Detach();
+  Tensor e = Exp(shifted);
+  return e / Sum(e, 1, true);
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& labels) {
+  EDSR_CHECK_EQ(logits.dim(), 2);
+  int64_t n = logits.shape()[0];
+  int64_t c = logits.shape()[1];
+  EDSR_CHECK_EQ(static_cast<int64_t>(labels.size()), n);
+  Tensor shifted = logits - ReduceMax(logits, 1, true).Detach();
+  Tensor lse = Log(Sum(Exp(shifted), 1, true));  // (n,1)
+  // One-hot mask to pick out the true-label logits.
+  std::vector<float> mask(n * c, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    EDSR_CHECK(labels[i] >= 0 && labels[i] < c);
+    mask[i * c + labels[i]] = 1.0f;
+  }
+  Tensor picked =
+      Sum(shifted * Tensor::FromVector(std::move(mask), {n, c}), 1, true);
+  return MeanAll(lse - picked);
+}
+
+}  // namespace edsr::tensor

@@ -1,0 +1,66 @@
+// Aborting invariant checks for programmer errors on hot paths.
+//
+// Following the Arrow/RocksDB convention, fallible *runtime* conditions
+// (bad user config, I/O) return util::Status, while violated *invariants*
+// (shape mismatches inside the tensor engine, out-of-range indices) abort
+// with a readable message. EDSR_DCHECK compiles out in NDEBUG builds.
+#ifndef EDSR_SRC_UTIL_CHECK_H_
+#define EDSR_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace edsr::util {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "EDSR_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+// Stream-style message collector so call sites can write
+//   EDSR_CHECK(a == b) << "a=" << a;
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, out_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace edsr::util
+
+#define EDSR_CHECK(condition)          \
+  if (condition) {                     \
+  } else /* NOLINT */                  \
+    ::edsr::util::CheckMessage(__FILE__, __LINE__, #condition)
+
+#define EDSR_CHECK_EQ(a, b) EDSR_CHECK((a) == (b))
+#define EDSR_CHECK_NE(a, b) EDSR_CHECK((a) != (b))
+#define EDSR_CHECK_LT(a, b) EDSR_CHECK((a) < (b))
+#define EDSR_CHECK_LE(a, b) EDSR_CHECK((a) <= (b))
+#define EDSR_CHECK_GT(a, b) EDSR_CHECK((a) > (b))
+#define EDSR_CHECK_GE(a, b) EDSR_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define EDSR_DCHECK(condition) EDSR_CHECK(true || (condition))
+#else
+#define EDSR_DCHECK(condition) EDSR_CHECK(condition)
+#endif
+
+#endif  // EDSR_SRC_UTIL_CHECK_H_

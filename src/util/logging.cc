@@ -1,0 +1,49 @@
+#include "src/util/logging.h"
+
+#include <cstring>
+
+namespace edsr::util {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level), level_(level) {
+  if (enabled_) {
+    out_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+         << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    out_ << "\n";
+    std::cerr << out_.str();
+  }
+  (void)level_;
+}
+
+}  // namespace edsr::util

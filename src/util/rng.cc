@@ -1,0 +1,25 @@
+#include "src/util/rng.h"
+
+namespace edsr::util {
+
+int64_t Rng::Categorical(const std::vector<float>& weights) {
+  EDSR_CHECK(!weights.empty());
+  double total = 0.0;
+  for (float w : weights) {
+    EDSR_CHECK_GE(w, 0.0f) << "Categorical weights must be non-negative";
+    total += w;
+  }
+  if (total <= 0.0) {
+    // All-zero weights degenerate to uniform.
+    return UniformInt(0, static_cast<int64_t>(weights.size()) - 1);
+  }
+  double r = static_cast<double>(Uniform(0.0f, 1.0f)) * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (r < cum) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+}  // namespace edsr::util

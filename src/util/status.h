@@ -1,0 +1,99 @@
+// Arrow-style Status / Result<T> for fallible operations.
+#ifndef EDSR_SRC_UTIL_STATUS_H_
+#define EDSR_SRC_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace edsr::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotImplemented,
+  kIoError,
+  kInternal,
+};
+
+// A Status carries either success (OK) or an error code plus message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  // Aborts if not OK. Use at call sites where failure is a programmer error.
+  void Check() const {
+    EDSR_CHECK(ok()) << ToString();
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirroring arrow::Result.
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    EDSR_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    EDSR_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    EDSR_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace edsr::util
+
+#define EDSR_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::edsr::util::Status _edsr_status = (expr);   \
+    if (!_edsr_status.ok()) return _edsr_status;  \
+  } while (false)
+
+#endif  // EDSR_SRC_UTIL_STATUS_H_

@@ -1,0 +1,93 @@
+#include "src/util/table.h"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace edsr::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  EDSR_CHECK(!header_.empty());
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  EDSR_CHECK_EQ(cells.size(), header_.size())
+      << "row width " << cells.size() << " != header width " << header_.size();
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::ToText() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left << std::setw(widths[c])
+          << row[c];
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  out << "-|\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::ToCsv() const {
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ",";
+      out << row[c];
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open " + path + " for writing");
+  file << ToCsv();
+  if (!file) return Status::IoError("write failed for " + path);
+  return Status::OK();
+}
+
+std::string Table::MeanStd(double mean, double stddev, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << mean << " ± " << stddev;
+  return out.str();
+}
+
+std::string Table::Fixed(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+MeanStdDev ComputeMeanStd(const std::vector<double>& values) {
+  MeanStdDev result;
+  if (values.empty()) return result;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  result.mean = sum / static_cast<double>(values.size());
+  double sq = 0.0;
+  for (double v : values) sq += (v - result.mean) * (v - result.mean);
+  result.stddev = std::sqrt(sq / static_cast<double>(values.size()));
+  return result;
+}
+
+}  // namespace edsr::util

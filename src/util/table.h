@@ -1,0 +1,48 @@
+// Text tables and CSV emission for the experiment harnesses.
+//
+// Each bench binary prints a paper-style table to stdout and can dump the
+// same rows as CSV for downstream plotting.
+#ifndef EDSR_SRC_UTIL_TABLE_H_
+#define EDSR_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace edsr::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats as an aligned, pipe-separated text table.
+  std::string ToText() const;
+  std::string ToCsv() const;
+
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_cols() const { return header_.size(); }
+
+  // "12.34 ± 0.56" helper for mean/std cells.
+  static std::string MeanStd(double mean, double stddev, int precision = 2);
+  static std::string Fixed(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Mean and (population) standard deviation of a sample.
+struct MeanStdDev {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStdDev ComputeMeanStd(const std::vector<double>& values);
+
+}  // namespace edsr::util
+
+#endif  // EDSR_SRC_UTIL_TABLE_H_

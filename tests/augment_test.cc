@@ -1,0 +1,220 @@
+// Tests for image and tabular augmentations.
+#include "src/augment/image_augment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/augment/tabular_augment.h"
+#include "src/augment/view_provider.h"
+#include "src/data/synthetic.h"
+
+namespace edsr {
+namespace {
+
+using augment::ImagePipeline;
+using data::ImageGeometry;
+
+std::vector<float> RampImage(const ImageGeometry& g) {
+  std::vector<float> image(g.Pixels());
+  for (size_t i = 0; i < image.size(); ++i) {
+    image[i] = static_cast<float>(i) / image.size();
+  }
+  return image;
+}
+
+TEST(HorizontalFlip, ReversesRowsWhenTriggered) {
+  ImageGeometry g{1, 2, 3};
+  std::vector<float> image = {1, 2, 3, 4, 5, 6};
+  augment::HorizontalFlip flip(1.0f);  // always
+  util::Rng rng(0);
+  flip.Apply(image.data(), g, &rng);
+  EXPECT_EQ(image, (std::vector<float>{3, 2, 1, 6, 5, 4}));
+}
+
+TEST(HorizontalFlip, IsInvolution) {
+  ImageGeometry g{2, 4, 4};
+  std::vector<float> image = RampImage(g);
+  std::vector<float> original = image;
+  augment::HorizontalFlip flip(1.0f);
+  util::Rng rng(0);
+  flip.Apply(image.data(), g, &rng);
+  flip.Apply(image.data(), g, &rng);
+  EXPECT_EQ(image, original);
+}
+
+TEST(RandomCrop, PreservesShapeAndShifts) {
+  ImageGeometry g{1, 4, 4};
+  std::vector<float> image = RampImage(g);
+  std::vector<float> original = image;
+  augment::RandomCrop crop(1);
+  util::Rng rng(3);
+  crop.Apply(image.data(), g, &rng);
+  EXPECT_EQ(image.size(), original.size());
+  // Values must come from the original image or zero padding.
+  for (float v : image) {
+    bool from_original =
+        std::find(original.begin(), original.end(), v) != original.end();
+    EXPECT_TRUE(from_original || v == 0.0f);
+  }
+}
+
+TEST(RandomGrayscale, EqualizesChannels) {
+  ImageGeometry g{3, 2, 2};
+  std::vector<float> image(12);
+  util::Rng rng(1);
+  for (float& v : image) v = rng.Uniform();
+  augment::RandomGrayscale gray(1.0f);
+  gray.Apply(image.data(), g, &rng);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(image[i], image[4 + i]);
+    EXPECT_FLOAT_EQ(image[i], image[8 + i]);
+  }
+}
+
+TEST(GaussianBlur, PreservesMeanAndReducesVariance) {
+  ImageGeometry g{1, 8, 8};
+  util::Rng rng(2);
+  std::vector<float> image(64);
+  for (float& v : image) v = rng.Uniform();
+  double mean_before = 0.0, var_before = 0.0;
+  for (float v : image) mean_before += v;
+  mean_before /= 64;
+  for (float v : image) var_before += (v - mean_before) * (v - mean_before);
+  augment::GaussianBlur blur(1.0f, 1.0f, 1.0f);
+  blur.Apply(image.data(), g, &rng);
+  double mean_after = 0.0, var_after = 0.0;
+  for (float v : image) mean_after += v;
+  mean_after /= 64;
+  for (float v : image) var_after += (v - mean_after) * (v - mean_after);
+  EXPECT_NEAR(mean_after, mean_before, 0.05);
+  EXPECT_LT(var_after, var_before);
+}
+
+TEST(ColorJitter, StaysInRange) {
+  ImageGeometry g{3, 4, 4};
+  util::Rng rng(3);
+  std::vector<float> image(g.Pixels());
+  for (float& v : image) v = rng.Uniform();
+  augment::ColorJitter jitter(0.8f, 1.0f);
+  jitter.Apply(image.data(), g, &rng);
+  for (float v : image) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Cutout, ZeroesASquare) {
+  ImageGeometry g{1, 6, 6};
+  std::vector<float> image(36, 1.0f);
+  augment::Cutout cutout(3, 1.0f);
+  util::Rng rng(4);
+  cutout.Apply(image.data(), g, &rng);
+  int64_t zeros = std::count(image.begin(), image.end(), 0.0f);
+  EXPECT_EQ(zeros, 9);
+}
+
+TEST(ImagePipeline, TwoViewsDiffer) {
+  data::SyntheticImageConfig config;
+  config.num_classes = 2;
+  config.train_per_class = 4;
+  config.test_per_class = 2;
+  config.geometry = {3, 4, 4};
+  config.latent_dim = 4;
+  config.seed = 5;
+  data::SyntheticImagePair pair = MakeSyntheticImageData(config);
+  ImagePipeline pipeline = ImagePipeline::SimSiamDefault();
+  util::Rng rng(6);
+  tensor::Tensor v1 = AugmentView(pair.train, {0, 1, 2}, pipeline, &rng);
+  tensor::Tensor v2 = AugmentView(pair.train, {0, 1, 2}, pipeline, &rng);
+  EXPECT_EQ(v1.shape(), v2.shape());
+  EXPECT_NE(v1.data(), v2.data());
+}
+
+TEST(ImagePipeline, DeterministicGivenSeed) {
+  data::SyntheticImageConfig config;
+  config.num_classes = 2;
+  config.train_per_class = 3;
+  config.geometry = {3, 4, 4};
+  config.latent_dim = 4;
+  config.seed = 7;
+  data::SyntheticImagePair pair = MakeSyntheticImageData(config);
+  ImagePipeline pipeline = ImagePipeline::SimSiamDefault();
+  util::Rng rng_a(42), rng_b(42);
+  tensor::Tensor va = AugmentView(pair.train, {0, 1}, pipeline, &rng_a);
+  tensor::Tensor vb = AugmentView(pair.train, {0, 1}, pipeline, &rng_b);
+  EXPECT_EQ(va.data(), vb.data());
+}
+
+TEST(TabularCorruption, RateZeroIsIdentity) {
+  data::SyntheticTabularConfig config;
+  config.seed = 8;
+  data::SyntheticTabularPair pair = MakeSyntheticTabularData(config);
+  augment::TabularCorruption corruption(0.0f);
+  util::Rng rng(9);
+  tensor::Tensor view = corruption.AugmentView(pair.train, {0, 1}, &rng);
+  for (int64_t j = 0; j < pair.train.dim(); ++j) {
+    EXPECT_FLOAT_EQ(view.at(0, j), pair.train.Row(0)[j]);
+  }
+}
+
+TEST(TabularCorruption, ValuesComeFromMarginals) {
+  // With rate 1, every feature is replaced by some value observed for that
+  // feature elsewhere in the dataset.
+  data::SyntheticTabularConfig config;
+  config.train_size = 50;
+  config.seed = 10;
+  data::SyntheticTabularPair pair = MakeSyntheticTabularData(config);
+  augment::TabularCorruption corruption(1.0f);
+  util::Rng rng(11);
+  tensor::Tensor view = corruption.AugmentView(pair.train, {3}, &rng);
+  for (int64_t j = 0; j < pair.train.dim(); ++j) {
+    bool found = false;
+    for (int64_t i = 0; i < pair.train.size() && !found; ++i) {
+      found = pair.train.Row(i)[j] == view.at(0, j);
+    }
+    EXPECT_TRUE(found) << "feature " << j << " not from the marginal";
+  }
+}
+
+TEST(TabularCorruption, PartialRateChangesSomeFeatures) {
+  data::SyntheticTabularConfig config;
+  config.train_size = 100;
+  config.num_features = 40;
+  config.seed = 12;
+  data::SyntheticTabularPair pair = MakeSyntheticTabularData(config);
+  augment::TabularCorruption corruption(0.3f);
+  util::Rng rng(13);
+  tensor::Tensor view = corruption.AugmentView(pair.train, {0}, &rng);
+  int64_t changed = 0;
+  for (int64_t j = 0; j < pair.train.dim(); ++j) {
+    if (view.at(0, j) != pair.train.Row(0)[j]) ++changed;
+  }
+  EXPECT_GT(changed, 2);
+  EXPECT_LT(changed, 30);
+}
+
+TEST(ViewProvider, DispatchesOnModality) {
+  data::SyntheticImageConfig img_config;
+  img_config.num_classes = 2;
+  img_config.train_per_class = 2;
+  img_config.geometry = {3, 4, 4};
+  img_config.latent_dim = 4;
+  img_config.seed = 14;
+  auto img = MakeSyntheticImageData(img_config);
+  data::SyntheticTabularConfig tab_config;
+  tab_config.seed = 15;
+  auto tab = MakeSyntheticTabularData(tab_config);
+
+  auto img_provider = augment::ViewProvider::ForDataset(img.train);
+  auto tab_provider = augment::ViewProvider::ForDataset(tab.train);
+  util::Rng rng(16);
+  EXPECT_EQ(img_provider->View(img.train, {0}, &rng).shape()[1],
+            img.train.dim());
+  EXPECT_EQ(tab_provider->View(tab.train, {0}, &rng).shape()[1],
+            tab.train.dim());
+}
+
+}  // namespace
+}  // namespace edsr

@@ -1,0 +1,172 @@
+// Tests for Conv2d / pooling, including gradient checks and a naive
+// convolution reference.
+#include "src/tensor/conv.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops.h"
+#include "src/util/rng.h"
+#include "tests/testing_util.h"
+
+namespace edsr {
+namespace {
+
+using tensor::Conv2dSpec;
+using tensor::Shape;
+using tensor::Tensor;
+
+// Naive direct convolution for cross-checking the im2col implementation.
+std::vector<float> NaiveConv(const std::vector<float>& input,
+                             const std::vector<float>& weight,
+                             const std::vector<float>& bias, int64_t n,
+                             int64_t c, int64_t h, int64_t w, int64_t o,
+                             int64_t k, int64_t stride, int64_t pad) {
+  int64_t oh = (h + 2 * pad - k) / stride + 1;
+  int64_t ow = (w + 2 * pad - k) / stride + 1;
+  std::vector<float> out(n * o * oh * ow, 0.0f);
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oc = 0; oc < o; ++oc) {
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float acc = bias.empty() ? 0.0f : bias[oc];
+          for (int64_t ic = 0; ic < c; ++ic) {
+            for (int64_t ki = 0; ki < k; ++ki) {
+              for (int64_t kj = 0; kj < k; ++kj) {
+                int64_t ii = oi * stride + ki - pad;
+                int64_t jj = oj * stride + kj - pad;
+                if (ii < 0 || ii >= h || jj < 0 || jj >= w) continue;
+                acc += input[((b * c + ic) * h + ii) * w + jj] *
+                       weight[((oc * c + ic) * k + ki) * k + kj];
+              }
+            }
+          }
+          out[((b * o + oc) * oh + oi) * ow + oj] = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+struct ConvCase {
+  int64_t n, c, h, w, o, k, stride, pad;
+};
+
+class ConvForwardTest : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvForwardTest, MatchesNaiveReference) {
+  ConvCase p = GetParam();
+  util::Rng rng(42);
+  Tensor input = Tensor::Randn({p.n, p.c, p.h, p.w}, &rng);
+  Tensor weight = Tensor::Randn({p.o, p.c, p.k, p.k}, &rng);
+  Tensor bias = Tensor::Randn({p.o}, &rng);
+  Tensor out = Conv2d(input, weight, bias, {p.stride, p.pad});
+  std::vector<float> ref =
+      NaiveConv(input.data(), weight.data(), bias.data(), p.n, p.c, p.h, p.w,
+                p.o, p.k, p.stride, p.pad);
+  ASSERT_EQ(out.numel(), static_cast<int64_t>(ref.size()));
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    EXPECT_NEAR(out.at(i), ref[i], 1e-4f) << "element " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConvForwardTest,
+    ::testing::Values(ConvCase{1, 1, 4, 4, 1, 3, 1, 0},
+                      ConvCase{2, 3, 6, 6, 4, 3, 1, 1},
+                      ConvCase{1, 2, 8, 8, 3, 3, 2, 1},
+                      ConvCase{2, 2, 5, 5, 2, 1, 1, 0},
+                      ConvCase{1, 3, 7, 5, 2, 3, 2, 1}));
+
+TEST(Conv2d, NoBias) {
+  util::Rng rng(1);
+  Tensor input = Tensor::Randn({1, 2, 4, 4}, &rng);
+  Tensor weight = Tensor::Randn({2, 2, 3, 3}, &rng);
+  Tensor out = Conv2d(input, weight, Tensor(), {1, 1});
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 4, 4}));
+}
+
+TEST(Conv2d, GradCheckAllInputs) {
+  util::Rng rng(2);
+  Tensor input = Tensor::Randn({2, 2, 5, 5}, &rng, 0.0f, 1.0f, true);
+  Tensor weight = Tensor::Randn({3, 2, 3, 3}, &rng, 0.0f, 0.5f, true);
+  Tensor bias = Tensor::Randn({3}, &rng, 0.0f, 0.5f, true);
+  testing::ExpectGradientsMatch(
+      [&] {
+        return tensor::SumAll(
+            tensor::Square(Conv2d(input, weight, bias, {2, 1})));
+      },
+      {input, weight, bias});
+}
+
+TEST(Conv2d, ShapeMismatchDies) {
+  Tensor input = Tensor::Zeros({1, 3, 4, 4});
+  Tensor weight = Tensor::Zeros({2, 2, 3, 3});  // wrong channel count
+  EXPECT_DEATH(Conv2d(input, weight, Tensor(), {1, 1}), "channel");
+}
+
+TEST(MaxPool2d, ForwardValues) {
+  Tensor input = Tensor::FromVector(
+      {1, 2, 5, 6,
+       3, 4, 7, 8,
+       9, 10, 13, 14,
+       11, 12, 15, 16},
+      {1, 1, 4, 4});
+  Tensor out = MaxPool2d(input, 2);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_EQ(out.at(0), 4.0f);
+  EXPECT_EQ(out.at(1), 8.0f);
+  EXPECT_EQ(out.at(2), 12.0f);
+  EXPECT_EQ(out.at(3), 16.0f);
+}
+
+TEST(MaxPool2d, GradFlowsToArgmaxOnly) {
+  Tensor input = Tensor::FromVector({1, 2, 3, 4}, {1, 1, 2, 2}, true);
+  Tensor loss = tensor::SumAll(MaxPool2d(input, 2));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(input.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(input.grad()[3], 1.0f);
+}
+
+TEST(MaxPool2d, GradCheck) {
+  util::Rng rng(3);
+  Tensor input = Tensor::Randn({2, 2, 4, 4}, &rng, 0.0f, 1.0f, true);
+  testing::ExpectGradientsMatch(
+      [&] { return tensor::SumAll(tensor::Square(MaxPool2d(input, 2))); },
+      {input});
+}
+
+TEST(GlobalAvgPool2d, ForwardAndGrad) {
+  Tensor input = Tensor::FromVector({1, 2, 3, 4, 10, 20, 30, 40},
+                                    {1, 2, 2, 2}, true);
+  Tensor out = GlobalAvgPool2d(input);
+  EXPECT_EQ(out.shape(), (Shape{1, 2}));
+  EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+  EXPECT_FLOAT_EQ(out.at(1), 25.0f);
+  tensor::SumAll(out).Backward();
+  for (int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(input.grad()[i], 0.25f);
+}
+
+TEST(Im2Col, RoundTripAdjoint) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> — the defining adjoint property.
+  util::Rng rng(4);
+  int64_t c = 2, h = 5, w = 4, k = 3, stride = 1, pad = 1;
+  int64_t oh = (h + 2 * pad - k) / stride + 1;
+  int64_t ow = (w + 2 * pad - k) / stride + 1;
+  std::vector<float> x(c * h * w), y(c * k * k * oh * ow);
+  for (float& v : x) v = rng.Normal();
+  for (float& v : y) v = rng.Normal();
+  std::vector<float> cols(y.size());
+  tensor::Im2Col(x.data(), c, h, w, k, stride, pad, cols.data());
+  std::vector<float> img(x.size(), 0.0f);
+  tensor::Col2Im(y.data(), c, h, w, k, stride, pad, img.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (size_t i = 0; i < cols.size(); ++i) lhs += cols[i] * y[i];
+  for (size_t i = 0; i < x.size(); ++i) rhs += x[i] * img[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace edsr

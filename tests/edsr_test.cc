@@ -1,0 +1,254 @@
+// Tests for the core EDSR strategy: entropy-based selection stage,
+// noise calculation, and the three replay-loss modes.
+#include "src/core/edsr.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cl/trainer.h"
+#include "src/core/noise.h"
+#include "src/data/synthetic.h"
+
+namespace edsr {
+namespace {
+
+using cl::StrategyContext;
+using core::Edsr;
+using core::EdsrOptions;
+using core::ReplayLossMode;
+using data::TaskSequence;
+
+StrategyContext TinyContext(uint64_t seed = 0) {
+  StrategyContext context;
+  context.encoder.mlp_dims = {48, 32, 32};
+  context.encoder.projector_hidden = 32;
+  context.encoder.representation_dim = 16;
+  context.epochs = 3;
+  context.batch_size = 16;
+  context.memory_per_task = 8;
+  context.replay_batch_size = 8;
+  context.seed = seed;
+  return context;
+}
+
+TaskSequence TinySequence(uint64_t seed, int64_t tasks = 2) {
+  data::SyntheticImageConfig config;
+  config.name = "tiny";
+  config.num_classes = 2 * tasks;
+  config.train_per_class = 16;
+  config.test_per_class = 8;
+  config.geometry = {3, 4, 4};
+  config.latent_dim = 6;
+  config.class_separation = 3.5f;
+  config.seed = seed;
+  auto pair = MakeSyntheticImageData(config);
+  return TaskSequence::SplitByClasses(pair.train, pair.test, tasks, nullptr);
+}
+
+// ---- Noise calculator -------------------------------------------------
+
+TEST(KnnNoise, NeighborsAreNearest) {
+  eval::RepresentationMatrix reps;
+  reps.values = {0, 0, 1, 0, 5, 0, 1.2f, 0};
+  reps.n = 4;
+  reps.d = 2;
+  std::vector<int64_t> nn = core::NearestNeighbors(reps, 0, 2);
+  std::set<int64_t> set(nn.begin(), nn.end());
+  EXPECT_EQ(set, (std::set<int64_t>{1, 3}));
+}
+
+TEST(KnnNoise, ScaleIsPerDimensionStd) {
+  // Neighbors of index 0 are rows 1 and 2: dim0 values {1, 3} (std 1),
+  // dim1 values {0, 0} (std 0).
+  eval::RepresentationMatrix reps;
+  reps.values = {0, 0, 1, 0, 3, 0, 100, 100};
+  reps.n = 4;
+  reps.d = 2;
+  std::vector<float> scale = core::KnnNoiseScale(reps, 0, 2);
+  EXPECT_NEAR(scale[0], 1.0f, 1e-5f);
+  EXPECT_NEAR(scale[1], 0.0f, 1e-6f);
+}
+
+TEST(KnnNoise, ZeroNeighborsGivesZeroScale) {
+  eval::RepresentationMatrix reps;
+  reps.values = {1, 2, 3, 4};
+  reps.n = 2;
+  reps.d = 2;
+  std::vector<float> scale = core::KnnNoiseScale(reps, 0, 0);
+  EXPECT_EQ(scale, (std::vector<float>{0.0f, 0.0f}));
+}
+
+TEST(KnnNoise, KClampedToAvailable) {
+  eval::RepresentationMatrix reps;
+  reps.values = {0, 0, 1, 1, 2, 2};
+  reps.n = 3;
+  reps.d = 2;
+  EXPECT_EQ(core::NearestNeighbors(reps, 0, 50).size(), 2u);
+}
+
+// ---- EDSR strategy ------------------------------------------------------
+
+TEST(EdsrStrategy, SelectionStageFillsMemoryWithNoise) {
+  StrategyContext context = TinyContext(1);
+  Edsr strategy(context);
+  TaskSequence seq = TinySequence(31);
+  strategy.LearnIncrement(seq.task(0));
+  ASSERT_EQ(strategy.memory().size(), context.memory_per_task);
+  const cl::MemoryEntry& entry = strategy.memory().entry(0);
+  EXPECT_EQ(static_cast<int64_t>(entry.noise_scale.size()),
+            context.encoder.representation_dim);
+  double total_scale = 0.0;
+  for (const cl::MemoryEntry& e : strategy.memory().entries()) {
+    for (float s : e.noise_scale) total_scale += s;
+  }
+  EXPECT_GT(total_scale, 0.0) << "kNN noise scales should not all be zero";
+}
+
+TEST(EdsrStrategy, DisModeStoresNoNoise) {
+  StrategyContext context = TinyContext(2);
+  EdsrOptions options;
+  options.replay_mode = ReplayLossMode::kDis;
+  Edsr strategy(context, options);
+  TaskSequence seq = TinySequence(32);
+  strategy.LearnIncrement(seq.task(0));
+  EXPECT_TRUE(strategy.memory().entry(0).noise_scale.empty());
+}
+
+class ReplayModeTest : public ::testing::TestWithParam<ReplayLossMode> {};
+
+TEST_P(ReplayModeTest, TwoIncrementsRunAndStayAboveChance) {
+  StrategyContext context = TinyContext(3);
+  EdsrOptions options;
+  options.replay_mode = GetParam();
+  Edsr strategy(context, options);
+  TaskSequence seq = TinySequence(33);
+  cl::ContinualRunResult result = cl::RunContinual(&strategy, seq, {});
+  EXPECT_GT(result.matrix.FinalAcc(), 0.45);
+  EXPECT_EQ(strategy.memory().size(), 2 * context.memory_per_task);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ReplayModeTest,
+                         ::testing::Values(ReplayLossMode::kCss,
+                                           ReplayLossMode::kDis,
+                                           ReplayLossMode::kRpl));
+
+TEST(EdsrStrategy, SelectedSamplesSpanHighEntropySubset) {
+  // The stored subset should have a larger representation-space trace than
+  // a random subset of the same size, by construction.
+  StrategyContext context = TinyContext(4);
+  context.epochs = 4;
+  Edsr strategy(context);
+  TaskSequence seq = TinySequence(34);
+  strategy.LearnIncrement(seq.task(0));
+
+  eval::RepresentationMatrix reps = eval::ExtractRepresentations(
+      strategy.encoder(), seq.task(0).train);
+  auto subset_norm = [&](const std::vector<int64_t>& subset) {
+    double total = 0.0;
+    for (int64_t i : subset) {
+      for (int64_t j = 0; j < reps.d; ++j) {
+        total += static_cast<double>(reps.Row(i)[j]) * reps.Row(i)[j];
+      }
+    }
+    return total;
+  };
+  std::vector<int64_t> stored;
+  for (const cl::MemoryEntry& e : strategy.memory().entries()) {
+    stored.push_back(e.source_index);
+  }
+  util::Rng rng(99);
+  double random_avg = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    random_avg += subset_norm(rng.SampleWithoutReplacement(
+        seq.task(0).train.size(), static_cast<int64_t>(stored.size())));
+  }
+  random_avg /= 20.0;
+  EXPECT_GE(subset_norm(stored), random_avg);
+}
+
+TEST(EdsrStrategy, CustomSelectorIsUsed) {
+  StrategyContext context = TinyContext(5);
+  EdsrOptions options;
+  Edsr strategy(context, options, std::make_unique<cl::RandomSelector>(),
+                "edsr-random");
+  EXPECT_EQ(strategy.selector().name(), "random");
+  EXPECT_EQ(strategy.name(), "edsr-random");
+  TaskSequence seq = TinySequence(35);
+  strategy.LearnIncrement(seq.task(0));
+  EXPECT_EQ(strategy.memory().size(), context.memory_per_task);
+}
+
+TEST(EdsrStrategy, MinVarSelectorComputesVariance) {
+  StrategyContext context = TinyContext(6);
+  context.epochs = 2;
+  EdsrOptions options;
+  options.variance_views = 3;
+  Edsr strategy(context, options, std::make_unique<cl::MinVarSelector>(),
+                "edsr-minvar");
+  TaskSequence seq = TinySequence(36);
+  strategy.LearnIncrement(seq.task(0));
+  EXPECT_EQ(strategy.memory().size(), context.memory_per_task);
+}
+
+TEST(EdsrStrategy, ForgetsLessThanFinetune) {
+  // The headline qualitative claim (Table III shape): EDSR's forgetting is
+  // no worse than plain finetuning on the same sequence. Averaged over
+  // seeds to damp noise at this tiny scale.
+  double finetune_fgt = 0.0;
+  double edsr_fgt = 0.0;
+  for (uint64_t seed = 0; seed < 2; ++seed) {
+    StrategyContext context = TinyContext(seed);
+    context.epochs = 4;
+    TaskSequence seq = TinySequence(40 + seed, 3);
+    cl::Finetune finetune(context);
+    Edsr edsr_strategy(context);
+    finetune_fgt += cl::RunContinual(&finetune, seq, {}).matrix.FinalFgt();
+    edsr_fgt += cl::RunContinual(&edsr_strategy, seq, {}).matrix.FinalFgt();
+  }
+  EXPECT_LE(edsr_fgt, finetune_fgt + 0.05);
+}
+
+TEST(EdsrStrategy, TabularHeterogeneousReplay) {
+  // EDSR end-to-end on two tabular increments with different dims: replay
+  // must route memory through the correct input head.
+  data::SyntheticTabularConfig a, b;
+  a.name = "a";
+  a.num_features = 5;
+  a.train_size = 40;
+  a.test_size = 16;
+  a.seed = 41;
+  b.name = "b";
+  b.num_features = 9;
+  b.train_size = 40;
+  b.test_size = 16;
+  b.seed = 42;
+  auto pa = MakeSyntheticTabularData(a);
+  auto pb = MakeSyntheticTabularData(b);
+  TaskSequence seq = TaskSequence::FromDatasets(
+      {{pa.train, pa.test}, {pb.train, pb.test}});
+
+  StrategyContext context;
+  context.encoder.mlp_dims = {12, 24, 24};
+  context.encoder.projector_hidden = 24;
+  context.encoder.representation_dim = 12;
+  context.encoder.input_head_dims = {5, 9};
+  context.epochs = 3;
+  context.batch_size = 16;
+  context.use_adam = true;
+  context.memory_per_task = 6;
+  context.replay_batch_size = 8;
+  context.seed = 43;
+
+  Edsr strategy(context);
+  cl::ContinualRunResult result = cl::RunContinual(&strategy, seq, {});
+  EXPECT_EQ(strategy.memory().size(), 12);
+  // Entries from different increments have different feature dims.
+  EXPECT_EQ(strategy.memory().entry(0).features.size(), 5u);
+  EXPECT_EQ(strategy.memory().entry(6).features.size(), 9u);
+  EXPECT_GE(result.matrix.FinalAcc(), 0.3);
+}
+
+}  // namespace
+}  // namespace edsr

@@ -1,0 +1,286 @@
+// Tests for the extension modules: new tensor ops, BYOL + EMA, A-GEM,
+// reservoir buffer, and clustering metrics.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/cl/agem.h"
+#include "src/cl/reservoir.h"
+#include "src/cl/trainer.h"
+#include "src/data/synthetic.h"
+#include "src/eval/cluster_metrics.h"
+#include "src/ssl/byol.h"
+#include "src/ssl/encoder.h"
+#include "src/tensor/ops.h"
+#include "tests/testing_util.h"
+
+namespace edsr {
+namespace {
+
+using tensor::Tensor;
+
+// ---- New tensor ops ----------------------------------------------------
+
+TEST(ExtOps, LeakyReluForwardAndGrad) {
+  Tensor a = Tensor::FromVector({-2.0f, -0.5f, 0.5f, 2.0f}, {4}, true);
+  Tensor y = tensor::LeakyRelu(a, 0.1f);
+  EXPECT_FLOAT_EQ(y.at(0), -0.2f);
+  EXPECT_FLOAT_EQ(y.at(2), 0.5f);
+  testing::ExpectGradientsMatch(
+      [&] { return tensor::SumAll(tensor::Square(tensor::LeakyRelu(a, 0.1f))); },
+      {a});
+}
+
+TEST(ExtOps, GeluValuesAndGrad) {
+  Tensor a = Tensor::FromVector({-1.0f, 0.0f, 1.0f, 2.0f}, {4}, true);
+  Tensor y = tensor::Gelu(a);
+  EXPECT_NEAR(y.at(1), 0.0f, 1e-6f);
+  EXPECT_NEAR(y.at(2), 0.8412f, 1e-3f);  // known GELU(1)
+  EXPECT_NEAR(y.at(0), -0.1588f, 1e-3f);
+  testing::ExpectGradientsMatch(
+      [&] { return tensor::SumAll(tensor::Gelu(a)); }, {a});
+}
+
+TEST(ExtOps, ClampForwardAndGradInsideOnly) {
+  Tensor a = Tensor::FromVector({-3.0f, 0.5f, 3.0f}, {3}, true);
+  Tensor y = tensor::Clamp(a, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0), -1.0f);
+  EXPECT_FLOAT_EQ(y.at(1), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(2), 1.0f);
+  tensor::SumAll(y).Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 1.0f);
+  EXPECT_FLOAT_EQ(a.grad()[2], 0.0f);
+}
+
+TEST(ExtOps, ReduceMinMatchesNegatedMax) {
+  Tensor a = Tensor::FromVector({3, 1, 2, -5, 0, 4}, {2, 3});
+  Tensor m = tensor::ReduceMin(a, 1);
+  EXPECT_FLOAT_EQ(m.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(m.at(1), -5.0f);
+}
+
+TEST(ExtOps, DropoutStatistics) {
+  util::Rng rng(1);
+  Tensor a = Tensor::Ones({4000});
+  Tensor y = tensor::Dropout(a, 0.25f, &rng);
+  int64_t zeros = 0;
+  double sum = 0.0;
+  for (float v : y.data()) {
+    if (v == 0.0f) ++zeros;
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 4000, 0.25, 0.03);
+  // Inverted scaling keeps the expectation.
+  EXPECT_NEAR(sum / 4000, 1.0, 0.05);
+  // p = 0 is the identity.
+  Tensor id = tensor::Dropout(a, 0.0f, &rng);
+  EXPECT_FLOAT_EQ(id.at(17), 1.0f);
+}
+
+// ---- BYOL + EMA -----------------------------------------------------------
+
+TEST(EmaTracker, HardCopyThenDecay) {
+  util::Rng rng1(2), rng2(3);
+  nn::Mlp online({4, 6}, &rng1);
+  nn::Mlp target({4, 6}, &rng2);
+  ssl::EmaTracker ema(&online, &target, 0.9f);
+  ema.HardCopy();
+  float before = target.NamedState()[0].value.at(0);
+  EXPECT_FLOAT_EQ(before, online.NamedState()[0].value.at(0));
+  // Move online; target should travel 10% of the way per update.
+  online.NamedState()[0].value.mutable_data()[0] = before + 1.0f;
+  ema.Update();
+  EXPECT_NEAR(target.NamedState()[0].value.at(0), before + 0.1f, 1e-5f);
+  ema.Update();
+  EXPECT_NEAR(target.NamedState()[0].value.at(0), before + 0.19f, 1e-5f);
+}
+
+TEST(ByolLoss, ZeroWhenPredictorMatchesTarget) {
+  // The loss is 2 - 2cos(h(z), t) per term; bounded in [0, 4].
+  util::Rng rng(4);
+  ssl::ByolLoss loss(6, 6, &rng);
+  Tensor z1 = Tensor::Randn({5, 6}, &rng);
+  Tensor z2 = Tensor::Randn({5, 6}, &rng);
+  float v = loss.Loss(z1, z2, z1, z2).item();
+  EXPECT_GE(v, 0.0f);
+  EXPECT_LE(v, 4.0f);
+}
+
+TEST(ByolLoss, TrainingDecreasesLossWithEmaTarget) {
+  util::Rng rng(5);
+  ssl::EncoderConfig config;
+  config.mlp_dims = {8, 16, 16};
+  config.projector_hidden = 16;
+  config.representation_dim = 8;
+  auto online = ssl::Encoder::Make(config, &rng);
+  auto target = ssl::Encoder::Make(config, &rng);
+  ssl::EmaTracker ema(online.get(), target.get(), 0.95f);
+  ema.HardCopy();
+  target->SetRequiresGrad(false);
+  target->SetTraining(false);
+  ssl::ByolLoss loss(8, 8, &rng);
+
+  std::vector<Tensor> params = online->Parameters();
+  for (const Tensor& p : loss.Parameters()) params.push_back(p);
+  optim::SgdOptions opt;
+  opt.lr = 0.05f;
+  optim::Sgd sgd(params, opt);
+
+  Tensor anchors = Tensor::Randn({16, 8}, &rng);
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 50; ++step) {
+    Tensor v1 = anchors + Tensor::Randn({16, 8}, &rng, 0.0f, 0.05f);
+    Tensor v2 = anchors + Tensor::Randn({16, 8}, &rng, 0.0f, 0.05f);
+    sgd.ZeroGrad();
+    Tensor l = loss.Loss(online->Forward(v1), online->Forward(v2),
+                         target->Forward(v1), target->Forward(v2));
+    l.Backward();
+    sgd.Step();
+    ema.Update();
+    if (step == 0) first = l.item();
+    last = l.item();
+  }
+  EXPECT_LT(last, first);
+}
+
+// ---- A-GEM -------------------------------------------------------------------
+
+TEST(Agem, StoresMemoryAndProjectsConflicts) {
+  data::SyntheticImageConfig config;
+  config.name = "agem";
+  config.num_classes = 4;
+  config.train_per_class = 16;
+  config.test_per_class = 8;
+  config.geometry = {3, 4, 4};
+  config.latent_dim = 6;
+  config.class_separation = 1.2f;
+  config.seed = 6;
+  auto pair = MakeSyntheticImageData(config);
+  auto seq = data::TaskSequence::SplitByClasses(pair.train, pair.test, 2, nullptr);
+
+  cl::StrategyContext context;
+  context.encoder.mlp_dims = {48, 24, 24};
+  context.encoder.projector_hidden = 24;
+  context.encoder.representation_dim = 12;
+  context.epochs = 4;
+  context.batch_size = 16;
+  context.weight_decay = 0.02f;
+  context.memory_per_task = 8;
+  context.replay_batch_size = 8;
+  context.seed = 7;
+
+  cl::Agem strategy(context);
+  cl::ContinualRunResult result = cl::RunContinual(&strategy, seq, {});
+  EXPECT_EQ(strategy.memory().size(), 16);
+  EXPECT_GE(result.matrix.FinalAcc(), 0.3);
+  // Whether updates get projected is data-dependent (it needs a genuine
+  // gradient conflict); the invariant is that the counter never underflows
+  // and the run completes with the reference-gradient machinery active.
+  EXPECT_GE(strategy.projections(), 0);
+}
+
+// ---- ReservoirBuffer ---------------------------------------------------------
+
+TEST(ReservoirBuffer, FillsThenMaintainsCapacity) {
+  cl::ReservoirBuffer buffer(10);
+  util::Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    cl::MemoryEntry entry;
+    entry.features = {static_cast<float>(i)};
+    entry.task_id = i / 20;
+    buffer.Offer(std::move(entry), &rng);
+  }
+  EXPECT_EQ(buffer.size(), 10);
+  EXPECT_EQ(buffer.observed(), 100);
+}
+
+TEST(ReservoirBuffer, ApproximatelyUniformOverStream) {
+  // Each of 200 offered samples should survive with probability ~10/200.
+  // Aggregate over many independent reservoirs and check the first-half /
+  // second-half balance.
+  int64_t first_half = 0, total = 0;
+  for (uint64_t seed = 0; seed < 60; ++seed) {
+    cl::ReservoirBuffer buffer(10);
+    util::Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      cl::MemoryEntry entry;
+      entry.features = {static_cast<float>(i)};
+      buffer.Offer(std::move(entry), &rng);
+    }
+    for (const auto& e : buffer.entries()) {
+      if (e.features[0] < 100.0f) ++first_half;
+      ++total;
+    }
+  }
+  double fraction = static_cast<double>(first_half) / total;
+  EXPECT_NEAR(fraction, 0.5, 0.08);
+}
+
+TEST(ReservoirBuffer, GatherAndSample) {
+  cl::ReservoirBuffer buffer(4);
+  util::Rng rng(9);
+  for (int i = 0; i < 4; ++i) {
+    cl::MemoryEntry entry;
+    entry.features = {static_cast<float>(i), 0.0f};
+    buffer.Offer(std::move(entry), &rng);
+  }
+  Tensor batch = buffer.GatherFeatures({2, 0});
+  EXPECT_EQ(batch.shape(), (tensor::Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0), 2.0f);
+  std::vector<int64_t> sample = buffer.SampleIndices(3, &rng);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+// ---- Clustering metrics ----------------------------------------------------------
+
+TEST(ClusterMetrics, PerfectClusteringScoresOne) {
+  std::vector<int64_t> assignment = {0, 0, 1, 1, 2, 2};
+  std::vector<int64_t> labels = {2, 2, 0, 0, 1, 1};  // relabeled but aligned
+  eval::ClusterScores scores =
+      eval::ScoreClustering(assignment, labels, 3, 3);
+  EXPECT_DOUBLE_EQ(scores.purity, 1.0);
+  EXPECT_NEAR(scores.nmi, 1.0, 1e-9);
+}
+
+TEST(ClusterMetrics, RandomClusteringScoresLow) {
+  util::Rng rng(10);
+  std::vector<int64_t> assignment(600), labels(600);
+  for (int i = 0; i < 600; ++i) {
+    assignment[i] = rng.UniformInt(0, 3);
+    labels[i] = rng.UniformInt(0, 3);
+  }
+  eval::ClusterScores scores =
+      eval::ScoreClustering(assignment, labels, 4, 4);
+  EXPECT_LT(scores.nmi, 0.1);
+  EXPECT_LT(scores.purity, 0.45);
+}
+
+TEST(ClusterMetrics, KMeansRecoversSeparatedClusters) {
+  util::Rng rng(11);
+  int64_t per = 40, d = 4;
+  eval::RepresentationMatrix reps;
+  reps.n = 3 * per;
+  reps.d = d;
+  reps.values.resize(reps.n * d);
+  std::vector<int64_t> labels(reps.n);
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < per; ++i) {
+      int64_t row = c * per + i;
+      labels[row] = c;
+      for (int64_t j = 0; j < d; ++j) {
+        reps.values[row * d + j] =
+            (j == c ? 5.0f : 0.0f) + rng.Normal(0.0f, 0.3f);
+      }
+    }
+  }
+  eval::ClusterScores scores =
+      eval::KMeansClusterScores(reps, labels, 3, 3, &rng);
+  EXPECT_GT(scores.purity, 0.95);
+  EXPECT_GT(scores.nmi, 0.9);
+}
+
+}  // namespace
+}  // namespace edsr

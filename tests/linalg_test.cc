@@ -1,0 +1,167 @@
+// Tests for eigendecomposition, covariance, and PCA.
+#include "src/linalg/eigen.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/linalg/pca.h"
+#include "src/util/rng.h"
+
+namespace edsr {
+namespace {
+
+TEST(SymmetricEigen, DiagonalMatrix) {
+  std::vector<float> m = {3, 0, 0,
+                          0, 1, 0,
+                          0, 0, 2};
+  linalg::EigenDecomposition eig = linalg::SymmetricEigen(m, 3);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[2], 1.0f, 1e-5f);
+  // Leading eigenvector is e0 up to sign.
+  std::vector<float> v = eig.Eigenvector(0);
+  EXPECT_NEAR(std::fabs(v[0]), 1.0f, 1e-5f);
+  EXPECT_NEAR(v[1], 0.0f, 1e-5f);
+}
+
+TEST(SymmetricEigen, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  std::vector<float> m = {2, 1, 1, 2};
+  linalg::EigenDecomposition eig = linalg::SymmetricEigen(m, 2);
+  EXPECT_NEAR(eig.eigenvalues[0], 3.0f, 1e-5f);
+  EXPECT_NEAR(eig.eigenvalues[1], 1.0f, 1e-5f);
+  std::vector<float> v0 = eig.Eigenvector(0);
+  EXPECT_NEAR(std::fabs(v0[0] / v0[1]), 1.0f, 1e-4f);
+}
+
+TEST(SymmetricEigen, AsymmetricInputDies) {
+  std::vector<float> m = {1, 2, 5, 1};
+  EXPECT_DEATH(linalg::SymmetricEigen(m, 2), "symmetric");
+}
+
+// Property test: reconstruction A = V diag(w) V^T and orthonormality of V
+// on random symmetric matrices.
+class EigenPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenPropertyTest, ReconstructsAndOrthonormal) {
+  util::Rng rng(GetParam());
+  int64_t d = rng.UniformInt(2, 12);
+  std::vector<float> m(d * d);
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      float v = rng.Normal();
+      m[i * d + j] = v;
+      m[j * d + i] = v;
+    }
+  }
+  linalg::EigenDecomposition eig = linalg::SymmetricEigen(m, d);
+  // Eigenvalues are descending.
+  for (int64_t j = 1; j < d; ++j) {
+    EXPECT_GE(eig.eigenvalues[j - 1], eig.eigenvalues[j] - 1e-5f);
+  }
+  // Orthonormal columns.
+  for (int64_t a = 0; a < d; ++a) {
+    std::vector<float> va = eig.Eigenvector(a);
+    for (int64_t b = a; b < d; ++b) {
+      std::vector<float> vb = eig.Eigenvector(b);
+      double dot = 0.0;
+      for (int64_t i = 0; i < d; ++i) dot += va[i] * vb[i];
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-4);
+    }
+  }
+  // Reconstruction.
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        acc += eig.eigenvalues[k] * eig.eigenvectors[i * d + k] *
+               eig.eigenvectors[j * d + k];
+      }
+      EXPECT_NEAR(acc, m[i * d + j], 1e-3) << "entry (" << i << "," << j << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMatrices, EigenPropertyTest,
+                         ::testing::Range(0, 20));
+
+TEST(Covariance, GramMatchesManual) {
+  // rows = [[1,2],[3,4]]; A^T A = [[10,14],[14,20]].
+  std::vector<float> rows = {1, 2, 3, 4};
+  std::vector<float> cov = linalg::CovarianceGram(rows, 2, 2);
+  EXPECT_FLOAT_EQ(cov[0], 10.0f);
+  EXPECT_FLOAT_EQ(cov[1], 14.0f);
+  EXPECT_FLOAT_EQ(cov[2], 14.0f);
+  EXPECT_FLOAT_EQ(cov[3], 20.0f);
+}
+
+TEST(Covariance, TraceOfGramIsSumSquaredNorms) {
+  util::Rng rng(3);
+  int64_t n = 17, d = 5;
+  std::vector<float> rows(n * d);
+  for (float& v : rows) v = rng.Normal();
+  std::vector<float> cov = linalg::CovarianceGram(rows, n, d);
+  double norms = 0.0;
+  for (float v : rows) norms += static_cast<double>(v) * v;
+  EXPECT_NEAR(linalg::Trace(cov, d), norms, 1e-3 * norms);
+}
+
+TEST(Covariance, CenteredHasZeroMeanEffect) {
+  // Constant rows have zero centered covariance.
+  std::vector<float> rows = {5, 5, 5, 5, 5, 5};  // 3 x 2 all fives
+  std::vector<float> cov = linalg::CovarianceCentered(rows, 3, 2);
+  for (float v : cov) EXPECT_NEAR(v, 0.0f, 1e-6f);
+}
+
+TEST(LogDet, MatchesClosedFormForDiagonal) {
+  std::vector<float> m = {2, 0, 0, 3};
+  double expected = std::log(1.0 + 0.5 * 2.0) + std::log(1.0 + 0.5 * 3.0);
+  EXPECT_NEAR(linalg::LogDetIdentityPlus(m, 2, 0.5), expected, 1e-6);
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Points spread along (1,1)/sqrt(2) with small orthogonal noise.
+  util::Rng rng(5);
+  int64_t n = 400, d = 2;
+  std::vector<float> rows(n * d);
+  for (int64_t i = 0; i < n; ++i) {
+    float major = rng.Normal(0.0f, 5.0f);
+    float minor = rng.Normal(0.0f, 0.3f);
+    rows[i * d + 0] = (major + minor) * 0.70710678f;
+    rows[i * d + 1] = (major - minor) * 0.70710678f;
+  }
+  linalg::Pca pca = linalg::Pca::Fit(rows, n, d, 2, /*center=*/true);
+  std::vector<float> c0 = pca.Component(0);
+  EXPECT_NEAR(std::fabs(c0[0]), 0.7071f, 0.02f);
+  EXPECT_NEAR(std::fabs(c0[1]), 0.7071f, 0.02f);
+  EXPECT_GT(pca.explained_variance()[0], 10.0f * pca.explained_variance()[1]);
+}
+
+TEST(Pca, LeverageHigherForExtremePoints) {
+  // A far-out point along the principal direction has higher leverage than
+  // a point near the mean.
+  util::Rng rng(6);
+  int64_t n = 100, d = 3;
+  std::vector<float> rows(n * d);
+  for (float& v : rows) v = rng.Normal();
+  linalg::Pca pca = linalg::Pca::Fit(rows, n, d, 2);
+  std::vector<float> near_mean(d, 0.01f);
+  std::vector<float> extreme = pca.Component(0);
+  for (float& v : extreme) v *= 10.0f;
+  EXPECT_GT(pca.LeverageScore(extreme.data()),
+            pca.LeverageScore(near_mean.data()));
+}
+
+TEST(Pca, UncenteredUsesGram) {
+  // With center=false and a single repeated row x, the top component must be
+  // x/|x| even though the centered covariance would vanish.
+  std::vector<float> rows = {3, 4, 3, 4, 3, 4};  // 3 rows of (3,4)
+  linalg::Pca pca = linalg::Pca::Fit(rows, 3, 2, 1, /*center=*/false);
+  std::vector<float> c0 = pca.Component(0);
+  EXPECT_NEAR(std::fabs(c0[0]), 0.6f, 1e-4f);
+  EXPECT_NEAR(std::fabs(c0[1]), 0.8f, 1e-4f);
+}
+
+}  // namespace
+}  // namespace edsr

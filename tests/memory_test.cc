@@ -1,0 +1,83 @@
+// Tests for the memory buffer.
+#include "src/cl/memory.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace edsr {
+namespace {
+
+using cl::MemoryBuffer;
+using cl::MemoryEntry;
+
+MemoryEntry MakeEntry(int64_t task, float value, int64_t dim = 3) {
+  MemoryEntry e;
+  e.features.assign(dim, value);
+  e.task_id = task;
+  e.label = task;
+  return e;
+}
+
+TEST(MemoryBuffer, AddAndQuery) {
+  MemoryBuffer buffer(2);
+  buffer.AddIncrement({MakeEntry(0, 1.0f), MakeEntry(0, 2.0f)});
+  buffer.AddIncrement({MakeEntry(1, 3.0f)});
+  EXPECT_EQ(buffer.size(), 3);
+  EXPECT_EQ(buffer.entry(2).task_id, 1);
+  EXPECT_FLOAT_EQ(buffer.entry(1).features[0], 2.0f);
+}
+
+TEST(MemoryBuffer, BudgetEnforced) {
+  MemoryBuffer buffer(1);
+  EXPECT_DEATH(buffer.AddIncrement({MakeEntry(0, 1.0f), MakeEntry(0, 2.0f)}),
+               "budget");
+}
+
+TEST(MemoryBuffer, RejectsMixedTaskIncrement) {
+  MemoryBuffer buffer(4);
+  EXPECT_DEATH(buffer.AddIncrement({MakeEntry(0, 1.0f), MakeEntry(1, 2.0f)}),
+               "share a task id");
+}
+
+TEST(MemoryBuffer, RejectsDuplicateTask) {
+  MemoryBuffer buffer(4);
+  buffer.AddIncrement({MakeEntry(0, 1.0f)});
+  EXPECT_DEATH(buffer.AddIncrement({MakeEntry(0, 2.0f)}), "already stored");
+}
+
+TEST(MemoryBuffer, SampleWithoutReplacementWhenPossible) {
+  MemoryBuffer buffer(5);
+  buffer.AddIncrement({MakeEntry(0, 1), MakeEntry(0, 2), MakeEntry(0, 3),
+                       MakeEntry(0, 4), MakeEntry(0, 5)});
+  util::Rng rng(0);
+  std::vector<int64_t> sample = buffer.SampleIndices(3, &rng);
+  std::set<int64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 3u);
+  // Requesting more than available returns everything.
+  EXPECT_EQ(buffer.SampleIndices(99, &rng).size(), 5u);
+}
+
+TEST(MemoryBuffer, GatherFeaturesShape) {
+  MemoryBuffer buffer(3);
+  buffer.AddIncrement({MakeEntry(0, 1.5f), MakeEntry(0, 2.5f)});
+  tensor::Tensor batch = buffer.GatherFeatures({1, 0});
+  EXPECT_EQ(batch.shape(), (tensor::Shape{2, 3}));
+  EXPECT_FLOAT_EQ(batch.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(batch.at(1, 2), 1.5f);
+}
+
+TEST(MemoryBuffer, GroupByTaskPartitions) {
+  MemoryBuffer buffer(2);
+  buffer.AddIncrement({MakeEntry(0, 1, 2), MakeEntry(0, 2, 2)});
+  buffer.AddIncrement({MakeEntry(1, 3, 5)});  // different dim: fine per task
+  auto groups = buffer.GroupByTask({0, 1, 2});
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].size(), 1u);
+  // Gathering across heterogeneous dims dies.
+  EXPECT_DEATH(buffer.GatherFeatures({0, 2}), "homogeneous");
+}
+
+}  // namespace
+}  // namespace edsr

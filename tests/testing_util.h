@@ -1,0 +1,58 @@
+// Shared test helpers: finite-difference gradient checking.
+#ifndef EDSR_TESTS_TESTING_UTIL_H_
+#define EDSR_TESTS_TESTING_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+
+namespace edsr::testing {
+
+// Checks the analytic gradient of `loss_fn` w.r.t. each listed input tensor
+// against a central finite difference. `loss_fn` must rebuild the graph from
+// the current input data on every call (inputs are perturbed in place).
+inline void ExpectGradientsMatch(
+    const std::function<tensor::Tensor()>& loss_fn,
+    const std::vector<tensor::Tensor>& inputs, float eps = 1e-3f,
+    float tol = 2e-2f) {
+  // Analytic gradients.
+  for (const tensor::Tensor& t : inputs) {
+    const_cast<tensor::Tensor&>(t).ZeroGrad();
+  }
+  tensor::Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (const tensor::Tensor& t : inputs) {
+    analytic.push_back(t.impl()->grad.empty()
+                           ? std::vector<float>(t.numel(), 0.0f)
+                           : t.impl()->grad);
+  }
+
+  // Numeric gradients, element by element.
+  for (size_t ti = 0; ti < inputs.size(); ++ti) {
+    tensor::Tensor t = inputs[ti];
+    std::vector<float>& data = t.mutable_data();
+    for (int64_t i = 0; i < t.numel(); ++i) {
+      float saved = data[i];
+      data[i] = saved + eps;
+      float plus = loss_fn().item();
+      data[i] = saved - eps;
+      float minus = loss_fn().item();
+      data[i] = saved;
+      float numeric = (plus - minus) / (2.0f * eps);
+      float ana = analytic[ti][i];
+      float scale = std::max({1.0f, std::fabs(numeric), std::fabs(ana)});
+      EXPECT_NEAR(ana, numeric, tol * scale)
+          << "input " << ti << " element " << i;
+    }
+  }
+}
+
+}  // namespace edsr::testing
+
+#endif  // EDSR_TESTS_TESTING_UTIL_H_
