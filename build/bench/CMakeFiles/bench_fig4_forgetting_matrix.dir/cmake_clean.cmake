@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_forgetting_matrix.dir/bench_fig4_forgetting_matrix.cc.o"
+  "CMakeFiles/bench_fig4_forgetting_matrix.dir/bench_fig4_forgetting_matrix.cc.o.d"
+  "bench_fig4_forgetting_matrix"
+  "bench_fig4_forgetting_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_forgetting_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_plasticity.dir/bench_fig5_plasticity.cc.o"
+  "CMakeFiles/bench_fig5_plasticity.dir/bench_fig5_plasticity.cc.o.d"
+  "bench_fig5_plasticity"
+  "bench_fig5_plasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_plasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

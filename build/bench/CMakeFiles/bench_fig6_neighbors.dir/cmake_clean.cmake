@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_neighbors.dir/bench_fig6_neighbors.cc.o"
+  "CMakeFiles/bench_fig6_neighbors.dir/bench_fig6_neighbors.cc.o.d"
+  "bench_fig6_neighbors"
+  "bench_fig6_neighbors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_neighbors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

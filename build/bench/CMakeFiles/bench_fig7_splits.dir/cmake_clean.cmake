@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_splits.dir/bench_fig7_splits.cc.o"
+  "CMakeFiles/bench_fig7_splits.dir/bench_fig7_splits.cc.o.d"
+  "bench_fig7_splits"
+  "bench_fig7_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_efficiency.dir/bench_fig9_efficiency.cc.o"
+  "CMakeFiles/bench_fig9_efficiency.dir/bench_fig9_efficiency.cc.o.d"
+  "bench_fig9_efficiency"
+  "bench_fig9_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

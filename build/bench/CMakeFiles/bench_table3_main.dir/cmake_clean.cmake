@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_main.dir/bench_table3_main.cc.o"
+  "CMakeFiles/bench_table3_main.dir/bench_table3_main.cc.o.d"
+  "bench_table3_main"
+  "bench_table3_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_replay.dir/bench_table4_replay.cc.o"
+  "CMakeFiles/bench_table4_replay.dir/bench_table4_replay.cc.o.d"
+  "bench_table4_replay"
+  "bench_table4_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_selection.dir/bench_table5_selection.cc.o"
+  "CMakeFiles/bench_table5_selection.dir/bench_table5_selection.cc.o.d"
+  "bench_table5_selection"
+  "bench_table5_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

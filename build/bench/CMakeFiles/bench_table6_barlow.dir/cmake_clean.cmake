@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_barlow.dir/bench_table6_barlow.cc.o"
+  "CMakeFiles/bench_table6_barlow.dir/bench_table6_barlow.cc.o.d"
+  "bench_table6_barlow"
+  "bench_table6_barlow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_barlow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

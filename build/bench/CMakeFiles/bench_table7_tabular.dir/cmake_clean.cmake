@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_tabular.dir/bench_table7_tabular.cc.o"
+  "CMakeFiles/bench_table7_tabular.dir/bench_table7_tabular.cc.o.d"
+  "bench_table7_tabular"
+  "bench_table7_tabular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_tabular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

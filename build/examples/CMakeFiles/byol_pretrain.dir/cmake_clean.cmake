@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/byol_pretrain.dir/byol_pretrain.cpp.o"
+  "CMakeFiles/byol_pretrain.dir/byol_pretrain.cpp.o.d"
+  "byol_pretrain"
+  "byol_pretrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/byol_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

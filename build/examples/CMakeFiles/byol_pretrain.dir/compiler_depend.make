@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for byol_pretrain.
+# This may be replaced when dependencies are built.

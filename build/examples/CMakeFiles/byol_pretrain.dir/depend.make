@@ -1,0 +1,2 @@
+# Empty dependencies file for byol_pretrain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_continual.dir/image_continual.cpp.o"
+  "CMakeFiles/image_continual.dir/image_continual.cpp.o.d"
+  "image_continual"
+  "image_continual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_continual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

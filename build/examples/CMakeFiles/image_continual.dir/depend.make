@@ -1,0 +1,2 @@
+# Empty dependencies file for image_continual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_demo.dir/selection_demo.cpp.o"
+  "CMakeFiles/selection_demo.dir/selection_demo.cpp.o.d"
+  "selection_demo"
+  "selection_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

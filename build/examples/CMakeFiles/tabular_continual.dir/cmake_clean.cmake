@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_continual.dir/tabular_continual.cpp.o"
+  "CMakeFiles/tabular_continual.dir/tabular_continual.cpp.o.d"
+  "tabular_continual"
+  "tabular_continual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_continual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

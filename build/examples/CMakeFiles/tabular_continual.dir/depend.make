@@ -1,0 +1,2 @@
+# Empty dependencies file for tabular_continual.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/image_augment.cc" "src/CMakeFiles/edsr.dir/augment/image_augment.cc.o" "gcc" "src/CMakeFiles/edsr.dir/augment/image_augment.cc.o.d"
+  "/root/repo/src/augment/tabular_augment.cc" "src/CMakeFiles/edsr.dir/augment/tabular_augment.cc.o" "gcc" "src/CMakeFiles/edsr.dir/augment/tabular_augment.cc.o.d"
+  "/root/repo/src/augment/view_provider.cc" "src/CMakeFiles/edsr.dir/augment/view_provider.cc.o" "gcc" "src/CMakeFiles/edsr.dir/augment/view_provider.cc.o.d"
+  "/root/repo/src/cl/agem.cc" "src/CMakeFiles/edsr.dir/cl/agem.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/agem.cc.o.d"
+  "/root/repo/src/cl/cassle.cc" "src/CMakeFiles/edsr.dir/cl/cassle.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/cassle.cc.o.d"
+  "/root/repo/src/cl/der.cc" "src/CMakeFiles/edsr.dir/cl/der.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/der.cc.o.d"
+  "/root/repo/src/cl/factory.cc" "src/CMakeFiles/edsr.dir/cl/factory.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/factory.cc.o.d"
+  "/root/repo/src/cl/lump.cc" "src/CMakeFiles/edsr.dir/cl/lump.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/lump.cc.o.d"
+  "/root/repo/src/cl/memory.cc" "src/CMakeFiles/edsr.dir/cl/memory.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/memory.cc.o.d"
+  "/root/repo/src/cl/reservoir.cc" "src/CMakeFiles/edsr.dir/cl/reservoir.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/reservoir.cc.o.d"
+  "/root/repo/src/cl/selection.cc" "src/CMakeFiles/edsr.dir/cl/selection.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/selection.cc.o.d"
+  "/root/repo/src/cl/si.cc" "src/CMakeFiles/edsr.dir/cl/si.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/si.cc.o.d"
+  "/root/repo/src/cl/strategy.cc" "src/CMakeFiles/edsr.dir/cl/strategy.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/strategy.cc.o.d"
+  "/root/repo/src/cl/trainer.cc" "src/CMakeFiles/edsr.dir/cl/trainer.cc.o" "gcc" "src/CMakeFiles/edsr.dir/cl/trainer.cc.o.d"
+  "/root/repo/src/core/edsr.cc" "src/CMakeFiles/edsr.dir/core/edsr.cc.o" "gcc" "src/CMakeFiles/edsr.dir/core/edsr.cc.o.d"
+  "/root/repo/src/core/noise.cc" "src/CMakeFiles/edsr.dir/core/noise.cc.o" "gcc" "src/CMakeFiles/edsr.dir/core/noise.cc.o.d"
+  "/root/repo/src/data/batching.cc" "src/CMakeFiles/edsr.dir/data/batching.cc.o" "gcc" "src/CMakeFiles/edsr.dir/data/batching.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/edsr.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/edsr.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/edsr.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/edsr.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/task_sequence.cc" "src/CMakeFiles/edsr.dir/data/task_sequence.cc.o" "gcc" "src/CMakeFiles/edsr.dir/data/task_sequence.cc.o.d"
+  "/root/repo/src/eval/cluster_metrics.cc" "src/CMakeFiles/edsr.dir/eval/cluster_metrics.cc.o" "gcc" "src/CMakeFiles/edsr.dir/eval/cluster_metrics.cc.o.d"
+  "/root/repo/src/eval/knn.cc" "src/CMakeFiles/edsr.dir/eval/knn.cc.o" "gcc" "src/CMakeFiles/edsr.dir/eval/knn.cc.o.d"
+  "/root/repo/src/eval/linear_probe.cc" "src/CMakeFiles/edsr.dir/eval/linear_probe.cc.o" "gcc" "src/CMakeFiles/edsr.dir/eval/linear_probe.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/edsr.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/edsr.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/representations.cc" "src/CMakeFiles/edsr.dir/eval/representations.cc.o" "gcc" "src/CMakeFiles/edsr.dir/eval/representations.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/CMakeFiles/edsr.dir/linalg/eigen.cc.o" "gcc" "src/CMakeFiles/edsr.dir/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "src/CMakeFiles/edsr.dir/linalg/pca.cc.o" "gcc" "src/CMakeFiles/edsr.dir/linalg/pca.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/edsr.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/edsr.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/edsr.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/edsr.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/edsr.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/edsr.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/networks.cc" "src/CMakeFiles/edsr.dir/nn/networks.cc.o" "gcc" "src/CMakeFiles/edsr.dir/nn/networks.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/edsr.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/edsr.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/ssl/byol.cc" "src/CMakeFiles/edsr.dir/ssl/byol.cc.o" "gcc" "src/CMakeFiles/edsr.dir/ssl/byol.cc.o.d"
+  "/root/repo/src/ssl/encoder.cc" "src/CMakeFiles/edsr.dir/ssl/encoder.cc.o" "gcc" "src/CMakeFiles/edsr.dir/ssl/encoder.cc.o.d"
+  "/root/repo/src/ssl/losses.cc" "src/CMakeFiles/edsr.dir/ssl/losses.cc.o" "gcc" "src/CMakeFiles/edsr.dir/ssl/losses.cc.o.d"
+  "/root/repo/src/tensor/conv.cc" "src/CMakeFiles/edsr.dir/tensor/conv.cc.o" "gcc" "src/CMakeFiles/edsr.dir/tensor/conv.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/edsr.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/edsr.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/edsr.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/edsr.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/edsr.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/edsr.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/edsr.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/edsr.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/edsr.dir/util/status.cc.o" "gcc" "src/CMakeFiles/edsr.dir/util/status.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/edsr.dir/util/table.cc.o" "gcc" "src/CMakeFiles/edsr.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

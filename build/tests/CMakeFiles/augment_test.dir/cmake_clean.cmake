@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_test.dir/augment_test.cc.o"
+  "CMakeFiles/augment_test.dir/augment_test.cc.o.d"
+  "augment_test"
+  "augment_test.pdb"
+  "augment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

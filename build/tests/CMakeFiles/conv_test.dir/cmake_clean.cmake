@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_test.dir/conv_test.cc.o"
+  "CMakeFiles/conv_test.dir/conv_test.cc.o.d"
+  "conv_test"
+  "conv_test.pdb"
+  "conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for conv_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edsr_test.dir/edsr_test.cc.o"
+  "CMakeFiles/edsr_test.dir/edsr_test.cc.o.d"
+  "edsr_test"
+  "edsr_test.pdb"
+  "edsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_test.dir/linalg_test.cc.o"
+  "CMakeFiles/linalg_test.dir/linalg_test.cc.o.d"
+  "linalg_test"
+  "linalg_test.pdb"
+  "linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optim_test.dir/optim_test.cc.o"
+  "CMakeFiles/optim_test.dir/optim_test.cc.o.d"
+  "optim_test"
+  "optim_test.pdb"
+  "optim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

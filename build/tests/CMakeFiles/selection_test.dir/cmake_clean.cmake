@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_test.dir/selection_test.cc.o"
+  "CMakeFiles/selection_test.dir/selection_test.cc.o.d"
+  "selection_test"
+  "selection_test.pdb"
+  "selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

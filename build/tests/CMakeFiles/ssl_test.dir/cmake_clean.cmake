@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssl_test.dir/ssl_test.cc.o"
+  "CMakeFiles/ssl_test.dir/ssl_test.cc.o.d"
+  "ssl_test"
+  "ssl_test.pdb"
+  "ssl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
