@@ -1,16 +1,123 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels underneath the
-// experiments: matmul, conv2d forward/backward, selector scoring, KNN eval.
+// experiments: raw kernels entry points, matmul, conv2d, no-grad vs grad-on
+// encoder forwards, selector scoring, KNN eval.
+//
+// Emit machine-readable results with:
+//   ./bench_micro_kernels --benchmark_out_format=json
+//                         --benchmark_out=BENCH_micro_kernels.json
 #include <benchmark/benchmark.h>
 
 #include "src/cl/selection.h"
 #include "src/eval/knn.h"
+#include "src/ssl/encoder.h"
 #include "src/tensor/conv.h"
+#include "src/tensor/grad_mode.h"
+#include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
 #include "src/util/rng.h"
 
 namespace {
 
 using namespace edsr;
+
+// ---- kernels layer -------------------------------------------------------
+
+std::vector<float> RandomBuffer(int64_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.Normal();
+  return v;
+}
+
+void BM_KernelsGemm(benchmark::State& state) {
+  int64_t n = state.range(0);
+  bool trans_b = state.range(1) != 0;
+  std::vector<float> a = RandomBuffer(n * n, 10);
+  std::vector<float> b = RandomBuffer(n * n, 11);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(a.data(), b.data(), c.data(), n, n, n, false,
+                          trans_b, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_KernelsGemm)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1});
+
+void BM_KernelsAxpy(benchmark::State& state) {
+  int64_t n = state.range(0);
+  std::vector<float> x = RandomBuffer(n, 12);
+  std::vector<float> y = RandomBuffer(n, 13);
+  for (auto _ : state) {
+    tensor::kernels::Axpy(n, 0.5f, x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelsAxpy)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_KernelsMapFused(benchmark::State& state) {
+  // Fused elementwise via the Map template (what UnaryOp compiles down to).
+  int64_t n = state.range(0);
+  std::vector<float> x = RandomBuffer(n, 14);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    tensor::kernels::Map(n, x.data(), out.data(), [](float v) {
+      return v > 0.0f ? v : 0.01f * v;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_KernelsMapFused)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_KernelsStridedSum(benchmark::State& state) {
+  // Row reduction of a (256 x dim) matrix: outer=256, inner=1.
+  int64_t dim = state.range(0);
+  std::vector<float> src = RandomBuffer(256 * dim, 15);
+  std::vector<float> dst(256);
+  for (auto _ : state) {
+    tensor::kernels::StridedSum(src.data(), 256, dim, 1, dst.data());
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * dim);
+}
+BENCHMARK(BM_KernelsStridedSum)->Arg(64)->Arg(512);
+
+// ---- No-grad vs grad-on forwards -----------------------------------------
+
+ssl::Encoder MakeBenchEncoder(util::Rng* rng) {
+  ssl::EncoderConfig config;
+  config.mlp_dims = {192, 64, 64};
+  config.projector_hidden = 64;
+  config.representation_dim = 32;
+  return ssl::Encoder(config, rng);
+}
+
+void BM_EncoderForwardGradOn(benchmark::State& state) {
+  util::Rng rng(20);
+  ssl::Encoder encoder = MakeBenchEncoder(&rng);
+  tensor::Tensor x = tensor::Tensor::Randn({64, 192}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(x).data().data());
+  }
+}
+BENCHMARK(BM_EncoderForwardGradOn);
+
+void BM_EncoderForwardNoGrad(benchmark::State& state) {
+  util::Rng rng(20);
+  ssl::Encoder encoder = MakeBenchEncoder(&rng);
+  tensor::Tensor x = tensor::Tensor::Randn({64, 192}, &rng);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Forward(x).data().data());
+  }
+}
+BENCHMARK(BM_EncoderForwardNoGrad);
 
 void BM_MatMul(benchmark::State& state) {
   int64_t n = state.range(0);

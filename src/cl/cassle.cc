@@ -31,6 +31,8 @@ void Cassle::OnIncrementStart(const data::Task& task) {
 
 Tensor Cassle::TeacherForward(const Tensor& view, int64_t head) {
   EDSR_CHECK(teacher_active_) << "TeacherForward without a teacher";
+  // Frozen teacher: targets are constants, so skip graph construction.
+  tensor::NoGradGuard no_grad;
   if (teacher_->has_input_heads() && head >= 0) teacher_->SetActiveHead(head);
   return teacher_->Forward(view).Detach();
 }

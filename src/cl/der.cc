@@ -49,6 +49,8 @@ void Der::OnIncrementEnd(const data::Task& task) {
   std::vector<int64_t> picks =
       rng_.SampleWithoutReplacement(task.train.size(), budget);
   // Backbone outputs under the trained model, un-augmented, eval mode.
+  // Stored targets are constants; no graph needed.
+  tensor::NoGradGuard no_grad;
   bool was_training = encoder_->training();
   encoder_->SetTraining(false);
   Tensor outputs = encoder_->ForwardBackbone(task.train.Gather(picks));

@@ -10,6 +10,8 @@ namespace edsr::cl {
 
 double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
                     const EvalOptions& options) {
+  // Evaluation never backpropagates; keep the whole protocol graph-free.
+  tensor::NoGradGuard no_grad;
   int64_t head = encoder->has_input_heads() ? task.task_id : -1;
   eval::RepresentationMatrix bank =
       eval::ExtractRepresentations(encoder, task.train, 64, head);

@@ -115,6 +115,8 @@ std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
   int64_t views = std::max<int64_t>(2, options_.variance_views);
   std::vector<double> sum(n * d, 0.0);
   std::vector<double> sum_sq(n * d, 0.0);
+  // Variance scoring only reads representations; forwards stay graph-free.
+  tensor::NoGradGuard no_grad;
   bool was_training = encoder_->training();
   encoder_->SetTraining(false);
   std::vector<int64_t> all(n);

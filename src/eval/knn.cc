@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::eval {
@@ -10,11 +11,7 @@ namespace edsr::eval {
 namespace {
 void NormalizeRows(RepresentationMatrix* m) {
   for (int64_t i = 0; i < m->n; ++i) {
-    float* row = m->values.data() + i * m->d;
-    double norm = 0.0;
-    for (int64_t j = 0; j < m->d; ++j) norm += static_cast<double>(row[j]) * row[j];
-    float inv = 1.0f / static_cast<float>(std::sqrt(norm) + 1e-12);
-    for (int64_t j = 0; j < m->d; ++j) row[j] *= inv;
+    tensor::kernels::NormalizeL2(m->d, m->values.data() + i * m->d);
   }
 }
 }  // namespace
@@ -33,17 +30,13 @@ KnnClassifier::KnnClassifier(RepresentationMatrix bank,
 int64_t KnnClassifier::Predict(const float* representation) const {
   // Normalize the query.
   std::vector<float> q(representation, representation + bank_.d);
-  double norm = 0.0;
-  for (float v : q) norm += static_cast<double>(v) * v;
-  float inv = 1.0f / static_cast<float>(std::sqrt(norm) + 1e-12);
-  for (float& v : q) v *= inv;
+  tensor::kernels::NormalizeL2(bank_.d, q.data());
 
   // Cosine similarities against the bank.
   std::vector<std::pair<float, int64_t>> sims(bank_.n);
   for (int64_t i = 0; i < bank_.n; ++i) {
-    const float* row = bank_.Row(i);
-    float sim = 0.0f;
-    for (int64_t j = 0; j < bank_.d; ++j) sim += q[j] * row[j];
+    float sim = static_cast<float>(
+        tensor::kernels::Dot(bank_.d, q.data(), bank_.Row(i)));
     sims[i] = {sim, labels_[i]};
   }
   int64_t k = std::min(options_.k, bank_.n);

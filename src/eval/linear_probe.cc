@@ -48,7 +48,8 @@ double LinearProbeAccuracy(const RepresentationMatrix& train_reps,
     }
   }
 
-  // Test accuracy by argmax logits.
+  // Test accuracy by argmax logits — pure inference, no graph needed.
+  tensor::NoGradGuard no_grad;
   int64_t correct = 0;
   tensor::Tensor x = tensor::Tensor::FromVector(
       test_reps.values, {test_reps.n, test_reps.d});

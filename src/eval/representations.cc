@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "src/tensor/grad_mode.h"
 #include "src/util/check.h"
 
 namespace edsr::eval {
@@ -11,11 +12,14 @@ RepresentationMatrix ExtractRepresentationsFor(
     const std::vector<int64_t>& indices, int64_t batch_size, int64_t head) {
   EDSR_CHECK(encoder != nullptr);
   EDSR_CHECK_GT(batch_size, 0);
+  // Pure inference: forward passes below build no autograd graph.
+  tensor::NoGradGuard no_grad;
   bool was_training = encoder->training();
-  int64_t previous_head = encoder->has_input_heads() ? encoder->active_head()
-                                                     : -1;
+  // Headless encoders have no head to switch; SetActiveHead would abort.
+  bool headed = encoder->has_input_heads();
+  int64_t previous_head = headed ? encoder->active_head() : -1;
   encoder->SetTraining(false);
-  if (head >= 0) encoder->SetActiveHead(head);
+  if (headed && head >= 0) encoder->SetActiveHead(head);
 
   RepresentationMatrix result;
   result.n = static_cast<int64_t>(indices.size());
@@ -32,7 +36,9 @@ RepresentationMatrix ExtractRepresentationsFor(
   }
 
   encoder->SetTraining(was_training);
-  if (head >= 0 && previous_head >= 0) encoder->SetActiveHead(previous_head);
+  if (headed && head >= 0 && previous_head >= 0) {
+    encoder->SetActiveHead(previous_head);
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::linalg {
@@ -106,15 +107,10 @@ std::vector<float> CovarianceGram(const std::vector<float>& rows, int64_t n,
                                   int64_t d) {
   EDSR_CHECK_EQ(static_cast<int64_t>(rows.size()), n * d);
   std::vector<float> cov(d * d, 0.0f);
-  for (int64_t r = 0; r < n; ++r) {
-    const float* x = rows.data() + r * d;
-    for (int64_t i = 0; i < d; ++i) {
-      float xi = x[i];
-      if (xi == 0.0f) continue;
-      float* row = cov.data() + i * d;
-      for (int64_t j = 0; j < d; ++j) row[j] += xi * x[j];
-    }
-  }
+  // cov (d x d) = X^T (d x n) * X (n x d)
+  tensor::kernels::Gemm(rows.data(), rows.data(), cov.data(), d, n, d,
+                        /*trans_a=*/true, /*trans_b=*/false,
+                        /*accumulate=*/false);
   return cov;
 }
 
@@ -122,18 +118,11 @@ std::vector<float> CovarianceCentered(const std::vector<float>& rows,
                                       int64_t n, int64_t d) {
   EDSR_CHECK_EQ(static_cast<int64_t>(rows.size()), n * d);
   EDSR_CHECK_GT(n, 0);
-  std::vector<double> mean(d, 0.0);
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t i = 0; i < d; ++i) mean[i] += rows[r * d + i];
-  }
-  for (int64_t i = 0; i < d; ++i) mean[i] /= static_cast<double>(n);
+  std::vector<float> mean(d);
+  tensor::kernels::ColMean(rows.data(), n, d, mean.data());
   std::vector<float> centered(rows.size());
-  for (int64_t r = 0; r < n; ++r) {
-    for (int64_t i = 0; i < d; ++i) {
-      centered[r * d + i] =
-          rows[r * d + i] - static_cast<float>(mean[i]);
-    }
-  }
+  tensor::kernels::SubRowVector(rows.data(), n, d, mean.data(),
+                                centered.data());
   std::vector<float> cov = CovarianceGram(centered, n, d);
   for (float& v : cov) v /= static_cast<float>(n);
   return cov;

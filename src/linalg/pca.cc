@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/linalg/eigen.h"
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::linalg {
@@ -19,13 +20,7 @@ Pca Pca::Fit(const std::vector<float>& rows, int64_t n, int64_t d,
   pca.num_components_ = num_components;
   pca.mean_.assign(d, 0.0f);
   if (center) {
-    std::vector<double> mean(d, 0.0);
-    for (int64_t r = 0; r < n; ++r) {
-      for (int64_t i = 0; i < d; ++i) mean[i] += rows[r * d + i];
-    }
-    for (int64_t i = 0; i < d; ++i) {
-      pca.mean_[i] = static_cast<float>(mean[i] / static_cast<double>(n));
-    }
+    tensor::kernels::ColMean(rows.data(), n, d, pca.mean_.data());
   }
 
   std::vector<float> cov =
@@ -49,21 +44,21 @@ std::vector<float> Pca::Component(int64_t j) const {
 }
 
 std::vector<float> Pca::Project(const float* x) const {
+  std::vector<float> centered(dim_);
+  tensor::kernels::Map2(dim_, x, mean_.data(), centered.data(),
+                        [](float xi, float mi) { return xi - mi; });
+  // coords (k x 1) = components (k x d) * centered (d x 1)
   std::vector<float> coords(num_components_, 0.0f);
-  for (int64_t j = 0; j < num_components_; ++j) {
-    double acc = 0.0;
-    const float* comp = components_.data() + j * dim_;
-    for (int64_t i = 0; i < dim_; ++i) acc += comp[i] * (x[i] - mean_[i]);
-    coords[j] = static_cast<float>(acc);
-  }
+  tensor::kernels::Gemm(components_.data(), centered.data(), coords.data(),
+                        num_components_, dim_, 1, /*trans_a=*/false,
+                        /*trans_b=*/false, /*accumulate=*/false);
   return coords;
 }
 
 double Pca::LeverageScore(const float* x) const {
   std::vector<float> coords = Project(x);
-  double score = 0.0;
-  for (float c : coords) score += static_cast<double>(c) * c;
-  return score;
+  return tensor::kernels::SumSquares(
+      static_cast<int64_t>(coords.size()), coords.data());
 }
 
 }  // namespace edsr::linalg

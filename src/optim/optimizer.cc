@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::optim {
@@ -29,14 +30,9 @@ void Sgd::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     tensor::Tensor& p = parameters_[i];
     if (p.grad().empty()) continue;  // parameter untouched this step
-    std::vector<float>& data = p.mutable_data();
-    const std::vector<float>& grad = p.grad();
-    std::vector<float>& vel = velocity_[i];
-    for (int64_t j = 0; j < p.numel(); ++j) {
-      float g = grad[j] + options_.weight_decay * data[j];
-      vel[j] = options_.momentum * vel[j] + g;
-      data[j] -= lr_ * vel[j];
-    }
+    tensor::kernels::SgdMomentumStep(
+        p.numel(), lr_, options_.momentum, options_.weight_decay,
+        p.grad().data(), velocity_[i].data(), p.mutable_data().data());
   }
 }
 
@@ -57,16 +53,10 @@ void Adam::Step() {
   for (size_t i = 0; i < parameters_.size(); ++i) {
     tensor::Tensor& p = parameters_[i];
     if (p.grad().empty()) continue;
-    std::vector<float>& data = p.mutable_data();
-    const std::vector<float>& grad = p.grad();
-    for (int64_t j = 0; j < p.numel(); ++j) {
-      float g = grad[j] + options_.weight_decay * data[j];
-      m_[i][j] = options_.beta1 * m_[i][j] + (1.0f - options_.beta1) * g;
-      v_[i][j] = options_.beta2 * v_[i][j] + (1.0f - options_.beta2) * g * g;
-      float mhat = m_[i][j] / bc1;
-      float vhat = v_[i][j] / bc2;
-      data[j] -= lr_ * mhat / (std::sqrt(vhat) + options_.eps);
-    }
+    tensor::kernels::AdamStep(p.numel(), lr_, options_.beta1, options_.beta2,
+                              options_.eps, options_.weight_decay, bc1, bc2,
+                              p.grad().data(), m_[i].data(), v_[i].data(),
+                              p.mutable_data().data());
   }
 }
 
@@ -92,14 +82,16 @@ double ClipGradNorm(const std::vector<tensor::Tensor>& parameters,
   EDSR_CHECK_GT(max_norm, 0.0);
   double total = 0.0;
   for (const tensor::Tensor& p : parameters) {
-    for (float g : p.grad()) total += static_cast<double>(g) * g;
+    total += tensor::kernels::SumSquares(
+        static_cast<int64_t>(p.grad().size()), p.grad().data());
   }
   double norm = std::sqrt(total);
   if (norm > max_norm) {
     float scale = static_cast<float>(max_norm / (norm + 1e-12));
     for (const tensor::Tensor& p : parameters) {
       auto& grad = const_cast<tensor::Tensor&>(p).mutable_grad();
-      for (float& g : grad) g *= scale;
+      tensor::kernels::Scale(static_cast<int64_t>(grad.size()), scale,
+                             grad.data());
     }
   }
   return norm;

@@ -1,5 +1,6 @@
 #include "src/ssl/byol.h"
 
+#include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
 
 namespace edsr::ssl {
@@ -24,9 +25,8 @@ void EmaTracker::Update() {
     const std::vector<float>& o = online_state[i].value.data();
     std::vector<float>& t = target_state[i].value.mutable_data();
     EDSR_CHECK_EQ(o.size(), t.size());
-    for (size_t j = 0; j < t.size(); ++j) {
-      t[j] = tau_ * t[j] + (1.0f - tau_) * o[j];
-    }
+    tensor::kernels::EmaUpdate(static_cast<int64_t>(t.size()), tau_, o.data(),
+                               t.data());
   }
 }
 

@@ -1,8 +1,8 @@
 #include "src/tensor/conv.h"
 
-#include <algorithm>
-#include <limits>
+#include <vector>
 
+#include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
 
 namespace edsr::tensor {
@@ -19,54 +19,19 @@ float* GradBufferOrNull(const std::shared_ptr<TensorImpl>& impl) {
 }
 }  // namespace
 
+// Thin delegations kept for the public test API; the loops live in kernels.
 void Im2Col(const float* image, int64_t channels, int64_t height,
             int64_t width, int64_t kernel, int64_t stride, int64_t padding,
             float* columns) {
-  int64_t oh = OutSize(height, kernel, stride, padding);
-  int64_t ow = OutSize(width, kernel, stride, padding);
-  int64_t out_area = oh * ow;
-  for (int64_t c = 0; c < channels; ++c) {
-    for (int64_t ki = 0; ki < kernel; ++ki) {
-      for (int64_t kj = 0; kj < kernel; ++kj) {
-        int64_t row = (c * kernel + ki) * kernel + kj;
-        float* dst = columns + row * out_area;
-        for (int64_t oi = 0; oi < oh; ++oi) {
-          int64_t ii = oi * stride + ki - padding;
-          for (int64_t oj = 0; oj < ow; ++oj) {
-            int64_t jj = oj * stride + kj - padding;
-            bool inside = ii >= 0 && ii < height && jj >= 0 && jj < width;
-            dst[oi * ow + oj] =
-                inside ? image[(c * height + ii) * width + jj] : 0.0f;
-          }
-        }
-      }
-    }
-  }
+  kernels::Im2Col(image, channels, height, width, kernel, stride, padding,
+                  columns);
 }
 
 void Col2Im(const float* columns, int64_t channels, int64_t height,
             int64_t width, int64_t kernel, int64_t stride, int64_t padding,
             float* image) {
-  int64_t oh = OutSize(height, kernel, stride, padding);
-  int64_t ow = OutSize(width, kernel, stride, padding);
-  int64_t out_area = oh * ow;
-  for (int64_t c = 0; c < channels; ++c) {
-    for (int64_t ki = 0; ki < kernel; ++ki) {
-      for (int64_t kj = 0; kj < kernel; ++kj) {
-        int64_t row = (c * kernel + ki) * kernel + kj;
-        const float* src = columns + row * out_area;
-        for (int64_t oi = 0; oi < oh; ++oi) {
-          int64_t ii = oi * stride + ki - padding;
-          if (ii < 0 || ii >= height) continue;
-          for (int64_t oj = 0; oj < ow; ++oj) {
-            int64_t jj = oj * stride + kj - padding;
-            if (jj < 0 || jj >= width) continue;
-            image[(c * height + ii) * width + jj] += src[oi * ow + oj];
-          }
-        }
-      }
-    }
-  }
+  kernels::Col2Im(columns, channels, height, width, kernel, stride, padding,
+                  image);
 }
 
 Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
@@ -96,18 +61,18 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   const float* pin = input.data().data();
   const float* pw = weight.data().data();
   for (int64_t b = 0; b < n; ++b) {
-    Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride, spec.padding,
-           cols.data());
+    kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride,
+                    spec.padding, cols.data());
     // out_b (o x out_area) = weight (o x col_rows) * cols
-    MatMulRaw(pw, cols.data(), out.data() + b * o * out_area, o, col_rows,
-              out_area, false, false, true);
+    kernels::Gemm(pw, cols.data(), out.data() + b * o * out_area, o, col_rows,
+                  out_area, false, false, true);
   }
   if (bias.defined()) {
     const float* pb = bias.data().data();
     for (int64_t b = 0; b < n; ++b) {
       for (int64_t ch = 0; ch < o; ++ch) {
-        float* dst = out.data() + (b * o + ch) * out_area;
-        for (int64_t i = 0; i < out_area; ++i) dst[i] += pb[ch];
+        kernels::AddScalar(out_area, pb[ch],
+                           out.data() + (b * o + ch) * out_area);
       }
     }
   }
@@ -137,25 +102,23 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         for (int64_t b = 0; b < n; ++b) {
           const float* gout_b = go + b * o * out_area;
           if (gw != nullptr) {
-            Im2Col(pin + b * c * h * w, c, h, w, k, spec_copy.stride,
-                   spec_copy.padding, cols.data());
+            kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec_copy.stride,
+                            spec_copy.padding, cols.data());
             // dW (o x col_rows) += dOut_b (o x out_area) * cols^T
-            MatMulRaw(gout_b, cols.data(), gw, o, out_area, col_rows, false,
-                      true, true);
+            kernels::Gemm(gout_b, cols.data(), gw, o, out_area, col_rows,
+                          false, true, true);
           }
           if (gin != nullptr) {
             // dCols (col_rows x out_area) = W^T (col_rows x o) * dOut_b
-            MatMulRaw(pw, gout_b, dcols.data(), col_rows, o, out_area, true,
-                      false, false);
-            Col2Im(dcols.data(), c, h, w, k, spec_copy.stride,
-                   spec_copy.padding, gin + b * c * h * w);
+            kernels::Gemm(pw, gout_b, dcols.data(), col_rows, o, out_area,
+                          true, false, false);
+            kernels::Col2Im(dcols.data(), c, h, w, k, spec_copy.stride,
+                            spec_copy.padding, gin + b * c * h * w);
           }
           if (gb != nullptr) {
             for (int64_t ch = 0; ch < o; ++ch) {
-              const float* src = gout_b + ch * out_area;
-              float acc = 0.0f;
-              for (int64_t i = 0; i < out_area; ++i) acc += src[i];
-              gb[ch] += acc;
+              gb[ch] += static_cast<float>(
+                  kernels::SumAll(out_area, gout_b + ch * out_area));
             }
           }
         }
@@ -175,41 +138,16 @@ Tensor MaxPool2d(const Tensor& input, int64_t window) {
   int64_t ow = w / window;
   std::vector<float> out(n * c * oh * ow);
   std::vector<int64_t> argmax(out.size());
-  const float* pin = input.data().data();
-  int64_t out_idx = 0;
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t ch = 0; ch < c; ++ch) {
-      const float* plane = pin + (b * c + ch) * h * w;
-      int64_t plane_offset = (b * c + ch) * h * w;
-      for (int64_t oi = 0; oi < oh; ++oi) {
-        for (int64_t oj = 0; oj < ow; ++oj) {
-          float best = -std::numeric_limits<float>::infinity();
-          int64_t best_idx = 0;
-          for (int64_t di = 0; di < window; ++di) {
-            for (int64_t dj = 0; dj < window; ++dj) {
-              int64_t idx = (oi * window + di) * w + (oj * window + dj);
-              if (plane[idx] > best) {
-                best = plane[idx];
-                best_idx = plane_offset + idx;
-              }
-            }
-          }
-          out[out_idx] = best;
-          argmax[out_idx] = best_idx;
-          ++out_idx;
-        }
-      }
-    }
-  }
+  kernels::MaxPool2dForward(input.data().data(), n, c, h, w, window,
+                            out.data(), argmax.data());
   Tensor input_copy = input;
   return MakeOp(std::move(out), {n, c, oh, ow}, {input},
                 [input_copy, argmax](TensorImpl& self) {
                   float* gin = GradBufferOrNull(input_copy.impl_ptr());
                   if (gin == nullptr) return;
-                  const float* go = self.grad.data();
-                  for (size_t i = 0; i < argmax.size(); ++i) {
-                    gin[argmax[i]] += go[i];
-                  }
+                  kernels::IndexedScatterAdd(
+                      static_cast<int64_t>(argmax.size()), argmax.data(),
+                      self.grad.data(), gin);
                 });
 }
 

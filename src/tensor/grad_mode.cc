@@ -1,0 +1,22 @@
+#include "src/tensor/grad_mode.h"
+
+namespace edsr::tensor {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+thread_local int64_t g_autograd_nodes_created = 0;
+}  // namespace
+
+bool GradMode::IsEnabled() { return g_grad_enabled; }
+
+void GradMode::SetEnabled(bool enabled) { g_grad_enabled = enabled; }
+
+int64_t AutogradNodesCreated() { return g_autograd_nodes_created; }
+
+void ResetAutogradNodeCount() { g_autograd_nodes_created = 0; }
+
+namespace internal {
+void CountAutogradNode() { ++g_autograd_nodes_created; }
+}  // namespace internal
+
+}  // namespace edsr::tensor

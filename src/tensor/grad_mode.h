@@ -1,0 +1,63 @@
+// GradMode: thread-local switch controlling autograd graph construction.
+//
+// When grad mode is off, MakeOp never records parents, never stores the
+// backward closure, and the output does not require grad — forward passes
+// allocate values only. Inference paths (representation extraction,
+// frozen-teacher forwards, KNN/linear-probe evaluation, selection scoring)
+// hold a NoGradGuard so they build zero autograd nodes; see DESIGN.md
+// "Tensor engine architecture" for the list of call sites.
+#ifndef EDSR_SRC_TENSOR_GRAD_MODE_H_
+#define EDSR_SRC_TENSOR_GRAD_MODE_H_
+
+#include <cstdint>
+
+namespace edsr::tensor {
+
+class GradMode {
+ public:
+  static bool IsEnabled();
+  static void SetEnabled(bool enabled);
+};
+
+// RAII: disables grad mode for the current thread until destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard() : previous_(GradMode::IsEnabled()) {
+    GradMode::SetEnabled(false);
+  }
+  ~NoGradGuard() { GradMode::SetEnabled(previous_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// RAII: forces grad mode on (e.g. gradcheck inside an eval loop).
+class EnableGradGuard {
+ public:
+  EnableGradGuard() : previous_(GradMode::IsEnabled()) {
+    GradMode::SetEnabled(true);
+  }
+  ~EnableGradGuard() { GradMode::SetEnabled(previous_); }
+  EnableGradGuard(const EnableGradGuard&) = delete;
+  EnableGradGuard& operator=(const EnableGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// Thread-local count of autograd nodes wired by MakeOp (a node = an output
+// that recorded parents + a closure). Tests assert inference paths leave the
+// counter untouched; benches report it to prove graph-free forwards.
+int64_t AutogradNodesCreated();
+void ResetAutogradNodeCount();
+
+namespace internal {
+// Called by MakeOp when it wires a node into the graph.
+void CountAutogradNode();
+}  // namespace internal
+
+}  // namespace edsr::tensor
+
+#endif  // EDSR_SRC_TENSOR_GRAD_MODE_H_

@@ -1,0 +1,293 @@
+#include "src/tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace edsr::tensor::kernels {
+
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  // i-k-j loop order keeps the innermost loop streaming over contiguous
+  // rows of B and C whenever B is untransposed.
+  auto at_a = [&](int64_t i, int64_t p) {
+    return trans_a ? a[p * m + i] : a[i * k + p];
+  };
+  auto at_b = [&](int64_t p, int64_t j) {
+    return trans_b ? b[j * k + p] : b[p * n + j];
+  };
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float av = at_a(i, p);
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      if (!trans_b) {
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      } else {
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * at_b(p, j);
+      }
+    }
+  }
+}
+
+void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(int64_t n, float alpha, float* x) {
+  for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void AddScalar(int64_t n, float value, float* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[i] += value;
+}
+
+void EmaUpdate(int64_t n, float tau, const float* online, float* target) {
+  for (int64_t i = 0; i < n; ++i) {
+    target[i] = tau * target[i] + (1.0f - tau) * online[i];
+  }
+}
+
+double SumAll(int64_t n, const float* x) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) total += x[i];
+  return total;
+}
+
+double SumSquares(int64_t n, const float* x) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(x[i]) * x[i];
+  }
+  return total;
+}
+
+double Dot(int64_t n, const float* x, const float* y) {
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(x[i]) * y[i];
+  }
+  return total;
+}
+
+void NormalizeL2(int64_t n, float* x, float eps) {
+  float inv =
+      1.0f / static_cast<float>(std::sqrt(SumSquares(n, x)) + eps);
+  Scale(n, inv, x);
+}
+
+void StridedSum(const float* src, int64_t outer, int64_t dim, int64_t inner,
+                float* dst) {
+  std::fill(dst, dst + outer * inner, 0.0f);
+  for (int64_t o = 0; o < outer; ++o) {
+    float* drow = dst + o * inner;
+    for (int64_t d = 0; d < dim; ++d) {
+      const float* srow = src + (o * dim + d) * inner;
+      for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
+    }
+  }
+}
+
+void StridedBroadcastAdd(const float* src, int64_t outer, int64_t dim,
+                         int64_t inner, float* dst) {
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* srow = src + o * inner;
+    for (int64_t d = 0; d < dim; ++d) {
+      float* drow = dst + (o * dim + d) * inner;
+      for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
+    }
+  }
+}
+
+void StridedMax(const float* src, int64_t outer, int64_t dim, int64_t inner,
+                float* max_out, int64_t* argmax_out) {
+  int64_t slots = outer * inner;
+  std::fill(max_out, max_out + slots,
+            -std::numeric_limits<float>::infinity());
+  std::fill(argmax_out, argmax_out + slots, int64_t{0});
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t d = 0; d < dim; ++d) {
+      for (int64_t i = 0; i < inner; ++i) {
+        int64_t s = (o * dim + d) * inner + i;
+        int64_t t = o * inner + i;
+        if (src[s] > max_out[t]) {
+          max_out[t] = src[s];
+          argmax_out[t] = s;
+        }
+      }
+    }
+  }
+}
+
+void ColMean(const float* rows, int64_t n, int64_t d, float* mean) {
+  std::vector<double> acc(static_cast<size_t>(d), 0.0);
+  for (int64_t r = 0; r < n; ++r) {
+    const float* row = rows + r * d;
+    for (int64_t i = 0; i < d; ++i) acc[i] += row[i];
+  }
+  double inv = n > 0 ? 1.0 / static_cast<double>(n) : 0.0;
+  for (int64_t i = 0; i < d; ++i) {
+    mean[i] = static_cast<float>(acc[i] * inv);
+  }
+}
+
+void SubRowVector(const float* rows, int64_t n, int64_t d, const float* vec,
+                  float* out) {
+  for (int64_t r = 0; r < n; ++r) {
+    const float* src = rows + r * d;
+    float* dst = out + r * d;
+    for (int64_t i = 0; i < d; ++i) dst[i] = src[i] - vec[i];
+  }
+}
+
+void Transpose2d(const float* src, int64_t rows, int64_t cols, float* dst,
+                 bool accumulate) {
+  if (accumulate) {
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[j * rows + i] += src[i * cols + j];
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < cols; ++j) {
+        dst[j * rows + i] = src[i * cols + j];
+      }
+    }
+  }
+}
+
+void GatherRows(const float* src, const int64_t* rows, int64_t num_rows,
+                int64_t row_size, float* dst) {
+  for (int64_t i = 0; i < num_rows; ++i) {
+    std::memcpy(dst + i * row_size, src + rows[i] * row_size,
+                static_cast<size_t>(row_size) * sizeof(float));
+  }
+}
+
+void ScatterAddRows(const float* src, const int64_t* rows, int64_t num_rows,
+                    int64_t row_size, float* dst) {
+  for (int64_t i = 0; i < num_rows; ++i) {
+    Axpy(row_size, 1.0f, src + i * row_size, dst + rows[i] * row_size);
+  }
+}
+
+void IndexedScatterAdd(int64_t n, const int64_t* index, const float* src,
+                       float* dst) {
+  for (int64_t i = 0; i < n; ++i) dst[index[i]] += src[i];
+}
+
+namespace {
+int64_t OutSize(int64_t in, int64_t kernel, int64_t stride, int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+}  // namespace
+
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* columns) {
+  int64_t oh = OutSize(height, kernel, stride, padding);
+  int64_t ow = OutSize(width, kernel, stride, padding);
+  int64_t out_area = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        int64_t row = (c * kernel + ki) * kernel + kj;
+        float* dst = columns + row * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          int64_t ii = oi * stride + ki - padding;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            int64_t jj = oj * stride + kj - padding;
+            bool inside = ii >= 0 && ii < height && jj >= 0 && jj < width;
+            dst[oi * ow + oj] =
+                inside ? image[(c * height + ii) * width + jj] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* image) {
+  int64_t oh = OutSize(height, kernel, stride, padding);
+  int64_t ow = OutSize(width, kernel, stride, padding);
+  int64_t out_area = oh * ow;
+  for (int64_t c = 0; c < channels; ++c) {
+    for (int64_t ki = 0; ki < kernel; ++ki) {
+      for (int64_t kj = 0; kj < kernel; ++kj) {
+        int64_t row = (c * kernel + ki) * kernel + kj;
+        const float* src = columns + row * out_area;
+        for (int64_t oi = 0; oi < oh; ++oi) {
+          int64_t ii = oi * stride + ki - padding;
+          if (ii < 0 || ii >= height) continue;
+          for (int64_t oj = 0; oj < ow; ++oj) {
+            int64_t jj = oj * stride + kj - padding;
+            if (jj < 0 || jj >= width) continue;
+            image[(c * height + ii) * width + jj] += src[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }
+}
+
+void MaxPool2dForward(const float* input, int64_t n, int64_t c, int64_t h,
+                      int64_t w, int64_t window, float* out, int64_t* argmax) {
+  int64_t oh = h / window;
+  int64_t ow = w / window;
+  int64_t out_idx = 0;
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      int64_t plane_offset = (b * c + ch) * h * w;
+      const float* plane = input + plane_offset;
+      for (int64_t oi = 0; oi < oh; ++oi) {
+        for (int64_t oj = 0; oj < ow; ++oj) {
+          float best = -std::numeric_limits<float>::infinity();
+          int64_t best_idx = 0;
+          for (int64_t di = 0; di < window; ++di) {
+            for (int64_t dj = 0; dj < window; ++dj) {
+              int64_t idx = (oi * window + di) * w + (oj * window + dj);
+              if (plane[idx] > best) {
+                best = plane[idx];
+                best_idx = plane_offset + idx;
+              }
+            }
+          }
+          out[out_idx] = best;
+          argmax[out_idx] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+}
+
+void SgdMomentumStep(int64_t n, float lr, float momentum, float weight_decay,
+                     const float* grad, float* velocity, float* data) {
+  for (int64_t i = 0; i < n; ++i) {
+    float g = grad[i] + weight_decay * data[i];
+    velocity[i] = momentum * velocity[i] + g;
+    data[i] -= lr * velocity[i];
+  }
+}
+
+void AdamStep(int64_t n, float lr, float beta1, float beta2, float eps,
+              float weight_decay, float bc1, float bc2, const float* grad,
+              float* m, float* v, float* data) {
+  for (int64_t i = 0; i < n; ++i) {
+    float g = grad[i] + weight_decay * data[i];
+    m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+    float mhat = m[i] / bc1;
+    float vhat = v[i] / bc2;
+    data[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+}  // namespace edsr::tensor::kernels

@@ -1,0 +1,165 @@
+// kernels: the raw float loops underneath the tensor engine.
+//
+// Every dense inner loop in the library — gemm, axpy, fused elementwise
+// maps, strided row/col reductions, im2col, gather/scatter, optimizer
+// updates — lives here and nowhere else. ops.cc, conv.cc, optimizer.cc,
+// linalg and eval call these entry points instead of hand-rolling loops, so
+// blocking / vectorization / parallelization later happens in one file.
+//
+// Conventions: row-major contiguous buffers, sizes in int64_t, reductions
+// accumulate in double. Functions taking an `accumulate` flag add into the
+// destination when true and overwrite when false.
+#ifndef EDSR_SRC_TENSOR_KERNELS_H_
+#define EDSR_SRC_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace edsr::tensor::kernels {
+
+// ---- GEMM and BLAS-1 -----------------------------------------------------
+// C (m x n) = [+=] op(A) (m x k) * op(B) (k x n); trans_* applies the
+// transpose logically (A is stored (k x m) when trans_a, etc).
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
+          int64_t n, bool trans_a, bool trans_b, bool accumulate);
+
+// y += alpha * x.
+void Axpy(int64_t n, float alpha, const float* x, float* y);
+// x *= alpha.
+void Scale(int64_t n, float alpha, float* x);
+// dst[i] += value.
+void AddScalar(int64_t n, float value, float* dst);
+// Elementwise lerp into the target: t = tau * t + (1 - tau) * o (EMA).
+void EmaUpdate(int64_t n, float tau, const float* online, float* target);
+
+double SumAll(int64_t n, const float* x);
+double SumSquares(int64_t n, const float* x);
+double Dot(int64_t n, const float* x, const float* y);
+// Scales x to unit L2 norm in place (adds eps inside the sqrt).
+void NormalizeL2(int64_t n, float* x, float eps = 1e-12f);
+
+// ---- Fused elementwise (header templates so the functor inlines) ---------
+// out[i] = f(x[i]).
+template <typename F>
+inline void Map(int64_t n, const float* x, float* out, F&& f) {
+  for (int64_t i = 0; i < n; ++i) out[i] = f(x[i]);
+}
+
+// out[i] = f(a[i], b[i]).
+template <typename F>
+inline void Map2(int64_t n, const float* a, const float* b, float* out,
+                 F&& f) {
+  for (int64_t i = 0; i < n; ++i) out[i] = f(a[i], b[i]);
+}
+
+// gin[i] += gout[i] * df(in[i], out[i]) — unary-op backward.
+template <typename F>
+inline void AccumulateUnaryGrad(int64_t n, const float* gout, const float* in,
+                                const float* out, float* gin, F&& df) {
+  for (int64_t i = 0; i < n; ++i) gin[i] += gout[i] * df(in[i], out[i]);
+}
+
+// gin[i] += gout[i] * df(a[i], b[i]) — same-shape binary backward (one side).
+template <typename F>
+inline void AccumulateBinaryGrad(int64_t n, const float* gout, const float* a,
+                                 const float* b, float* gin, F&& df) {
+  for (int64_t i = 0; i < n; ++i) gin[i] += gout[i] * df(a[i], b[i]);
+}
+
+// ---- Broadcast iteration -------------------------------------------------
+// Precomputed plan for iterating two inputs over a broadcast output space.
+// dims is the output shape; stride_a/b give the flat stride of each input
+// per output dimension (0 where that input dimension is stretched). flat is
+// true when both inputs are contiguous and congruent with the output (same
+// shape), enabling the fused Map2/AccumulateBinaryGrad fast path.
+struct BroadcastPlan {
+  std::vector<int64_t> dims;
+  std::vector<int64_t> stride_a;
+  std::vector<int64_t> stride_b;
+  int64_t numel = 0;
+  bool flat = false;
+};
+
+// Calls fn(out_flat, a_flat, b_flat) over the whole broadcast index space.
+template <typename Fn>
+inline void ForEachBroadcast(const BroadcastPlan& bc, Fn&& fn) {
+  int64_t nd = static_cast<int64_t>(bc.dims.size());
+  if (nd == 0) {
+    fn(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> idx(nd, 0);
+  int64_t ia = 0;
+  int64_t ib = 0;
+  for (int64_t i = 0; i < bc.numel; ++i) {
+    fn(i, ia, ib);
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      ++idx[d];
+      ia += bc.stride_a[d];
+      ib += bc.stride_b[d];
+      if (idx[d] < bc.dims[d]) break;
+      idx[d] = 0;
+      ia -= bc.stride_a[d] * bc.dims[d];
+      ib -= bc.stride_b[d] * bc.dims[d];
+    }
+  }
+}
+
+// ---- Strided reductions over an (outer, dim, inner) view -----------------
+// dst (outer x inner) = sum over dim of src (outer x dim x inner).
+void StridedSum(const float* src, int64_t outer, int64_t dim, int64_t inner,
+                float* dst);
+// dst (outer x dim x inner) += src (outer x inner) broadcast over dim.
+void StridedBroadcastAdd(const float* src, int64_t outer, int64_t dim,
+                         int64_t inner, float* dst);
+// Per-slot max and flat argmax into src.
+void StridedMax(const float* src, int64_t outer, int64_t dim, int64_t inner,
+                float* max_out, int64_t* argmax_out);
+
+// Column means of a row-major (n x d) matrix (double accumulation).
+void ColMean(const float* rows, int64_t n, int64_t d, float* mean);
+// out (n x d) = rows (n x d) - vec (d) broadcast over rows.
+void SubRowVector(const float* rows, int64_t n, int64_t d, const float* vec,
+                  float* out);
+
+// ---- Layout --------------------------------------------------------------
+// dst (cols x rows) = [+=] transpose of src (rows x cols).
+void Transpose2d(const float* src, int64_t rows, int64_t cols, float* dst,
+                 bool accumulate = false);
+// dst[i * row_size ..] = src[rows[i] * row_size ..].
+void GatherRows(const float* src, const int64_t* rows, int64_t num_rows,
+                int64_t row_size, float* dst);
+// dst[rows[i] * row_size ..] += src[i * row_size ..] (duplicates allowed).
+void ScatterAddRows(const float* src, const int64_t* rows, int64_t num_rows,
+                    int64_t row_size, float* dst);
+// dst[index[i]] += src[i] (flat scatter-add; duplicates allowed).
+void IndexedScatterAdd(int64_t n, const int64_t* index, const float* src,
+                       float* dst);
+
+// ---- Convolution support -------------------------------------------------
+// Unfolds one (C,H,W) image into (C*K*K, OH*OW) columns.
+void Im2Col(const float* image, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* columns);
+// Adjoint: scatter-adds columns back into the image buffer.
+void Col2Im(const float* columns, int64_t channels, int64_t height,
+            int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+            float* image);
+// Max pooling over one NCHW batch (square window, stride = window). Writes
+// pooled values and flat argmax indices into the input buffer.
+void MaxPool2dForward(const float* input, int64_t n, int64_t c, int64_t h,
+                      int64_t w, int64_t window, float* out, int64_t* argmax);
+
+// ---- Fused optimizer updates --------------------------------------------
+// SGD with momentum and decoupled-from-graph weight decay:
+//   v = momentum * v + (g + wd * x); x -= lr * v.
+void SgdMomentumStep(int64_t n, float lr, float momentum, float weight_decay,
+                     const float* grad, float* velocity, float* data);
+// Adam with bias-correction factors bc1/bc2 precomputed by the caller.
+void AdamStep(int64_t n, float lr, float beta1, float beta2, float eps,
+              float weight_decay, float bc1, float bc2, const float* grad,
+              float* m, float* v, float* data);
+
+}  // namespace edsr::tensor::kernels
+
+#endif  // EDSR_SRC_TENSOR_KERNELS_H_

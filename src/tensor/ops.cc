@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/tensor/kernels.h"
+
 namespace edsr::tensor {
 
 namespace {
@@ -16,15 +18,6 @@ float* GradBufferOrNull(const std::shared_ptr<TensorImpl>& impl) {
   return impl->grad.data();
 }
 
-// Broadcast bookkeeping: output shape plus, for each output dimension, the
-// flat stride into each input (0 where the input dimension is stretched).
-struct Bcast {
-  Shape out;
-  std::vector<int64_t> stride_a;
-  std::vector<int64_t> stride_b;
-  int64_t out_numel = 0;
-};
-
 std::vector<int64_t> RowMajorStrides(const Shape& shape) {
   std::vector<int64_t> strides(shape.size(), 0);
   int64_t acc = 1;
@@ -35,10 +28,12 @@ std::vector<int64_t> RowMajorStrides(const Shape& shape) {
   return strides;
 }
 
-Bcast ComputeBcast(const Shape& a, const Shape& b) {
+// Shape/stride metadata for a broadcast binary op; the iteration itself is
+// kernels::ForEachBroadcast.
+kernels::BroadcastPlan ComputeBroadcast(const Shape& a, const Shape& b) {
   int64_t nd = std::max(a.size(), b.size());
-  Bcast bc;
-  bc.out.resize(nd);
+  kernels::BroadcastPlan bc;
+  bc.dims.resize(nd);
   bc.stride_a.resize(nd);
   bc.stride_b.resize(nd);
   std::vector<int64_t> sa = RowMajorStrides(a);
@@ -51,63 +46,53 @@ Bcast ComputeBcast(const Shape& a, const Shape& b) {
     EDSR_CHECK(da == db || da == 1 || db == 1)
         << "cannot broadcast " << ShapeToString(a) << " with "
         << ShapeToString(b);
-    bc.out[d] = std::max(da, db);
+    bc.dims[d] = std::max(da, db);
     bc.stride_a[d] = (ad >= 0 && da != 1) ? sa[ad] : 0;
     bc.stride_b[d] = (bd >= 0 && db != 1) ? sb[bd] : 0;
   }
-  bc.out_numel = NumElements(bc.out);
+  bc.numel = NumElements(bc.dims);
+  bc.flat = a == b;
   return bc;
-}
-
-// Iterates the broadcast index space calling fn(out_flat, a_flat, b_flat).
-template <typename Fn>
-void ForEachBroadcast(const Bcast& bc, Fn&& fn) {
-  int64_t nd = static_cast<int64_t>(bc.out.size());
-  if (nd == 0) {
-    fn(0, 0, 0);
-    return;
-  }
-  std::vector<int64_t> idx(nd, 0);
-  int64_t ia = 0;
-  int64_t ib = 0;
-  for (int64_t i = 0; i < bc.out_numel; ++i) {
-    fn(i, ia, ib);
-    for (int64_t d = nd - 1; d >= 0; --d) {
-      ++idx[d];
-      ia += bc.stride_a[d];
-      ib += bc.stride_b[d];
-      if (idx[d] < bc.out[d]) break;
-      idx[d] = 0;
-      ia -= bc.stride_a[d] * bc.out[d];
-      ib -= bc.stride_b[d] * bc.out[d];
-    }
-  }
 }
 
 // Generic broadcasting binary op. `fwd(av, bv)` computes the output value;
 // `dfda` / `dfdb` give partial derivatives as functions of the two input
-// values (sufficient for arithmetic ops).
+// values (sufficient for arithmetic ops). Same-shape inputs take the flat
+// fused path; everything else walks the broadcast plan.
 template <typename Fwd, typename Dfda, typename Dfdb>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
                 Dfdb dfdb) {
-  Bcast bc = ComputeBcast(a.shape(), b.shape());
-  std::vector<float> out(bc.out_numel);
+  kernels::BroadcastPlan bc = ComputeBroadcast(a.shape(), b.shape());
+  std::vector<float> out(bc.numel);
   const float* pa = a.data().data();
   const float* pb = b.data().data();
-  ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
-    out[i] = fwd(pa[ia], pb[ib]);
-  });
+  if (bc.flat) {
+    kernels::Map2(bc.numel, pa, pb, out.data(), fwd);
+  } else {
+    kernels::ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
+      out[i] = fwd(pa[ia], pb[ib]);
+    });
+  }
   Tensor a_copy = a;
   Tensor b_copy = b;
   return MakeOp(
-      std::move(out), bc.out, {a, b},
+      std::move(out), bc.dims, {a, b},
       [a_copy, b_copy, bc, dfda, dfdb](TensorImpl& self) {
         float* ga = GradBufferOrNull(a_copy.impl_ptr());
         float* gb = GradBufferOrNull(b_copy.impl_ptr());
         const float* pa = a_copy.data().data();
         const float* pb = b_copy.data().data();
         const float* go = self.grad.data();
-        ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
+        if (bc.flat) {
+          if (ga != nullptr) {
+            kernels::AccumulateBinaryGrad(bc.numel, go, pa, pb, ga, dfda);
+          }
+          if (gb != nullptr) {
+            kernels::AccumulateBinaryGrad(bc.numel, go, pa, pb, gb, dfdb);
+          }
+          return;
+        }
+        kernels::ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
           float g = go[i];
           if (ga != nullptr) ga[ia] += g * dfda(pa[ia], pb[ib]);
           if (gb != nullptr) gb[ib] += g * dfdb(pa[ia], pb[ib]);
@@ -120,19 +105,16 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
 template <typename Fwd, typename Dfdv>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
   std::vector<float> out(a.numel());
-  const float* pa = a.data().data();
-  for (int64_t i = 0; i < a.numel(); ++i) out[i] = fwd(pa[i]);
+  kernels::Map(a.numel(), a.data().data(), out.data(), fwd);
   Tensor a_copy = a;
   Tensor result = MakeOp(std::move(out), a.shape(), {a},
                          [a_copy, dfdv](TensorImpl& self) {
                            float* ga = GradBufferOrNull(a_copy.impl_ptr());
                            if (ga == nullptr) return;
-                           const float* pa = a_copy.data().data();
-                           const float* po = self.data.data();
-                           const float* go = self.grad.data();
-                           for (int64_t i = 0; i < self.numel(); ++i) {
-                             ga[i] += go[i] * dfdv(pa[i], po[i]);
-                           }
+                           kernels::AccumulateUnaryGrad(
+                               self.numel(), self.grad.data(),
+                               a_copy.data().data(), self.data().data(), ga,
+                               dfdv);
                          });
   return result;
 }
@@ -274,31 +256,6 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
 
 // ---- Linear algebra ---------------------------------------------------------
 
-void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n, bool trans_a, bool trans_b, bool accumulate) {
-  if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  // Index helpers: logical A is (m x k), logical B is (k x n).
-  auto at_a = [&](int64_t i, int64_t p) {
-    return trans_a ? a[p * m + i] : a[i * k + p];
-  };
-  auto at_b = [&](int64_t p, int64_t j) {
-    return trans_b ? b[j * k + p] : b[p * n + j];
-  };
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      float av = at_a(i, p);
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      if (!trans_b) {
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * at_b(p, j);
-      }
-    }
-  }
-}
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   EDSR_CHECK_EQ(a.dim(), 2) << "MatMul expects 2-D lhs";
   EDSR_CHECK_EQ(b.dim(), 2) << "MatMul expects 2-D rhs";
@@ -309,8 +266,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul inner dims: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape());
   std::vector<float> out(m * n);
-  MatMulRaw(a.data().data(), b.data().data(), out.data(), m, k, n, false,
-            false, true);
+  kernels::Gemm(a.data().data(), b.data().data(), out.data(), m, k, n, false,
+                false, false);
   Tensor a_copy = a;
   Tensor b_copy = b;
   return MakeOp(std::move(out), {m, n}, {a, b},
@@ -318,13 +275,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                   const float* go = self.grad.data();
                   if (float* ga = GradBufferOrNull(a_copy.impl_ptr())) {
                     // dA (m x k) += dOut (m x n) * B^T (n x k)
-                    MatMulRaw(go, b_copy.data().data(), ga, m, n, k, false,
-                              true, true);
+                    kernels::Gemm(go, b_copy.data().data(), ga, m, n, k,
+                                  false, true, true);
                   }
                   if (float* gb = GradBufferOrNull(b_copy.impl_ptr())) {
                     // dB (k x n) += A^T (k x m) * dOut (m x n)
-                    MatMulRaw(a_copy.data().data(), go, gb, k, m, n, true,
-                              false, true);
+                    kernels::Gemm(a_copy.data().data(), go, gb, k, m, n, true,
+                                  false, true);
                   }
                 });
 }
@@ -334,18 +291,13 @@ Tensor Transpose(const Tensor& a) {
   int64_t r = a.shape()[0];
   int64_t c = a.shape()[1];
   std::vector<float> out(a.numel());
-  const float* pa = a.data().data();
-  for (int64_t i = 0; i < r; ++i) {
-    for (int64_t j = 0; j < c; ++j) out[j * r + i] = pa[i * c + j];
-  }
+  kernels::Transpose2d(a.data().data(), r, c, out.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), {c, r}, {a}, [a_copy, r, c](TensorImpl& self) {
     float* ga = GradBufferOrNull(a_copy.impl_ptr());
     if (ga == nullptr) return;
-    const float* go = self.grad.data();
-    for (int64_t i = 0; i < r; ++i) {
-      for (int64_t j = 0; j < c; ++j) ga[i * c + j] += go[j * r + i];
-    }
+    // dA (r x c) += transpose of dOut (c x r).
+    kernels::Transpose2d(self.grad.data(), c, r, ga, /*accumulate=*/true);
   });
 }
 
@@ -371,13 +323,12 @@ Tensor Reshape(const Tensor& a, Shape new_shape) {
   EDSR_CHECK_EQ(NumElements(new_shape), a.numel())
       << "Reshape " << ShapeToString(a.shape()) << " -> "
       << ShapeToString(new_shape);
-  std::vector<float> out = a.data();
+  // Row-major reshape is the identity on values: alias the storage.
   Tensor a_copy = a;
-  return MakeOp(std::move(out), new_shape, {a}, [a_copy](TensorImpl& self) {
+  return MakeOpShared(a.storage(), new_shape, {a}, [a_copy](TensorImpl& self) {
     float* ga = GradBufferOrNull(a_copy.impl_ptr());
     if (ga == nullptr) return;
-    const float* go = self.grad.data();
-    for (int64_t i = 0; i < self.numel(); ++i) ga[i] += go[i];
+    kernels::Axpy(self.numel(), 1.0f, self.grad.data(), ga);
   });
 }
 
@@ -411,9 +362,9 @@ Tensor Narrow(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
                   if (ga == nullptr) return;
                   const float* go = self.grad.data();
                   for (int64_t o = 0; o < outer; ++o) {
-                    float* dst = ga + (o * dim_size + start) * inner;
-                    const float* src = go + o * length * inner;
-                    for (int64_t i = 0; i < length * inner; ++i) dst[i] += src[i];
+                    kernels::Axpy(length * inner, 1.0f,
+                                  go + o * length * inner,
+                                  ga + (o * dim_size + start) * inner);
                   }
                 });
 }
@@ -425,33 +376,27 @@ Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& rows) {
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<int64_t>(rows.size());
   std::vector<float> out(rows.size() * row_size);
-  const float* pa = a.data().data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    int64_t r = rows[i];
+  for (int64_t r : rows) {
     EDSR_CHECK(r >= 0 && r < n) << "row index " << r << " out of range " << n;
-    std::copy(pa + r * row_size, pa + (r + 1) * row_size,
-              out.data() + i * row_size);
   }
+  kernels::GatherRows(a.data().data(), rows.data(),
+                      static_cast<int64_t>(rows.size()), row_size,
+                      out.data());
   Tensor a_copy = a;
   std::vector<int64_t> rows_copy = rows;
   return MakeOp(std::move(out), out_shape, {a},
                 [a_copy, rows_copy, row_size](TensorImpl& self) {
                   float* ga = GradBufferOrNull(a_copy.impl_ptr());
                   if (ga == nullptr) return;
-                  const float* go = self.grad.data();
-                  for (size_t i = 0; i < rows_copy.size(); ++i) {
-                    float* dst = ga + rows_copy[i] * row_size;
-                    const float* src = go + i * row_size;
-                    for (int64_t j = 0; j < row_size; ++j) dst[j] += src[j];
-                  }
+                  kernels::ScatterAddRows(
+                      self.grad.data(), rows_copy.data(),
+                      static_cast<int64_t>(rows_copy.size()), row_size, ga);
                 });
 }
 
 Tensor ConcatRows(const std::vector<Tensor>& tensors) {
   EDSR_CHECK(!tensors.empty());
   Shape out_shape = tensors[0].shape();
-  int64_t row_size =
-      out_shape[0] == 0 ? 0 : tensors[0].numel() / out_shape[0];
   int64_t total_rows = 0;
   for (const Tensor& t : tensors) {
     EDSR_CHECK_EQ(t.dim(), static_cast<int64_t>(out_shape.size()));
@@ -463,38 +408,35 @@ Tensor ConcatRows(const std::vector<Tensor>& tensors) {
   }
   out_shape[0] = total_rows;
   std::vector<float> out;
-  out.reserve(total_rows * row_size);
+  out.reserve(NumElements(out_shape));
   for (const Tensor& t : tensors) {
     out.insert(out.end(), t.data().begin(), t.data().end());
   }
   std::vector<Tensor> parents = tensors;
   return MakeOp(std::move(out), out_shape, tensors,
-                [parents, row_size](TensorImpl& self) {
+                [parents](TensorImpl& self) {
                   const float* go = self.grad.data();
                   int64_t offset = 0;
                   for (const Tensor& t : parents) {
                     int64_t count = t.numel();
                     if (float* g = GradBufferOrNull(t.impl_ptr())) {
-                      for (int64_t i = 0; i < count; ++i) g[i] += go[offset + i];
+                      kernels::Axpy(count, 1.0f, go + offset, g);
                     }
                     offset += count;
                   }
-                  (void)row_size;
                 });
 }
 
 // ---- Reductions ------------------------------------------------------------------
 
 Tensor SumAll(const Tensor& a) {
-  double total = 0.0;
-  for (float v : a.data()) total += v;
+  double total = kernels::SumAll(a.numel(), a.data().data());
   Tensor a_copy = a;
   return MakeOp({static_cast<float>(total)}, {1}, {a},
                 [a_copy](TensorImpl& self) {
                   float* ga = GradBufferOrNull(a_copy.impl_ptr());
                   if (ga == nullptr) return;
-                  float g = self.grad[0];
-                  for (int64_t i = 0; i < a_copy.numel(); ++i) ga[i] += g;
+                  kernels::AddScalar(a_copy.numel(), self.grad[0], ga);
                 });
 }
 
@@ -536,28 +478,15 @@ Shape ReducedShape(const Tensor& a, int64_t axis, bool keepdims) {
 
 Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   AxisGeometry g = ResolveAxis(a, &axis);
-  std::vector<float> out(g.outer * g.inner, 0.0f);
-  const float* pa = a.data().data();
-  for (int64_t o = 0; o < g.outer; ++o) {
-    for (int64_t d = 0; d < g.dim; ++d) {
-      const float* src = pa + (o * g.dim + d) * g.inner;
-      float* dst = out.data() + o * g.inner;
-      for (int64_t i = 0; i < g.inner; ++i) dst[i] += src[i];
-    }
-  }
+  std::vector<float> out(g.outer * g.inner);
+  kernels::StridedSum(a.data().data(), g.outer, g.dim, g.inner, out.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
                 [a_copy, g](TensorImpl& self) {
                   float* ga = GradBufferOrNull(a_copy.impl_ptr());
                   if (ga == nullptr) return;
-                  const float* go = self.grad.data();
-                  for (int64_t o = 0; o < g.outer; ++o) {
-                    for (int64_t d = 0; d < g.dim; ++d) {
-                      float* dst = ga + (o * g.dim + d) * g.inner;
-                      const float* src = go + o * g.inner;
-                      for (int64_t i = 0; i < g.inner; ++i) dst[i] += src[i];
-                    }
-                  }
+                  kernels::StridedBroadcastAdd(self.grad.data(), g.outer,
+                                               g.dim, g.inner, ga);
                 });
 }
 
@@ -571,31 +500,18 @@ Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
 
 Tensor ReduceMax(const Tensor& a, int64_t axis, bool keepdims) {
   AxisGeometry g = ResolveAxis(a, &axis);
-  std::vector<float> out(g.outer * g.inner,
-                         -std::numeric_limits<float>::infinity());
-  std::vector<int64_t> argmax(g.outer * g.inner, 0);
-  const float* pa = a.data().data();
-  for (int64_t o = 0; o < g.outer; ++o) {
-    for (int64_t d = 0; d < g.dim; ++d) {
-      for (int64_t i = 0; i < g.inner; ++i) {
-        int64_t src = (o * g.dim + d) * g.inner + i;
-        int64_t dst = o * g.inner + i;
-        if (pa[src] > out[dst]) {
-          out[dst] = pa[src];
-          argmax[dst] = src;
-        }
-      }
-    }
-  }
+  std::vector<float> out(g.outer * g.inner);
+  std::vector<int64_t> argmax(g.outer * g.inner);
+  kernels::StridedMax(a.data().data(), g.outer, g.dim, g.inner, out.data(),
+                      argmax.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
                 [a_copy, argmax](TensorImpl& self) {
                   float* ga = GradBufferOrNull(a_copy.impl_ptr());
                   if (ga == nullptr) return;
-                  const float* go = self.grad.data();
-                  for (size_t i = 0; i < argmax.size(); ++i) {
-                    ga[argmax[i]] += go[i];
-                  }
+                  kernels::IndexedScatterAdd(
+                      static_cast<int64_t>(argmax.size()), argmax.data(),
+                      self.grad.data(), ga);
                 });
 }
 

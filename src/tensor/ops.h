@@ -65,16 +65,11 @@ Tensor Clamp(const Tensor& a, float lo, float hi);
 Tensor Dropout(const Tensor& a, float p, util::Rng* rng);
 
 // ---- Linear algebra ----------------------------------------------------
-// 2-D matrix product: (m,k) x (k,n) -> (m,n).
+// 2-D matrix product: (m,k) x (k,n) -> (m,n). Raw GEMM lives in
+// kernels::Gemm (kernels.h).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 // 2-D transpose.
 Tensor Transpose(const Tensor& a);
-
-// Raw (non-autograd) GEMM helper used by conv and matmul backward:
-//   C (m x n) += A (m x k) * B (k x n), with optional transposes applied
-//   logically to A and B before the product.
-void MatMulRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-               int64_t n, bool trans_a, bool trans_b, bool accumulate);
 
 // ---- Shape ops ----------------------------------------------------------
 // Reshape with one -1 wildcard allowed.

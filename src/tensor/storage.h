@@ -1,0 +1,50 @@
+// Storage: the refcounted value buffer underneath TensorImpl.
+//
+// Decoupling the bytes from the shape/graph metadata lets tensors alias one
+// buffer instead of copying it: Detach() and Reshape() share storage with
+// their source, and future in-place optimizer updates or row views can do the
+// same. Refcounting is the shared_ptr holding the Storage; a buffer dies when
+// the last tensor (or graph closure) referencing it does.
+//
+// Values are immutable after construction by engine convention (tensor.h),
+// so aliasing never changes observable results; mutable_data() is reserved
+// for leaf tensors (parameters, buffers) that are never aliased.
+#ifndef EDSR_SRC_TENSOR_STORAGE_H_
+#define EDSR_SRC_TENSOR_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace edsr::tensor {
+
+class Storage {
+ public:
+  Storage() = default;
+  explicit Storage(std::vector<float> values) : values_(std::move(values)) {}
+  Storage(int64_t numel, float fill)
+      : values_(static_cast<size_t>(numel), fill) {}
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& values() { return values_; }
+  const float* data() const { return values_.data(); }
+  float* data() { return values_.data(); }
+
+ private:
+  std::vector<float> values_;
+};
+
+using StoragePtr = std::shared_ptr<Storage>;
+
+inline StoragePtr MakeStorage(std::vector<float> values) {
+  return std::make_shared<Storage>(std::move(values));
+}
+inline StoragePtr MakeStorage(int64_t numel, float fill = 0.0f) {
+  return std::make_shared<Storage>(numel, fill);
+}
+
+}  // namespace edsr::tensor
+
+#endif  // EDSR_SRC_TENSOR_STORAGE_H_

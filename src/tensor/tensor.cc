@@ -27,12 +27,13 @@ std::string ShapeToString(const Shape& shape) {
 }
 
 namespace {
-std::shared_ptr<TensorImpl> NewImpl(std::vector<float> data, Shape shape,
+std::shared_ptr<TensorImpl> NewImpl(StoragePtr storage, Shape shape,
                                     bool requires_grad) {
-  EDSR_CHECK_EQ(static_cast<int64_t>(data.size()), NumElements(shape))
+  EDSR_CHECK(storage != nullptr);
+  EDSR_CHECK_EQ(storage->size(), NumElements(shape))
       << "data size does not match shape " << ShapeToString(shape);
   auto impl = std::make_shared<TensorImpl>();
-  impl->data = std::move(data);
+  impl->storage = std::move(storage);
   impl->shape = std::move(shape);
   impl->requires_grad = requires_grad;
   return impl;
@@ -48,13 +49,18 @@ Tensor Tensor::Ones(const Shape& shape, bool requires_grad) {
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  std::vector<float> data(NumElements(shape), value);
-  return Tensor(NewImpl(std::move(data), shape, requires_grad));
+  return Tensor(
+      NewImpl(MakeStorage(NumElements(shape), value), shape, requires_grad));
 }
 
 Tensor Tensor::FromVector(std::vector<float> values, const Shape& shape,
                           bool requires_grad) {
-  return Tensor(NewImpl(std::move(values), shape, requires_grad));
+  return Tensor(NewImpl(MakeStorage(std::move(values)), shape, requires_grad));
+}
+
+Tensor Tensor::FromStorage(StoragePtr storage, const Shape& shape,
+                           bool requires_grad) {
+  return Tensor(NewImpl(std::move(storage), shape, requires_grad));
 }
 
 Tensor Tensor::Scalar(float value, bool requires_grad) {
@@ -66,7 +72,7 @@ Tensor Tensor::Randn(const Shape& shape, util::Rng* rng, float mean,
   EDSR_CHECK(rng != nullptr);
   std::vector<float> data(NumElements(shape));
   for (float& v : data) v = rng->Normal(mean, stddev);
-  return Tensor(NewImpl(std::move(data), shape, requires_grad));
+  return FromVector(std::move(data), shape, requires_grad);
 }
 
 Tensor Tensor::Rand(const Shape& shape, util::Rng* rng, float lo, float hi,
@@ -74,7 +80,7 @@ Tensor Tensor::Rand(const Shape& shape, util::Rng* rng, float lo, float hi,
   EDSR_CHECK(rng != nullptr);
   std::vector<float> data(NumElements(shape));
   for (float& v : data) v = rng->Uniform(lo, hi);
-  return Tensor(NewImpl(std::move(data), shape, requires_grad));
+  return FromVector(std::move(data), shape, requires_grad);
 }
 
 int64_t Tensor::size(int64_t axis) const {
@@ -87,19 +93,19 @@ int64_t Tensor::size(int64_t axis) const {
 
 float Tensor::item() const {
   EDSR_CHECK_EQ(numel(), 1) << "item() requires a single-element tensor";
-  return impl()->data[0];
+  return impl()->data()[0];
 }
 
 float Tensor::at(int64_t flat_index) const {
   EDSR_CHECK(flat_index >= 0 && flat_index < numel());
-  return impl()->data[flat_index];
+  return impl()->data()[flat_index];
 }
 
 float Tensor::at(int64_t row, int64_t col) const {
   EDSR_CHECK_EQ(dim(), 2);
   EDSR_CHECK(row >= 0 && row < shape()[0]);
   EDSR_CHECK(col >= 0 && col < shape()[1]);
-  return impl()->data[row * shape()[1] + col];
+  return impl()->data()[row * shape()[1] + col];
 }
 
 void Tensor::Backward() {
@@ -144,14 +150,22 @@ void Tensor::Backward() {
 }
 
 Tensor Tensor::Detach() const {
+  // Aliases the storage: values are immutable after construction, so sharing
+  // the buffer is unobservable and saves the copy on every teacher forward.
   auto detached = std::make_shared<TensorImpl>();
-  detached->data = impl()->data;  // value copy keeps immutability guarantees
+  detached->storage = impl()->storage;
   detached->shape = impl()->shape;
   detached->requires_grad = false;
   return Tensor(std::move(detached));
 }
 
-Tensor Tensor::Clone() const { return Detach(); }
+Tensor Tensor::Clone() const {
+  auto copy = std::make_shared<TensorImpl>();
+  copy->storage = MakeStorage(impl()->data());  // deep copy
+  copy->shape = impl()->shape;
+  copy->requires_grad = false;
+  return Tensor(std::move(copy));
+}
 
 void Tensor::ZeroGrad() {
   auto& g = impl()->grad;
@@ -164,7 +178,7 @@ std::string Tensor::ToString(int64_t max_items) const {
   int64_t n = std::min<int64_t>(numel(), max_items);
   for (int64_t i = 0; i < n; ++i) {
     if (i > 0) out << ", ";
-    out << impl()->data[i];
+    out << impl()->data()[i];
   }
   if (numel() > n) out << ", ...";
   out << "]";
@@ -174,18 +188,31 @@ std::string Tensor::ToString(int64_t max_items) const {
 Tensor MakeOp(std::vector<float> data, Shape shape,
               const std::vector<Tensor>& parents,
               std::function<void(TensorImpl&)> backward_fn) {
+  return MakeOpShared(MakeStorage(std::move(data)), std::move(shape), parents,
+                      std::move(backward_fn));
+}
+
+Tensor MakeOpShared(StoragePtr storage, Shape shape,
+                    const std::vector<Tensor>& parents,
+                    std::function<void(TensorImpl&)> backward_fn) {
   bool requires_grad = false;
-  for (const Tensor& p : parents) {
-    if (p.requires_grad()) requires_grad = true;
+  if (GradMode::IsEnabled()) {
+    for (const Tensor& p : parents) {
+      if (p.requires_grad()) requires_grad = true;
+    }
   }
   auto impl = std::make_shared<TensorImpl>();
-  impl->data = std::move(data);
+  EDSR_CHECK(storage != nullptr);
+  impl->storage = std::move(storage);
   impl->shape = std::move(shape);
   EDSR_CHECK_EQ(impl->numel(), NumElements(impl->shape));
   impl->requires_grad = requires_grad;
   if (requires_grad) {
+    // Only now do graph edges, the closure, and (lazily) grad buffers
+    // materialize; inference under NoGradGuard skips all of it.
     for (const Tensor& p : parents) impl->parents.push_back(p.impl_ptr());
     impl->backward_fn = std::move(backward_fn);
+    internal::CountAutogradNode();
   }
   return Tensor(std::move(impl));
 }

@@ -1,13 +1,23 @@
 // Tensor: a contiguous row-major float nd-array with reverse-mode autograd.
 //
 // Design notes
+//  * The engine is layered (see DESIGN.md "Tensor engine architecture"):
+//      Storage   — refcounted value buffer (storage.h); tensors alias it
+//                  instead of copying (Detach, Reshape, future views).
+//      kernels   — every raw float loop (kernels.h); ops/conv/optim/linalg
+//                  route through it.
+//      GradMode  — thread-local autograd switch (grad_mode.h); MakeOp builds
+//                  no graph under NoGradGuard.
 //  * Values are immutable after construction (all ops are functional and
-//    return fresh tensors), so computation graphs can be replayed safely.
+//    return fresh tensors), so computation graphs can be replayed safely and
+//    storage aliasing is unobservable. mutable_data() is for leaf tensors
+//    (parameters/buffers) only.
 //  * A Tensor is a cheap shared handle; the payload lives in TensorImpl.
 //  * Autograd is tape-free: every op records its parent handles and a
 //    backward closure on the output impl. Tensor::Backward() topologically
 //    sorts the reachable subgraph and runs closures in reverse order,
-//    accumulating into each impl's grad buffer.
+//    accumulating into each impl's grad buffer. When grad mode is off or no
+//    parent requires grad, no parents/closures/grad buffers materialize.
 //  * Shapes use int64_t; invariant violations abort via EDSR_CHECK (this is
 //    the engine's hot path; fallible user input is validated before here).
 #ifndef EDSR_SRC_TENSOR_TENSOR_H_
@@ -19,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "src/tensor/grad_mode.h"
+#include "src/tensor/storage.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -30,9 +42,10 @@ int64_t NumElements(const Shape& shape);
 std::string ShapeToString(const Shape& shape);
 
 struct TensorImpl {
-  std::vector<float> data;
+  // Value buffer; may be shared with other impls (Detach/Reshape aliases).
+  StoragePtr storage;
   Shape shape;
-  // Gradient buffer; sized lazily on first accumulation.
+  // Gradient buffer; sized lazily on first accumulation. Never aliased.
   std::vector<float> grad;
   bool requires_grad = false;
   // Autograd graph edges. backward_fn reads this node's grad and
@@ -40,9 +53,13 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
-  int64_t numel() const { return static_cast<int64_t>(data.size()); }
+  const std::vector<float>& data() const { return storage->values(); }
+  std::vector<float>& data() { return storage->values(); }
+  int64_t numel() const { return storage->size(); }
   void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+    if (static_cast<int64_t>(grad.size()) != numel()) {
+      grad.assign(numel(), 0.0f);
+    }
   }
 };
 
@@ -58,6 +75,9 @@ class Tensor {
                      bool requires_grad = false);
   static Tensor FromVector(std::vector<float> values, const Shape& shape,
                            bool requires_grad = false);
+  // Wraps an existing storage buffer without copying.
+  static Tensor FromStorage(StoragePtr storage, const Shape& shape,
+                            bool requires_grad = false);
   static Tensor Scalar(float value, bool requires_grad = false);
   // Gaussian / uniform initializers.
   static Tensor Randn(const Shape& shape, util::Rng* rng, float mean = 0.0f,
@@ -74,13 +94,17 @@ class Tensor {
   int64_t size(int64_t axis) const;
   bool requires_grad() const { return impl()->requires_grad; }
 
-  const std::vector<float>& data() const { return impl()->data; }
-  std::vector<float>& mutable_data() { return impl()->data; }
+  const std::vector<float>& data() const { return impl()->data(); }
+  std::vector<float>& mutable_data() { return impl()->data(); }
   const std::vector<float>& grad() const { return impl()->grad; }
   std::vector<float>& mutable_grad() {
     impl()->EnsureGrad();
     return impl()->grad;
   }
+
+  // The underlying buffer (alias inspection: tensors sharing a storage
+  // pointer share values).
+  const StoragePtr& storage() const { return impl()->storage; }
 
   // Scalar extraction; requires numel() == 1.
   float item() const;
@@ -92,9 +116,9 @@ class Tensor {
   // ---- Autograd --------------------------------------------------------
   // Runs reverse-mode differentiation from this (scalar) tensor.
   void Backward();
-  // Detached view: shares the data buffer but drops graph and grad flow.
+  // Detached view: aliases the storage buffer but drops graph and grad flow.
   Tensor Detach() const;
-  // Deep copy of data (no graph).
+  // Deep copy of data (fresh storage, no graph).
   Tensor Clone() const;
   void ZeroGrad();
 
@@ -112,10 +136,17 @@ class Tensor {
 
 // Creates an output tensor wired into the autograd graph. `parents` are the
 // inputs; `backward_fn` runs when gradients flow back. The output requires
-// grad iff any parent does.
+// grad iff grad mode is enabled and any parent requires grad; otherwise no
+// parents or closure are recorded.
 Tensor MakeOp(std::vector<float> data, Shape shape,
               const std::vector<Tensor>& parents,
               std::function<void(TensorImpl&)> backward_fn);
+
+// Same, but aliasing an existing storage buffer (e.g. Reshape/Detach-style
+// ops whose forward is the identity on values).
+Tensor MakeOpShared(StoragePtr storage, Shape shape,
+                    const std::vector<Tensor>& parents,
+                    std::function<void(TensorImpl&)> backward_fn);
 
 }  // namespace edsr::tensor
 

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/cl/selection.h"
 #include "src/data/synthetic.h"
 #include "src/eval/linear_probe.h"
 #include "src/eval/metrics.h"
 #include "src/eval/representations.h"
+#include "src/tensor/grad_mode.h"
 
 namespace edsr {
 namespace {
@@ -113,6 +115,77 @@ TEST(ExtractRepresentations, RestoresTrainingMode) {
   auto pair = MakeSyntheticTabularData(data_config);
   eval::ExtractRepresentations(&encoder, pair.train);
   EXPECT_TRUE(encoder.training());
+}
+
+TEST(ExtractRepresentations, HeadlessEncoderIgnoresHeadArgument) {
+  // Regression: passing head >= 0 for an encoder without input heads used to
+  // call SetActiveHead and abort.
+  util::Rng rng(4);
+  ssl::EncoderConfig config;
+  config.mlp_dims = {6, 8, 8};
+  config.representation_dim = 4;
+  ssl::Encoder encoder(config, &rng);
+  ASSERT_FALSE(encoder.has_input_heads());
+  data::SyntheticTabularConfig data_config;
+  data_config.num_features = 6;
+  data_config.train_size = 9;
+  data_config.seed = 5;
+  auto pair = MakeSyntheticTabularData(data_config);
+  auto reps = eval::ExtractRepresentations(&encoder, pair.train, 4,
+                                           /*head=*/2);
+  EXPECT_EQ(reps.n, 9);
+  EXPECT_EQ(reps.d, 4);
+}
+
+TEST(ExtractRepresentations, HeadedEncoderSwitchesAndRestoresHead) {
+  util::Rng rng(5);
+  ssl::EncoderConfig config;
+  config.mlp_dims = {6, 8, 8};
+  config.representation_dim = 4;
+  config.input_head_dims = {5, 6, 7};  // three per-increment heads
+  ssl::Encoder encoder(config, &rng);
+  encoder.SetActiveHead(2);
+  data::SyntheticTabularConfig data_config;
+  data_config.num_features = 6;  // matches head 1's input dim
+  data_config.train_size = 6;
+  data_config.seed = 6;
+  auto pair = MakeSyntheticTabularData(data_config);
+  eval::ExtractRepresentations(&encoder, pair.train, 4, /*head=*/1);
+  EXPECT_EQ(encoder.active_head(), 2);  // restored after extraction
+  // head = -1 means "leave the active head alone".
+  data::SyntheticTabularConfig wide;
+  wide.num_features = 7;  // head 2's input dim
+  wide.train_size = 4;
+  wide.seed = 7;
+  auto pair2 = MakeSyntheticTabularData(wide);
+  eval::ExtractRepresentations(&encoder, pair2.train, 4, /*head=*/-1);
+  EXPECT_EQ(encoder.active_head(), 2);
+}
+
+TEST(ExtractRepresentations, InferencePathsBuildZeroAutogradNodes) {
+  // Acceptance check for the GradMode tentpole: extraction and selection
+  // scoring must not materialize any autograd graph.
+  util::Rng rng(8);
+  ssl::EncoderConfig config;
+  config.mlp_dims = {6, 8, 8};
+  config.representation_dim = 4;
+  ssl::Encoder encoder(config, &rng);
+  data::SyntheticTabularConfig data_config;
+  data_config.num_features = 6;
+  data_config.train_size = 20;
+  data_config.seed = 9;
+  auto pair = MakeSyntheticTabularData(data_config);
+
+  tensor::ResetAutogradNodeCount();
+  auto reps = eval::ExtractRepresentations(&encoder, pair.train, 8);
+  cl::SelectionContext selection;
+  selection.representations = &reps;
+  cl::HighEntropySelector selector(cl::HighEntropySelector::Mode::kPcaLeverage,
+                                   /*num_components=*/2);
+  util::Rng select_rng(10);
+  std::vector<int64_t> picks = selector.Select(selection, 5, &select_rng);
+  EXPECT_EQ(picks.size(), 5u);
+  EXPECT_EQ(tensor::AutogradNodesCreated(), 0);
 }
 
 TEST(AccuracyMatrix, AccAveragesRow) {

@@ -1,0 +1,299 @@
+// Tests for the kernels layer: every raw-loop entry point checked against a
+// naive reference implementation.
+#include "src/tensor/kernels.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+
+namespace edsr {
+namespace {
+
+namespace kernels = tensor::kernels;
+
+std::vector<float> RandomVec(int64_t n, util::Rng* rng) {
+  std::vector<float> v(n);
+  for (float& x : v) x = rng->Uniform(-1.0f, 1.0f);
+  return v;
+}
+
+// Reference GEMM: straightforward triple loop with explicit indexing.
+void NaiveGemm(const std::vector<float>& a, const std::vector<float>& b,
+               std::vector<float>* c, int64_t m, int64_t k, int64_t n,
+               bool trans_a, bool trans_b, bool accumulate) {
+  if (!accumulate) c->assign(m * n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        float av = trans_a ? a[p * m + i] : a[i * k + p];
+        float bv = trans_b ? b[j * k + p] : b[p * n + j];
+        acc += av * bv;
+      }
+      (*c)[i * n + j] += acc;
+    }
+  }
+}
+
+TEST(Kernels, GemmAllTransposeCombos) {
+  util::Rng rng(1);
+  const int64_t m = 4, k = 5, n = 3;
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      for (bool acc : {false, true}) {
+        std::vector<float> a = RandomVec(m * k, &rng);
+        std::vector<float> b = RandomVec(k * n, &rng);
+        std::vector<float> expected = RandomVec(m * n, &rng);
+        std::vector<float> actual = expected;  // same starting contents
+        NaiveGemm(a, b, &expected, m, k, n, ta, tb, acc);
+        kernels::Gemm(a.data(), b.data(), actual.data(), m, k, n, ta, tb,
+                      acc);
+        for (int64_t i = 0; i < m * n; ++i) {
+          EXPECT_NEAR(actual[i], expected[i], 1e-5f)
+              << "ta=" << ta << " tb=" << tb << " acc=" << acc << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, GemmSkipsZeroLhsCorrectly) {
+  // The zero-skip fast path must still produce exact results.
+  std::vector<float> a = {0, 2, 0, 0};  // (2 x 2) with zeros
+  std::vector<float> b = {1, 2, 3, 4};
+  std::vector<float> c(4, -1.0f);
+  kernels::Gemm(a.data(), b.data(), c.data(), 2, 2, 2, false, false, false);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);   // 0*1 + 2*3
+  EXPECT_FLOAT_EQ(c[1], 8.0f);   // 0*2 + 2*4
+  EXPECT_FLOAT_EQ(c[2], 0.0f);
+  EXPECT_FLOAT_EQ(c[3], 0.0f);
+}
+
+TEST(Kernels, Blas1Entries) {
+  std::vector<float> x = {1, 2, 3};
+  std::vector<float> y = {10, 20, 30};
+  kernels::Axpy(3, 2.0f, x.data(), y.data());
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+
+  kernels::Scale(3, 0.5f, y.data());
+  EXPECT_FLOAT_EQ(y[1], 12.0f);
+
+  kernels::AddScalar(3, 1.0f, x.data());
+  EXPECT_FLOAT_EQ(x[0], 2.0f);
+
+  EXPECT_NEAR(kernels::SumAll(3, x.data()), 9.0, 1e-6);
+  EXPECT_NEAR(kernels::SumSquares(3, x.data()), 4 + 9 + 16, 1e-6);
+  std::vector<float> z = {1, 0, 2};
+  EXPECT_NEAR(kernels::Dot(3, x.data(), z.data()), 2 + 0 + 8, 1e-6);
+}
+
+TEST(Kernels, EmaUpdateLerps) {
+  std::vector<float> online = {1.0f, 2.0f};
+  std::vector<float> target = {0.0f, 0.0f};
+  kernels::EmaUpdate(2, 0.9f, online.data(), target.data());
+  EXPECT_NEAR(target[0], 0.1f, 1e-6f);
+  EXPECT_NEAR(target[1], 0.2f, 1e-6f);
+}
+
+TEST(Kernels, NormalizeL2) {
+  std::vector<float> x = {3.0f, 4.0f};
+  kernels::NormalizeL2(2, x.data());
+  EXPECT_NEAR(x[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(x[1], 0.8f, 1e-5f);
+  // Zero vector stays finite thanks to eps.
+  std::vector<float> zero = {0.0f, 0.0f};
+  kernels::NormalizeL2(2, zero.data());
+  EXPECT_TRUE(std::isfinite(zero[0]));
+}
+
+TEST(Kernels, StridedSumAndBroadcastAddAreAdjoint) {
+  // (outer=2, dim=3, inner=2) tensor summed over dim.
+  util::Rng rng(2);
+  std::vector<float> src = RandomVec(2 * 3 * 2, &rng);
+  std::vector<float> dst(2 * 2);
+  kernels::StridedSum(src.data(), 2, 3, 2, dst.data());
+  for (int64_t o = 0; o < 2; ++o) {
+    for (int64_t i = 0; i < 2; ++i) {
+      float expected = 0.0f;
+      for (int64_t d = 0; d < 3; ++d) expected += src[(o * 3 + d) * 2 + i];
+      EXPECT_NEAR(dst[o * 2 + i], expected, 1e-5f);
+    }
+  }
+  // Adjoint identity: <StridedSum(x), y> == <x, StridedBroadcastAdd(y)>.
+  std::vector<float> y = RandomVec(2 * 2, &rng);
+  std::vector<float> scattered(2 * 3 * 2, 0.0f);
+  kernels::StridedBroadcastAdd(y.data(), 2, 3, 2, scattered.data());
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < 4; ++i) lhs += dst[i] * y[i];
+  for (int64_t i = 0; i < 12; ++i) rhs += src[i] * scattered[i];
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Kernels, StridedMaxFindsValuesAndFlatIndices) {
+  // (outer=1, dim=3, inner=2): columns are [1,5,3] and [4,2,6].
+  std::vector<float> src = {1, 4, 5, 2, 3, 6};
+  std::vector<float> max_out(2);
+  std::vector<int64_t> argmax(2);
+  kernels::StridedMax(src.data(), 1, 3, 2, max_out.data(), argmax.data());
+  EXPECT_FLOAT_EQ(max_out[0], 5.0f);
+  EXPECT_FLOAT_EQ(max_out[1], 6.0f);
+  EXPECT_EQ(argmax[0], 2);  // flat index of 5
+  EXPECT_EQ(argmax[1], 5);  // flat index of 6
+}
+
+TEST(Kernels, ColMeanAndSubRowVector) {
+  std::vector<float> rows = {1, 2, 3, 4, 5, 6};  // (3 x 2)
+  std::vector<float> mean(2);
+  kernels::ColMean(rows.data(), 3, 2, mean.data());
+  EXPECT_NEAR(mean[0], 3.0f, 1e-6f);
+  EXPECT_NEAR(mean[1], 4.0f, 1e-6f);
+  std::vector<float> centered(6);
+  kernels::SubRowVector(rows.data(), 3, 2, mean.data(), centered.data());
+  EXPECT_NEAR(centered[0], -2.0f, 1e-6f);
+  EXPECT_NEAR(centered[5], 2.0f, 1e-6f);
+}
+
+TEST(Kernels, Transpose2dOverwriteAndAccumulate) {
+  std::vector<float> src = {1, 2, 3, 4, 5, 6};  // (2 x 3)
+  std::vector<float> dst(6, 100.0f);
+  kernels::Transpose2d(src.data(), 2, 3, dst.data());
+  EXPECT_FLOAT_EQ(dst[0], 1.0f);
+  EXPECT_FLOAT_EQ(dst[1], 4.0f);
+  EXPECT_FLOAT_EQ(dst[4], 3.0f);
+  kernels::Transpose2d(src.data(), 2, 3, dst.data(), /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(dst[0], 2.0f);
+  EXPECT_FLOAT_EQ(dst[1], 8.0f);
+}
+
+TEST(Kernels, GatherScatterRows) {
+  std::vector<float> src = {1, 2, 3, 4, 5, 6};  // (3 x 2)
+  std::vector<int64_t> picks = {2, 0, 2};
+  std::vector<float> gathered(3 * 2);
+  kernels::GatherRows(src.data(), picks.data(), 3, 2, gathered.data());
+  EXPECT_FLOAT_EQ(gathered[0], 5.0f);
+  EXPECT_FLOAT_EQ(gathered[2], 1.0f);
+  EXPECT_FLOAT_EQ(gathered[4], 5.0f);
+
+  std::vector<float> scattered(6, 0.0f);
+  kernels::ScatterAddRows(gathered.data(), picks.data(), 3, 2,
+                          scattered.data());
+  EXPECT_FLOAT_EQ(scattered[0], 1.0f);   // from pick index 1
+  EXPECT_FLOAT_EQ(scattered[4], 10.0f);  // row 2 hit twice with value 5
+}
+
+TEST(Kernels, IndexedScatterAddWithDuplicates) {
+  std::vector<float> dst(3, 0.0f);
+  std::vector<int64_t> index = {1, 1, 2};
+  std::vector<float> src = {5, 7, 2};
+  kernels::IndexedScatterAdd(3, index.data(), src.data(), dst.data());
+  EXPECT_FLOAT_EQ(dst[0], 0.0f);
+  EXPECT_FLOAT_EQ(dst[1], 12.0f);
+  EXPECT_FLOAT_EQ(dst[2], 2.0f);
+}
+
+TEST(Kernels, Im2ColCol2ImAdjoint) {
+  // <Im2Col(x), y> == <x, Col2Im(y)> for random x, y (adjoint pair).
+  util::Rng rng(3);
+  const int64_t c = 2, h = 5, w = 4, kernel = 3, stride = 2, padding = 1;
+  const int64_t oh = (h + 2 * padding - kernel) / stride + 1;
+  const int64_t ow = (w + 2 * padding - kernel) / stride + 1;
+  const int64_t cols = c * kernel * kernel * oh * ow;
+  std::vector<float> x = RandomVec(c * h * w, &rng);
+  std::vector<float> y = RandomVec(cols, &rng);
+
+  std::vector<float> unfolded(cols);
+  kernels::Im2Col(x.data(), c, h, w, kernel, stride, padding,
+                  unfolded.data());
+  std::vector<float> folded(c * h * w, 0.0f);
+  kernels::Col2Im(y.data(), c, h, w, kernel, stride, padding, folded.data());
+
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < cols; ++i) lhs += unfolded[i] * y[i];
+  for (int64_t i = 0; i < c * h * w; ++i) rhs += x[i] * folded[i];
+  EXPECT_NEAR(lhs, rhs, 1e-4);
+}
+
+TEST(Kernels, MaxPool2dForward) {
+  // One 4x4 plane pooled with window 2.
+  std::vector<float> input = {1, 2,  5,  6,   //
+                              3, 4,  7,  8,   //
+                              9, 10, 13, 14,  //
+                              11, 12, 15, 16};
+  std::vector<float> out(4);
+  std::vector<int64_t> argmax(4);
+  kernels::MaxPool2dForward(input.data(), 1, 1, 4, 4, 2, out.data(),
+                            argmax.data());
+  EXPECT_FLOAT_EQ(out[0], 4.0f);
+  EXPECT_FLOAT_EQ(out[1], 8.0f);
+  EXPECT_FLOAT_EQ(out[2], 12.0f);
+  EXPECT_FLOAT_EQ(out[3], 16.0f);
+  EXPECT_EQ(argmax[0], 5);
+  EXPECT_EQ(argmax[3], 15);
+}
+
+TEST(Kernels, SgdMomentumStepMatchesReference) {
+  const float lr = 0.1f, momentum = 0.9f, wd = 0.01f;
+  std::vector<float> grad = {1.0f, -2.0f};
+  std::vector<float> vel = {0.5f, 0.25f};
+  std::vector<float> data = {3.0f, -4.0f};
+  std::vector<float> ref_vel = vel, ref_data = data;
+  for (int i = 0; i < 2; ++i) {
+    float g = grad[i] + wd * ref_data[i];
+    ref_vel[i] = momentum * ref_vel[i] + g;
+    ref_data[i] -= lr * ref_vel[i];
+  }
+  kernels::SgdMomentumStep(2, lr, momentum, wd, grad.data(), vel.data(),
+                           data.data());
+  EXPECT_NEAR(vel[0], ref_vel[0], 1e-6f);
+  EXPECT_NEAR(data[0], ref_data[0], 1e-6f);
+  EXPECT_NEAR(vel[1], ref_vel[1], 1e-6f);
+  EXPECT_NEAR(data[1], ref_data[1], 1e-6f);
+}
+
+TEST(Kernels, AdamStepMatchesReference) {
+  const float lr = 0.01f, b1 = 0.9f, b2 = 0.999f, eps = 1e-8f, wd = 0.05f;
+  const float bc1 = 1.0f - std::pow(b1, 3.0f);
+  const float bc2 = 1.0f - std::pow(b2, 3.0f);
+  std::vector<float> grad = {0.5f, -1.5f};
+  std::vector<float> m = {0.1f, -0.2f};
+  std::vector<float> v = {0.01f, 0.02f};
+  std::vector<float> data = {1.0f, -1.0f};
+  std::vector<float> rm = m, rv = v, rd = data;
+  for (int i = 0; i < 2; ++i) {
+    float g = grad[i] + wd * rd[i];
+    rm[i] = b1 * rm[i] + (1.0f - b1) * g;
+    rv[i] = b2 * rv[i] + (1.0f - b2) * g * g;
+    rd[i] -= lr * (rm[i] / bc1) / (std::sqrt(rv[i] / bc2) + eps);
+  }
+  kernels::AdamStep(2, lr, b1, b2, eps, wd, bc1, bc2, grad.data(), m.data(),
+                    v.data(), data.data());
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_NEAR(m[i], rm[i], 1e-6f);
+    EXPECT_NEAR(v[i], rv[i], 1e-6f);
+    EXPECT_NEAR(data[i], rd[i], 1e-6f);
+  }
+}
+
+TEST(Kernels, BroadcastPlanIteratesOdometer) {
+  // a (2 x 3) with b broadcast along the rows (1 x 3).
+  kernels::BroadcastPlan bc;
+  bc.dims = {2, 3};
+  bc.stride_a = {3, 1};
+  bc.stride_b = {0, 1};
+  bc.numel = 6;
+  std::vector<int64_t> seen_a, seen_b;
+  kernels::ForEachBroadcast(bc, [&](int64_t i, int64_t ia, int64_t ib) {
+    EXPECT_EQ(i, static_cast<int64_t>(seen_a.size()));
+    seen_a.push_back(ia);
+    seen_b.push_back(ib);
+  });
+  EXPECT_EQ(seen_a, (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(seen_b, (std::vector<int64_t>{0, 1, 2, 0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace edsr

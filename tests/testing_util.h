@@ -12,6 +12,21 @@
 
 namespace edsr::testing {
 
+// Random tensor with |values| in [margin, margin + span), random sign when
+// `signed_values`. The margin keeps gradcheck inputs away from kinks and
+// singularities (|x| at 0, Log/Sqrt near 0, Clamp bounds).
+inline tensor::Tensor RandomTensor(const tensor::Shape& shape, util::Rng* rng,
+                                   float margin = 0.2f, float span = 1.0f,
+                                   bool signed_values = true,
+                                   bool requires_grad = true) {
+  std::vector<float> data(tensor::NumElements(shape));
+  for (float& v : data) {
+    v = margin + rng->Uniform(0.0f, span);
+    if (signed_values && rng->Bernoulli(0.5f)) v = -v;
+  }
+  return tensor::Tensor::FromVector(std::move(data), shape, requires_grad);
+}
+
 // Checks the analytic gradient of `loss_fn` w.r.t. each listed input tensor
 // against a central finite difference. `loss_fn` must rebuild the graph from
 // the current input data on every call (inputs are perturbed in place).
