@@ -2,9 +2,16 @@
 // synth-cifar10 benchmark (5 increments), printing per-increment Acc/Fgt
 // and the forgetting heatmap — a miniature of the paper's Table III row.
 //
-//   ./image_continual [seed]
+//   ./image_continual [seed] [--checkpoint_dir <dir>] [--resume]
+//
+// With --checkpoint_dir, each method writes an atomic run snapshot after
+// every increment under <dir>/<method>/run.ckpt; --resume picks a killed
+// run back up from its latest snapshot (and falls back to a fresh run when
+// no usable checkpoint exists), reproducing the uninterrupted run exactly.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "src/cl/factory.h"
 #include "src/cl/trainer.h"
@@ -12,7 +19,22 @@
 
 int main(int argc, char** argv) {
   using namespace edsr;
-  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+  uint64_t seed = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint_dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      resume = true;
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint_dir\n");
+    return 1;
+  }
 
   data::SyntheticImagePair pair =
       MakeSyntheticImageData(data::SynthCifar10Config(seed));
@@ -34,7 +56,27 @@ int main(int argc, char** argv) {
 
   for (const char* method : {"finetune", "cassle", "edsr"}) {
     auto strategy = cl::MakeStrategy(method, context);
-    cl::ContinualRunResult result = cl::RunContinual(strategy.get(), sequence, {});
+    cl::CheckpointOptions checkpoint;
+    if (!checkpoint_dir.empty()) {
+      checkpoint.directory = checkpoint_dir + "/" + method;
+    }
+    cl::ContinualRunResult result{eval::AccuracyMatrix(sequence.num_tasks())};
+    bool resumed = false;
+    if (resume) {
+      util::Status status = cl::ResumeContinual(strategy.get(), sequence, {},
+                                                checkpoint, &result);
+      resumed = status.ok();
+      if (!resumed) {
+        // A missing or corrupt snapshot downgrades to a fresh run rather
+        // than aborting the whole comparison.
+        std::printf("[%s] no usable checkpoint (%s); starting fresh\n",
+                    method, status.ToString().c_str());
+        strategy = cl::MakeStrategy(method, context);
+      }
+    }
+    if (!resumed) {
+      result = cl::RunContinual(strategy.get(), sequence, {}, checkpoint);
+    }
     std::printf("\n=== %s ===\n", method);
     std::printf("per-increment Acc_i:");
     for (int64_t i = 0; i < sequence.num_tasks(); ++i) {

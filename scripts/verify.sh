@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification in one command: tier-1 configure/build/ctest, then the
+# same suite under the ASan/UBSan `sanitize` preset. Exits non-zero on the
+# first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier 1: default build =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure
+
+echo "== tier 2: sanitize preset (ASan/UBSan) =="
+cmake --preset sanitize
+cmake --build --preset sanitize -j "${JOBS}"
+ctest --test-dir build-sanitize --output-on-failure
+
+echo "verify.sh: all suites green"

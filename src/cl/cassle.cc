@@ -65,4 +65,48 @@ std::vector<Tensor> Cassle::ExtraParameters() {
   return distill_projector_->Parameters();
 }
 
+void Cassle::SaveExtra(io::BufferWriter* out) const {
+  out->WriteU8(teacher_ != nullptr ? 1 : 0);
+  out->WriteU8(teacher_active_ ? 1 : 0);
+  if (teacher_ != nullptr) teacher_->SerializeState(out);
+  out->WriteU8(distill_projector_ != nullptr ? 1 : 0);
+  if (distill_projector_ != nullptr) distill_projector_->SerializeState(out);
+}
+
+util::Status Cassle::LoadExtra(io::BufferReader* in) {
+  uint8_t has_teacher = 0;
+  uint8_t active = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU8(&has_teacher));
+  EDSR_RETURN_NOT_OK(in->ReadU8(&active));
+  if (active != 0 && has_teacher == 0) {
+    return util::Status::IoError("checkpoint marks a teacher active but "
+                                 "stores none");
+  }
+  if (has_teacher != 0) {
+    // Scratch rng: the fresh weights are immediately overwritten by the
+    // checkpointed state, and the strategy rng must not be perturbed —
+    // the uninterrupted run did not draw from it here.
+    util::Rng scratch(0);
+    teacher_ = ssl::Encoder::Make(context_.encoder, &scratch);
+    EDSR_RETURN_NOT_OK(teacher_->DeserializeState(in));
+    teacher_->SetRequiresGrad(false);
+    teacher_->SetTraining(false);
+  } else {
+    teacher_.reset();
+  }
+  teacher_active_ = active != 0;
+  uint8_t has_projector = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU8(&has_projector));
+  if (has_projector != 0) {
+    int64_t d = context_.encoder.representation_dim;
+    util::Rng scratch(0);
+    distill_projector_ =
+        std::make_unique<nn::Mlp>(std::vector<int64_t>{d, d, d}, &scratch);
+    EDSR_RETURN_NOT_OK(distill_projector_->DeserializeState(in));
+  } else {
+    distill_projector_.reset();
+  }
+  return util::Status::OK();
+}
+
 }  // namespace edsr::cl

@@ -41,6 +41,12 @@ class Cassle : public ContinualStrategy {
                                   const tensor::Tensor& view1,
                                   const tensor::Tensor& view2) override;
   std::vector<tensor::Tensor> ExtraParameters() override;
+  // Checkpoints the frozen teacher f̃ and the distillation projector p_dis.
+  // Restoring their *existence* matters as much as their weights: whether
+  // they already exist decides whether OnIncrementStart forks the strategy
+  // rng, so a resumed run must match the uninterrupted rng stream exactly.
+  void SaveExtra(io::BufferWriter* out) const override;
+  util::Status LoadExtra(io::BufferReader* in) override;
 
   // Frozen-teacher representation of a raw view batch (no gradient flow).
   tensor::Tensor TeacherForward(const tensor::Tensor& view, int64_t head);

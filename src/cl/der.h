@@ -28,6 +28,13 @@ class Der : public ContinualStrategy {
                                   const tensor::Tensor& view1,
                                   const tensor::Tensor& view2) override;
   void OnIncrementEnd(const data::Task& task) override;
+  // The buffer including the frozen backbone outputs it distills against.
+  void SaveExtra(io::BufferWriter* out) const override {
+    memory_.Serialize(out);
+  }
+  util::Status LoadExtra(io::BufferReader* in) override {
+    return memory_.Deserialize(in);
+  }
 
  private:
   DerOptions options_;

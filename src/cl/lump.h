@@ -26,6 +26,12 @@ class Lump : public ContinualStrategy {
                                   const tensor::Tensor& view1,
                                   const tensor::Tensor& view2) override;
   void OnIncrementEnd(const data::Task& task) override;
+  void SaveExtra(io::BufferWriter* out) const override {
+    memory_.Serialize(out);
+  }
+  util::Status LoadExtra(io::BufferReader* in) override {
+    return memory_.Deserialize(in);
+  }
 
  private:
   LumpOptions options_;

@@ -60,6 +60,51 @@ tensor::Tensor MemoryBuffer::GatherFeatures(
       std::move(batch), {static_cast<int64_t>(indices.size()), dim});
 }
 
+void MemoryBuffer::Serialize(io::BufferWriter* out) const {
+  out->WriteI64(per_task_budget_);
+  out->WriteU64(entries_.size());
+  for (const MemoryEntry& e : entries_) {
+    out->WriteFloats(e.features);
+    out->WriteI64(e.task_id);
+    out->WriteI64(e.source_index);
+    out->WriteI64(e.label);
+    out->WriteFloats(e.noise_scale);
+    out->WriteFloats(e.stored_output);
+  }
+}
+
+util::Status MemoryBuffer::Deserialize(io::BufferReader* in) {
+  int64_t budget = 0;
+  EDSR_RETURN_NOT_OK(in->ReadI64(&budget));
+  if (budget != per_task_budget_) {
+    return util::Status::InvalidArgument(
+        "memory budget mismatch: buffer has " +
+        std::to_string(per_task_budget_) + ", payload has " +
+        std::to_string(budget));
+  }
+  uint64_t count = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU64(&count));
+  std::vector<MemoryEntry> staged;
+  staged.reserve(static_cast<size_t>(
+      std::min<uint64_t>(count, in->remaining() / sizeof(int64_t))));
+  for (uint64_t i = 0; i < count; ++i) {
+    MemoryEntry e;
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&e.features));
+    EDSR_RETURN_NOT_OK(in->ReadI64(&e.task_id));
+    EDSR_RETURN_NOT_OK(in->ReadI64(&e.source_index));
+    EDSR_RETURN_NOT_OK(in->ReadI64(&e.label));
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&e.noise_scale));
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&e.stored_output));
+    if (e.features.empty()) {
+      return util::Status::IoError("memory entry " + std::to_string(i) +
+                                   " has no features");
+    }
+    staged.push_back(std::move(e));
+  }
+  entries_ = std::move(staged);
+  return util::Status::OK();
+}
+
 std::vector<std::vector<int64_t>> MemoryBuffer::GroupByTask(
     const std::vector<int64_t>& indices) const {
   int64_t max_task = 0;

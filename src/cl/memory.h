@@ -10,8 +10,10 @@
 
 #include <vector>
 
+#include "src/io/serialize.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace edsr::cl {
 
@@ -49,6 +51,15 @@ class MemoryBuffer {
   // Entry indices grouped by task id (heterogeneous/tabular replay).
   std::vector<std::vector<int64_t>> GroupByTask(
       const std::vector<int64_t>& indices) const;
+
+  // Bit-exact entry round-trip, including all side data (EDSR noise scales,
+  // DER stored outputs). The buffer *contents* are the experiment — replay
+  // strategies are defined by what was stored, so a resumed run must see
+  // the identical entries, not recomputed ones. Deserialize validates the
+  // stored budget against this buffer's, stages every entry, and only then
+  // replaces the contents; corrupt payloads return a Status.
+  void Serialize(io::BufferWriter* out) const;
+  util::Status Deserialize(io::BufferReader* in);
 
  private:
   int64_t per_task_budget_;

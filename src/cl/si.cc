@@ -83,6 +83,72 @@ void Si::AfterOptimizerStep() {
   }
 }
 
+namespace {
+
+void WriteBufferList(io::BufferWriter* out, const Si::BufferList& buffers) {
+  out->WriteU64(buffers.size());
+  for (const std::vector<float>& b : buffers) out->WriteFloats(b);
+}
+
+util::Status ReadBufferList(io::BufferReader* in,
+                            const std::vector<tensor::Tensor>& tracked,
+                            Si::BufferList* out) {
+  uint64_t count = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU64(&count));
+  // Each list is either empty (never initialized) or one buffer per tracked
+  // parameter with exactly that parameter's element count.
+  if (count != 0 && count != tracked.size()) {
+    return util::Status::InvalidArgument(
+        "SI buffer list count mismatch: tracked " +
+        std::to_string(tracked.size()) + ", payload has " +
+        std::to_string(count));
+  }
+  Si::BufferList staged(count);
+  for (uint64_t k = 0; k < count; ++k) {
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&staged[k]));
+    if (!staged[k].empty() &&
+        static_cast<int64_t>(staged[k].size()) != tracked[k].numel()) {
+      return util::Status::InvalidArgument(
+          "SI buffer size mismatch for parameter " + std::to_string(k));
+    }
+  }
+  *out = std::move(staged);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+void Si::SaveExtra(io::BufferWriter* out) const {
+  out->WriteU8(initialized_ ? 1 : 0);
+  WriteBufferList(out, omega_);
+  WriteBufferList(out, path_integral_);
+  WriteBufferList(out, anchor_);
+  WriteBufferList(out, increment_start_);
+}
+
+util::Status Si::LoadExtra(io::BufferReader* in) {
+  uint8_t initialized = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU8(&initialized));
+  BufferList omega;
+  BufferList path_integral;
+  BufferList anchor;
+  BufferList increment_start;
+  EDSR_RETURN_NOT_OK(ReadBufferList(in, tracked_, &omega));
+  EDSR_RETURN_NOT_OK(ReadBufferList(in, tracked_, &path_integral));
+  EDSR_RETURN_NOT_OK(ReadBufferList(in, tracked_, &anchor));
+  EDSR_RETURN_NOT_OK(ReadBufferList(in, tracked_, &increment_start));
+  if (initialized != 0 && (omega.empty() || anchor.empty())) {
+    return util::Status::IoError(
+        "initialized SI checkpoint is missing importance buffers");
+  }
+  initialized_ = initialized != 0;
+  omega_ = std::move(omega);
+  path_integral_ = std::move(path_integral);
+  anchor_ = std::move(anchor);
+  increment_start_ = std::move(increment_start);
+  return util::Status::OK();
+}
+
 void Si::OnIncrementEnd(const data::Task& task) {
   (void)task;
   for (size_t k = 0; k < tracked_.size(); ++k) {

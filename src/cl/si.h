@@ -24,6 +24,10 @@ struct SiOptions {
 
 class Si : public ContinualStrategy {
  public:
+  // One float buffer per tracked encoder parameter (public for the
+  // checkpoint helpers in si.cc).
+  using BufferList = std::vector<std::vector<float>>;
+
   Si(const StrategyContext& context, const SiOptions& options = {});
 
   // Total consolidated importance (diagnostics/tests).
@@ -38,9 +42,12 @@ class Si : public ContinualStrategy {
   void BeforeOptimizerStep() override;
   void AfterOptimizerStep() override;
   void OnIncrementEnd(const data::Task& task) override;
+  // Consolidated importance Ω, anchors θ*, and in-flight path integrals.
+  void SaveExtra(io::BufferWriter* out) const override;
+  util::Status LoadExtra(io::BufferReader* in) override;
 
  private:
-  using Buffers = std::vector<std::vector<float>>;
+  using Buffers = BufferList;
   void SnapshotInto(Buffers* buffers) const;
 
   SiOptions options_;

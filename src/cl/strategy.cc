@@ -46,19 +46,14 @@ Tensor ContinualStrategy::ViewOfRaw(const Tensor& raw,
   return views_->View(wrapper, all, &rng_);
 }
 
-void ContinualStrategy::LearnIncrement(const data::Task& task) {
-  EDSR_CHECK_GT(task.train.size(), 1)
-      << "increment " << task.task_id << " too small to train on";
-  if (encoder_->has_input_heads()) encoder_->SetActiveHead(task.task_id);
-  views_ = augment::ViewProvider::ForDataset(task.train);
-  encoder_->SetTraining(true);
-  loss_->SetTraining(true);
-
-  OnIncrementStart(task);
-
+std::vector<Tensor> ContinualStrategy::TrainedParameters() {
   std::vector<Tensor> params = encoder_->Parameters();
   for (const Tensor& p : loss_->Parameters()) params.push_back(p);
   for (const Tensor& p : ExtraParameters()) params.push_back(p);
+  return params;
+}
+
+void ContinualStrategy::BuildOptimizer(const std::vector<Tensor>& params) {
   if (context_.use_adam) {
     optim::AdamOptions options;
     options.lr = context_.adam_lr;
@@ -70,6 +65,20 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
     options.weight_decay = context_.weight_decay;
     optimizer_ = std::make_unique<optim::Sgd>(params, options);
   }
+}
+
+void ContinualStrategy::LearnIncrement(const data::Task& task) {
+  EDSR_CHECK_GT(task.train.size(), 1)
+      << "increment " << task.task_id << " too small to train on";
+  if (encoder_->has_input_heads()) encoder_->SetActiveHead(task.task_id);
+  views_ = augment::ViewProvider::ForDataset(task.train);
+  encoder_->SetTraining(true);
+  loss_->SetTraining(true);
+
+  OnIncrementStart(task);
+
+  std::vector<Tensor> params = TrainedParameters();
+  BuildOptimizer(params);
 
   data::BatchIterator iterator(task.train.size(), context_.batch_size, &rng_);
   std::vector<int64_t> batch;
@@ -98,6 +107,106 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
 
   OnIncrementEnd(task);
   ++increments_seen_;
+}
+
+util::Status ContinualStrategy::SaveTo(io::ContainerWriter* writer) {
+  EDSR_CHECK(writer != nullptr);
+  io::BufferWriter meta;
+  meta.WriteString(name_);
+  meta.WriteI64(increments_seen_);
+  writer->AddSection("strategy/meta", &meta);
+
+  io::BufferWriter encoder_state;
+  encoder_->SerializeState(&encoder_state);
+  writer->AddSection("strategy/encoder", &encoder_state);
+
+  io::BufferWriter loss_state;
+  if (nn::Module* m = loss_->module()) m->SerializeState(&loss_state);
+  writer->AddSection("strategy/loss", &loss_state);
+
+  io::BufferWriter rng_state;
+  rng_state.WriteString(rng_.SerializeState());
+  writer->AddSection("strategy/rng", &rng_state);
+
+  io::BufferWriter optimizer_state;
+  optimizer_state.WriteU8(optimizer_ != nullptr ? 1 : 0);
+  if (optimizer_ != nullptr) optimizer_->Serialize(&optimizer_state);
+  writer->AddSection("strategy/optimizer", &optimizer_state);
+
+  io::BufferWriter extra;
+  SaveExtra(&extra);
+  writer->AddSection("strategy/extra", &extra);
+  return util::Status::OK();
+}
+
+util::Status ContinualStrategy::LoadFrom(const io::ContainerReader& reader) {
+  std::vector<uint8_t> bytes;
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/meta", &bytes));
+  io::BufferReader meta(bytes);
+  std::string saved_name;
+  int64_t increments_seen = 0;
+  EDSR_RETURN_NOT_OK(meta.ReadString(&saved_name));
+  EDSR_RETURN_NOT_OK(meta.ReadI64(&increments_seen));
+  EDSR_RETURN_NOT_OK(meta.ExpectEnd());
+  if (saved_name != name_) {
+    return util::Status::InvalidArgument("checkpoint was written by strategy " +
+                                         saved_name + ", not " + name_);
+  }
+  if (increments_seen < 0) {
+    return util::Status::IoError("negative increment counter in checkpoint");
+  }
+
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/encoder", &bytes));
+  {
+    io::BufferReader in(bytes);
+    EDSR_RETURN_NOT_OK(encoder_->DeserializeState(&in));
+    EDSR_RETURN_NOT_OK(in.ExpectEnd());
+  }
+
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/loss", &bytes));
+  {
+    io::BufferReader in(bytes);
+    if (nn::Module* m = loss_->module()) {
+      EDSR_RETURN_NOT_OK(m->DeserializeState(&in));
+    }
+    EDSR_RETURN_NOT_OK(in.ExpectEnd());
+  }
+
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/rng", &bytes));
+  {
+    io::BufferReader in(bytes);
+    std::string engine_state;
+    EDSR_RETURN_NOT_OK(in.ReadString(&engine_state));
+    EDSR_RETURN_NOT_OK(in.ExpectEnd());
+    EDSR_RETURN_NOT_OK(rng_.DeserializeState(engine_state));
+  }
+
+  // Extras restore the teacher/projector/memory before the optimizer is
+  // rebuilt: ExtraParameters() must already see the restored modules so the
+  // moment buffers line up with the optimizer order of LearnIncrement.
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/extra", &bytes));
+  {
+    io::BufferReader in(bytes);
+    EDSR_RETURN_NOT_OK(LoadExtra(&in));
+    EDSR_RETURN_NOT_OK(in.ExpectEnd());
+  }
+
+  EDSR_RETURN_NOT_OK(reader.ReadSection("strategy/optimizer", &bytes));
+  {
+    io::BufferReader in(bytes);
+    uint8_t has_optimizer = 0;
+    EDSR_RETURN_NOT_OK(in.ReadU8(&has_optimizer));
+    if (has_optimizer != 0) {
+      BuildOptimizer(TrainedParameters());
+      EDSR_RETURN_NOT_OK(optimizer_->Deserialize(&in));
+    } else {
+      optimizer_.reset();
+    }
+    EDSR_RETURN_NOT_OK(in.ExpectEnd());
+  }
+
+  increments_seen_ = increments_seen;
+  return util::Status::OK();
 }
 
 }  // namespace edsr::cl

@@ -22,6 +22,7 @@
 #include "src/augment/view_provider.h"
 #include "src/cl/strategy_context.h"
 #include "src/data/task_sequence.h"
+#include "src/io/container.h"
 #include "src/optim/optimizer.h"
 
 namespace edsr::cl {
@@ -38,10 +39,20 @@ class ContinualStrategy {
 
   ssl::Encoder* encoder() { return encoder_.get(); }
   ssl::CsslLoss* loss() { return loss_.get(); }
+  optim::Optimizer* optimizer() { return optimizer_.get(); }
   const std::string& name() const { return name_; }
   const StrategyContext& context() const { return context_; }
   int64_t increments_seen() const { return increments_seen_; }
   util::Rng* rng() { return &rng_; }
+
+  // ---- Checkpointing -----------------------------------------------------
+  // Writes the strategy's complete learned state — encoder, loss module,
+  // optimizer moments, rng engine, increment counter, and subclass extras
+  // (SaveExtra) — as "strategy/..." sections of a run checkpoint. Restoring
+  // the sections into a freshly constructed strategy with the same context
+  // reproduces the bit-identical training continuation.
+  util::Status SaveTo(io::ContainerWriter* writer);
+  util::Status LoadFrom(const io::ContainerReader& reader);
 
  protected:
   // ---- Hooks -----------------------------------------------------------
@@ -57,6 +68,20 @@ class ContinualStrategy {
   virtual void AfterOptimizerStep() {}
   // Additional trainable parameters beyond encoder + loss (e.g. p_dis).
   virtual std::vector<tensor::Tensor> ExtraParameters() { return {}; }
+  // Strategy-owned state beyond the base fields: frozen teachers, memory
+  // buffers, importance accumulators. SaveExtra appends to the payload;
+  // LoadExtra must consume exactly what SaveExtra wrote, validating sizes,
+  // and must not draw from the strategy rng (restored separately).
+  virtual void SaveExtra(io::BufferWriter* out) const { (void)out; }
+  virtual util::Status LoadExtra(io::BufferReader* in) {
+    (void)in;
+    return util::Status::OK();
+  }
+
+  // Encoder + loss + ExtraParameters, in optimizer order.
+  std::vector<tensor::Tensor> TrainedParameters();
+  // (Re)creates the optimizer over `params` per the context's regime.
+  void BuildOptimizer(const std::vector<tensor::Tensor>& params);
 
   // Augmented view of arbitrary dataset rows using this increment's
   // view provider.

@@ -1,8 +1,10 @@
 #include "src/cl/trainer.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "src/eval/representations.h"
+#include "src/io/container.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
@@ -25,30 +27,184 @@ double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
   return knn.Evaluate(queries, task.test.labels());
 }
 
-ContinualRunResult RunContinual(ContinualStrategy* strategy,
-                                const data::TaskSequence& sequence,
-                                const EvalOptions& options) {
-  EDSR_CHECK(strategy != nullptr);
-  ContinualRunResult result{eval::AccuracyMatrix(sequence.num_tasks())};
-  util::Stopwatch total;
-  for (int64_t i = 0; i < sequence.num_tasks(); ++i) {
+namespace {
+
+// Run-snapshot sub-format inside the io:: container ("run/..." sections).
+constexpr uint32_t kRunCheckpointVersion = 1;
+
+std::string CheckpointPath(const CheckpointOptions& checkpoint) {
+  return checkpoint.directory + "/" + checkpoint.filename;
+}
+
+// The shared increment loop: learns increments [first, num_tasks), filling
+// matrix rows and (when enabled) snapshotting after each boundary.
+void RunIncrementsFrom(ContinualStrategy* strategy,
+                       const data::TaskSequence& sequence,
+                       const EvalOptions& options,
+                       const CheckpointOptions& checkpoint, int64_t first,
+                       ContinualRunResult* result) {
+  const bool checkpointing = !checkpoint.directory.empty();
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint.directory, ec);
+    EDSR_CHECK(!ec) << "cannot create checkpoint directory "
+                    << checkpoint.directory << ": " << ec.message();
+  }
+  for (int64_t i = first; i < sequence.num_tasks(); ++i) {
     util::Stopwatch train_watch;
     strategy->LearnIncrement(sequence.task(i));
-    result.train_seconds += train_watch.ElapsedSeconds();
+    result->train_seconds += train_watch.ElapsedSeconds();
 
     util::Stopwatch eval_watch;
     for (int64_t j = 0; j <= i; ++j) {
       double acc =
           EvaluateTask(strategy->encoder(), sequence.task(j), options);
-      result.matrix.Set(i, j, acc);
+      result->matrix.Set(i, j, acc);
     }
-    result.eval_seconds += eval_watch.ElapsedSeconds();
+    result->eval_seconds += eval_watch.ElapsedSeconds();
     EDSR_LOG(Debug) << strategy->name() << " after task " << i << ": Acc="
-                    << result.matrix.Acc(i) * 100.0
-                    << " Fgt=" << result.matrix.Fgt(i) * 100.0;
+                    << result->matrix.Acc(i) * 100.0
+                    << " Fgt=" << result->matrix.Fgt(i) * 100.0;
+    if (checkpointing) {
+      // Fail fast: silently continuing without fault tolerance would defeat
+      // the point of asking for it.
+      SaveRunCheckpoint(CheckpointPath(checkpoint), strategy, *result, i + 1)
+          .Check();
+    }
+    if (checkpoint.stop_after_increment >= 0 &&
+        i >= checkpoint.stop_after_increment) {
+      break;
+    }
   }
-  (void)total;
+}
+
+}  // namespace
+
+ContinualRunResult RunContinual(ContinualStrategy* strategy,
+                                const data::TaskSequence& sequence,
+                                const EvalOptions& options) {
+  return RunContinual(strategy, sequence, options, CheckpointOptions{});
+}
+
+ContinualRunResult RunContinual(ContinualStrategy* strategy,
+                                const data::TaskSequence& sequence,
+                                const EvalOptions& options,
+                                const CheckpointOptions& checkpoint) {
+  EDSR_CHECK(strategy != nullptr);
+  ContinualRunResult result{eval::AccuracyMatrix(sequence.num_tasks())};
+  RunIncrementsFrom(strategy, sequence, options, checkpoint, 0, &result);
   return result;
+}
+
+util::Status ResumeContinual(ContinualStrategy* strategy,
+                             const data::TaskSequence& sequence,
+                             const EvalOptions& options,
+                             const CheckpointOptions& checkpoint,
+                             ContinualRunResult* result) {
+  EDSR_CHECK(strategy != nullptr);
+  EDSR_CHECK(result != nullptr);
+  EDSR_CHECK(!checkpoint.directory.empty())
+      << "ResumeContinual needs a checkpoint directory";
+  ContinualRunResult restored{eval::AccuracyMatrix(sequence.num_tasks())};
+  int64_t next_increment = 0;
+  EDSR_RETURN_NOT_OK(LoadRunCheckpoint(CheckpointPath(checkpoint), strategy,
+                                       &restored, &next_increment));
+  RunIncrementsFrom(strategy, sequence, options, checkpoint, next_increment,
+                    &restored);
+  *result = restored;
+  return util::Status::OK();
+}
+
+util::Status SaveRunCheckpoint(const std::string& path,
+                               ContinualStrategy* strategy,
+                               const ContinualRunResult& result,
+                               int64_t next_increment) {
+  EDSR_CHECK(strategy != nullptr);
+  const eval::AccuracyMatrix& matrix = result.matrix;
+  io::ContainerWriter writer(path);
+
+  io::BufferWriter meta;
+  meta.WriteU32(kRunCheckpointVersion);
+  meta.WriteI64(next_increment);
+  meta.WriteI64(matrix.num_tasks());
+  meta.WriteF64(result.train_seconds);
+  meta.WriteF64(result.eval_seconds);
+  writer.AddSection("run/meta", &meta);
+
+  io::BufferWriter cells;
+  for (int64_t i = 0; i < matrix.num_tasks(); ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      cells.WriteU8(matrix.IsSet(i, j) ? 1 : 0);
+      cells.WriteF64(matrix.IsSet(i, j) ? matrix.Get(i, j) : 0.0);
+    }
+  }
+  writer.AddSection("run/matrix", &cells);
+
+  EDSR_RETURN_NOT_OK(strategy->SaveTo(&writer));
+  return writer.Finish();
+}
+
+util::Status LoadRunCheckpoint(const std::string& path,
+                               ContinualStrategy* strategy,
+                               ContinualRunResult* result,
+                               int64_t* next_increment) {
+  EDSR_CHECK(strategy != nullptr);
+  EDSR_CHECK(result != nullptr);
+  EDSR_CHECK(next_increment != nullptr);
+  util::Result<io::ContainerReader> opened = io::ContainerReader::Open(path);
+  if (!opened.ok()) return opened.status();
+  const io::ContainerReader& reader = *opened;
+
+  std::vector<uint8_t> bytes;
+  EDSR_RETURN_NOT_OK(reader.ReadSection("run/meta", &bytes));
+  io::BufferReader meta(bytes);
+  uint32_t version = 0;
+  int64_t next = 0;
+  int64_t num_tasks = 0;
+  EDSR_RETURN_NOT_OK(meta.ReadU32(&version));
+  if (version != kRunCheckpointVersion) {
+    return util::Status::InvalidArgument(
+        path + ": unsupported run-checkpoint version " +
+        std::to_string(version));
+  }
+  EDSR_RETURN_NOT_OK(meta.ReadI64(&next));
+  EDSR_RETURN_NOT_OK(meta.ReadI64(&num_tasks));
+  EDSR_RETURN_NOT_OK(meta.ReadF64(&result->train_seconds));
+  EDSR_RETURN_NOT_OK(meta.ReadF64(&result->eval_seconds));
+  EDSR_RETURN_NOT_OK(meta.ExpectEnd());
+  if (num_tasks != result->matrix.num_tasks()) {
+    return util::Status::InvalidArgument(
+        path + ": checkpoint covers " + std::to_string(num_tasks) +
+        " increments, sequence has " +
+        std::to_string(result->matrix.num_tasks()));
+  }
+  if (next < 0 || next > num_tasks) {
+    return util::Status::IoError(path + ": next-increment index " +
+                                 std::to_string(next) + " out of range");
+  }
+
+  EDSR_RETURN_NOT_OK(reader.ReadSection("run/matrix", &bytes));
+  io::BufferReader cells(bytes);
+  for (int64_t i = 0; i < num_tasks; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      uint8_t is_set = 0;
+      double value = 0.0;
+      EDSR_RETURN_NOT_OK(cells.ReadU8(&is_set));
+      EDSR_RETURN_NOT_OK(cells.ReadF64(&value));
+      if (is_set == 0) continue;
+      // AccuracyMatrix::Set aborts outside [0, 1]; corrupt floats must
+      // surface as a Status instead.
+      if (!(value >= 0.0 && value <= 1.0)) {
+        return util::Status::IoError(path + ": accuracy cell out of range");
+      }
+      result->matrix.Set(i, j, value);
+    }
+  }
+  EDSR_RETURN_NOT_OK(cells.ExpectEnd());
+
+  EDSR_RETURN_NOT_OK(strategy->LoadFrom(reader));
+  *next_increment = next;
+  return util::Status::OK();
 }
 
 double MultitaskAccuracy(const StrategyContext& context,

@@ -21,6 +21,23 @@ struct ContinualRunResult {
   double eval_seconds = 0.0;
 };
 
+// Increment-boundary checkpointing for continual runs. A continual run is
+// the longest-lived process in this codebase; a crash in increment n would
+// otherwise lose every learned increment, the frozen teacher, and the
+// selected memory. With a non-empty directory, RunContinual atomically
+// writes a full run snapshot (strategy state + accuracy-matrix rows +
+// next-increment index) after every completed increment, and
+// ResumeContinual restores it and continues — producing a bit-identical
+// accuracy matrix to an uninterrupted run.
+struct CheckpointOptions {
+  std::string directory;  // empty = checkpointing disabled
+  std::string filename = "run.ckpt";
+  // Return (still checkpointed) after this increment completes; -1 runs to
+  // the end. Lets a run be split across process lifetimes and lets tests
+  // simulate a kill at an exact boundary.
+  int64_t stop_after_increment = -1;
+};
+
 // KNN accuracy on one increment: bank = task.train representations,
 // queries = task.test (the LUMP/CaSSLe per-task protocol).
 double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
@@ -31,6 +48,35 @@ double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
 ContinualRunResult RunContinual(ContinualStrategy* strategy,
                                 const data::TaskSequence& sequence,
                                 const EvalOptions& options);
+// As above, with increment-boundary checkpointing.
+ContinualRunResult RunContinual(ContinualStrategy* strategy,
+                                const data::TaskSequence& sequence,
+                                const EvalOptions& options,
+                                const CheckpointOptions& checkpoint);
+
+// Restores the snapshot in checkpoint.directory into `strategy` — which must
+// be freshly constructed with the same context/seed and strategy kind — and
+// continues the run to completion (still checkpointing). Returns a clean
+// error Status on a missing, truncated, or corrupt checkpoint; the matrix in
+// `result` is only valid when the returned Status is OK.
+util::Status ResumeContinual(ContinualStrategy* strategy,
+                             const data::TaskSequence& sequence,
+                             const EvalOptions& options,
+                             const CheckpointOptions& checkpoint,
+                             ContinualRunResult* result);
+
+// The snapshot primitives behind the two functions above, exposed for tests
+// and external schedulers. SaveRunCheckpoint writes atomically (temp file +
+// rename); LoadRunCheckpoint validates everything and never crashes on
+// corrupt input. `next_increment` is the first increment still to learn.
+util::Status SaveRunCheckpoint(const std::string& path,
+                               ContinualStrategy* strategy,
+                               const ContinualRunResult& result,
+                               int64_t next_increment);
+util::Status LoadRunCheckpoint(const std::string& path,
+                               ContinualStrategy* strategy,
+                               ContinualRunResult* result,
+                               int64_t* next_increment);
 
 // Multitask upper bound: joint training on all increments at once.
 // Homogeneous sequences merge the data; heterogeneous (tabular) sequences

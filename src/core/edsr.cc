@@ -109,6 +109,16 @@ Tensor Edsr::GroupReplayLoss(const data::Task& task,
   return Tensor();
 }
 
+void Edsr::SaveExtra(io::BufferWriter* out) const {
+  cl::Cassle::SaveExtra(out);
+  memory_.Serialize(out);
+}
+
+util::Status Edsr::LoadExtra(io::BufferReader* in) {
+  EDSR_RETURN_NOT_OK(cl::Cassle::LoadExtra(in));
+  return memory_.Deserialize(in);
+}
+
 std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
   int64_t n = task.train.size();
   int64_t d = encoder_->representation_dim();

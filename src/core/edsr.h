@@ -67,6 +67,11 @@ class Edsr : public cl::Cassle {
                                   const tensor::Tensor& view1,
                                   const tensor::Tensor& view2) override;
   void OnIncrementEnd(const data::Task& task) override;
+  // CaSSLe's teacher/projector plus the selected memory {M^i} with its
+  // per-sample r(x^m) noise scales — the selection *is* the experiment, so
+  // resume must restore the stored entries, never re-select them.
+  void SaveExtra(io::BufferWriter* out) const override;
+  util::Status LoadExtra(io::BufferReader* in) override;
 
  private:
   // The Σ_{x^m} ½ L_rpl term; undefined tensor when replay is inactive.

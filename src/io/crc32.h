@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for checkpoint
+// section integrity. Matches zlib's crc32: Crc32("123456789") == 0xCBF43926.
+#ifndef EDSR_SRC_IO_CRC32_H_
+#define EDSR_SRC_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace edsr::io {
+
+// One-shot CRC of a byte range. `seed` allows incremental computation:
+// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace edsr::io
+
+#endif  // EDSR_SRC_IO_CRC32_H_

@@ -1,7 +1,10 @@
 #include "src/nn/module.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+
+#include "src/io/container.h"
 
 namespace edsr::nn {
 
@@ -59,62 +62,108 @@ void Module::CopyStateFrom(const Module& other) {
   }
 }
 
-util::Status Module::SaveState(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return util::Status::IoError("cannot open " + path);
+namespace {
+// The per-entry record layout is shared by the container payload and the
+// legacy raw dump: u64 name length | name | u64 ndim | i64 dims | f32 data.
+constexpr char kModuleSection[] = "module_state";
+// Sanity bound on serialized tensor rank; anything larger is corruption.
+constexpr uint64_t kMaxStateRank = 64;
+}  // namespace
+
+void Module::SerializeState(io::BufferWriter* out) const {
   std::vector<NamedTensor> state = NamedState();
-  uint64_t count = state.size();
-  file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out->WriteU64(state.size());
   for (const NamedTensor& nt : state) {
-    uint64_t name_len = nt.name.size();
-    file.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-    file.write(nt.name.data(), static_cast<std::streamsize>(name_len));
-    uint64_t ndim = nt.value.shape().size();
-    file.write(reinterpret_cast<const char*>(&ndim), sizeof(ndim));
-    for (int64_t d : nt.value.shape()) {
-      file.write(reinterpret_cast<const char*>(&d), sizeof(d));
-    }
-    file.write(reinterpret_cast<const char*>(nt.value.data().data()),
-               static_cast<std::streamsize>(nt.value.numel() * sizeof(float)));
+    out->WriteString(nt.name);
+    out->WriteU64(nt.value.shape().size());
+    for (int64_t d : nt.value.shape()) out->WriteI64(d);
+    out->WriteBytes(nt.value.data().data(), nt.value.numel() * sizeof(float));
   }
-  if (!file) return util::Status::IoError("write failed for " + path);
-  return util::Status::OK();
 }
 
-util::Status Module::LoadState(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return util::Status::IoError("cannot open " + path);
+util::Status Module::DeserializeState(io::BufferReader* in) {
   std::vector<NamedTensor> state = NamedState();
   uint64_t count = 0;
-  file.read(reinterpret_cast<char*>(&count), sizeof(count));
+  EDSR_RETURN_NOT_OK(in->ReadU64(&count));
   if (count != state.size()) {
     return util::Status::InvalidArgument(
-        "state entry count mismatch loading " + path);
+        "state entry count mismatch: module has " +
+        std::to_string(state.size()) + ", payload has " +
+        std::to_string(count));
   }
-  for (NamedTensor& nt : state) {
-    uint64_t name_len = 0;
-    file.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
-    std::string name(name_len, '\0');
-    file.read(name.data(), static_cast<std::streamsize>(name_len));
+  // Stage everything first: no parameter is touched until the whole payload
+  // has parsed and matched the module's structure, so a mid-payload mismatch
+  // cannot leave the module half-loaded.
+  std::vector<std::vector<float>> staged(state.size());
+  for (size_t i = 0; i < state.size(); ++i) {
+    const NamedTensor& nt = state[i];
+    std::string name;
+    EDSR_RETURN_NOT_OK(in->ReadString(&name));
     if (name != nt.name) {
       return util::Status::InvalidArgument("state name mismatch: expected " +
                                            nt.name + ", found " + name);
     }
     uint64_t ndim = 0;
-    file.read(reinterpret_cast<char*>(&ndim), sizeof(ndim));
+    EDSR_RETURN_NOT_OK(in->ReadU64(&ndim));
+    if (ndim > kMaxStateRank) {
+      return util::Status::IoError("implausible tensor rank " +
+                                   std::to_string(ndim) + " for " + nt.name);
+    }
     tensor::Shape shape(ndim);
     for (uint64_t d = 0; d < ndim; ++d) {
-      file.read(reinterpret_cast<char*>(&shape[d]), sizeof(int64_t));
+      EDSR_RETURN_NOT_OK(in->ReadI64(&shape[d]));
     }
     if (shape != nt.value.shape()) {
       return util::Status::InvalidArgument("state shape mismatch for " +
                                            nt.name);
     }
-    file.read(reinterpret_cast<char*>(nt.value.mutable_data().data()),
-              static_cast<std::streamsize>(nt.value.numel() * sizeof(float)));
-    if (!file) return util::Status::IoError("truncated state file " + path);
+    staged[i].resize(static_cast<size_t>(nt.value.numel()));
+    EDSR_RETURN_NOT_OK(
+        in->ReadBytes(staged[i].data(), staged[i].size() * sizeof(float)));
+  }
+  for (size_t i = 0; i < state.size(); ++i) {
+    state[i].value.mutable_data() = std::move(staged[i]);
   }
   return util::Status::OK();
+}
+
+util::Status Module::SaveState(const std::string& path) const {
+  io::BufferWriter payload;
+  SerializeState(&payload);
+  io::ContainerWriter writer(path);
+  writer.AddSection(kModuleSection, &payload);
+  return writer.Finish();
+}
+
+util::Status Module::LoadState(const std::string& path) {
+  // Peek the magic to route between the container and the legacy raw dump.
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return util::Status::IoError("cannot open " + path);
+  char magic[sizeof(io::kContainerMagic)] = {};
+  probe.read(magic, sizeof(magic));
+  const bool is_container =
+      probe.gcount() == static_cast<std::streamsize>(sizeof(magic)) &&
+      std::memcmp(magic, io::kContainerMagic, sizeof(magic)) == 0;
+
+  std::vector<uint8_t> payload;
+  if (is_container) {
+    util::Result<io::ContainerReader> reader = io::ContainerReader::Open(path);
+    if (!reader.ok()) return reader.status();
+    EDSR_RETURN_NOT_OK((*reader).ReadSection(kModuleSection, &payload));
+  } else {
+    // Legacy pre-container dump: the bare record stream, no integrity data.
+    // Loading it still goes through the bounds-checked staged parser.
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) return util::Status::IoError("cannot open " + path);
+    payload.resize(static_cast<size_t>(file.tellg()));
+    file.seekg(0);
+    file.read(reinterpret_cast<char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    if (!file) return util::Status::IoError("read failed for " + path);
+  }
+  io::BufferReader in(payload);
+  EDSR_RETURN_NOT_OK(DeserializeState(&in));
+  return in.ExpectEnd();
 }
 
 tensor::Tensor Module::RegisterParameter(const std::string& name,

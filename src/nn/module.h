@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/io/serialize.h"
 #include "src/tensor/tensor.h"
 #include "src/util/status.h"
 
@@ -49,9 +50,19 @@ class Module {
   // module (used to snapshot the pre-increment teacher f~).
   void CopyStateFrom(const Module& other);
 
-  // Binary round-trippable state (de)serialization.
+  // Binary round-trippable state (de)serialization. SaveState writes a
+  // versioned io:: container (atomic temp-file + rename); LoadState reads
+  // that container and still accepts the legacy raw dump this repo wrote
+  // before the container existed. Both validate every size against the
+  // bytes actually present and stage the full state before mutating any
+  // parameter, so corrupt input yields a Status and an untouched module.
   util::Status SaveState(const std::string& path) const;
   util::Status LoadState(const std::string& path);
+
+  // Raw payload forms, for embedding a module inside a larger checkpoint
+  // (run snapshots serialize the encoder, teacher, and projectors this way).
+  void SerializeState(io::BufferWriter* out) const;
+  util::Status DeserializeState(io::BufferReader* in);
 
  protected:
   // Registration helpers; returns the stored handle.

@@ -6,9 +6,12 @@
 #ifndef EDSR_SRC_OPTIM_OPTIMIZER_H_
 #define EDSR_SRC_OPTIM_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
+#include "src/io/serialize.h"
 #include "src/tensor/tensor.h"
+#include "src/util/status.h"
 
 namespace edsr::optim {
 
@@ -21,11 +24,29 @@ class Optimizer {
   virtual void Step() = 0;
   void ZeroGrad();
 
+  // Stable tag identifying the update rule ("sgd", "adam") — checkpoints
+  // refuse to restore moments across optimizer kinds.
+  virtual std::string kind() const = 0;
+
+  // Exact internal-state round-trip (lr + per-parameter moment buffers).
+  // Deserialize validates the payload against the live parameter list
+  // (kind, count, per-tensor sizes) and stages the moment buffers before
+  // swapping any in; mismatch or truncation returns a Status.
+  virtual void Serialize(io::BufferWriter* out) const;
+  virtual util::Status Deserialize(io::BufferReader* in);
+
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
   size_t num_parameters() const { return parameters_.size(); }
 
  protected:
+  // Reads a list of per-parameter buffers, validating that the count and
+  // every buffer size match `parameters_` before assigning to `out`.
+  util::Status ReadMoments(io::BufferReader* in,
+                           std::vector<std::vector<float>>* out) const;
+  void WriteMoments(io::BufferWriter* out,
+                    const std::vector<std::vector<float>>& moments) const;
+
   std::vector<tensor::Tensor> parameters_;
   float lr_;
 };
@@ -40,6 +61,9 @@ class Sgd : public Optimizer {
  public:
   Sgd(std::vector<tensor::Tensor> parameters, const SgdOptions& options);
   void Step() override;
+  std::string kind() const override { return "sgd"; }
+  void Serialize(io::BufferWriter* out) const override;
+  util::Status Deserialize(io::BufferReader* in) override;
 
  private:
   SgdOptions options_;
@@ -58,6 +82,9 @@ class Adam : public Optimizer {
  public:
   Adam(std::vector<tensor::Tensor> parameters, const AdamOptions& options);
   void Step() override;
+  std::string kind() const override { return "adam"; }
+  void Serialize(io::BufferWriter* out) const override;
+  util::Status Deserialize(io::BufferReader* in) override;
 
  private:
   AdamOptions options_;

@@ -34,6 +34,10 @@ class CsslLoss {
   virtual std::vector<tensor::Tensor> Parameters() = 0;
   virtual void SetTraining(bool training) = 0;
   virtual std::string name() const = 0;
+
+  // The loss's stateful submodule for checkpointing (parameters *and*
+  // buffers such as batch-norm running stats); nullptr when stateless.
+  virtual nn::Module* module() { return nullptr; }
 };
 
 // SimSiam (Eq. 3): L = -1/2 [ cos(h(z1), sg(z2)) + cos(h(z2), sg(z1)) ],
@@ -50,6 +54,7 @@ class SimSiamLoss : public CsslLoss {
   std::vector<tensor::Tensor> Parameters() override;
   void SetTraining(bool training) override;
   std::string name() const override { return "simsiam"; }
+  nn::Module* module() override { return predictor_.get(); }
 
   nn::Mlp* predictor() { return predictor_.get(); }
 

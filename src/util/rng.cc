@@ -1,6 +1,25 @@
 #include "src/util/rng.h"
 
+#include <sstream>
+
 namespace edsr::util {
+
+std::string Rng::SerializeState() const {
+  std::ostringstream out;
+  out << engine_;
+  return out.str();
+}
+
+Status Rng::DeserializeState(const std::string& text) {
+  std::istringstream in(text);
+  std::mt19937_64 restored;
+  in >> restored;
+  if (in.fail()) {
+    return Status::IoError("malformed mt19937_64 state string");
+  }
+  engine_ = restored;
+  return Status::OK();
+}
 
 int64_t Rng::Categorical(const std::vector<float>& weights) {
   EDSR_CHECK(!weights.empty());

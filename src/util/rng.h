@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "src/util/check.h"
+#include "src/util/status.h"
 
 namespace edsr::util {
 
@@ -82,6 +84,11 @@ class Rng {
 
   // Deterministically derive a child generator (for sub-components).
   Rng Fork() { return Rng(engine_()); }
+
+  // Exact engine-state round-trip (the standard textual mt19937_64
+  // serialization), so a restored Rng continues the identical stream.
+  std::string SerializeState() const;
+  Status DeserializeState(const std::string& text);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,0 +1,247 @@
+// Run-level checkpoint/resume tests: strategy SaveTo/LoadFrom round trips
+// and the headline guarantee — a run interrupted at an increment boundary
+// and resumed from its checkpoint produces the bit-identical accuracy
+// matrix, memory contents, and encoder weights of an uninterrupted run.
+#include "src/cl/trainer.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/cl/si.h"
+#include "src/core/edsr.h"
+#include "src/data/synthetic.h"
+
+namespace edsr {
+namespace {
+
+using cl::CheckpointOptions;
+using cl::ContinualRunResult;
+using cl::EvalOptions;
+using cl::StrategyContext;
+using data::TaskSequence;
+
+StrategyContext TinyContext(uint64_t seed = 0) {
+  StrategyContext context;
+  context.encoder.mlp_dims = {48, 32, 32};
+  context.encoder.projector_hidden = 32;
+  context.encoder.representation_dim = 16;
+  context.epochs = 2;
+  context.batch_size = 16;
+  context.memory_per_task = 8;
+  context.replay_batch_size = 8;
+  context.seed = seed;
+  return context;
+}
+
+TaskSequence TinySequence(uint64_t seed, int64_t tasks) {
+  data::SyntheticImageConfig config;
+  config.name = "tiny";
+  config.num_classes = 2 * tasks;
+  config.train_per_class = 16;
+  config.test_per_class = 8;
+  config.geometry = {3, 4, 4};
+  config.latent_dim = 6;
+  config.class_separation = 3.5f;
+  config.seed = seed;
+  auto pair = MakeSyntheticImageData(config);
+  return TaskSequence::SplitByClasses(pair.train, pair.test, tasks, nullptr);
+}
+
+std::string TestDir(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::vector<std::vector<float>> StateValues(const nn::Module& module) {
+  std::vector<std::vector<float>> values;
+  for (const nn::NamedTensor& entry : module.NamedState()) {
+    values.push_back(entry.value.data());
+  }
+  return values;
+}
+
+void ExpectSameMatrix(const eval::AccuracyMatrix& actual,
+                      const eval::AccuracyMatrix& expected) {
+  ASSERT_EQ(actual.num_tasks(), expected.num_tasks());
+  for (int64_t i = 0; i < expected.num_tasks(); ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      ASSERT_EQ(actual.IsSet(i, j), expected.IsSet(i, j))
+          << "cell (" << i << ", " << j << ")";
+      if (!expected.IsSet(i, j)) continue;
+      // Bit-for-bit, not approximate: resume must replay the exact
+      // trajectory of an uninterrupted run.
+      EXPECT_EQ(actual.Get(i, j), expected.Get(i, j))
+          << "cell (" << i << ", " << j << ")";
+    }
+  }
+}
+
+void ExpectSameMemory(const cl::MemoryBuffer& actual,
+                      const cl::MemoryBuffer& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (int64_t i = 0; i < expected.size(); ++i) {
+    const cl::MemoryEntry& x = expected.entry(i);
+    const cl::MemoryEntry& y = actual.entry(i);
+    EXPECT_EQ(y.features, x.features) << "entry " << i;
+    EXPECT_EQ(y.task_id, x.task_id) << "entry " << i;
+    EXPECT_EQ(y.source_index, x.source_index) << "entry " << i;
+    EXPECT_EQ(y.label, x.label) << "entry " << i;
+    EXPECT_EQ(y.noise_scale, x.noise_scale) << "entry " << i;
+    EXPECT_EQ(y.stored_output, x.stored_output) << "entry " << i;
+  }
+}
+
+// ---- Strategy SaveTo / LoadFrom ---------------------------------------
+
+TEST(StrategyCheckpoint, SiRoundTripRestoresEverything) {
+  TaskSequence sequence = TinySequence(11, 2);
+  cl::Si trained(TinyContext(5));
+  trained.LearnIncrement(sequence.task(0));
+
+  std::string path = TestDir("si_strategy.ckpt");
+  io::ContainerWriter writer(path);
+  trained.SaveTo(&writer).Check();
+  writer.Finish().Check();
+
+  util::Result<io::ContainerReader> reader = io::ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  cl::Si restored(TinyContext(5));
+  restored.LoadFrom(*reader).Check();
+
+  EXPECT_EQ(restored.increments_seen(), trained.increments_seen());
+  EXPECT_EQ(StateValues(*restored.encoder()), StateValues(*trained.encoder()));
+  EXPECT_EQ(restored.TotalImportance(), trained.TotalImportance());
+  EXPECT_EQ(restored.rng()->SerializeState(), trained.rng()->SerializeState());
+
+  // The restored strategy must *continue* identically, not merely look
+  // identical at rest.
+  trained.LearnIncrement(sequence.task(1));
+  restored.LearnIncrement(sequence.task(1));
+  EXPECT_EQ(StateValues(*restored.encoder()), StateValues(*trained.encoder()));
+  std::remove(path.c_str());
+}
+
+TEST(StrategyCheckpoint, RejectsStrategyKindMismatch) {
+  cl::Finetune finetune(TinyContext(1));
+  std::string path = TestDir("kind_mismatch.ckpt");
+  io::ContainerWriter writer(path);
+  finetune.SaveTo(&writer).Check();
+  writer.Finish().Check();
+
+  util::Result<io::ContainerReader> reader = io::ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  cl::Si si(TinyContext(1));
+  util::Status status = si.LoadFrom(*reader);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+// ---- Exact resume -----------------------------------------------------
+
+TEST(Resume, EdsrResumesBitIdenticalToStraightRun) {
+  const int64_t kTasks = 4;
+  const EvalOptions eval_options;
+
+  // The uninterrupted reference run.
+  TaskSequence straight_seq = TinySequence(21, kTasks);
+  core::Edsr straight(TinyContext(9));
+  ContinualRunResult reference =
+      RunContinual(&straight, straight_seq, eval_options);
+
+  // The same run, killed after increment 2 (index 1) and resumed from the
+  // checkpoint by a *fresh* strategy object — i.e. a new process.
+  TaskSequence resumed_seq = TinySequence(21, kTasks);
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("edsr_resume");
+  {
+    core::Edsr interrupted(TinyContext(9));
+    CheckpointOptions until_kill = checkpoint;
+    until_kill.stop_after_increment = 1;
+    RunContinual(&interrupted, resumed_seq, eval_options, until_kill);
+  }
+  core::Edsr resumed(TinyContext(9));
+  ContinualRunResult continued{eval::AccuracyMatrix(kTasks)};
+  ResumeContinual(&resumed, resumed_seq, eval_options, checkpoint, &continued)
+      .Check();
+
+  ExpectSameMatrix(continued.matrix, reference.matrix);
+  ExpectSameMemory(resumed.memory(), straight.memory());
+  EXPECT_EQ(StateValues(*resumed.encoder()), StateValues(*straight.encoder()));
+  std::remove((checkpoint.directory + "/run.ckpt").c_str());
+}
+
+TEST(Resume, MissingCheckpointIsCleanError) {
+  TaskSequence sequence = TinySequence(3, 2);
+  core::Edsr strategy(TinyContext(3));
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("resume_missing");
+  ContinualRunResult result{eval::AccuracyMatrix(2)};
+  util::Status status =
+      ResumeContinual(&strategy, sequence, EvalOptions{}, checkpoint, &result);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(Resume, CorruptCheckpointIsCleanError) {
+  TaskSequence sequence = TinySequence(13, 2);
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("resume_corrupt");
+  {
+    core::Edsr strategy(TinyContext(13));
+    CheckpointOptions one = checkpoint;
+    one.stop_after_increment = 0;
+    RunContinual(&strategy, sequence, EvalOptions{}, one);
+  }
+  std::string path = checkpoint.directory + "/run.ckpt";
+  std::ifstream in(path, std::ios::binary);
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_GT(bytes.size(), 64u);
+
+  auto expect_unloadable = [&](const std::vector<uint8_t>& corrupt) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(corrupt.data()),
+              static_cast<std::streamsize>(corrupt.size()));
+    out.close();
+    core::Edsr fresh(TinyContext(13));
+    ContinualRunResult result{eval::AccuracyMatrix(2)};
+    util::Status status = ResumeContinual(&fresh, sequence, EvalOptions{},
+                                          checkpoint, &result);
+    EXPECT_FALSE(status.ok());
+  };
+
+  // Truncation (lost tail) and a payload bit flip (silent disk corruption).
+  expect_unloadable(
+      std::vector<uint8_t>(bytes.begin(), bytes.begin() + bytes.size() / 2));
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() / 2] ^= 0x10;
+  expect_unloadable(flipped);
+  std::remove(path.c_str());
+}
+
+TEST(Resume, CheckpointCoveringDifferentSequenceIsRejected) {
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("resume_wrong_tasks");
+  TaskSequence two_tasks = TinySequence(17, 2);
+  {
+    core::Edsr strategy(TinyContext(17));
+    CheckpointOptions one = checkpoint;
+    one.stop_after_increment = 0;
+    RunContinual(&strategy, two_tasks, EvalOptions{}, one);
+  }
+  TaskSequence three_tasks = TinySequence(17, 3);
+  core::Edsr fresh(TinyContext(17));
+  ContinualRunResult result{eval::AccuracyMatrix(3)};
+  util::Status status = ResumeContinual(&fresh, three_tasks, EvalOptions{},
+                                        checkpoint, &result);
+  EXPECT_FALSE(status.ok());
+  std::remove((checkpoint.directory + "/run.ckpt").c_str());
+}
+
+}  // namespace
+}  // namespace edsr
