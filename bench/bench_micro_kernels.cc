@@ -7,9 +7,11 @@
 //                         --benchmark_out=BENCH_micro_kernels.json
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_main.h"
 #include "src/cl/selection.h"
 #include "src/eval/knn.h"
 #include "src/ssl/encoder.h"
+#include "src/tensor/arena.h"
 #include "src/tensor/conv.h"
 #include "src/tensor/grad_mode.h"
 #include "src/tensor/kernels.h"
@@ -47,6 +49,77 @@ BENCHMARK(BM_KernelsGemm)
     ->Args({64, 1})
     ->Args({128, 0})
     ->Args({128, 1});
+
+void BM_KernelsGemmTransA(benchmark::State& state) {
+  // Transposed-A side of the packing paths (BM_KernelsGemm covers trans_b).
+  int64_t n = state.range(0);
+  bool trans_b = state.range(1) != 0;
+  std::vector<float> a = RandomBuffer(n * n, 10);
+  std::vector<float> b = RandomBuffer(n * n, 11);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(a.data(), b.data(), c.data(), n, n, n, true,
+                          trans_b, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_KernelsGemmTransA)->Args({128, 0})->Args({128, 1});
+
+void BM_KernelsPairwiseSqDist(benchmark::State& state) {
+  // n queries x m bank rows at d=64: the shape kNN eval and k-means assign
+  // hit every call.
+  int64_t n = state.range(0);
+  int64_t m = state.range(1);
+  const int64_t d = 64;
+  std::vector<float> a = RandomBuffer(n * d, 16);
+  std::vector<float> b = RandomBuffer(m * d, 17);
+  std::vector<float> out(n * m);
+  for (auto _ : state) {
+    tensor::kernels::PairwiseSqDist(a.data(), n, b.data(), m, d, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * m * d);
+}
+BENCHMARK(BM_KernelsPairwiseSqDist)->Args({64, 512})->Args({256, 1024});
+
+// ---- Scratch arena -------------------------------------------------------
+
+void BM_ArenaScopedAlloc(benchmark::State& state) {
+  // Scope + two bump allocations per iteration — the per-Gemm-call pattern.
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    tensor::arena::Scope scope;
+    float* a = tensor::arena::AllocFloats(n);
+    float* b = tensor::arena::AllocFloats(n);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_ArenaScopedAlloc)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_HeapScopedAlloc(benchmark::State& state) {
+  // The std::vector churn the arena replaces, for side-by-side comparison.
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    std::vector<float> a(n);
+    std::vector<float> b(n);
+    benchmark::DoNotOptimize(a.data());
+    benchmark::DoNotOptimize(b.data());
+  }
+}
+BENCHMARK(BM_HeapScopedAlloc)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_ArenaAcquireRecycle(benchmark::State& state) {
+  // Pool round-trip for tensor-sized buffers (steady-state storage churn).
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    std::vector<float> v = tensor::arena::AcquireVector(n);
+    benchmark::DoNotOptimize(v.data());
+    tensor::arena::RecycleVector(std::move(v));
+  }
+}
+BENCHMARK(BM_ArenaAcquireRecycle)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_KernelsAxpy(benchmark::State& state) {
   int64_t n = state.range(0);
@@ -212,4 +285,4 @@ BENCHMARK(BM_KnnEvaluate)->Arg(120)->Arg(1200);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+EDSR_BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// End-to-end train-step micro-benchmarks: full forward/backward/optimizer
+// iterations over the MLP and conv paths, the shapes the continual-learning
+// loop executes thousands of times per task. Complements bench_micro_kernels
+// (isolated kernels) by measuring the composed hot path, including autograd
+// graph construction and the arena/pool buffer churn.
+//
+// Record the committed baseline with:
+//   ./bench_micro_train_step --benchmark_out_format=json
+//                            --benchmark_out=BENCH_train_step.json
+#include <benchmark/benchmark.h>
+
+#include "bench/micro_main.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/conv.h"
+#include "src/tensor/kernels.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace edsr;
+
+void BM_TrainStepMlp(benchmark::State& state) {
+  // Two-layer MLP, batch 32: matches BM_MlpTrainStep in bench_micro_kernels
+  // but also folds in the SGD update so the whole step is timed.
+  util::Rng rng(0);
+  tensor::Tensor w1 = tensor::Tensor::Randn({192, 64}, &rng, 0, 0.05f, true);
+  tensor::Tensor w2 = tensor::Tensor::Randn({64, 32}, &rng, 0, 0.05f, true);
+  tensor::Tensor x = tensor::Tensor::Randn({32, 192}, &rng);
+  for (auto _ : state) {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    tensor::Tensor loss =
+        tensor::MeanAll(tensor::Square(tensor::MatMul(h, w2)));
+    loss.Backward();
+    tensor::kernels::Axpy(w1.numel(), -0.01f, w1.grad().data(),
+                          w1.mutable_data().data());
+    tensor::kernels::Axpy(w2.numel(), -0.01f, w2.grad().data(),
+                          w2.mutable_data().data());
+    benchmark::DoNotOptimize(w1.mutable_data().data());
+  }
+}
+BENCHMARK(BM_TrainStepMlp);
+
+void BM_TrainStepConv(benchmark::State& state) {
+  // One conv layer forward/backward, batch 8 of 3x16x16 — the im2col /
+  // col2im / GEMM round-trip through the arena.
+  util::Rng rng(1);
+  tensor::Tensor weight =
+      tensor::Tensor::Randn({8, 3, 3, 3}, &rng, 0, 0.05f, true);
+  tensor::Tensor input = tensor::Tensor::Randn({8, 3, 16, 16}, &rng);
+  for (auto _ : state) {
+    weight.ZeroGrad();
+    tensor::Tensor out = tensor::Conv2d(input, weight, tensor::Tensor(),
+                                        {/*stride=*/1, /*padding=*/1});
+    tensor::Tensor loss = tensor::MeanAll(tensor::Square(out));
+    loss.Backward();
+    benchmark::DoNotOptimize(weight.grad().data());
+  }
+}
+BENCHMARK(BM_TrainStepConv);
+
+void BM_TrainStepSteadyStatePoolHitRate(benchmark::State& state) {
+  // Counts arena pool traffic across the MLP step; the pool-miss counter
+  // lands in the JSON so regressions in buffer reuse are visible in the
+  // committed baseline, not just in wall time.
+  util::Rng rng(0);
+  tensor::Tensor w1 = tensor::Tensor::Randn({192, 64}, &rng, 0, 0.05f, true);
+  tensor::Tensor w2 = tensor::Tensor::Randn({64, 32}, &rng, 0, 0.05f, true);
+  tensor::Tensor x = tensor::Tensor::Randn({32, 192}, &rng);
+  auto step = [&]() {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    tensor::Tensor loss =
+        tensor::MeanAll(tensor::Square(tensor::MatMul(h, w2)));
+    loss.Backward();
+  };
+  for (int i = 0; i < 5; ++i) step();  // warm the pool
+  tensor::arena::ResetStats();
+  for (auto _ : state) {
+    step();
+    benchmark::DoNotOptimize(w1.grad().data());
+  }
+  const tensor::arena::ArenaStats& stats = tensor::arena::Stats();
+  state.counters["pool_hits"] = static_cast<double>(stats.pool_hits);
+  state.counters["pool_misses"] = static_cast<double>(stats.pool_misses);
+}
+BENCHMARK(BM_TrainStepSteadyStatePoolHitRate);
+
+}  // namespace
+
+EDSR_BENCHMARK_MAIN();

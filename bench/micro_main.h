@@ -1,0 +1,50 @@
+// Shared main() for the google-benchmark micro-bench binaries.
+//
+// Committed BENCH_*.json baselines must come from an optimized build, so the
+// main refuses to write --benchmark_out JSON unless NDEBUG was defined when
+// *this project* was compiled (the system libbenchmark reports its own build
+// type, not ours). Every run is tagged with an "edsr_build" context key so
+// scripts/bench_compare.py can reject mismatched recordings.
+#ifndef EDSR_BENCH_MICRO_MAIN_H_
+#define EDSR_BENCH_MICRO_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+inline bool EdsrWantsJsonOut(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) return true;
+    if (std::strcmp(argv[i], "--benchmark_out") == 0) return true;
+  }
+  return false;
+}
+
+#define EDSR_BENCHMARK_MAIN()                                                  \
+  int main(int argc, char** argv) {                                            \
+    const bool ndebug =                                                        \
+        /* NOLINTNEXTLINE */                                                   \
+        (EDSR_BENCH_NDEBUG);                                                   \
+    benchmark::AddCustomContext("edsr_build", ndebug ? "release" : "debug");   \
+    if (!ndebug && EdsrWantsJsonOut(argc, argv)) {                             \
+      std::fprintf(stderr,                                                     \
+                   "refusing to record benchmark JSON from a non-NDEBUG "      \
+                   "build; configure with --preset bench (or default "         \
+                   "Release) first\n");                                        \
+      return 1;                                                                \
+    }                                                                          \
+    benchmark::Initialize(&argc, argv);                                        \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;          \
+    benchmark::RunSpecifiedBenchmarks();                                       \
+    benchmark::Shutdown();                                                     \
+    return 0;                                                                  \
+  }
+
+#ifdef NDEBUG
+#define EDSR_BENCH_NDEBUG true
+#else
+#define EDSR_BENCH_NDEBUG false
+#endif
+
+#endif  // EDSR_BENCH_MICRO_MAIN_H_

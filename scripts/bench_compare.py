@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on perf regressions.
+
+Usage:
+    scripts/bench_compare.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+                             [--filter REGEX]
+
+Exits non-zero when any benchmark present in both files regressed by more
+than --threshold (default 15%) in real time. Benchmarks only present on one
+side are reported but do not fail the gate (new benches must be recordable
+without first rewriting the baseline).
+
+Both files must have been recorded from an optimized build: recordings made
+by this repo's bench mains carry an "edsr_build" context key, and anything
+other than "release" is rejected. Files without the key (e.g. recorded
+before the key existed) are accepted with a warning.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    build = doc.get("context", {}).get("edsr_build")
+    if build is None:
+        print(f"warning: {path} has no edsr_build context tag", file=sys.stderr)
+    elif build != "release":
+        print(
+            f"error: {path} was recorded from an '{build}' build; "
+            "re-record with the bench preset",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    results = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repeated runs).
+        if bench.get("run_type") == "aggregate":
+            continue
+        results[bench["name"]] = float(bench["real_time"])
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum allowed slowdown as a fraction (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--filter", default=None, help="only compare benchmark names matching this regex"
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+    if args.filter is not None:
+        pattern = re.compile(args.filter)
+        base = {k: v for k, v in base.items() if pattern.search(k)}
+        cand = {k: v for k, v in cand.items() if pattern.search(k)}
+
+    shared = sorted(base.keys() & cand.keys())
+    if not shared:
+        print("error: no common benchmarks between the two files", file=sys.stderr)
+        return 2
+
+    regressions = []
+    width = max(len(name) for name in shared)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'candidate':>12}  delta")
+    for name in shared:
+        b, c = base[name], cand[name]
+        delta = (c - b) / b if b > 0 else 0.0
+        marker = ""
+        if delta > args.threshold:
+            marker = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name:<{width}}  {b:>10.0f}ns  {c:>10.0f}ns  {delta:+7.1%}{marker}")
+
+    for name in sorted(base.keys() - cand.keys()):
+        print(f"note: {name} only in baseline (not compared)")
+    for name in sorted(cand.keys() - base.keys()):
+        print(f"note: {name} only in candidate (not compared)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

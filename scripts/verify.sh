@@ -2,7 +2,20 @@
 # Full verification in one command: tier-1 configure/build/ctest, then the
 # same suite under the ASan/UBSan `sanitize` preset. Exits non-zero on the
 # first failure.
+#
+# Opt-in perf gate: `scripts/verify.sh --bench` additionally re-runs the
+# micro-benchmarks from the Release build and fails if any benchmark
+# regressed more than 15% against the committed BENCH_micro_kernels.json /
+# BENCH_train_step.json baselines (see scripts/bench_compare.py).
 set -euo pipefail
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "usage: $0 [--bench]" >&2; exit 2 ;;
+  esac
+done
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
@@ -16,5 +29,21 @@ echo "== tier 2: sanitize preset (ASan/UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "${JOBS}"
 ctest --test-dir build-sanitize --output-on-failure
+
+if [[ "${RUN_BENCH}" -eq 1 ]]; then
+  echo "== perf gate: micro-benchmarks vs committed baselines =="
+  TMP_DIR="$(mktemp -d)"
+  trap 'rm -rf "${TMP_DIR}"' EXIT
+  ./build/bench/bench_micro_kernels \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/micro_kernels.json" >/dev/null
+  ./build/bench/bench_micro_train_step \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/train_step.json" >/dev/null
+  python3 scripts/bench_compare.py BENCH_micro_kernels.json \
+      "${TMP_DIR}/micro_kernels.json"
+  python3 scripts/bench_compare.py BENCH_train_step.json \
+      "${TMP_DIR}/train_step.json"
+fi
 
 echo "verify.sh: all suites green"

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "src/linalg/pca.h"
+#include "src/tensor/arena.h"
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::cl {
@@ -13,15 +15,6 @@ namespace edsr::cl {
 namespace {
 
 using eval::RepresentationMatrix;
-
-double SquaredDistance(const float* a, const float* b, int64_t d) {
-  double acc = 0.0;
-  for (int64_t i = 0; i < d; ++i) {
-    double diff = static_cast<double>(a[i]) - b[i];
-    acc += diff * diff;
-  }
-  return acc;
-}
 
 // Indices of the `budget` largest scores.
 std::vector<int64_t> TopK(const std::vector<double>& scores, int64_t budget) {
@@ -49,14 +42,23 @@ std::vector<int64_t> DSquaredSeeding(const RepresentationMatrix& reps,
   chosen.reserve(k);
   chosen.push_back(rng->UniformInt(0, n - 1));
   std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(n);
   while (static_cast<int64_t>(chosen.size()) < k) {
     int64_t last = chosen.back();
+    // Distances from the newest seed to every row in one GEMM-backed pass.
+    tensor::kernels::PairwiseSqDist(reps.Row(last), 1, reps.values.data(), n,
+                                    reps.d, dist);
     std::vector<float> weights(n);
     for (int64_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(
-          min_dist[i], SquaredDistance(reps.Row(i), reps.Row(last), reps.d));
+      min_dist[i] = std::min(min_dist[i], static_cast<double>(dist[i]));
       weights[i] = static_cast<float>(min_dist[i]);
     }
+    // PairwiseSqDist clamps at 0 but does not promise exact zeros for
+    // identical rows; pin the seed itself so the duplicate-detection
+    // fallback below keeps working.
+    min_dist[last] = 0.0;
+    weights[last] = 0.0f;
     // Already-chosen points have weight 0 and cannot be re-drawn.
     int64_t next = rng->Categorical(weights);
     if (min_dist[next] <= 0.0) {
@@ -76,8 +78,12 @@ std::vector<int64_t> DSquaredSeeding(const RepresentationMatrix& reps,
 }
 
 struct KMeansResult {
-  std::vector<std::vector<float>> centroids;
+  int64_t clusters = 0;
+  std::vector<float> centroids;     // flat (clusters x d) for GEMM paths
   std::vector<int64_t> assignment;  // per sample
+  const float* Centroid(int64_t c, int64_t d) const {
+    return centroids.data() + c * d;
+  }
 };
 
 KMeansResult LloydKMeans(const RepresentationMatrix& reps, int64_t clusters,
@@ -85,39 +91,42 @@ KMeansResult LloydKMeans(const RepresentationMatrix& reps, int64_t clusters,
   clusters = std::min(clusters, reps.n);
   std::vector<int64_t> seeds = DSquaredSeeding(reps, clusters, rng);
   KMeansResult result;
-  result.centroids.resize(clusters, std::vector<float>(reps.d));
+  result.clusters = clusters;
+  result.centroids.resize(clusters * reps.d);
   for (int64_t c = 0; c < clusters; ++c) {
     const float* row = reps.Row(seeds[c]);
-    std::copy(row, row + reps.d, result.centroids[c].begin());
+    std::copy(row, row + reps.d, result.centroids.begin() + c * reps.d);
   }
   result.assignment.assign(reps.n, 0);
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(reps.n * clusters);
+  std::vector<double> sums(clusters * reps.d);
+  std::vector<int64_t> counts(clusters);
   for (int64_t iter = 0; iter < iterations; ++iter) {
-    // Assign.
+    // Assign: all sample-to-centroid distances in one pairwise pass.
+    tensor::kernels::PairwiseSqDist(reps.values.data(), reps.n,
+                                    result.centroids.data(), clusters, reps.d,
+                                    dist);
     for (int64_t i = 0; i < reps.n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      for (int64_t c = 0; c < clusters; ++c) {
-        double dist =
-            SquaredDistance(reps.Row(i), result.centroids[c].data(), reps.d);
-        if (dist < best) {
-          best = dist;
-          result.assignment[i] = c;
-        }
-      }
+      const float* row = dist + i * clusters;
+      result.assignment[i] = static_cast<int64_t>(
+          std::min_element(row, row + clusters) - row);
     }
     // Update.
-    std::vector<std::vector<double>> sums(clusters,
-                                          std::vector<double>(reps.d, 0.0));
-    std::vector<int64_t> counts(clusters, 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
     for (int64_t i = 0; i < reps.n; ++i) {
       int64_t c = result.assignment[i];
       ++counts[c];
-      for (int64_t j = 0; j < reps.d; ++j) sums[c][j] += reps.Row(i)[j];
+      for (int64_t j = 0; j < reps.d; ++j) {
+        sums[c * reps.d + j] += reps.Row(i)[j];
+      }
     }
     for (int64_t c = 0; c < clusters; ++c) {
       if (counts[c] == 0) continue;  // empty cluster keeps its centroid
       for (int64_t j = 0; j < reps.d; ++j) {
-        result.centroids[c][j] =
-            static_cast<float>(sums[c][j] / static_cast<double>(counts[c]));
+        result.centroids[c * reps.d + j] = static_cast<float>(
+            sums[c * reps.d + j] / static_cast<double>(counts[c]));
       }
     }
   }
@@ -145,19 +154,24 @@ std::vector<int64_t> KMeansSelector::Select(const SelectionContext& context,
   const RepresentationMatrix& reps = Reps(context);
   int64_t k = std::min(budget, reps.n);
   KMeansResult kmeans = LloydKMeans(reps, k, iterations_, rng);
-  // Nearest distinct sample to each centroid.
+  // Nearest distinct sample to each centroid, scored off one (n x clusters)
+  // pairwise-distance matrix.
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(reps.n * kmeans.clusters);
+  tensor::kernels::PairwiseSqDist(reps.values.data(), reps.n,
+                                  kmeans.centroids.data(), kmeans.clusters,
+                                  reps.d, dist);
   std::vector<bool> taken(reps.n, false);
   std::vector<int64_t> chosen;
   chosen.reserve(k);
-  for (int64_t c = 0; c < static_cast<int64_t>(kmeans.centroids.size()); ++c) {
+  for (int64_t c = 0; c < kmeans.clusters; ++c) {
     int64_t best = -1;
     double best_dist = std::numeric_limits<double>::infinity();
     for (int64_t i = 0; i < reps.n; ++i) {
       if (taken[i]) continue;
-      double dist =
-          SquaredDistance(reps.Row(i), kmeans.centroids[c].data(), reps.d);
-      if (dist < best_dist) {
-        best_dist = dist;
+      double d = dist[i * kmeans.clusters + c];
+      if (d < best_dist) {
+        best_dist = d;
         best = i;
       }
     }
@@ -218,8 +232,7 @@ std::vector<int64_t> HighEntropySelector::Select(
     case Mode::kNorm: {
       std::vector<double> scores(reps.n);
       for (int64_t i = 0; i < reps.n; ++i) {
-        scores[i] = SquaredDistance(
-            reps.Row(i), std::vector<float>(reps.d, 0.0f).data(), reps.d);
+        scores[i] = tensor::kernels::SumSquares(reps.d, reps.Row(i));
       }
       return TopK(scores, budget);
     }
@@ -254,18 +267,23 @@ std::vector<int64_t> HighEntropySelector::SelectGreedyLogDet(
   std::vector<bool> taken(reps.n, false);
   std::vector<int64_t> chosen;
   std::vector<double> ainv_z(d);
+  tensor::arena::Scope scope;
+  float* a_inv_f = tensor::arena::AllocFloats(d * d);
+  float* s = tensor::arena::AllocFloats(reps.n * d);
   for (int64_t step = 0; step < k; ++step) {
+    // Score all candidates at once: S = reps * A^{-1} (A^{-1} is symmetric),
+    // then quad_i = S_i . z_i. The Sherman-Morrison state stays in double;
+    // only the scoring pass drops to float for the GEMM.
+    for (int64_t i = 0; i < d * d; ++i) {
+      a_inv_f[i] = static_cast<float>(a_inv[i]);
+    }
+    tensor::kernels::Gemm(reps.values.data(), a_inv_f, s, reps.n, d, d,
+                          false, false, false);
     int64_t best = -1;
     double best_gain = -1.0;
     for (int64_t i = 0; i < reps.n; ++i) {
       if (taken[i]) continue;
-      const float* z = reps.Row(i);
-      double quad = 0.0;
-      for (int64_t r = 0; r < d; ++r) {
-        double acc = 0.0;
-        for (int64_t c = 0; c < d; ++c) acc += a_inv[r * d + c] * z[c];
-        quad += acc * z[r];
-      }
+      double quad = tensor::kernels::Dot(d, s + i * d, reps.Row(i));
       if (quad > best_gain) {
         best_gain = quad;
         best = i;
@@ -281,7 +299,11 @@ std::vector<int64_t> HighEntropySelector::SelectGreedyLogDet(
       for (int64_t c = 0; c < d; ++c) acc += a_inv[r * d + c] * z[c];
       ainv_z[r] = acc;
     }
-    double denom = 1.0 + best_gain;
+    // Recompute the quadratic form in double for the update; the float
+    // scoring pass above is only used to pick the argmax.
+    double quad = 0.0;
+    for (int64_t r = 0; r < d; ++r) quad += ainv_z[r] * z[r];
+    double denom = 1.0 + quad;
     for (int64_t r = 0; r < d; ++r) {
       for (int64_t c = 0; c < d; ++c) {
         a_inv[r * d + c] -= ainv_z[r] * ainv_z[c] / denom;

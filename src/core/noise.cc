@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "src/tensor/arena.h"
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::core {
@@ -13,18 +15,16 @@ std::vector<int64_t> NearestNeighbors(const eval::RepresentationMatrix& reps,
   EDSR_CHECK(index >= 0 && index < reps.n);
   k = std::min<int64_t>(k, reps.n - 1);
   if (k <= 0) return {};
+  // Anchor-vs-all distances in one GEMM-backed pass.
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(reps.n);
+  tensor::kernels::PairwiseSqDist(reps.Row(index), 1, reps.values.data(),
+                                  reps.n, reps.d, dist);
   std::vector<std::pair<double, int64_t>> dists;
   dists.reserve(reps.n - 1);
-  const float* anchor = reps.Row(index);
   for (int64_t i = 0; i < reps.n; ++i) {
     if (i == index) continue;
-    double dist = 0.0;
-    const float* row = reps.Row(i);
-    for (int64_t j = 0; j < reps.d; ++j) {
-      double diff = static_cast<double>(anchor[j]) - row[j];
-      dist += diff * diff;
-    }
-    dists.emplace_back(dist, i);
+    dists.emplace_back(static_cast<double>(dist[i]), i);
   }
   std::partial_sort(dists.begin(), dists.begin() + k, dists.end());
   std::vector<int64_t> neighbors(k);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/tensor/arena.h"
+#include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
 namespace edsr::eval {
@@ -72,56 +74,66 @@ ClusterScores KMeansClusterScores(const RepresentationMatrix& reps,
   EDSR_CHECK_GT(num_clusters, 0);
   num_clusters = std::min(num_clusters, reps.n);
 
-  // k-means++ seeding.
-  std::vector<std::vector<float>> centroids;
-  centroids.reserve(num_clusters);
-  auto sq_dist = [&](const float* a, const float* b) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < reps.d; ++j) {
-      double diff = static_cast<double>(a[j]) - b[j];
-      acc += diff * diff;
-    }
-    return acc;
+  // k-means++ seeding; centroids stored flat (clusters x d) for the
+  // GEMM-backed pairwise-distance passes below.
+  std::vector<float> centroids;
+  centroids.reserve(num_clusters * reps.d);
+  int64_t num_seeded = 0;
+  auto add_centroid = [&](int64_t row) {
+    centroids.insert(centroids.end(), reps.Row(row), reps.Row(row) + reps.d);
+    ++num_seeded;
   };
   int64_t first = rng->UniformInt(0, reps.n - 1);
-  centroids.emplace_back(reps.Row(first), reps.Row(first) + reps.d);
+  add_centroid(first);
+  int64_t last_seed = first;
   std::vector<double> min_dist(reps.n, std::numeric_limits<double>::infinity());
-  while (static_cast<int64_t>(centroids.size()) < num_clusters) {
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(reps.n * num_clusters);
+  while (num_seeded < num_clusters) {
+    // Distances from the newest centroid to every row in one pass.
+    tensor::kernels::PairwiseSqDist(
+        centroids.data() + (num_seeded - 1) * reps.d, 1, reps.values.data(),
+        reps.n, reps.d, dist);
     std::vector<float> weights(reps.n);
     for (int64_t i = 0; i < reps.n; ++i) {
-      min_dist[i] = std::min(min_dist[i],
-                             sq_dist(reps.Row(i), centroids.back().data()));
+      min_dist[i] = std::min(min_dist[i], static_cast<double>(dist[i]));
       weights[i] = static_cast<float>(min_dist[i]);
     }
+    // PairwiseSqDist clamps at 0 but identical rows may score a tiny
+    // positive value; pin the seed row itself.
+    min_dist[last_seed] = 0.0;
+    weights[last_seed] = 0.0f;
     int64_t pick = rng->Categorical(weights);
-    centroids.emplace_back(reps.Row(pick), reps.Row(pick) + reps.d);
+    add_centroid(pick);
+    last_seed = pick;
   }
 
   std::vector<int64_t> assignment(reps.n, 0);
+  std::vector<double> sums(num_clusters * reps.d);
+  std::vector<int64_t> counts(num_clusters);
   for (int64_t iter = 0; iter < iterations; ++iter) {
+    // Assign: all sample-to-centroid distances via one GEMM-backed pass.
+    tensor::kernels::PairwiseSqDist(reps.values.data(), reps.n,
+                                    centroids.data(), num_clusters, reps.d,
+                                    dist);
     for (int64_t i = 0; i < reps.n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      for (size_t c = 0; c < centroids.size(); ++c) {
-        double dist = sq_dist(reps.Row(i), centroids[c].data());
-        if (dist < best) {
-          best = dist;
-          assignment[i] = static_cast<int64_t>(c);
-        }
-      }
+      const float* row = dist + i * num_clusters;
+      assignment[i] = static_cast<int64_t>(
+          std::min_element(row, row + num_clusters) - row);
     }
-    std::vector<std::vector<double>> sums(
-        centroids.size(), std::vector<double>(reps.d, 0.0));
-    std::vector<int64_t> counts(centroids.size(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
     for (int64_t i = 0; i < reps.n; ++i) {
       ++counts[assignment[i]];
       for (int64_t j = 0; j < reps.d; ++j) {
-        sums[assignment[i]][j] += reps.Row(i)[j];
+        sums[assignment[i] * reps.d + j] += reps.Row(i)[j];
       }
     }
-    for (size_t c = 0; c < centroids.size(); ++c) {
+    for (int64_t c = 0; c < num_clusters; ++c) {
       if (counts[c] == 0) continue;
       for (int64_t j = 0; j < reps.d; ++j) {
-        centroids[c][j] = static_cast<float>(sums[c][j] / counts[c]);
+        centroids[c * reps.d + j] =
+            static_cast<float>(sums[c * reps.d + j] / counts[c]);
       }
     }
   }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
 
@@ -27,29 +29,34 @@ KnnClassifier::KnnClassifier(RepresentationMatrix bank,
   NormalizeRows(&bank_);
 }
 
-int64_t KnnClassifier::Predict(const float* representation) const {
-  // Normalize the query.
-  std::vector<float> q(representation, representation + bank_.d);
-  tensor::kernels::NormalizeL2(bank_.d, q.data());
-
-  // Cosine similarities against the bank.
-  std::vector<std::pair<float, int64_t>> sims(bank_.n);
-  for (int64_t i = 0; i < bank_.n; ++i) {
-    float sim = static_cast<float>(
-        tensor::kernels::Dot(bank_.d, q.data(), bank_.Row(i)));
-    sims[i] = {sim, labels_[i]};
-  }
+int64_t KnnClassifier::VoteTopK(const float* sims) const {
+  std::vector<std::pair<float, int64_t>> ranked(bank_.n);
+  for (int64_t i = 0; i < bank_.n; ++i) ranked[i] = {sims[i], labels_[i]};
   int64_t k = std::min(options_.k, bank_.n);
-  std::partial_sort(sims.begin(), sims.begin() + k, sims.end(),
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
                     [](const auto& a, const auto& b) { return a.first > b.first; });
 
   // Exponentially weighted vote among the top-k.
   std::vector<double> votes(options_.num_classes, 0.0);
   for (int64_t i = 0; i < k; ++i) {
-    votes[sims[i].second] += std::exp(sims[i].first / options_.temperature);
+    votes[ranked[i].second] += std::exp(ranked[i].first / options_.temperature);
   }
   return static_cast<int64_t>(
       std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+int64_t KnnClassifier::Predict(const float* representation) const {
+  // Normalize the query.
+  std::vector<float> q(representation, representation + bank_.d);
+  tensor::kernels::NormalizeL2(bank_.d, q.data());
+
+  tensor::arena::Scope scope;
+  float* sims = tensor::arena::AllocFloats(bank_.n);
+  tensor::kernels::PairwiseSqDist(q.data(), 1, bank_.values.data(), bank_.n,
+                                  bank_.d, sims);
+  // Both rows are unit-norm, so ||q - b||^2 = 2 - 2 cos; recover the cosine.
+  for (int64_t i = 0; i < bank_.n; ++i) sims[i] = 1.0f - 0.5f * sims[i];
+  return VoteTopK(sims);
 }
 
 double KnnClassifier::Evaluate(const RepresentationMatrix& queries,
@@ -57,9 +64,20 @@ double KnnClassifier::Evaluate(const RepresentationMatrix& queries,
   EDSR_CHECK_EQ(queries.n, static_cast<int64_t>(labels.size()));
   EDSR_CHECK_EQ(queries.d, bank_.d);
   EDSR_CHECK_GT(queries.n, 0);
+
+  // Normalize a copy of the queries, then score every query against the
+  // whole bank in one GEMM-backed pairwise pass instead of per-row Dot loops.
+  RepresentationMatrix normed = queries;
+  NormalizeRows(&normed);
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(queries.n * bank_.n);
+  tensor::kernels::PairwiseSqDist(normed.values.data(), normed.n,
+                                  bank_.values.data(), bank_.n, bank_.d, dist);
   int64_t correct = 0;
   for (int64_t i = 0; i < queries.n; ++i) {
-    if (Predict(queries.Row(i)) == labels[i]) ++correct;
+    float* row = dist + i * bank_.n;
+    for (int64_t j = 0; j < bank_.n; ++j) row[j] = 1.0f - 0.5f * row[j];
+    if (VoteTopK(row) == labels[i]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(queries.n);
 }

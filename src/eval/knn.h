@@ -32,6 +32,10 @@ class KnnClassifier {
   int64_t bank_size() const { return bank_.n; }
 
  private:
+  // Exponentially weighted top-k vote over one row of cosine similarities
+  // against the bank. Shared by Predict and the batched Evaluate path.
+  int64_t VoteTopK(const float* sims) const;
+
   RepresentationMatrix bank_;  // rows L2-normalized at construction
   std::vector<int64_t> labels_;
   KnnOptions options_;

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
 
@@ -56,16 +57,20 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   int64_t col_rows = c * k * k;
   int64_t out_area = oh * ow;
 
-  std::vector<float> out(n * o * out_area, 0.0f);
-  std::vector<float> cols(col_rows * out_area);
+  std::vector<float> out = arena::AcquireVector(n * o * out_area);
   const float* pin = input.data().data();
   const float* pw = weight.data().data();
-  for (int64_t b = 0; b < n; ++b) {
-    kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride,
-                    spec.padding, cols.data());
-    // out_b (o x out_area) = weight (o x col_rows) * cols
-    kernels::Gemm(pw, cols.data(), out.data() + b * o * out_area, o, col_rows,
-                  out_area, false, false, true);
+  {
+    arena::Scope scope;
+    float* cols = arena::AllocFloats(col_rows * out_area);
+    for (int64_t b = 0; b < n; ++b) {
+      kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride,
+                      spec.padding, cols);
+      // out_b (o x out_area) = weight (o x col_rows) * cols; each batch
+      // writes its own output slice, so overwrite instead of accumulate.
+      kernels::Gemm(pw, cols, out.data() + b * o * out_area, o, col_rows,
+                    out_area, false, false, false);
+    }
   }
   if (bias.defined()) {
     const float* pb = bias.data().data();
@@ -95,24 +100,25 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
         float* gb = bias_copy.defined()
                         ? GradBufferOrNull(bias_copy.impl_ptr())
                         : nullptr;
-        std::vector<float> cols(col_rows * out_area);
-        std::vector<float> dcols(col_rows * out_area);
+        arena::Scope scope;
+        float* cols = arena::AllocFloats(col_rows * out_area);
+        float* dcols = arena::AllocFloats(col_rows * out_area);
         const float* pin = input_copy.data().data();
         const float* pw = weight_copy.data().data();
         for (int64_t b = 0; b < n; ++b) {
           const float* gout_b = go + b * o * out_area;
           if (gw != nullptr) {
             kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec_copy.stride,
-                            spec_copy.padding, cols.data());
+                            spec_copy.padding, cols);
             // dW (o x col_rows) += dOut_b (o x out_area) * cols^T
-            kernels::Gemm(gout_b, cols.data(), gw, o, out_area, col_rows,
+            kernels::Gemm(gout_b, cols, gw, o, out_area, col_rows,
                           false, true, true);
           }
           if (gin != nullptr) {
             // dCols (col_rows x out_area) = W^T (col_rows x o) * dOut_b
-            kernels::Gemm(pw, gout_b, dcols.data(), col_rows, o, out_area,
+            kernels::Gemm(pw, gout_b, dcols, col_rows, o, out_area,
                           true, false, false);
-            kernels::Col2Im(dcols.data(), c, h, w, k, spec_copy.stride,
+            kernels::Col2Im(dcols, c, h, w, k, spec_copy.stride,
                             spec_copy.padding, gin + b * c * h * w);
           }
           if (gb != nullptr) {
@@ -136,13 +142,13 @@ Tensor MaxPool2d(const Tensor& input, int64_t window) {
       << "MaxPool2d requires dimensions divisible by the window";
   int64_t oh = h / window;
   int64_t ow = w / window;
-  std::vector<float> out(n * c * oh * ow);
+  std::vector<float> out = arena::AcquireVector(n * c * oh * ow);
   std::vector<int64_t> argmax(out.size());
   kernels::MaxPool2dForward(input.data().data(), n, c, h, w, window,
                             out.data(), argmax.data());
   Tensor input_copy = input;
   return MakeOp(std::move(out), {n, c, oh, ow}, {input},
-                [input_copy, argmax](TensorImpl& self) {
+                [input_copy, argmax = std::move(argmax)](TensorImpl& self) {
                   float* gin = GradBufferOrNull(input_copy.impl_ptr());
                   if (gin == nullptr) return;
                   kernels::IndexedScatterAdd(

@@ -6,30 +6,156 @@
 #include <limits>
 #include <vector>
 
+#include "src/tensor/arena.h"
+
 namespace edsr::tensor::kernels {
+
+namespace {
+
+// Blocked/packed GEMM geometry (see DESIGN.md "Kernel & arena architecture").
+// The micro-kernel computes a kMr x kNr register tile; A is packed into
+// column-major row panels of height kMr, B into row-major column panels of
+// width kNr, so the inner loop streams both packs contiguously regardless of
+// the trans_a/trans_b combination. Block sizes: the B pack (kKc x kNr per
+// panel, 8 KiB) stays L1-resident across the ic loop, the A pack
+// (kMc x kKc, 64 KiB) and the full B pack (kKc x kNc, 512 KiB) stay
+// L2-resident.
+constexpr int64_t kMr = 4;
+constexpr int64_t kNr = 8;
+constexpr int64_t kMc = 64;   // multiple of kMr
+constexpr int64_t kKc = 256;
+constexpr int64_t kNc = 512;  // multiple of kNr
+
+// Packs op(A)(ic.., pc..) of size (mc x kc) into kMr-row panels:
+//   ap[panel * kMr * kc + p * kMr + ir] = op(A)(ic + panel*kMr + ir, pc + p)
+// Rows past mc are zero-filled so the micro-kernel needs no row bounds.
+// rs/cs are the element strides of op(A) along its rows/columns.
+void PackA(const float* a, int64_t rs, int64_t cs, int64_t mc, int64_t kc,
+           float* ap) {
+  for (int64_t panel = 0; panel < mc; panel += kMr) {
+    int64_t rows = std::min<int64_t>(kMr, mc - panel);
+    float* dst = ap + panel * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = a + panel * rs + p * cs;
+      int64_t ir = 0;
+      for (; ir < rows; ++ir) dst[p * kMr + ir] = src[ir * rs];
+      for (; ir < kMr; ++ir) dst[p * kMr + ir] = 0.0f;
+    }
+  }
+}
+
+// Packs op(B)(pc.., jc..) of size (kc x nc) into kNr-column panels:
+//   bp[panel * kNr * kc + p * kNr + jr] = op(B)(pc + p, jc + panel*kNr + jr)
+// Columns past nc are zero-filled.
+void PackB(const float* b, int64_t rs, int64_t cs, int64_t kc, int64_t nc,
+           float* bp) {
+  for (int64_t panel = 0; panel < nc; panel += kNr) {
+    int64_t cols = std::min<int64_t>(kNr, nc - panel);
+    float* dst = bp + panel * kc;
+    for (int64_t p = 0; p < kc; ++p) {
+      const float* src = b + p * rs + panel * cs;
+      int64_t jr = 0;
+      for (; jr < cols; ++jr) dst[p * kNr + jr] = src[jr * cs];
+      for (; jr < kNr; ++jr) dst[p * kNr + jr] = 0.0f;
+    }
+  }
+}
+
+// C(mr_eff x nr_eff) += Ap panel * Bp panel over depth kc. Accumulators
+// live in registers (constant-bound loops fully unroll); the packs are
+// zero-padded, so the padded lanes produce exact zeros and only the valid
+// region is written back. Branch-free over the data: every product is
+// computed, so 0 * inf and signed zeros propagate IEEE-correctly.
+inline void MicroKernel(int64_t kc, const float* ap, const float* bp,
+                        int64_t mr_eff, int64_t nr_eff, float* c,
+                        int64_t ldc) {
+  float acc[kMr][kNr] = {};
+  for (int64_t p = 0; p < kc; ++p) {
+    const float* arow = ap + p * kMr;
+    const float* brow = bp + p * kNr;
+    for (int64_t ir = 0; ir < kMr; ++ir) {
+      float av = arow[ir];
+      for (int64_t jr = 0; jr < kNr; ++jr) {
+        acc[ir][jr] += av * brow[jr];
+      }
+    }
+  }
+  if (mr_eff == kMr && nr_eff == kNr) {
+    for (int64_t ir = 0; ir < kMr; ++ir) {
+      float* crow = c + ir * ldc;
+      for (int64_t jr = 0; jr < kNr; ++jr) crow[jr] += acc[ir][jr];
+    }
+  } else {
+    for (int64_t ir = 0; ir < mr_eff; ++ir) {
+      float* crow = c + ir * ldc;
+      for (int64_t jr = 0; jr < nr_eff; ++jr) crow[jr] += acc[ir][jr];
+    }
+  }
+}
+
+}  // namespace
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
-  // i-k-j loop order keeps the innermost loop streaming over contiguous
-  // rows of B and C whenever B is untransposed.
-  auto at_a = [&](int64_t i, int64_t p) {
-    return trans_a ? a[p * m + i] : a[i * k + p];
-  };
-  auto at_b = [&](int64_t p, int64_t j) {
-    return trans_b ? b[j * k + p] : b[p * n + j];
-  };
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p) {
-      float av = at_a(i, p);
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      if (!trans_b) {
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      } else {
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * at_b(p, j);
+  if (m == 0 || n == 0 || k == 0) return;
+  // Element strides of op(A) (m x k) and op(B) (k x n) over the stored
+  // buffers; packing reads through these, so all four transpose combos
+  // stream the same contiguous panels afterwards.
+  int64_t a_rs = trans_a ? 1 : k;
+  int64_t a_cs = trans_a ? m : 1;
+  int64_t b_rs = trans_b ? 1 : n;
+  int64_t b_cs = trans_b ? k : 1;
+
+  arena::Scope scope;
+  float* ap = arena::AllocFloats(kMc * kKc);
+  float* bp = arena::AllocFloats(kKc * kNc);
+  for (int64_t pc = 0; pc < k; pc += kKc) {
+    int64_t kc = std::min(kKc, k - pc);
+    for (int64_t jc = 0; jc < n; jc += kNc) {
+      int64_t nc = std::min(kNc, n - jc);
+      PackB(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, bp);
+      for (int64_t ic = 0; ic < m; ic += kMc) {
+        int64_t mc = std::min(kMc, m - ic);
+        PackA(a + ic * a_rs + pc * a_cs, a_rs, a_cs, mc, kc, ap);
+        for (int64_t jp = 0; jp < nc; jp += kNr) {
+          int64_t nr_eff = std::min<int64_t>(kNr, nc - jp);
+          const float* bpanel = bp + jp * kc;
+          for (int64_t ip = 0; ip < mc; ip += kMr) {
+            int64_t mr_eff = std::min<int64_t>(kMr, mc - ip);
+            MicroKernel(kc, ap + ip * kc, bpanel, mr_eff, nr_eff,
+                        c + (ic + ip) * n + jc + jp, n);
+          }
+        }
       }
+    }
+  }
+}
+
+void PairwiseSqDist(const float* a, int64_t n, const float* b, int64_t m,
+                    int64_t d, float* out) {
+  if (n == 0 || m == 0) return;
+  // ||a_i - b_j||^2 = ||a_i||^2 + ||b_j||^2 - 2 a_i.b_j with the cross
+  // terms via the blocked GEMM (trans_b streams contiguously after
+  // packing). Row norms accumulate in double; the combined result is
+  // clamped at zero to hide cancellation, so exact zeros for identical
+  // rows are NOT guaranteed (callers needing them must pin known pairs).
+  arena::Scope scope;
+  float* na = arena::AllocFloats(n);
+  float* nb = arena::AllocFloats(m);
+  for (int64_t i = 0; i < n; ++i) {
+    na[i] = static_cast<float>(SumSquares(d, a + i * d));
+  }
+  for (int64_t j = 0; j < m; ++j) {
+    nb[j] = static_cast<float>(SumSquares(d, b + j * d));
+  }
+  Gemm(a, b, out, n, d, m, /*trans_a=*/false, /*trans_b=*/true,
+       /*accumulate=*/false);
+  for (int64_t i = 0; i < n; ++i) {
+    float* row = out + i * m;
+    float ni = na[i];
+    for (int64_t j = 0; j < m; ++j) {
+      row[j] = std::max(0.0f, ni + nb[j] - 2.0f * row[j]);
     }
   }
 }
@@ -124,7 +250,12 @@ void StridedMax(const float* src, int64_t outer, int64_t dim, int64_t inner,
 }
 
 void ColMean(const float* rows, int64_t n, int64_t d, float* mean) {
-  std::vector<double> acc(static_cast<size_t>(d), 0.0);
+  // The double accumulator comes from the scratch arena: this runs inside
+  // training loops (BatchNorm-style stats, PCA centering) and must not
+  // heap-allocate per call.
+  arena::Scope scope;
+  double* acc = arena::AllocDoubles(d);
+  std::fill(acc, acc + d, 0.0);
   for (int64_t r = 0; r < n; ++r) {
     const float* row = rows + r * d;
     for (int64_t i = 0; i < d; ++i) acc[i] += row[i];

@@ -15,13 +15,29 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/check.h"
+
 namespace edsr::tensor::kernels {
 
 // ---- GEMM and BLAS-1 -----------------------------------------------------
 // C (m x n) = [+=] op(A) (m x k) * op(B) (k x n); trans_* applies the
 // transpose logically (A is stored (k x m) when trans_a, etc).
+// Cache-blocked and panel-packed: both operands are repacked into
+// micro-panels so every trans_a/trans_b combination streams contiguously,
+// and the inner loop is a branch-free register tile (no data-dependent
+// skips: 0 * inf = nan propagates per IEEE). Packing scratch comes from the
+// thread-local arena (arena.h); no heap allocation per call.
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate);
+
+// out (n x m): out[i*m+j] = ||a_i - b_j||^2 for row-major a (n x d) and
+// b (m x d), computed as ||a||^2 + ||b||^2 - 2 A B^T with the cross terms
+// via Gemm. Results are clamped at 0 to hide float cancellation; identical
+// rows may yield a tiny positive value rather than an exact 0. Shared by
+// kNN evaluation, k-means++ seeding, Lloyd assignment, and the EDSR
+// noise-scale kNN.
+void PairwiseSqDist(const float* a, int64_t n, const float* b, int64_t m,
+                    int64_t d, float* out);
 
 // y += alpha * x.
 void Axpy(int64_t n, float alpha, const float* x, float* y);
@@ -81,6 +97,10 @@ struct BroadcastPlan {
 };
 
 // Calls fn(out_flat, a_flat, b_flat) over the whole broadcast index space.
+// Supports up to kMaxBroadcastDims output dimensions (index scratch lives on
+// the stack so iteration never heap-allocates).
+inline constexpr int64_t kMaxBroadcastDims = 8;
+
 template <typename Fn>
 inline void ForEachBroadcast(const BroadcastPlan& bc, Fn&& fn) {
   int64_t nd = static_cast<int64_t>(bc.dims.size());
@@ -88,7 +108,9 @@ inline void ForEachBroadcast(const BroadcastPlan& bc, Fn&& fn) {
     fn(0, 0, 0);
     return;
   }
-  std::vector<int64_t> idx(nd, 0);
+  EDSR_CHECK(nd <= kMaxBroadcastDims)
+      << "broadcast rank " << nd << " exceeds " << kMaxBroadcastDims;
+  int64_t idx[kMaxBroadcastDims] = {};
   int64_t ia = 0;
   int64_t ib = 0;
   for (int64_t i = 0; i < bc.numel; ++i) {

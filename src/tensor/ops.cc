@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 
 namespace edsr::tensor {
@@ -18,26 +19,30 @@ float* GradBufferOrNull(const std::shared_ptr<TensorImpl>& impl) {
   return impl->grad.data();
 }
 
-std::vector<int64_t> RowMajorStrides(const Shape& shape) {
-  std::vector<int64_t> strides(shape.size(), 0);
+// Writes row-major strides for `shape` into `strides` (size shape.size()).
+void FillRowMajorStrides(const Shape& shape, int64_t* strides) {
   int64_t acc = 1;
   for (int64_t d = static_cast<int64_t>(shape.size()) - 1; d >= 0; --d) {
     strides[d] = acc;
     acc *= shape[d];
   }
-  return strides;
 }
 
 // Shape/stride metadata for a broadcast binary op; the iteration itself is
-// kernels::ForEachBroadcast.
+// kernels::ForEachBroadcast. Stride scratch comes from the bump arena; the
+// returned plan owns its vectors (it outlives this call inside autograd
+// closures).
 kernels::BroadcastPlan ComputeBroadcast(const Shape& a, const Shape& b) {
   int64_t nd = std::max(a.size(), b.size());
   kernels::BroadcastPlan bc;
   bc.dims.resize(nd);
   bc.stride_a.resize(nd);
   bc.stride_b.resize(nd);
-  std::vector<int64_t> sa = RowMajorStrides(a);
-  std::vector<int64_t> sb = RowMajorStrides(b);
+  arena::Scope scope;
+  int64_t* sa = arena::AllocInt64(static_cast<int64_t>(a.size()));
+  int64_t* sb = arena::AllocInt64(static_cast<int64_t>(b.size()));
+  FillRowMajorStrides(a, sa);
+  FillRowMajorStrides(b, sb);
   for (int64_t d = 0; d < nd; ++d) {
     int64_t ad = d - (nd - static_cast<int64_t>(a.size()));
     int64_t bd = d - (nd - static_cast<int64_t>(b.size()));
@@ -63,7 +68,7 @@ template <typename Fwd, typename Dfda, typename Dfdb>
 Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
                 Dfdb dfdb) {
   kernels::BroadcastPlan bc = ComputeBroadcast(a.shape(), b.shape());
-  std::vector<float> out(bc.numel);
+  std::vector<float> out = arena::AcquireVector(bc.numel);
   const float* pa = a.data().data();
   const float* pb = b.data().data();
   if (bc.flat) {
@@ -104,7 +109,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, Fwd fwd, Dfda dfda,
 // the output value (whichever is cheaper).
 template <typename Fwd, typename Dfdv>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Dfdv dfdv) {
-  std::vector<float> out(a.numel());
+  std::vector<float> out = arena::AcquireVector(a.numel());
   kernels::Map(a.numel(), a.data().data(), out.data(), fwd);
   Tensor a_copy = a;
   Tensor result = MakeOp(std::move(out), a.shape(), {a},
@@ -248,7 +253,7 @@ Tensor Dropout(const Tensor& a, float p, util::Rng* rng) {
   EDSR_CHECK(p >= 0.0f && p < 1.0f) << "dropout probability must be in [0,1)";
   if (p == 0.0f) return a * 1.0f;  // keep graph semantics uniform
   EDSR_CHECK(rng != nullptr);
-  std::vector<float> mask(a.numel());
+  std::vector<float> mask = arena::AcquireVector(a.numel());
   float scale = 1.0f / (1.0f - p);
   for (float& m : mask) m = rng->Bernoulli(p) ? 0.0f : scale;
   return a * Tensor::FromVector(std::move(mask), a.shape());
@@ -265,7 +270,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   EDSR_CHECK_EQ(k, b.shape()[0])
       << "MatMul inner dims: " << ShapeToString(a.shape()) << " x "
       << ShapeToString(b.shape());
-  std::vector<float> out(m * n);
+  std::vector<float> out = arena::AcquireVector(m * n);
   kernels::Gemm(a.data().data(), b.data().data(), out.data(), m, k, n, false,
                 false, false);
   Tensor a_copy = a;
@@ -290,7 +295,7 @@ Tensor Transpose(const Tensor& a) {
   EDSR_CHECK_EQ(a.dim(), 2) << "Transpose expects 2-D input";
   int64_t r = a.shape()[0];
   int64_t c = a.shape()[1];
-  std::vector<float> out(a.numel());
+  std::vector<float> out = arena::AcquireVector(a.numel());
   kernels::Transpose2d(a.data().data(), r, c, out.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), {c, r}, {a}, [a_copy, r, c](TensorImpl& self) {
@@ -347,7 +352,7 @@ Tensor Narrow(const Tensor& a, int64_t axis, int64_t start, int64_t length) {
 
   Shape out_shape = a.shape();
   out_shape[axis] = length;
-  std::vector<float> out(outer * length * inner);
+  std::vector<float> out = arena::AcquireVector(outer * length * inner);
   const float* pa = a.data().data();
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = pa + (o * dim_size + start) * inner;
@@ -375,7 +380,8 @@ Tensor IndexSelectRows(const Tensor& a, const std::vector<int64_t>& rows) {
   int64_t row_size = n == 0 ? 0 : a.numel() / n;
   Shape out_shape = a.shape();
   out_shape[0] = static_cast<int64_t>(rows.size());
-  std::vector<float> out(rows.size() * row_size);
+  std::vector<float> out =
+      arena::AcquireVector(static_cast<int64_t>(rows.size()) * row_size);
   for (int64_t r : rows) {
     EDSR_CHECK(r >= 0 && r < n) << "row index " << r << " out of range " << n;
   }
@@ -407,10 +413,11 @@ Tensor ConcatRows(const std::vector<Tensor>& tensors) {
     total_rows += t.shape()[0];
   }
   out_shape[0] = total_rows;
-  std::vector<float> out;
-  out.reserve(NumElements(out_shape));
+  std::vector<float> out = arena::AcquireVector(NumElements(out_shape));
+  float* dst = out.data();
   for (const Tensor& t : tensors) {
-    out.insert(out.end(), t.data().begin(), t.data().end());
+    std::copy(t.data().begin(), t.data().end(), dst);
+    dst += t.numel();
   }
   std::vector<Tensor> parents = tensors;
   return MakeOp(std::move(out), out_shape, tensors,
@@ -478,7 +485,7 @@ Shape ReducedShape(const Tensor& a, int64_t axis, bool keepdims) {
 
 Tensor Sum(const Tensor& a, int64_t axis, bool keepdims) {
   AxisGeometry g = ResolveAxis(a, &axis);
-  std::vector<float> out(g.outer * g.inner);
+  std::vector<float> out = arena::AcquireVector(g.outer * g.inner);
   kernels::StridedSum(a.data().data(), g.outer, g.dim, g.inner, out.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
@@ -500,13 +507,13 @@ Tensor Mean(const Tensor& a, int64_t axis, bool keepdims) {
 
 Tensor ReduceMax(const Tensor& a, int64_t axis, bool keepdims) {
   AxisGeometry g = ResolveAxis(a, &axis);
-  std::vector<float> out(g.outer * g.inner);
+  std::vector<float> out = arena::AcquireVector(g.outer * g.inner);
   std::vector<int64_t> argmax(g.outer * g.inner);
   kernels::StridedMax(a.data().data(), g.outer, g.dim, g.inner, out.data(),
                       argmax.data());
   Tensor a_copy = a;
   return MakeOp(std::move(out), ReducedShape(a, axis, keepdims), {a},
-                [a_copy, argmax](TensorImpl& self) {
+                [a_copy, argmax = std::move(argmax)](TensorImpl& self) {
                   float* ga = GradBufferOrNull(a_copy.impl_ptr());
                   if (ga == nullptr) return;
                   kernels::IndexedScatterAdd(
@@ -553,7 +560,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   Tensor shifted = logits - ReduceMax(logits, 1, true).Detach();
   Tensor lse = Log(Sum(Exp(shifted), 1, true));  // (n,1)
   // One-hot mask to pick out the true-label logits.
-  std::vector<float> mask(n * c, 0.0f);
+  std::vector<float> mask = arena::AcquireZeroedVector(n * c);
   for (int64_t i = 0; i < n; ++i) {
     EDSR_CHECK(labels[i] >= 0 && labels[i] < c);
     mask[i * c + labels[i]] = 1.0f;

@@ -9,13 +9,20 @@
 // Values are immutable after construction by engine convention (tensor.h),
 // so aliasing never changes observable results; mutable_data() is reserved
 // for leaf tensors (parameters, buffers) that are never aliased.
+//
+// When the last reference dies, the buffer is parked in the thread-local
+// scratch arena's vector pool (arena.h) instead of hitting the heap, so
+// steady-state training steps recycle storage instead of reallocating it.
 #ifndef EDSR_SRC_TENSOR_STORAGE_H_
 #define EDSR_SRC_TENSOR_STORAGE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
+
+#include "src/tensor/arena.h"
 
 namespace edsr::tensor {
 
@@ -25,6 +32,9 @@ class Storage {
   explicit Storage(std::vector<float> values) : values_(std::move(values)) {}
   Storage(int64_t numel, float fill)
       : values_(static_cast<size_t>(numel), fill) {}
+  ~Storage() { arena::RecycleVector(std::move(values_)); }
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
 
   int64_t size() const { return static_cast<int64_t>(values_.size()); }
   const std::vector<float>& values() const { return values_; }
@@ -42,7 +52,9 @@ inline StoragePtr MakeStorage(std::vector<float> values) {
   return std::make_shared<Storage>(std::move(values));
 }
 inline StoragePtr MakeStorage(int64_t numel, float fill = 0.0f) {
-  return std::make_shared<Storage>(numel, fill);
+  std::vector<float> values = arena::AcquireVector(numel);
+  std::fill(values.begin(), values.end(), fill);
+  return std::make_shared<Storage>(std::move(values));
 }
 
 }  // namespace edsr::tensor

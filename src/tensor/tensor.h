@@ -46,6 +46,8 @@ struct TensorImpl {
   StoragePtr storage;
   Shape shape;
   // Gradient buffer; sized lazily on first accumulation. Never aliased.
+  // Acquired from and recycled into the arena vector pool so steady-state
+  // training reuses grad buffers instead of reallocating them.
   std::vector<float> grad;
   bool requires_grad = false;
   // Autograd graph edges. backward_fn reads this node's grad and
@@ -53,12 +55,15 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
+  ~TensorImpl() { arena::RecycleVector(std::move(grad)); }
+
   const std::vector<float>& data() const { return storage->values(); }
   std::vector<float>& data() { return storage->values(); }
   int64_t numel() const { return storage->size(); }
   void EnsureGrad() {
     if (static_cast<int64_t>(grad.size()) != numel()) {
-      grad.assign(numel(), 0.0f);
+      arena::RecycleVector(std::move(grad));
+      grad = arena::AcquireZeroedVector(numel());
     }
   }
 };

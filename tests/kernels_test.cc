@@ -3,6 +3,7 @@
 #include "src/tensor/kernels.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -60,8 +61,41 @@ TEST(Kernels, GemmAllTransposeCombos) {
   }
 }
 
-TEST(Kernels, GemmSkipsZeroLhsCorrectly) {
-  // The zero-skip fast path must still produce exact results.
+TEST(Kernels, GemmBlockedEdgeSizesMatchNaive) {
+  // Exercise every micro-kernel edge case: sizes below, straddling, and
+  // above the register-tile and cache-block boundaries, under all four
+  // transpose combinations and both accumulate modes.
+  util::Rng rng(6);
+  const int64_t sizes[] = {1, 3, 17, 33, 65};
+  for (int64_t m : sizes) {
+    for (int64_t k : sizes) {
+      for (int64_t n : sizes) {
+        for (bool ta : {false, true}) {
+          for (bool tb : {false, true}) {
+            for (bool acc : {false, true}) {
+              std::vector<float> a = RandomVec(m * k, &rng);
+              std::vector<float> b = RandomVec(k * n, &rng);
+              std::vector<float> expected = RandomVec(m * n, &rng);
+              std::vector<float> actual = expected;
+              NaiveGemm(a, b, &expected, m, k, n, ta, tb, acc);
+              kernels::Gemm(a.data(), b.data(), actual.data(), m, k, n, ta,
+                            tb, acc);
+              float tol = 1e-4f * static_cast<float>(k);
+              for (int64_t i = 0; i < m * n; ++i) {
+                ASSERT_NEAR(actual[i], expected[i], tol)
+                    << "m=" << m << " k=" << k << " n=" << n << " ta=" << ta
+                    << " tb=" << tb << " acc=" << acc << " i=" << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, GemmZeroTimesFiniteIsExact) {
+  // Zeros in either operand contribute exactly 0 against finite values.
   std::vector<float> a = {0, 2, 0, 0};  // (2 x 2) with zeros
   std::vector<float> b = {1, 2, 3, 4};
   std::vector<float> c(4, -1.0f);
@@ -70,6 +104,70 @@ TEST(Kernels, GemmSkipsZeroLhsCorrectly) {
   EXPECT_FLOAT_EQ(c[1], 8.0f);   // 0*2 + 2*4
   EXPECT_FLOAT_EQ(c[2], 0.0f);
   EXPECT_FLOAT_EQ(c[3], 0.0f);
+}
+
+TEST(Kernels, GemmPropagatesNanAndInf) {
+  // IEEE semantics through the branch-free inner loop: a zero LHS entry must
+  // NOT short-circuit an inf/nan RHS entry (0 * inf = nan), and infinities
+  // must reach the output. A data-dependent zero-skip would hide both.
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  {
+    std::vector<float> a = {0.0f, 1.0f};        // (1 x 2)
+    std::vector<float> b = {inf, 2.0f};         // (2 x 1)
+    std::vector<float> c(1, 0.0f);
+    kernels::Gemm(a.data(), b.data(), c.data(), 1, 2, 1, false, false, false);
+    EXPECT_TRUE(std::isnan(c[0])) << "0 * inf must propagate nan, got " << c[0];
+  }
+  {
+    std::vector<float> a = {1.0f, 0.0f};        // nan in B row hit by the 0
+    std::vector<float> b = {3.0f, nan};
+    std::vector<float> c(1, 0.0f);
+    kernels::Gemm(a.data(), b.data(), c.data(), 1, 2, 1, false, false, false);
+    EXPECT_TRUE(std::isnan(c[0])) << "0 * nan must propagate nan";
+  }
+  {
+    std::vector<float> a = {2.0f, 1.0f};        // plain inf accumulation
+    std::vector<float> b = {inf, 1.0f};
+    std::vector<float> c(1, 0.0f);
+    kernels::Gemm(a.data(), b.data(), c.data(), 1, 2, 1, false, false, false);
+    EXPECT_TRUE(std::isinf(c[0]) && c[0] > 0.0f);
+  }
+}
+
+TEST(Kernels, PairwiseSqDistMatchesScalar) {
+  util::Rng rng(7);
+  const int64_t n = 33, m = 17, d = 19;
+  std::vector<float> a = RandomVec(n * d, &rng);
+  std::vector<float> b = RandomVec(m * d, &rng);
+  std::vector<float> out(n * m);
+  kernels::PairwiseSqDist(a.data(), n, b.data(), m, d, out.data());
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      double expected = 0.0;
+      for (int64_t c = 0; c < d; ++c) {
+        double diff = static_cast<double>(a[i * d + c]) - b[j * d + c];
+        expected += diff * diff;
+      }
+      ASSERT_NEAR(out[i * m + j], expected, 1e-3)
+          << "i=" << i << " j=" << j;
+      ASSERT_GE(out[i * m + j], 0.0f) << "clamp must keep distances >= 0";
+    }
+  }
+}
+
+TEST(Kernels, PairwiseSqDistSelfDistancesNearZero) {
+  // Identical rows are clamped at 0 but only promised to be *near* zero;
+  // pin the documented contract.
+  util::Rng rng(8);
+  const int64_t n = 5, d = 16;
+  std::vector<float> a = RandomVec(n * d, &rng);
+  std::vector<float> out(n * n);
+  kernels::PairwiseSqDist(a.data(), n, a.data(), n, d, out.data());
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_GE(out[i * n + i], 0.0f);
+    EXPECT_LE(out[i * n + i], 1e-4f);
+  }
 }
 
 TEST(Kernels, Blas1Entries) {
