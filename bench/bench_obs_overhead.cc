@@ -1,0 +1,143 @@
+// Tracing-overhead micro-benchmarks: the acceptance gate for the telemetry
+// subsystem is that span instrumentation at trainer granularity costs <2% of
+// a train step when enabled and exactly nothing when compiled out.
+//
+// Three arms run the identical MLP train step (obs_overhead_workload.h):
+//  * compiled out — StepCompiledOut from obs_overhead_disabled.cc, built
+//    with EDSR_DISABLE_TRACING so the span macros vanish;
+//  * runtime-disabled — spans present, Tracer off (one relaxed load each);
+//  * enabled — spans aggregate into the per-thread tree.
+// BM_TrainStepSpanOverheadRatio interleaves enabled and compiled-out batches
+// on the same workload and reports the ratio as a counter, so the committed
+// baseline JSON carries the gate directly.
+//
+// Record alongside the kernel baselines (Release build only):
+//   ./bench_obs_overhead --benchmark_out_format=json
+//                        --benchmark_out=/tmp/obs_overhead.json
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+#include "bench/micro_main.h"
+#include "bench/obs_overhead_workload.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+using namespace edsr;
+using benchobs::ObsWorkload;
+
+// Same span structure as StepCompiledOut; in this TU the macros are live.
+void StepTraced(ObsWorkload& workload) {
+  EDSR_TRACE_SPAN("batch");
+  EDSR_TRACE_SPAN("train_step");
+  workload.StepBody();
+}
+
+uint64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Span-site cost in isolation: an empty span pair per iteration, with the
+// tracer off (the default state of every non-traced run). This is the cost
+// every instrumented call site pays everywhere, so it must stay in the
+// low single-digit nanoseconds.
+void BM_SpanSiteRuntimeDisabled(benchmark::State& state) {
+  obs::Tracer::SetEnabled(false);
+  for (auto _ : state) {
+    EDSR_TRACE_SPAN("bench_site");
+    benchmark::DoNotOptimize(&state);
+  }
+}
+BENCHMARK(BM_SpanSiteRuntimeDisabled);
+
+// Span-site cost with aggregation live: two clock reads + child lookup.
+void BM_SpanSiteEnabled(benchmark::State& state) {
+  obs::Tracer::SetEnabled(true);
+  for (auto _ : state) {
+    EDSR_TRACE_SPAN("bench_site");
+    benchmark::DoNotOptimize(&state);
+  }
+  obs::Tracer::SetEnabled(false);
+  obs::Tracer::Reset();
+}
+BENCHMARK(BM_SpanSiteEnabled);
+
+void BM_TrainStepSpansCompiledOut(benchmark::State& state) {
+  ObsWorkload workload = ObsWorkload::Make();
+  for (int i = 0; i < 5; ++i) benchobs::StepCompiledOut(workload);
+  for (auto _ : state) {
+    benchobs::StepCompiledOut(workload);
+    benchmark::DoNotOptimize(workload.w1.grad().data());
+  }
+}
+BENCHMARK(BM_TrainStepSpansCompiledOut);
+
+void BM_TrainStepSpansRuntimeDisabled(benchmark::State& state) {
+  obs::Tracer::SetEnabled(false);
+  ObsWorkload workload = ObsWorkload::Make();
+  for (int i = 0; i < 5; ++i) StepTraced(workload);
+  for (auto _ : state) {
+    StepTraced(workload);
+    benchmark::DoNotOptimize(workload.w1.grad().data());
+  }
+}
+BENCHMARK(BM_TrainStepSpansRuntimeDisabled);
+
+void BM_TrainStepSpansEnabled(benchmark::State& state) {
+  obs::Tracer::SetEnabled(true);
+  ObsWorkload workload = ObsWorkload::Make();
+  for (int i = 0; i < 5; ++i) StepTraced(workload);
+  for (auto _ : state) {
+    StepTraced(workload);
+    benchmark::DoNotOptimize(workload.w1.grad().data());
+  }
+  obs::Tracer::SetEnabled(false);
+  obs::Tracer::Reset();
+}
+BENCHMARK(BM_TrainStepSpansEnabled);
+
+// The gate itself: enabled and compiled-out steps timed back to back in
+// interleaved batches (so frequency drift cancels), ratio reported as a
+// counter. overhead_ratio must stay under 1.02.
+void BM_TrainStepSpanOverheadRatio(benchmark::State& state) {
+  obs::Tracer::SetEnabled(true);
+  ObsWorkload workload = ObsWorkload::Make();
+  for (int i = 0; i < 20; ++i) StepTraced(workload);
+  for (int i = 0; i < 20; ++i) benchobs::StepCompiledOut(workload);
+
+  // The timed loop runs the enabled configuration so the benchmark's own
+  // wall time stays comparable to BM_TrainStepSpansEnabled.
+  for (auto _ : state) {
+    StepTraced(workload);
+    benchmark::DoNotOptimize(workload.w1.grad().data());
+  }
+
+  constexpr int kBatches = 10;
+  constexpr int kStepsPerBatch = 50;
+  double enabled_ns = 0.0, compiled_out_ns = 0.0;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    uint64_t t0 = NowNs();
+    for (int i = 0; i < kStepsPerBatch; ++i) StepTraced(workload);
+    uint64_t t1 = NowNs();
+    for (int i = 0; i < kStepsPerBatch; ++i) {
+      benchobs::StepCompiledOut(workload);
+    }
+    uint64_t t2 = NowNs();
+    enabled_ns += static_cast<double>(t1 - t0);
+    compiled_out_ns += static_cast<double>(t2 - t1);
+  }
+  const double steps = static_cast<double>(kBatches * kStepsPerBatch);
+  state.counters["enabled_ns_per_step"] = enabled_ns / steps;
+  state.counters["compiled_out_ns_per_step"] = compiled_out_ns / steps;
+  state.counters["overhead_ratio"] = enabled_ns / compiled_out_ns;
+  obs::Tracer::SetEnabled(false);
+  obs::Tracer::Reset();
+}
+BENCHMARK(BM_TrainStepSpanOverheadRatio);
+
+}  // namespace
+
+EDSR_BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// The compiled-out arm of bench_obs_overhead: EDSR_DISABLE_TRACING is
+// defined before trace.h, so the span macros below expand to nothing and
+// this TU's step is the zero-instrumentation baseline. Named without the
+// bench_ prefix on purpose — the glob in bench/CMakeLists.txt must not turn
+// it into its own binary; it is attached to bench_obs_overhead via
+// target_sources.
+#define EDSR_DISABLE_TRACING
+#include "src/obs/trace.h"
+
+#include "bench/obs_overhead_workload.h"
+
+namespace edsr::benchobs {
+
+void StepCompiledOut(ObsWorkload& workload) {
+  // Identical span structure to StepTraced in bench_obs_overhead.cc; here
+  // both macros compile away entirely.
+  EDSR_TRACE_SPAN("batch");
+  EDSR_TRACE_SPAN("train_step");
+  workload.StepBody();
+}
+
+}  // namespace edsr::benchobs

@@ -1,0 +1,53 @@
+// The workload shared by bench_obs_overhead.cc (spans active) and
+// obs_overhead_disabled.cc (compiled with EDSR_DISABLE_TRACING): the same
+// two-layer MLP forward/backward/SGD step as BM_TrainStepMlp, the unit the
+// training loop repeats thousands of times per increment. Both TUs wrap
+// StepBody() in the identical span structure the trainer uses per batch, so
+// the measured difference is exactly the tracing overhead at trainer
+// granularity.
+//
+// This header must not (transitively) include src/obs/trace.h: each TU
+// decides EDSR_DISABLE_TRACING before including trace.h itself.
+#ifndef EDSR_BENCH_OBS_OVERHEAD_WORKLOAD_H_
+#define EDSR_BENCH_OBS_OVERHEAD_WORKLOAD_H_
+
+#include "src/tensor/kernels.h"
+#include "src/tensor/ops.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace edsr::benchobs {
+
+struct ObsWorkload {
+  tensor::Tensor w1, w2, x;
+
+  static ObsWorkload Make() {
+    util::Rng rng(0);
+    ObsWorkload w;
+    w.w1 = tensor::Tensor::Randn({192, 64}, &rng, 0, 0.05f, true);
+    w.w2 = tensor::Tensor::Randn({64, 32}, &rng, 0, 0.05f, true);
+    w.x = tensor::Tensor::Randn({32, 192}, &rng);
+    return w;
+  }
+
+  // One full train step: forward, backward, SGD update.
+  void StepBody() {
+    w1.ZeroGrad();
+    w2.ZeroGrad();
+    tensor::Tensor h = tensor::Relu(tensor::MatMul(x, w1));
+    tensor::Tensor loss = tensor::MeanAll(tensor::Square(tensor::MatMul(h, w2)));
+    loss.Backward();
+    tensor::kernels::Axpy(w1.numel(), -0.01f, w1.grad().data(),
+                          w1.mutable_data().data());
+    tensor::kernels::Axpy(w2.numel(), -0.01f, w2.grad().data(),
+                          w2.mutable_data().data());
+  }
+};
+
+// Defined in obs_overhead_disabled.cc, where EDSR_DISABLE_TRACING makes the
+// span macros expand to nothing — the true zero-cost baseline.
+void StepCompiledOut(ObsWorkload& workload);
+
+}  // namespace edsr::benchobs
+
+#endif  // EDSR_BENCH_OBS_OVERHEAD_WORKLOAD_H_

@@ -2,30 +2,75 @@
 // synth-cifar10 benchmark (5 increments), printing per-increment Acc/Fgt
 // and the forgetting heatmap — a miniature of the paper's Table III row.
 //
-//   ./image_continual [seed] [--checkpoint_dir <dir>] [--resume]
+//   ./image_continual [seed] [--method <name>] [--epochs <n>]
+//                     [--checkpoint_dir <dir>] [--resume]
+//                     [--metrics_out <file.jsonl>] [--trace_out <file.json>]
+//
+// Flags accept both `--flag value` and `--flag=value`. --method restricts
+// the comparison to one strategy; --epochs overrides the per-increment
+// epoch count (the CI telemetry check runs a 2-epoch miniature).
 //
 // With --checkpoint_dir, each method writes an atomic run snapshot after
 // every increment under <dir>/<method>/run.ckpt; --resume picks a killed
 // run back up from its latest snapshot (and falls back to a fresh run when
 // no usable checkpoint exists), reproducing the uninterrupted run exactly.
+//
+// --metrics_out appends structured run records (one JSON object per line:
+// per-epoch loss components, per-increment selection stats and accuracy
+// rows; schema in DESIGN.md §6). --trace_out enables trace spans and writes
+// a Chrome trace-event JSON loadable in Perfetto / chrome://tracing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/cl/factory.h"
 #include "src/cl/trainer.h"
 #include "src/data/synthetic.h"
+#include "src/obs/run_record.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+
+namespace {
+
+// `--name value` and `--name=value`; advances *i past a consumed value.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace edsr;
   uint64_t seed = 0;
   std::string checkpoint_dir;
+  std::string method_filter;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string epochs_flag;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint_dir") == 0 && i + 1 < argc) {
-      checkpoint_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--resume") == 0) {
+    if (ParseFlag(argc, argv, &i, "--checkpoint_dir", &checkpoint_dir) ||
+        ParseFlag(argc, argv, &i, "--method", &method_filter) ||
+        ParseFlag(argc, argv, &i, "--epochs", &epochs_flag) ||
+        ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
+        ParseFlag(argc, argv, &i, "--trace_out", &trace_out)) {
+      continue;
+    }
+    if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
@@ -34,6 +79,10 @@ int main(int argc, char** argv) {
   if (resume && checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint_dir\n");
     return 1;
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::SetEnabled(true);
+    obs::Tracer::SetEventRecording(true);
   }
 
   data::SyntheticImagePair pair =
@@ -53,9 +102,38 @@ int main(int argc, char** argv) {
   context.memory_per_task = 8;
   context.replay_batch_size = 16;
   context.seed = seed;
+  if (!epochs_flag.empty()) {
+    context.epochs = std::strtoll(epochs_flag.c_str(), nullptr, 10);
+    if (context.epochs <= 0) {
+      std::fprintf(stderr, "--epochs must be positive\n");
+      return 1;
+    }
+  }
+
+  obs::RunLogger* logger = nullptr;
+  std::unique_ptr<obs::RunLogger> metrics_logger;
+  if (!metrics_out.empty()) {
+    metrics_logger = std::make_unique<obs::RunLogger>(metrics_out);
+    if (!metrics_logger->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    logger = metrics_logger.get();
+  }
 
   for (const char* method : {"finetune", "cassle", "edsr"}) {
+    if (!method_filter.empty() && method_filter != method) continue;
     auto strategy = cl::MakeStrategy(method, context);
+    if (logger != nullptr) {
+      obs::Json header = obs::Json::Object();
+      header.Set("record", "run");
+      header.Set("strategy", method);
+      header.Set("seed", static_cast<int64_t>(seed));
+      header.Set("increments", sequence.num_tasks());
+      header.Set("epochs", context.epochs);
+      logger->Write(header);
+      strategy->SetRunLogger(logger);
+    }
     cl::CheckpointOptions checkpoint;
     if (!checkpoint_dir.empty()) {
       checkpoint.directory = checkpoint_dir + "/" + method;
@@ -69,9 +147,10 @@ int main(int argc, char** argv) {
       if (!resumed) {
         // A missing or corrupt snapshot downgrades to a fresh run rather
         // than aborting the whole comparison.
-        std::printf("[%s] no usable checkpoint (%s); starting fresh\n",
-                    method, status.ToString().c_str());
+        EDSR_LOG(Warning) << "[" << method << "] no usable checkpoint ("
+                          << status.ToString() << "); starting fresh";
         strategy = cl::MakeStrategy(method, context);
+        if (logger != nullptr) strategy->SetRunLogger(logger);
       }
     }
     if (!resumed) {
@@ -87,6 +166,16 @@ int main(int argc, char** argv) {
                 result.matrix.FinalFgt() * 100.0, result.train_seconds);
     std::printf("forgetting heatmap (log10 %%, . = none):\n%s",
                 result.matrix.ForgettingHeatmap().c_str());
+  }
+
+  if (!trace_out.empty()) {
+    util::Status status = obs::Tracer::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    EDSR_LOG(Info) << "wrote trace to " << trace_out << " ("
+                   << obs::Tracer::dropped_events() << " events dropped)";
   }
   return 0;
 }

@@ -3,17 +3,64 @@
 // 5-increment sequence through per-increment input heads, with EDSR's
 // memory replay routed through the right head for each stored sample.
 //
-//   ./tabular_continual [seed]
+//   ./tabular_continual [seed] [--epochs <n>]
+//                       [--metrics_out <file.jsonl>] [--trace_out <file.json>]
+//
+// Flags accept both `--flag value` and `--flag=value`. --metrics_out appends
+// structured run records (DESIGN.md §6); --trace_out enables trace spans and
+// writes Chrome trace-event JSON.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/cl/trainer.h"
 #include "src/core/edsr.h"
 #include "src/data/synthetic.h"
+#include "src/obs/run_record.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+
+namespace {
+
+// `--name value` and `--name=value`; advances *i past a consumed value.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace edsr;
-  uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+  uint64_t seed = 0;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string epochs_flag;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
+        ParseFlag(argc, argv, &i, "--trace_out", &trace_out) ||
+        ParseFlag(argc, argv, &i, "--epochs", &epochs_flag)) {
+      continue;
+    }
+    seed = std::strtoull(argv[i], nullptr, 10);
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::SetEnabled(true);
+    obs::Tracer::SetEventRecording(true);
+  }
 
   std::vector<std::pair<data::Dataset, data::Dataset>> pairs;
   std::vector<int64_t> head_dims;
@@ -40,8 +87,32 @@ int main(int argc, char** argv) {
   context.memory_per_task = 8;
   context.replay_batch_size = 16;
   context.seed = seed;
+  if (!epochs_flag.empty()) {
+    context.epochs = std::strtoll(epochs_flag.c_str(), nullptr, 10);
+    if (context.epochs <= 0) {
+      std::fprintf(stderr, "--epochs must be positive\n");
+      return 1;
+    }
+  }
 
   core::Edsr edsr(context);
+  std::unique_ptr<obs::RunLogger> metrics_logger;
+  if (!metrics_out.empty()) {
+    metrics_logger = std::make_unique<obs::RunLogger>(metrics_out);
+    if (!metrics_logger->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    obs::Json header = obs::Json::Object();
+    header.Set("record", "run");
+    header.Set("strategy", "edsr");
+    header.Set("seed", static_cast<int64_t>(seed));
+    header.Set("increments", sequence.num_tasks());
+    header.Set("epochs", context.epochs);
+    metrics_logger->Write(header);
+    edsr.SetRunLogger(metrics_logger.get());
+  }
+
   cl::ContinualRunResult result = cl::RunContinual(&edsr, sequence, {});
   std::printf("\naccuracy matrix:\n%s", result.matrix.ToString().c_str());
   std::printf("final Acc = %.1f%%, Fgt = %.1f%%\n",
@@ -54,5 +125,14 @@ int main(int argc, char** argv) {
     std::printf(" %zu", edsr.memory().entry(i).features.size());
   }
   std::printf("\n");
+
+  if (!trace_out.empty()) {
+    util::Status status = obs::Tracer::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    EDSR_LOG(Info) << "wrote trace to " << trace_out;
+  }
   return 0;
 }

@@ -10,6 +10,12 @@ than --threshold (default 15%) in real time. Benchmarks only present on one
 side are reported but do not fail the gate (new benches must be recordable
 without first rewriting the baseline).
 
+User counters attached to benchmarks (arena pool_hits/pool_misses, the
+tracing overhead_ratio from bench_obs_overhead, span counts) are compared
+too, as an informational table: counter semantics vary (ratios, totals,
+rates), so their deltas are printed for review but never fail the gate on
+their own.
+
 Both files must have been recorded from an optimized build: recordings made
 by this repo's bench mains carry an "edsr_build" context key, and anything
 other than "release" is rejected. Files without the key (e.g. recorded
@@ -20,6 +26,17 @@ import argparse
 import json
 import re
 import sys
+
+
+# Fields google-benchmark itself writes on every benchmark entry; any other
+# numeric field is a user counter (state.counters[...]).
+_STANDARD_KEYS = {
+    "name", "family_index", "per_family_instance_index", "run_name",
+    "run_type", "repetitions", "repetition_index", "threads", "iterations",
+    "real_time", "cpu_time", "time_unit", "items_per_second",
+    "bytes_per_second", "label", "aggregate_name", "aggregate_unit",
+    "error_occurred", "error_message",
+}
 
 
 def load_benchmarks(path):
@@ -36,12 +53,16 @@ def load_benchmarks(path):
         )
         sys.exit(2)
     results = {}
+    counters = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repeated runs).
         if bench.get("run_type") == "aggregate":
             continue
         results[bench["name"]] = float(bench["real_time"])
-    return results
+        for key, value in bench.items():
+            if key not in _STANDARD_KEYS and isinstance(value, (int, float)):
+                counters[f"{bench['name']}::{key}"] = float(value)
+    return results, counters
 
 
 def main():
@@ -59,12 +80,16 @@ def main():
     )
     args = parser.parse_args()
 
-    base = load_benchmarks(args.baseline)
-    cand = load_benchmarks(args.candidate)
+    base, base_counters = load_benchmarks(args.baseline)
+    cand, cand_counters = load_benchmarks(args.candidate)
     if args.filter is not None:
         pattern = re.compile(args.filter)
         base = {k: v for k, v in base.items() if pattern.search(k)}
         cand = {k: v for k, v in cand.items() if pattern.search(k)}
+        base_counters = {
+            k: v for k, v in base_counters.items() if pattern.search(k)}
+        cand_counters = {
+            k: v for k, v in cand_counters.items() if pattern.search(k)}
 
     shared = sorted(base.keys() & cand.keys())
     if not shared:
@@ -82,6 +107,16 @@ def main():
             marker = "  REGRESSION"
             regressions.append((name, delta))
         print(f"{name:<{width}}  {b:>10.0f}ns  {c:>10.0f}ns  {delta:+7.1%}{marker}")
+
+    shared_counters = sorted(base_counters.keys() & cand_counters.keys())
+    if shared_counters:
+        cwidth = max(len(name) for name in shared_counters)
+        print(f"\n{'counter':<{cwidth}}  {'baseline':>12}  "
+              f"{'candidate':>12}  delta (informational)")
+        for name in shared_counters:
+            b, c = base_counters[name], cand_counters[name]
+            delta = (c - b) / b if b != 0 else 0.0
+            print(f"{name:<{cwidth}}  {b:>12.4g}  {c:>12.4g}  {delta:+7.1%}")
 
     for name in sorted(base.keys() - cand.keys()):
         print(f"note: {name} only in baseline (not compared)")

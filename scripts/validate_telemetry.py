@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Validate the telemetry artifacts a training run emits.
+
+Usage:
+    scripts/validate_telemetry.py RUN.jsonl [--trace TRACE.json]
+
+RUN.jsonl is the --metrics_out run-record stream (DESIGN.md §6): one JSON
+object per line, record types "run" / "epoch" / "increment". The validator
+checks the schema of every record, the sequencing (a "run" header opens each
+run; its declared increment and epoch counts match what follows), the paper
+quantities (loss_components carries L_css everywhere and L_rpl for EDSR
+replay increments; increment stats carry selection_trace_cov and
+noise_scale_mean for EDSR), and the determinism contract that "perf" — the
+only machine-dependent sub-object — is the LAST key of every increment
+record, so deterministic readers can strip it by truncation.
+
+--trace additionally validates a --trace_out file as Chrome trace-event JSON
+(an object with a "traceEvents" list of complete "X" events carrying
+name/ts/dur/pid/tid), the format Perfetto and chrome://tracing load.
+
+Exits 0 and prints a one-line summary per run when everything checks out;
+exits 1 with the offending line number otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+class ValidationError(Exception):
+    pass
+
+
+def require(cond, line_no, message):
+    if not cond:
+        raise ValidationError(f"line {line_no}: {message}")
+
+
+def require_keys(rec, keys, line_no):
+    for key in keys:
+        require(key in rec, line_no, f"missing key {key!r}")
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+class RunState:
+    """Tracks one run header and the records that follow it."""
+
+    def __init__(self, rec, line_no):
+        require_keys(rec, ["strategy", "seed", "increments", "epochs"], line_no)
+        self.strategy = rec["strategy"]
+        self.increments = rec["increments"]
+        self.epochs = rec["epochs"]
+        self.epoch_counts = {}  # increment -> epochs seen
+        self.increment_records = 0
+
+    def on_epoch(self, rec, line_no):
+        require_keys(
+            rec, ["strategy", "increment", "epoch", "batches", "loss",
+                  "loss_components"], line_no)
+        require(rec["strategy"] == self.strategy, line_no,
+                f"epoch record strategy {rec['strategy']!r} does not match "
+                f"run header {self.strategy!r}")
+        inc, epoch = rec["increment"], rec["epoch"]
+        require(0 <= inc < self.increments, line_no,
+                f"increment {inc} out of range [0, {self.increments})")
+        require(epoch == self.epoch_counts.get(inc, 0), line_no,
+                f"epoch {epoch} out of order for increment {inc}")
+        self.epoch_counts[inc] = epoch + 1
+        require(is_num(rec["loss"]), line_no, "loss is not a number")
+        components = rec["loss_components"]
+        require(isinstance(components, dict), line_no,
+                "loss_components is not an object")
+        require("L_css" in components, line_no,
+                "loss_components missing L_css")
+        if self.strategy == "edsr" and inc > 0:
+            require("L_rpl" in components, line_no,
+                    "EDSR replay increment missing L_rpl component")
+        if self.strategy == "cassle" and inc > 0:
+            require("L_dis" in components, line_no,
+                    "CaSSLe distillation increment missing L_dis component")
+        for name, value in components.items():
+            require(is_num(value), line_no,
+                    f"loss component {name!r} is not a number")
+
+    def on_increment(self, rec, raw_line, line_no):
+        require_keys(rec, ["strategy", "increment", "stats", "accuracy",
+                           "perf"], line_no)
+        require(rec["strategy"] == self.strategy, line_no,
+                "increment record strategy does not match run header")
+        inc = rec["increment"]
+        require(inc == self.increment_records, line_no,
+                f"increment record {inc} out of order "
+                f"(expected {self.increment_records})")
+        require(self.epoch_counts.get(inc, 0) == self.epochs, line_no,
+                f"increment {inc} has {self.epoch_counts.get(inc, 0)} epoch "
+                f"records, run header declared {self.epochs}")
+        self.increment_records += 1
+
+        stats = rec["stats"]
+        require(isinstance(stats, dict), line_no, "stats is not an object")
+        if self.strategy == "edsr":
+            for key in ("selection_trace_cov", "noise_scale_mean",
+                        "selected", "memory_size"):
+                require(key in stats, line_no, f"EDSR stats missing {key!r}")
+            require(stats["selection_trace_cov"] >= 0.0, line_no,
+                    "selection_trace_cov is negative (it is a sum of squared "
+                    "representation norms)")
+
+        accuracy = rec["accuracy"]
+        require(isinstance(accuracy, dict), line_no,
+                "accuracy is not an object")
+        require_keys(accuracy, ["row", "acc", "fgt"], line_no)
+        row = accuracy["row"]
+        require(isinstance(row, list) and len(row) == inc + 1, line_no,
+                f"accuracy row must list the {inc + 1} tasks seen so far")
+        for value in row + [accuracy["acc"], accuracy["fgt"]]:
+            require(is_num(value), line_no, "accuracy value is not a number")
+
+        perf = rec["perf"]
+        require(isinstance(perf, dict), line_no, "perf is not an object")
+        require_keys(perf, ["train_seconds", "eval_seconds", "metrics"],
+                     line_no)
+        # The determinism contract: perf is the only machine-dependent
+        # sub-object and must be the record's last key, so deterministic
+        # readers can strip it by truncating the raw line at ',"perf"'.
+        require(list(rec.keys())[-1] == "perf", line_no,
+                "perf must be the last key of an increment record")
+        require(raw_line.rstrip().endswith("}}"), line_no,
+                "increment record does not end with the perf object")
+
+    def finish(self, line_no):
+        require(self.increment_records == self.increments, line_no,
+                f"run declared {self.increments} increments but has "
+                f"{self.increment_records} increment records")
+
+
+def validate_run_records(path):
+    runs = []
+    current = None
+    line_no = 0
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as e:
+                raise ValidationError(f"line {line_no}: invalid JSON: {e}")
+            require(isinstance(rec, dict), line_no, "record is not an object")
+            require("record" in rec, line_no, "missing 'record' type key")
+            kind = rec["record"]
+            if kind == "run":
+                if current is not None:
+                    current.finish(line_no)
+                current = RunState(rec, line_no)
+                runs.append(current)
+            elif kind == "epoch":
+                require(current is not None, line_no,
+                        "epoch record before any run header")
+                current.on_epoch(rec, line_no)
+            elif kind == "increment":
+                require(current is not None, line_no,
+                        "increment record before any run header")
+                current.on_increment(rec, raw, line_no)
+            else:
+                raise ValidationError(
+                    f"line {line_no}: unknown record type {kind!r}")
+    require(runs, line_no, "no records found")
+    if current is not None:
+        current.finish(line_no)
+    return runs
+
+
+def validate_trace(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise ValidationError(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValidationError(f"{path}: not a trace-event JSON object")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        raise ValidationError(f"{path}: traceEvents is not a list")
+    complete = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValidationError(f"{path}: event {i} is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                raise ValidationError(f"{path}: event {i} missing {key!r}")
+        if event["ph"] == "X":
+            complete += 1
+            if "dur" not in event or not is_num(event["dur"]):
+                raise ValidationError(
+                    f"{path}: complete event {i} missing numeric 'dur'")
+    if complete == 0:
+        raise ValidationError(f"{path}: no complete ('X') events recorded")
+    return complete
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run_records", help="--metrics_out JSONL file")
+    parser.add_argument("--trace", default=None,
+                        help="--trace_out Chrome trace JSON file")
+    args = parser.parse_args()
+
+    try:
+        runs = validate_run_records(args.run_records)
+        for run in runs:
+            print(f"{args.run_records}: run strategy={run.strategy} "
+                  f"increments={run.increments} epochs={run.epochs} OK")
+        if args.trace is not None:
+            events = validate_trace(args.trace)
+            print(f"{args.trace}: {events} complete trace events OK")
+    except ValidationError as e:
+        print(f"validate_telemetry: {e}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

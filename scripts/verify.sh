@@ -25,6 +25,15 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure
 
+echo "== telemetry: smoke run + schema validation =="
+TELEM_DIR="$(mktemp -d)"
+trap 'rm -rf "${TELEM_DIR}"' EXIT
+./build/examples/image_continual 0 --method=edsr --epochs 2 \
+    --metrics_out="${TELEM_DIR}/run.jsonl" \
+    --trace_out="${TELEM_DIR}/trace.json" >/dev/null
+python3 scripts/validate_telemetry.py "${TELEM_DIR}/run.jsonl" \
+    --trace "${TELEM_DIR}/trace.json"
+
 echo "== tier 2: sanitize preset (ASan/UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "${JOBS}"
@@ -33,7 +42,7 @@ ctest --test-dir build-sanitize --output-on-failure
 if [[ "${RUN_BENCH}" -eq 1 ]]; then
   echo "== perf gate: micro-benchmarks vs committed baselines =="
   TMP_DIR="$(mktemp -d)"
-  trap 'rm -rf "${TMP_DIR}"' EXIT
+  trap 'rm -rf "${TMP_DIR}" "${TELEM_DIR}"' EXIT  # replaces the TELEM trap
   ./build/bench/bench_micro_kernels \
       --benchmark_out_format=json \
       --benchmark_out="${TMP_DIR}/micro_kernels.json" >/dev/null
@@ -44,6 +53,15 @@ if [[ "${RUN_BENCH}" -eq 1 ]]; then
       "${TMP_DIR}/micro_kernels.json"
   python3 scripts/bench_compare.py BENCH_train_step.json \
       "${TMP_DIR}/train_step.json"
+  # Tracing-overhead gate: the obs rows live in the kernels baseline; span
+  # sites are nanosecond-scale, so allow more timing noise than the 15%
+  # kernel threshold.
+  ./build/bench/bench_obs_overhead \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/obs_overhead.json" >/dev/null
+  python3 scripts/bench_compare.py BENCH_micro_kernels.json \
+      "${TMP_DIR}/obs_overhead.json" --threshold 0.3 \
+      --filter '^BM_(SpanSite|TrainStepSpan)'
 fi
 
 echo "verify.sh: all suites green"

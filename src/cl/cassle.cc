@@ -1,5 +1,6 @@
 #include "src/cl/cassle.h"
 
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace edsr::cl {
@@ -13,6 +14,7 @@ Cassle::Cassle(const StrategyContext& context, const CassleOptions& options,
 void Cassle::OnIncrementStart(const data::Task& task) {
   (void)task;
   if (increments_seen_ == 0) return;  // nothing to distill from yet
+  EDSR_TRACE_SPAN("teacher_snapshot");
   if (teacher_ == nullptr) {
     util::Rng teacher_rng = rng_.Fork();
     teacher_ = ssl::Encoder::Make(context_.encoder, &teacher_rng);
@@ -49,12 +51,14 @@ Tensor Cassle::ComputeBatchLoss(const data::Task& task,
   Tensor z1 = encoder_->Forward(view1);
   Tensor z2 = encoder_->Forward(view2);
   Tensor total = loss_->Loss(z1, z2);
+  if (collecting_telemetry()) RecordLossComponent("L_css", total.item());
   if (teacher_active_) {
     Tensor t1 = TeacherForward(view1, task.task_id);
     Tensor t2 = TeacherForward(view2, task.task_id);
     // The ½(L_dis(x1) + L_dis(x2)) term of §III-C.
     Tensor distill = (DistillLoss(z1, t1) + DistillLoss(z2, t2)) *
                      cassle_options_.distill_weight;
+    if (collecting_telemetry()) RecordLossComponent("L_dis", distill.item());
     total = total + distill;
   }
   return total;

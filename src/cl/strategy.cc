@@ -1,6 +1,7 @@
 #include "src/cl/strategy.h"
 
 #include "src/data/batching.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 #include "src/util/logging.h"
 
@@ -24,7 +25,37 @@ Tensor ContinualStrategy::ComputeBatchLoss(const data::Task& task,
   (void)indices;
   Tensor z1 = encoder_->Forward(view1);
   Tensor z2 = encoder_->Forward(view2);
-  return loss_->Loss(z1, z2);
+  Tensor loss = loss_->Loss(z1, z2);
+  if (collecting_telemetry()) RecordLossComponent("L_css", loss.item());
+  return loss;
+}
+
+void ContinualStrategy::RecordLossComponent(const char* key, double value) {
+  for (ComponentSum& component : epoch_components_) {
+    if (component.key == key) {
+      component.sum += value;
+      component.count += 1;
+      return;
+    }
+  }
+  epoch_components_.push_back(ComponentSum{key, value, 1});
+}
+
+void ContinualStrategy::RecordIncrementStat(const char* key, double value) {
+  for (auto& stat : increment_stats_) {
+    if (stat.first == key) {
+      stat.second = value;
+      return;
+    }
+  }
+  increment_stats_.emplace_back(key, value);
+}
+
+std::vector<std::pair<std::string, double>>
+ContinualStrategy::TakeIncrementStats() {
+  std::vector<std::pair<std::string, double>> out;
+  out.swap(increment_stats_);
+  return out;
 }
 
 Tensor ContinualStrategy::View(const data::Dataset& dataset,
@@ -68,6 +99,7 @@ void ContinualStrategy::BuildOptimizer(const std::vector<Tensor>& params) {
 }
 
 void ContinualStrategy::LearnIncrement(const data::Task& task) {
+  EDSR_TRACE_SPAN("learn_increment");
   EDSR_CHECK_GT(task.train.size(), 1)
       << "increment " << task.task_id << " too small to train on";
   if (encoder_->has_input_heads()) encoder_->SetActiveHead(task.task_id);
@@ -83,10 +115,13 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
   data::BatchIterator iterator(task.train.size(), context_.batch_size, &rng_);
   std::vector<int64_t> batch;
   for (int64_t epoch = 0; epoch < context_.epochs; ++epoch) {
+    EDSR_TRACE_SPAN("epoch");
     iterator.Reset();
+    epoch_components_.clear();
     double epoch_loss = 0.0;
     int64_t batches = 0;
     while (iterator.Next(&batch)) {
+      EDSR_TRACE_SPAN("batch");
       Tensor view1 = View(task.train, batch);
       Tensor view2 = View(task.train, batch);
       optimizer_->ZeroGrad();
@@ -103,6 +138,23 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
     }
     EDSR_LOG(Debug) << name_ << " task " << task.task_id << " epoch " << epoch
                     << " loss " << (batches > 0 ? epoch_loss / batches : 0.0);
+    if (collecting_telemetry()) {
+      obs::Json record = obs::Json::Object();
+      record.Set("record", "epoch");
+      record.Set("strategy", name_);
+      record.Set("increment", task.task_id);
+      record.Set("epoch", epoch);
+      record.Set("batches", batches);
+      record.Set("loss", batches > 0 ? epoch_loss / batches : 0.0);
+      obs::Json components = obs::Json::Object();
+      for (const ComponentSum& component : epoch_components_) {
+        components.Set(component.key, component.count > 0
+                                          ? component.sum / component.count
+                                          : 0.0);
+      }
+      record.Set("loss_components", std::move(components));
+      run_logger_->Write(record);
+    }
   }
 
   OnIncrementEnd(task);

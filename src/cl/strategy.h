@@ -23,6 +23,7 @@
 #include "src/cl/strategy_context.h"
 #include "src/data/task_sequence.h"
 #include "src/io/container.h"
+#include "src/obs/run_record.h"
 #include "src/optim/optimizer.h"
 
 namespace edsr::cl {
@@ -44,6 +45,17 @@ class ContinualStrategy {
   const StrategyContext& context() const { return context_; }
   int64_t increments_seen() const { return increments_seen_; }
   util::Rng* rng() { return &rng_; }
+
+  // ---- Telemetry ---------------------------------------------------------
+  // Attaches a run-record sink (not owned; nullptr detaches). While attached,
+  // LearnIncrement emits one "epoch" JSONL record per epoch with the averaged
+  // loss components the hooks report via RecordLossComponent, and per-
+  // increment scalars accumulate for the trainer's "increment" record.
+  void SetRunLogger(obs::RunLogger* logger) { run_logger_ = logger; }
+  obs::RunLogger* run_logger() { return run_logger_; }
+  // Per-increment scalars recorded by hooks since the last call (selection
+  // entropy, noise scales, ...), in recording order; clears the buffer.
+  std::vector<std::pair<std::string, double>> TakeIncrementStats();
 
   // ---- Checkpointing -----------------------------------------------------
   // Writes the strategy's complete learned state — encoder, loss module,
@@ -78,6 +90,16 @@ class ContinualStrategy {
     return util::Status::OK();
   }
 
+  // True while a run logger is attached. Hooks gate their telemetry reads on
+  // this so an unlogged run pays nothing (no extra .item() graph reads).
+  bool collecting_telemetry() const { return run_logger_ != nullptr; }
+  // Accumulates one batch's value of a named loss component ("L_css",
+  // "L_dis", "L_rpl"); LearnIncrement averages per epoch into the record.
+  void RecordLossComponent(const char* key, double value);
+  // Records (or overwrites) a per-increment scalar for the next increment
+  // record, e.g. the selection entropy Tr(Cov(f(M))).
+  void RecordIncrementStat(const char* key, double value);
+
   // Encoder + loss + ExtraParameters, in optimizer order.
   std::vector<tensor::Tensor> TrainedParameters();
   // (Re)creates the optimizer over `params` per the context's regime.
@@ -101,7 +123,16 @@ class ContinualStrategy {
   int64_t increments_seen_ = 0;
 
  private:
+  struct ComponentSum {
+    std::string key;
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+
   std::string name_;
+  obs::RunLogger* run_logger_ = nullptr;
+  std::vector<ComponentSum> epoch_components_;
+  std::vector<std::pair<std::string, double>> increment_stats_;
 };
 
 // The vanilla baseline: L_css only, no forgetting prevention.

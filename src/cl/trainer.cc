@@ -5,6 +5,9 @@
 
 #include "src/eval/representations.h"
 #include "src/io/container.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/tensor/arena.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
 
@@ -12,6 +15,7 @@ namespace edsr::cl {
 
 double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
                     const EvalOptions& options) {
+  EDSR_TRACE_SPAN("eval_task");
   // Evaluation never backpropagates; keep the whole protocol graph-free.
   tensor::NoGradGuard no_grad;
   int64_t head = encoder->has_input_heads() ? task.task_id : -1;
@@ -50,22 +54,70 @@ void RunIncrementsFrom(ContinualStrategy* strategy,
     EDSR_CHECK(!ec) << "cannot create checkpoint directory "
                     << checkpoint.directory << ": " << ec.message();
   }
+  obs::RunLogger* logger = strategy->run_logger();
   for (int64_t i = first; i < sequence.num_tasks(); ++i) {
+    EDSR_TRACE_SPAN("increment");
+    if (logger != nullptr) {
+      // Scope the counter-style metrics to this increment so the record's
+      // "perf" fields are per-increment deltas. Only a logged run resets
+      // global state — nested uses (MultitaskAccuracy) must not clobber the
+      // outer run's counters.
+      tensor::arena::ResetStats();
+      obs::MetricsRegistry::Global().ResetCountersAndHistograms();
+    }
     util::Stopwatch train_watch;
     strategy->LearnIncrement(sequence.task(i));
-    result->train_seconds += train_watch.ElapsedSeconds();
+    double train_seconds = train_watch.ElapsedSeconds();
+    result->train_seconds += train_seconds;
 
     util::Stopwatch eval_watch;
-    for (int64_t j = 0; j <= i; ++j) {
-      double acc =
-          EvaluateTask(strategy->encoder(), sequence.task(j), options);
-      result->matrix.Set(i, j, acc);
+    {
+      EDSR_TRACE_SPAN("eval");
+      for (int64_t j = 0; j <= i; ++j) {
+        double acc =
+            EvaluateTask(strategy->encoder(), sequence.task(j), options);
+        result->matrix.Set(i, j, acc);
+      }
     }
-    result->eval_seconds += eval_watch.ElapsedSeconds();
+    double eval_seconds = eval_watch.ElapsedSeconds();
+    result->eval_seconds += eval_seconds;
     EDSR_LOG(Debug) << strategy->name() << " after task " << i << ": Acc="
                     << result->matrix.Acc(i) * 100.0
                     << " Fgt=" << result->matrix.Fgt(i) * 100.0;
+    if (logger != nullptr) {
+      obs::Json record = obs::Json::Object();
+      record.Set("record", "increment");
+      record.Set("strategy", strategy->name());
+      record.Set("increment", i);
+      obs::Json stats = obs::Json::Object();
+      for (const auto& stat : strategy->TakeIncrementStats()) {
+        stats.Set(stat.first, stat.second);
+      }
+      record.Set("stats", std::move(stats));
+      obs::Json row = obs::Json::Array();
+      for (int64_t j = 0; j <= i; ++j) {
+        row.Push(obs::Json::Number(result->matrix.Get(i, j)));
+      }
+      obs::Json accuracy = obs::Json::Object();
+      accuracy.Set("row", std::move(row));
+      accuracy.Set("acc", result->matrix.Acc(i));
+      accuracy.Set("fgt", result->matrix.Fgt(i));
+      record.Set("accuracy", std::move(accuracy));
+      // "perf" holds every wall-clock / machine-dependent field and must be
+      // the LAST key: resumed-run comparisons strip it by truncating the
+      // line at `,"perf"` (see run_record.h).
+      obs::Json perf = obs::Json::Object();
+      perf.Set("train_seconds", train_seconds);
+      perf.Set("eval_seconds", eval_seconds);
+      perf.Set("metrics", obs::MetricsRegistry::Global().ToJson());
+      if (obs::Tracer::enabled()) {
+        perf.Set("spans", obs::Tracer::SummaryJson());
+      }
+      record.Set("perf", std::move(perf));
+      logger->Write(record);
+    }
     if (checkpointing) {
+      EDSR_TRACE_SPAN("checkpoint_save");
       // Fail fast: silently continuing without fault tolerance would defeat
       // the point of asking for it.
       SaveRunCheckpoint(CheckpointPath(checkpoint), strategy, *result, i + 1)

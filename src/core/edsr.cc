@@ -4,6 +4,7 @@
 
 #include "src/core/noise.h"
 #include "src/eval/representations.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops.h"
 
 namespace edsr::core {
@@ -30,8 +31,17 @@ Tensor Edsr::ComputeBatchLoss(const data::Task& task,
                               const std::vector<int64_t>& indices,
                               const Tensor& view1, const Tensor& view2) {
   Tensor total = Cassle::ComputeBatchLoss(task, indices, view1, view2);
-  Tensor replay = ReplayLoss(task);
+  Tensor replay;
+  {
+    EDSR_TRACE_SPAN("replay");
+    replay = ReplayLoss(task);
+  }
   if (replay.defined()) {
+    // The weighted ½ L_rpl contribution (§III-C), so the recorded components
+    // sum to the training loss.
+    if (collecting_telemetry()) {
+      RecordLossComponent("L_rpl", replay.item() * options_.replay_weight);
+    }
     total = total + replay * options_.replay_weight;
   }
   return total;
@@ -120,6 +130,7 @@ util::Status Edsr::LoadExtra(io::BufferReader* in) {
 }
 
 std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
+  EDSR_TRACE_SPAN("augmentation_variance");
   int64_t n = task.train.size();
   int64_t d = encoder_->representation_dim();
   int64_t views = std::max<int64_t>(2, options_.variance_views);
@@ -160,6 +171,7 @@ std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
 }
 
 void Edsr::OnIncrementEnd(const data::Task& task) {
+  EDSR_TRACE_SPAN("selection");
   int64_t budget =
       std::min<int64_t>(memory_.per_task_budget(), task.train.size());
   if (budget <= 0) return;
@@ -190,7 +202,34 @@ void Edsr::OnIncrementEnd(const data::Task& task) {
     }
     entries.push_back(std::move(entry));
   }
+  if (collecting_telemetry()) {
+    // The selection objective actually achieved: Tr(Cov(f̂(M^n))) with the
+    // paper's uncentered convention, i.e. the summed squared representation
+    // norms of the kept samples (Eq. 15).
+    double trace = 0.0;
+    for (int64_t pick : picks) {
+      const float* row = reps.Row(pick);
+      for (int64_t j = 0; j < reps.d; ++j) {
+        trace += static_cast<double>(row[j]) * static_cast<double>(row[j]);
+      }
+    }
+    RecordIncrementStat("selection_trace_cov", trace);
+    double noise_sum = 0.0;
+    int64_t noise_dims = 0;
+    for (const MemoryEntry& entry : entries) {
+      for (float scale : entry.noise_scale) {
+        noise_sum += scale;
+        noise_dims += 1;
+      }
+    }
+    RecordIncrementStat("noise_scale_mean",
+                        noise_dims > 0 ? noise_sum / noise_dims : 0.0);
+    RecordIncrementStat("selected", static_cast<double>(picks.size()));
+  }
   memory_.AddIncrement(std::move(entries));
+  if (collecting_telemetry()) {
+    RecordIncrementStat("memory_size", static_cast<double>(memory_.size()));
+  }
 }
 
 }  // namespace edsr::core

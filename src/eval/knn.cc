@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/obs/trace.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
@@ -61,6 +62,7 @@ int64_t KnnClassifier::Predict(const float* representation) const {
 
 double KnnClassifier::Evaluate(const RepresentationMatrix& queries,
                                const std::vector<int64_t>& labels) const {
+  EDSR_TRACE_SPAN("knn_eval");
   EDSR_CHECK_EQ(queries.n, static_cast<int64_t>(labels.size()));
   EDSR_CHECK_EQ(queries.d, bank_.d);
   EDSR_CHECK_GT(queries.n, 0);

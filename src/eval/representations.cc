@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "src/obs/trace.h"
 #include "src/tensor/grad_mode.h"
 #include "src/util/check.h"
 
@@ -10,6 +11,7 @@ namespace edsr::eval {
 RepresentationMatrix ExtractRepresentationsFor(
     ssl::Encoder* encoder, const data::Dataset& dataset,
     const std::vector<int64_t>& indices, int64_t batch_size, int64_t head) {
+  EDSR_TRACE_SPAN("extract_representations");
   EDSR_CHECK(encoder != nullptr);
   EDSR_CHECK_GT(batch_size, 0);
   // Pure inference: forward passes below build no autograd graph.

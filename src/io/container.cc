@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "src/io/crc32.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace edsr::io {
@@ -24,6 +25,7 @@ void ContainerWriter::AddSection(const std::string& name,
 }
 
 util::Status ContainerWriter::Finish() {
+  EDSR_TRACE_SPAN("container_write");
   EDSR_CHECK(!finished_) << "Finish called twice";
   finished_ = true;
 
@@ -72,6 +74,7 @@ util::Status ContainerWriter::Finish() {
 }
 
 util::Result<ContainerReader> ContainerReader::Open(const std::string& path) {
+  EDSR_TRACE_SPAN("container_read");
   std::ifstream file(path, std::ios::binary | std::ios::ate);
   if (!file) return util::Status::IoError("cannot open " + path);
   auto size = static_cast<size_t>(file.tellg());

@@ -1,0 +1,387 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+Json Json::Bool(bool v) {
+  Json j(Kind::kBool);
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::Int(int64_t v) {
+  Json j(Kind::kInt);
+  j.int_ = v;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j(Kind::kDouble);
+  j.double_ = v;
+  return j;
+}
+
+Json Json::Str(std::string v) {
+  Json j(Kind::kString);
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json& Json::Set(std::string_view key, Json value) {
+  EDSR_CHECK(kind_ == Kind::kObject) << "Set on a non-object Json";
+  for (auto& member : members_) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(value));
+  return *this;
+}
+
+Json& Json::Push(Json value) {
+  EDSR_CHECK(kind_ == Kind::kArray) << "Push on a non-array Json";
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& member : members_) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+int64_t Json::size() const {
+  if (kind_ == Kind::kArray) return static_cast<int64_t>(array_.size());
+  if (kind_ == Kind::kObject) return static_cast<int64_t>(members_.size());
+  return 0;
+}
+
+const Json& Json::at(int64_t i) const {
+  EDSR_CHECK(kind_ == Kind::kArray);
+  EDSR_CHECK(i >= 0 && i < size()) << "array index " << i << " out of range";
+  return array_[i];
+}
+
+const std::pair<std::string, Json>& Json::member(int64_t i) const {
+  EDSR_CHECK(kind_ == Kind::kObject);
+  EDSR_CHECK(i >= 0 && i < size()) << "member index " << i << " out of range";
+  return members_[i];
+}
+
+bool Json::AsBool() const {
+  EDSR_CHECK(kind_ == Kind::kBool);
+  return bool_;
+}
+
+int64_t Json::AsInt() const {
+  EDSR_CHECK(kind_ == Kind::kInt) << "AsInt on a non-integer Json";
+  return int_;
+}
+
+double Json::AsDouble() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  EDSR_CHECK(kind_ == Kind::kDouble) << "AsDouble on a non-number Json";
+  return double_;
+}
+
+const std::string& Json::AsString() const {
+  EDSR_CHECK(kind_ == Kind::kString);
+  return string_;
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      out->append("null");
+      return;
+    case Kind::kBool:
+      out->append(bool_ ? "true" : "false");
+      return;
+    case Kind::kInt: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(int_));
+      out->append(buf);
+      return;
+    }
+    case Kind::kDouble: {
+      if (!std::isfinite(double_)) {
+        out->append("null");  // JSON has no NaN/Inf
+        return;
+      }
+      char buf[40];
+      // %.17g round-trips any double bit-exactly and deterministically —
+      // run records are compared byte-for-byte across resumed runs.
+      std::snprintf(buf, sizeof(buf), "%.17g", double_);
+      out->append(buf);
+      return;
+    }
+    case Kind::kString:
+      AppendEscaped(string_, out);
+      return;
+    case Kind::kArray: {
+      out->push_back('[');
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        array_[i].DumpTo(out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        AppendEscaped(members_[i].first, out);
+        out->push_back(':');
+        members_[i].second.DumpTo(out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ---- Parser ---------------------------------------------------------------
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    out->clear();
+    while (pos < text.size()) {
+      char c = text[pos++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos >= text.size()) return false;
+        char e = text[pos++];
+        switch (e) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) return false;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // The writer only emits \u00xx control escapes; decode the
+            // low byte and pass anything else through UTF-8-ignorant.
+            if (code < 0x80) {
+              out->push_back(static_cast<char>(code));
+            } else {
+              out->push_back('?');
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(Json* out) {
+    SkipSpace();
+    if (pos >= text.size()) return false;
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      *out = Json::Object();
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->Set(key, std::move(value));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      *out = Json::Array();
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        Json value;
+        if (!ParseValue(&value)) return false;
+        out->Push(std::move(value));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Json::Str(std::move(s));
+      return true;
+    }
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      *out = Json::Bool(true);
+      return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      *out = Json::Bool(false);
+      return true;
+    }
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      *out = Json::Null();
+      return true;
+    }
+    // Number: scan the token, then decide int vs double.
+    size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool is_double = false;
+    while (pos < text.size()) {
+      char d = text[pos];
+      if (d >= '0' && d <= '9') {
+        ++pos;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+') {
+        is_double = true;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return false;
+    std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    if (is_double) {
+      double v = std::strtod(token.c_str(), &end);
+      if (end != token.c_str() + token.size()) return false;
+      *out = Json::Number(v);
+    } else {
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (end != token.c_str() + token.size()) return false;
+      *out = Json::Int(static_cast<int64_t>(v));
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+bool Json::Parse(std::string_view text, Json* out) {
+  EDSR_CHECK(out != nullptr);
+  Parser parser{text};
+  if (!parser.ParseValue(out)) return false;
+  parser.SkipSpace();
+  return parser.pos == text.size();
+}
+
+}  // namespace edsr::obs

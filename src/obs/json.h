@@ -1,0 +1,101 @@
+// Minimal ordered JSON value: the wire format of the telemetry subsystem.
+//
+// Every telemetry artifact — run-record JSONL lines, the metrics-registry
+// snapshot, the trace-span summary, the Chrome trace-event file — is built
+// through this one type so escaping, number formatting, and key order are
+// identical everywhere. Keys keep insertion order (run records are diffed
+// line-by-line across runs, so field order must be deterministic), doubles
+// are printed with enough digits to round-trip bit-exactly, and non-finite
+// values degrade to null rather than emitting invalid JSON.
+//
+// Parse() implements the subset needed to read the writer's own output back
+// (tests and schema round-trips); it is not a general-purpose validator.
+#ifndef EDSR_SRC_OBS_JSON_H_
+#define EDSR_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace edsr::obs {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+
+  static Json Object() { return Json(Kind::kObject); }
+  static Json Array() { return Json(Kind::kArray); }
+  static Json Null() { return Json(Kind::kNull); }
+  static Json Bool(bool v);
+  static Json Int(int64_t v);
+  static Json Number(double v);
+  static Json Str(std::string v);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+
+  // ---- Building ----------------------------------------------------------
+  // Object setters (CHECK on non-objects). Returns *this for chaining; a
+  // repeated key overwrites in place, keeping the original position.
+  Json& Set(std::string_view key, Json value);
+  Json& Set(std::string_view key, double value) {
+    return Set(key, Number(value));
+  }
+  Json& Set(std::string_view key, int64_t value) { return Set(key, Int(value)); }
+  Json& Set(std::string_view key, int value) {
+    return Set(key, Int(static_cast<int64_t>(value)));
+  }
+  Json& Set(std::string_view key, bool value) { return Set(key, Bool(value)); }
+  Json& Set(std::string_view key, const char* value) {
+    return Set(key, Str(std::string(value)));
+  }
+  Json& Set(std::string_view key, const std::string& value) {
+    return Set(key, Str(value));
+  }
+  // Array appender (CHECK on non-arrays).
+  Json& Push(Json value);
+
+  // ---- Reading -----------------------------------------------------------
+  // Object lookup; nullptr when missing or not an object.
+  const Json* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  int64_t size() const;  // members (object) or elements (array)
+  const Json& at(int64_t i) const;  // array element (CHECKed)
+  const std::pair<std::string, Json>& member(int64_t i) const;  // CHECKed
+  // Scalar accessors; CHECK on kind mismatch (Double accepts Int).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  // ---- Serialization -----------------------------------------------------
+  // Compact single-line JSON (no spaces after ':' / ',').
+  std::string Dump() const;
+  // Parses `text` (a complete JSON document, surrounding whitespace ok) into
+  // *out. Returns false on any syntax error.
+  static bool Parse(std::string_view text, Json* out);
+
+ private:
+  explicit Json(Kind kind) : kind_(kind) {}
+  void DumpTo(std::string* out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace edsr::obs
+
+#endif  // EDSR_SRC_OBS_JSON_H_

@@ -1,0 +1,300 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+// ---- Counter --------------------------------------------------------------
+
+Counter::Cell* Counter::CellForThisThread() {
+  // One cell per (counter, thread). The TLS map lives for the thread; the
+  // cells live in the counter's deque for the process, so dead threads keep
+  // contributing their totals and cached pointers never dangle.
+  thread_local std::vector<std::pair<Counter*, Cell*>> tls_cells;
+  for (const auto& entry : tls_cells) {
+    if (entry.first == this) return entry.second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.emplace_back();
+  Cell* cell = &cells_.back();
+  tls_cells.emplace_back(this, cell);
+  return cell;
+}
+
+int64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value_.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Cell& cell : cells_) {
+    cell.value_.store(0, std::memory_order_relaxed);
+  }
+}
+
+// ---- Gauge ----------------------------------------------------------------
+
+uint64_t Gauge::Encode(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+// ---- Histogram ------------------------------------------------------------
+
+int Histogram::BucketFor(double v) {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in bucket 0
+  int e = 0;
+  std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)
+  int bucket = e + 32;
+  if (bucket < 0) bucket = 0;
+  if (bucket >= kBuckets) bucket = kBuckets - 1;
+  return bucket;
+}
+
+double Histogram::BucketUpperBound(int bucket) {
+  return std::ldexp(1.0, bucket - 32);
+}
+
+double Histogram::Snapshot::Quantile(double p) const {
+  if (count == 0) return 0.0;
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) return BucketUpperBound(b);
+  }
+  return max;
+}
+
+Histogram::Cell* Histogram::CellForThisThread() {
+  thread_local std::vector<std::pair<Histogram*, Cell*>> tls_cells;
+  for (const auto& entry : tls_cells) {
+    if (entry.first == this) return entry.second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.emplace_back();
+  Cell* cell = &cells_.back();
+  tls_cells.emplace_back(this, cell);
+  return cell;
+}
+
+void Histogram::Observe(double v) {
+  Cell* cell = CellForThisThread();
+  // Single-writer cells: plain load-modify-store through relaxed atomics is
+  // race-free for the writer and gives readers a coherent (if slightly
+  // stale) view.
+  int64_t count = cell->count.load(std::memory_order_relaxed);
+  double sum = Gauge::Decode(cell->sum_bits.load(std::memory_order_relaxed));
+  double min = Gauge::Decode(cell->min_bits.load(std::memory_order_relaxed));
+  double max = Gauge::Decode(cell->max_bits.load(std::memory_order_relaxed));
+  if (count == 0 || v < min) min = v;
+  if (count == 0 || v > max) max = v;
+  cell->sum_bits.store(Gauge::Encode(sum + v), std::memory_order_relaxed);
+  cell->min_bits.store(Gauge::Encode(min), std::memory_order_relaxed);
+  cell->max_bits.store(Gauge::Encode(max), std::memory_order_relaxed);
+  cell->buckets[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  cell->count.store(count + 1, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Cell& cell : cells_) {
+    int64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    double min = Gauge::Decode(cell.min_bits.load(std::memory_order_relaxed));
+    double max = Gauge::Decode(cell.max_bits.load(std::memory_order_relaxed));
+    if (snap.count == 0 || min < snap.min) snap.min = min;
+    if (snap.count == 0 || max > snap.max) snap.max = max;
+    snap.count += count;
+    snap.sum += Gauge::Decode(cell.sum_bits.load(std::memory_order_relaxed));
+    for (int b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Cell& cell : cells_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum_bits.store(0, std::memory_order_relaxed);
+    cell.min_bits.store(0, std::memory_order_relaxed);
+    cell.max_bits.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kBuckets; ++b) {
+      cell.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// ---- MetricsRegistry ------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return c.get();
+  }
+  for (const auto& g : gauges_) {
+    EDSR_CHECK(g->name() != name) << name << " already registered as a gauge";
+  }
+  for (const auto& h : histograms_) {
+    EDSR_CHECK(h->name() != name)
+        << name << " already registered as a histogram";
+  }
+  counters_.emplace_back(new Counter(std::string(name)));
+  return counters_.back().get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return g.get();
+  }
+  for (const auto& c : counters_) {
+    EDSR_CHECK(c->name() != name)
+        << name << " already registered as a counter";
+  }
+  gauges_.emplace_back(new Gauge(std::string(name)));
+  return gauges_.back().get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return h.get();
+  }
+  for (const auto& c : counters_) {
+    EDSR_CHECK(c->name() != name)
+        << name << " already registered as a counter";
+  }
+  histograms_.emplace_back(new Histogram(std::string(name)));
+  return histograms_.back().get();
+}
+
+void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
+                                            std::function<double()> fn) {
+  EDSR_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : callbacks_) {
+    if (entry.first == name) {
+      entry.second = std::move(fn);
+      return;
+    }
+  }
+  callbacks_.emplace_back(std::string(name), std::move(fn));
+}
+
+bool MetricsRegistry::Has(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& c : counters_) {
+    if (c->name() == name) return true;
+  }
+  for (const auto& g : gauges_) {
+    if (g->name() == name) return true;
+  }
+  for (const auto& entry : callbacks_) {
+    if (entry.first == name) return true;
+  }
+  return false;
+}
+
+double MetricsRegistry::Value(std::string_view name) {
+  std::function<double()> callback;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) {
+      if (c->name() == name) return static_cast<double>(c->Value());
+    }
+    for (const auto& g : gauges_) {
+      if (g->name() == name) return g->Value();
+    }
+    for (const auto& entry : callbacks_) {
+      if (entry.first == name) {
+        callback = entry.second;
+        break;
+      }
+    }
+  }
+  // Callbacks run outside the registry lock: they may touch the registry.
+  EDSR_CHECK(callback != nullptr) << "unknown metric " << name;
+  return callback();
+}
+
+void MetricsRegistry::ResetCountersAndHistograms() {
+  // Collect pointers under the lock, reset outside: Counter::Reset takes the
+  // counter's own lock and never the registry's, so order is safe either
+  // way, but this keeps the registry lock short.
+  std::vector<Counter*> counters;
+  std::vector<Histogram*> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) counters.push_back(c.get());
+    for (const auto& h : histograms_) histograms.push_back(h.get());
+  }
+  for (Counter* c : counters) c->Reset();
+  for (Histogram* h : histograms) h->Reset();
+}
+
+Json MetricsRegistry::ToJson() {
+  // Snapshot the member lists, then evaluate outside the lock.
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  std::vector<std::pair<std::string, std::function<double()>>> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& c : counters_) counters.push_back(c.get());
+    for (const auto& g : gauges_) gauges.push_back(g.get());
+    for (const auto& h : histograms_) histograms.push_back(h.get());
+    callbacks = callbacks_;
+  }
+  Json counters_json = Json::Object();
+  for (Counter* c : counters) counters_json.Set(c->name(), c->Value());
+  Json gauges_json = Json::Object();
+  for (Gauge* g : gauges) gauges_json.Set(g->name(), g->Value());
+  for (const auto& entry : callbacks) {
+    gauges_json.Set(entry.first, entry.second());
+  }
+  Json histograms_json = Json::Object();
+  for (Histogram* h : histograms) {
+    Histogram::Snapshot snap = h->Snap();
+    Json hj = Json::Object();
+    hj.Set("count", snap.count);
+    hj.Set("sum", snap.sum);
+    hj.Set("min", snap.min);
+    hj.Set("max", snap.max);
+    hj.Set("mean", snap.Mean());
+    hj.Set("p50", snap.Quantile(0.5));
+    hj.Set("p99", snap.Quantile(0.99));
+    histograms_json.Set(h->name(), std::move(hj));
+  }
+  Json out = Json::Object();
+  out.Set("counters", std::move(counters_json));
+  out.Set("gauges", std::move(gauges_json));
+  out.Set("histograms", std::move(histograms_json));
+  return out;
+}
+
+}  // namespace edsr::obs

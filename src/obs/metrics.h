@@ -1,0 +1,192 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// Design goals, in order:
+//  1. Hot-path cost ~ one relaxed atomic add. Counters and histograms hand
+//     out per-thread *cells*; a call site caches its cell in a
+//     `static thread_local` pointer (see EDSR_METRIC_COUNT), so the
+//     steady-state cost is a TLS read plus a relaxed fetch_add. Cells are
+//     owned by the registry and outlive their threads, so totals survive
+//     thread exit and pointers never dangle.
+//  2. One namespace for every producer. The tensor arena exports its
+//     allocator stats as callback gauges ("arena.*", registered by
+//     arena.cc), kernels.cc counts FLOPs/bytes ("kernels.*"), and the
+//     trainer snapshots everything into per-increment run records.
+//  3. Snapshot/Reset cheap enough to run at increment boundaries: Reset
+//     zeroes counter and histogram cells (gauges and callback gauges are
+//     instantaneous views and are not reset), which is what makes the
+//     "kernels.gemm.flops" field of a run record a per-increment delta.
+//
+// Metric names are dotted paths ("kernels.gemm.flops"). GetCounter/GetGauge/
+// GetHistogram are get-or-create and return stable pointers for the life of
+// the process; looking the same name up as two different kinds is a
+// programmer error and aborts.
+#ifndef EDSR_SRC_OBS_METRICS_H_
+#define EDSR_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace edsr::obs {
+
+class MetricsRegistry;
+
+class Counter {
+ public:
+  // Per-thread accumulation cell. Single writer (its thread), any reader.
+  class Cell {
+   public:
+    void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+
+   private:
+    friend class Counter;
+    std::atomic<int64_t> value_{0};
+  };
+
+  // The cell for the calling thread (created on first use). The returned
+  // pointer is stable for the process lifetime — cache it at hot call sites.
+  Cell* CellForThisThread();
+
+  // Slow path convenience: TLS lookup + add.
+  void Add(int64_t n) { CellForThisThread()->Add(n); }
+
+  // Sum across all threads' cells (live and dead).
+  int64_t Value() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  mutable std::mutex mu_;          // guards cells_ growth only
+  std::deque<Cell> cells_;         // stable addresses; never shrinks
+};
+
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  double Value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  const std::string& name() const { return name_; }
+
+  // Double <-> bit pattern, shared with Histogram's atomic-double cells.
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<uint64_t> bits_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;  // 0 when count == 0
+    double max = 0.0;
+    int64_t buckets[kBuckets] = {};
+
+    double Mean() const { return count > 0 ? sum / count : 0.0; }
+    // Upper bound of the bucket containing the p-quantile (p in [0, 1]).
+    // Log2 buckets make this an order-of-magnitude estimate, which is what
+    // latency attribution needs.
+    double Quantile(double p) const;
+  };
+
+  void Observe(double v);
+  Snapshot Snap() const;
+  void Reset();
+  const std::string& name() const { return name_; }
+
+  // Bucket index for a value: log2 scale covering ~[2^-32, 2^31].
+  static int BucketFor(double v);
+  static double BucketUpperBound(int bucket);
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+  struct Cell {
+    std::atomic<int64_t> count{0};
+    std::atomic<uint64_t> sum_bits{0};  // double, single-writer
+    std::atomic<uint64_t> min_bits{0};
+    std::atomic<uint64_t> max_bits{0};
+    std::atomic<int64_t> buckets[kBuckets] = {};
+  };
+  Cell* CellForThisThread();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::deque<Cell> cells_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // Get-or-create; aborts if `name` already exists as a different kind.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // A pull-model gauge: `fn` is evaluated on the *calling* thread at
+  // snapshot/Value time. Re-registering a name replaces the callback (the
+  // arena registers lazily and idempotently). Callbacks reading thread-local
+  // state report the caller's thread — by design, since the engine is
+  // single-threaded per thread.
+  void RegisterCallbackGauge(std::string_view name,
+                             std::function<double()> fn);
+
+  // Current value of a counter, gauge, or callback gauge. Aborts on unknown
+  // names — a telemetry query for a metric nobody exports is a bug.
+  double Value(std::string_view name);
+  bool Has(std::string_view name);
+
+  // Zeroes all counters and histograms (gauges and callbacks are views).
+  // The trainer calls this at increment boundaries so run-record metric
+  // fields are per-increment deltas.
+  void ResetCountersAndHistograms();
+
+  // Full snapshot: {"counters":{...},"gauges":{...},"histograms":{name:
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..}}}.
+  Json ToJson();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Counter>> counters_;
+  std::vector<std::unique_ptr<Gauge>> gauges_;
+  std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::pair<std::string, std::function<double()>>> callbacks_;
+};
+
+}  // namespace edsr::obs
+
+// Hot-path counter increment: resolves the counter once per thread per call
+// site, then pays one relaxed atomic add. `name` must be a string literal.
+#define EDSR_METRIC_COUNT(name, n)                                     \
+  do {                                                                 \
+    static thread_local ::edsr::obs::Counter::Cell* edsr_metric_cell = \
+        ::edsr::obs::MetricsRegistry::Global()                         \
+            .GetCounter(name)                                          \
+            ->CellForThisThread();                                     \
+    edsr_metric_cell->Add(n);                                          \
+  } while (0)
+
+#endif  // EDSR_SRC_OBS_METRICS_H_

@@ -1,0 +1,34 @@
+#include "src/obs/run_record.h"
+
+#include "src/util/logging.h"
+
+namespace edsr::obs {
+
+RunLogger::RunLogger(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    EDSR_LOG(Error) << "RunLogger: cannot open " << path << " for append";
+  }
+}
+
+RunLogger::~RunLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool RunLogger::Write(const Json& record) {
+  if (!ok()) return false;
+  std::string line = record.Dump();
+  line.push_back('\n');
+  // A single fwrite keeps the line atomic with respect to other writers of
+  // the same (append-mode) file.
+  size_t written = std::fwrite(line.data(), 1, line.size(), file_);
+  if (written != line.size() || std::fflush(file_) != 0) {
+    write_failed_ = true;
+    EDSR_LOG(Error) << "RunLogger: write failed for " << path_;
+    return false;
+  }
+  lines_written_ += 1;
+  return true;
+}
+
+}  // namespace edsr::obs

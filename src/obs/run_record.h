@@ -1,0 +1,55 @@
+// Structured run records: the JSONL file a training run leaves behind.
+//
+// One RunLogger per output file; each Write() appends exactly one line (one
+// JSON object, one '\n', one flush), so a crash mid-run loses at most the
+// line being written and a resumed run can keep appending to the same file.
+// The trainer emits one "epoch" record per training epoch (loss components)
+// and one "increment" record per increment (selection entropy, noise
+// scales, accuracy-matrix row, phase timings); see DESIGN.md §6 for the
+// schema. scripts/validate_telemetry.py checks files against that schema in
+// CI.
+//
+// Determinism contract: every field of a record except the "perf" object is
+// a pure function of the training computation, which is bit-identical across
+// crash/resume (see resume_test.cc). Writers must therefore put all
+// wall-clock and machine-dependent values under "perf" and add "perf" LAST,
+// so a reader can strip it by truncating the line at `,"perf"`.
+#ifndef EDSR_SRC_OBS_RUN_RECORD_H_
+#define EDSR_SRC_OBS_RUN_RECORD_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/util/status.h"
+
+namespace edsr::obs {
+
+class RunLogger {
+ public:
+  // Opens `path` for appending (creating it if needed). On failure ok() is
+  // false and Write() is a no-op — telemetry must never take down a run.
+  explicit RunLogger(const std::string& path);
+  ~RunLogger();
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  bool ok() const { return file_ != nullptr && !write_failed_; }
+  const std::string& path() const { return path_; }
+  int64_t lines_written() const { return lines_written_; }
+
+  // Serializes `record` and appends it as one line, flushing so the line is
+  // visible to tail/validators immediately. Returns false (and latches
+  // !ok()) on I/O failure.
+  bool Write(const Json& record);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool write_failed_ = false;
+  int64_t lines_written_ = 0;
+};
+
+}  // namespace edsr::obs
+
+#endif  // EDSR_SRC_OBS_RUN_RECORD_H_

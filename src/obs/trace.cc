@@ -1,0 +1,223 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <cstring>
+#include <chrono>
+#include <mutex>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+std::atomic<bool> Tracer::events_enabled_{false};
+
+namespace internal {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  uint64_t start_ns;
+  uint64_t dur_ns;
+};
+
+// Per-thread span state. Registered once in a global list so Summary() and
+// ChromeTraceJson() can walk every thread's tree; never freed (the node tree
+// and event buffer stay valid for readers after the thread exits).
+struct ThreadState {
+  SpanNode root;        // synthetic parent of all top-level spans
+  SpanNode* current = &root;
+  std::vector<TraceEvent> events;
+  int64_t dropped_events = 0;
+  int tid = 0;
+};
+
+std::mutex g_threads_mu;
+std::vector<ThreadState*>& GlobalThreads() {
+  static std::vector<ThreadState*>* threads =
+      new std::vector<ThreadState*>();  // never dies
+  return *threads;
+}
+
+ThreadState* ThisThread() {
+  thread_local ThreadState* state = [] {
+    ThreadState* s = new ThreadState();  // owned by GlobalThreads forever
+    std::lock_guard<std::mutex> lock(g_threads_mu);
+    s->tid = static_cast<int>(GlobalThreads().size()) + 1;
+    GlobalThreads().push_back(s);
+    return s;
+  }();
+  return state;
+}
+
+void ResetNode(SpanNode* node) {
+  node->count = 0;
+  node->total_ns = 0;
+  node->min_ns = 0;
+  node->max_ns = 0;
+  for (SpanNode* child : node->children) ResetNode(child);
+}
+
+void AppendStats(const SpanNode* node, const std::string& prefix,
+                 std::vector<Tracer::SpanStats>* out) {
+  std::string path = prefix;
+  if (node->name != nullptr) {
+    if (!path.empty()) path.push_back('/');
+    path.append(node->name);
+    if (node->count > 0) {
+      Tracer::SpanStats stats;
+      stats.path = path;
+      stats.count = node->count;
+      stats.total_ms = static_cast<double>(node->total_ns) * 1e-6;
+      stats.min_ms = static_cast<double>(node->min_ns) * 1e-6;
+      stats.max_ms = static_cast<double>(node->max_ns) * 1e-6;
+      out->push_back(std::move(stats));
+    }
+  }
+  for (const SpanNode* child : node->children) AppendStats(child, path, out);
+}
+
+}  // namespace
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+SpanNode* BeginSpan(const char* name) {
+  ThreadState* state = ThisThread();
+  SpanNode* parent = state->current;
+  // Span sites pass string literals, so pointer equality catches the repeat
+  // visit; strcmp handles the same name reaching a parent from two sites.
+  SpanNode* node = nullptr;
+  for (SpanNode* child : parent->children) {
+    if (child->name == name ||
+        (child->name != nullptr && std::strcmp(child->name, name) == 0)) {
+      node = child;
+      break;
+    }
+  }
+  if (node == nullptr) {
+    node = new SpanNode();  // lives as long as the tree (forever)
+    node->name = name;
+    node->parent = parent;
+    parent->children.push_back(node);
+  }
+  state->current = node;
+  return node;
+}
+
+void EndSpan(SpanNode* node, uint64_t start_ns) {
+  uint64_t end_ns = NowNs();
+  uint64_t dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  if (node->count == 0 || dur_ns < node->min_ns) node->min_ns = dur_ns;
+  if (node->count == 0 || dur_ns > node->max_ns) node->max_ns = dur_ns;
+  node->count += 1;
+  node->total_ns += dur_ns;
+  ThreadState* state = ThisThread();
+  // Unwind even if the tree was Reset() mid-span; the parent pointer is
+  // stable because nodes are never freed.
+  EDSR_CHECK(state->current == node) << "unbalanced trace spans";
+  state->current = node->parent;
+  if (Tracer::event_recording()) {
+    if (static_cast<int64_t>(state->events.size()) <
+        Tracer::kMaxEventsPerThread) {
+      state->events.push_back(TraceEvent{node->name, start_ns, dur_ns});
+    } else {
+      state->dropped_events += 1;
+    }
+  }
+}
+
+}  // namespace internal
+
+void Tracer::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::SetEventRecording(bool enabled) {
+  events_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t Tracer::dropped_events() {
+  std::lock_guard<std::mutex> lock(internal::g_threads_mu);
+  int64_t total = 0;
+  for (internal::ThreadState* state : internal::GlobalThreads()) {
+    total += state->dropped_events;
+  }
+  return total;
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(internal::g_threads_mu);
+  for (internal::ThreadState* state : internal::GlobalThreads()) {
+    internal::ResetNode(&state->root);
+    state->events.clear();
+    state->events.shrink_to_fit();
+    state->dropped_events = 0;
+  }
+}
+
+std::vector<Tracer::SpanStats> Tracer::Summary() {
+  std::vector<SpanStats> out;
+  std::lock_guard<std::mutex> lock(internal::g_threads_mu);
+  for (internal::ThreadState* state : internal::GlobalThreads()) {
+    internal::AppendStats(&state->root, "", &out);
+  }
+  return out;
+}
+
+Json Tracer::SummaryJson() {
+  Json out = Json::Array();
+  for (const SpanStats& stats : Summary()) {
+    Json entry = Json::Object();
+    entry.Set("path", stats.path);
+    entry.Set("count", stats.count);
+    entry.Set("total_ms", stats.total_ms);
+    entry.Set("min_ms", stats.min_ms);
+    entry.Set("max_ms", stats.max_ms);
+    out.Push(std::move(entry));
+  }
+  return out;
+}
+
+Json Tracer::ChromeTraceJson() {
+  Json events = Json::Array();
+  std::lock_guard<std::mutex> lock(internal::g_threads_mu);
+  for (internal::ThreadState* state : internal::GlobalThreads()) {
+    for (const internal::TraceEvent& event : state->events) {
+      Json entry = Json::Object();
+      entry.Set("name", event.name);
+      entry.Set("ph", "X");
+      entry.Set("ts", static_cast<double>(event.start_ns) * 1e-3);
+      entry.Set("dur", static_cast<double>(event.dur_ns) * 1e-3);
+      entry.Set("pid", 1);
+      entry.Set("tid", state->tid);
+      events.Push(std::move(entry));
+    }
+  }
+  Json out = Json::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", "ms");
+  return out;
+}
+
+util::Status Tracer::WriteChromeTrace(const std::string& path) {
+  std::string text = ChromeTraceJson().Dump();
+  text.push_back('\n');
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return util::Status::IoError("cannot open trace file: " + path);
+  }
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return util::Status::IoError("short write to trace file: " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace edsr::obs

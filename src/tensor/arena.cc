@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <new>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 #if defined(__SANITIZE_ADDRESS__)
@@ -218,6 +219,35 @@ void RecycleVector(std::vector<float>&& v) {
 }
 
 const ArenaStats& Stats() { return TLS().stats; }
+
+namespace {
+
+// Exports the allocator stats as pull-model gauges ("arena.*"). Callback
+// gauges read the *calling* thread's TLS stats, which matches the engine's
+// single-threaded-per-thread design: whoever snapshots the registry (the
+// trainer, a test) sees the arena it actually trained on.
+const bool g_arena_gauges_registered = [] {
+  auto& registry = obs::MetricsRegistry::Global();
+  auto field = [&registry](const char* name, int64_t ArenaStats::* member) {
+    registry.RegisterCallbackGauge(name, [member] {
+      return static_cast<double>(Stats().*member);
+    });
+  };
+  field("arena.bump_allocs", &ArenaStats::bump_allocs);
+  field("arena.bump_block_allocs", &ArenaStats::bump_block_allocs);
+  field("arena.bump_bytes_peak", &ArenaStats::bump_bytes_peak);
+  field("arena.scope_resets", &ArenaStats::scope_resets);
+  field("arena.pool_hits", &ArenaStats::pool_hits);
+  field("arena.pool_misses", &ArenaStats::pool_misses);
+  field("arena.pool_returns", &ArenaStats::pool_returns);
+  field("arena.pool_drops", &ArenaStats::pool_drops);
+  registry.RegisterCallbackGauge("arena.pooled_bytes", [] {
+    return static_cast<double>(PooledBytes());
+  });
+  return true;
+}();
+
+}  // namespace
 
 void ResetStats() { TLS().stats = ArenaStats{}; }
 

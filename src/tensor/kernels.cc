@@ -6,6 +6,7 @@
 #include <limits>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/tensor/arena.h"
 
 namespace edsr::tensor::kernels {
@@ -99,6 +100,11 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
   if (m == 0 || n == 0 || k == 0) return;
+  EDSR_METRIC_COUNT("kernels.gemm.calls", 1);
+  EDSR_METRIC_COUNT("kernels.gemm.flops", 2 * m * n * k);
+  EDSR_METRIC_COUNT("kernels.gemm.bytes",
+                    static_cast<int64_t>(sizeof(float)) *
+                        (m * k + k * n + 2 * m * n));
   // Element strides of op(A) (m x k) and op(B) (k x n) over the stored
   // buffers; packing reads through these, so all four transpose combos
   // stream the same contiguous panels afterwards.
@@ -135,6 +141,8 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
 void PairwiseSqDist(const float* a, int64_t n, const float* b, int64_t m,
                     int64_t d, float* out) {
   if (n == 0 || m == 0) return;
+  EDSR_METRIC_COUNT("kernels.pairwise.calls", 1);
+  EDSR_METRIC_COUNT("kernels.pairwise.flops", (n + m) * 2 * d + 3 * n * m);
   // ||a_i - b_j||^2 = ||a_i||^2 + ||b_j||^2 - 2 a_i.b_j with the cross
   // terms via the blocked GEMM (trans_b streams contiguously after
   // packing). Row norms accumulate in double; the combined result is

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/obs/metrics.h"
 #include "src/tensor/ops.h"
 #include "src/tensor/tensor.h"
 #include "src/util/rng.h"
@@ -139,12 +140,16 @@ TEST(Arena, SteadyStateTrainStepIsHeapAllocationFree) {
 
   arena::ResetStats();
   for (int i = 0; i < 3; ++i) step();
-  const arena::ArenaStats& stats = arena::Stats();
-  EXPECT_EQ(stats.pool_misses, 0)
+  // Read through the metrics registry's "arena.*" callback gauges — the
+  // same path run records use — so this test also guards the telemetry
+  // bridge, not just the TLS counters.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  EXPECT_EQ(registry.Value("arena.pool_misses"), 0.0)
       << "steady-state step acquired a tensor buffer the pool could not serve";
-  EXPECT_EQ(stats.bump_block_allocs, 0)
+  EXPECT_EQ(registry.Value("arena.bump_block_allocs"), 0.0)
       << "steady-state step grew the bump region";
-  EXPECT_GT(stats.pool_hits, 0) << "step did not exercise the pool at all";
+  EXPECT_GT(registry.Value("arena.pool_hits"), 0.0)
+      << "step did not exercise the pool at all";
 }
 
 }  // namespace

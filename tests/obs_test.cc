@@ -1,0 +1,404 @@
+// Tests for the telemetry subsystem: ordered JSON round-trips, the metrics
+// registry (sharded counters, gauges, histograms, callback gauges), trace
+// span nesting/aggregation and the disabled-mode zero-allocation guarantee,
+// and the JSONL run-record sink.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_record.h"
+#include "src/obs/trace.h"
+#include "src/tensor/arena.h"
+
+// The replacement operator new below intentionally pairs malloc with the
+// (also replaced) free-based operator delete; GCC can't see the pairing
+// through inlining and warns.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+// Global allocation counter for the zero-allocation tests. Counting every
+// new in the binary is crude but sufficient: the guarded regions make no
+// library calls, so any increment is theirs.
+namespace {
+std::atomic<int64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace edsr {
+namespace {
+
+using obs::Json;
+using obs::MetricsRegistry;
+using obs::RunLogger;
+using obs::Tracer;
+
+std::string TestPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ---- Json -----------------------------------------------------------------
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwriteInPlace) {
+  Json j = Json::Object();
+  j.Set("b", 1).Set("a", 2).Set("c", 3);
+  j.Set("a", 9);  // overwrite must keep position, not move to the end
+  EXPECT_EQ(j.Dump(), "{\"b\":1,\"a\":9,\"c\":3}");
+}
+
+TEST(Json, DoublesRoundTripBitExactly) {
+  const double values[] = {0.1, 1.0 / 3.0, -2.5e-17, 1e300, 195.375};
+  for (double v : values) {
+    Json j = Json::Object();
+    j.Set("v", v);
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(j.Dump(), &parsed)) << j.Dump();
+    EXPECT_EQ(parsed.Find("v")->AsDouble(), v);
+    // Re-serializing must be byte-identical (run records are diffed as text).
+    EXPECT_EQ(parsed.Dump(), j.Dump());
+  }
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  Json j = Json::Array();
+  j.Push(Json::Number(std::nan("")));
+  j.Push(Json::Number(HUGE_VAL));
+  EXPECT_EQ(j.Dump(), "[null,null]");
+}
+
+TEST(Json, StringsEscapeControlCharacters) {
+  Json j = Json::Str("a\"b\\c\nd\te\x01");
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(j.Dump(), &parsed));
+  EXPECT_EQ(parsed.AsString(), "a\"b\\c\nd\te\x01");
+}
+
+TEST(Json, ParseRejectsMalformedDocuments) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("{\"a\":}", &out));
+  EXPECT_FALSE(Json::Parse("[1,2", &out));
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing", &out));
+  EXPECT_FALSE(Json::Parse("", &out));
+}
+
+TEST(Json, NestedRecordRoundTrip) {
+  // The shape of an increment run record.
+  Json record = Json::Object();
+  record.Set("record", "increment");
+  record.Set("increment", int64_t{3});
+  Json stats = Json::Object();
+  stats.Set("selection_trace_cov", 149.52171968471353);
+  record.Set("stats", std::move(stats));
+  Json row = Json::Array();
+  row.Push(Json::Number(0.84)).Push(Json::Number(0.72));
+  record.Set("row", std::move(row));
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(record.Dump(), &parsed));
+  EXPECT_EQ(parsed.Find("record")->AsString(), "increment");
+  EXPECT_EQ(parsed.Find("increment")->AsInt(), 3);
+  EXPECT_EQ(parsed.Find("stats")->Find("selection_trace_cov")->AsDouble(),
+            149.52171968471353);
+  EXPECT_EQ(parsed.Find("row")->size(), 2);
+  EXPECT_EQ(parsed.Find("row")->at(1).AsDouble(), 0.72);
+  EXPECT_EQ(parsed.Dump(), record.Dump());
+}
+
+// ---- Metrics --------------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  obs::Counter* counter =
+      MetricsRegistry::Global().GetCounter("test.obs.counter");
+  counter->Reset();
+  EDSR_METRIC_COUNT("test.obs.counter", 5);
+  EDSR_METRIC_COUNT("test.obs.counter", 7);
+  EXPECT_EQ(counter->Value(), 12);
+  EXPECT_EQ(MetricsRegistry::Global().Value("test.obs.counter"), 12.0);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0);
+}
+
+TEST(Metrics, GetCounterReturnsTheSameInstance) {
+  obs::Counter* a = MetricsRegistry::Global().GetCounter("test.obs.same");
+  obs::Counter* b = MetricsRegistry::Global().GetCounter("test.obs.same");
+  EXPECT_EQ(a, b);
+}
+
+TEST(Metrics, GaugeStoresDoubles) {
+  obs::Gauge* gauge = MetricsRegistry::Global().GetGauge("test.obs.gauge");
+  gauge->Set(3.25);
+  EXPECT_EQ(gauge->Value(), 3.25);
+  gauge->Set(-1e-9);
+  EXPECT_EQ(MetricsRegistry::Global().Value("test.obs.gauge"), -1e-9);
+}
+
+TEST(Metrics, CallbackGaugeEvaluatesOnRead) {
+  double source = 1.0;
+  MetricsRegistry::Global().RegisterCallbackGauge(
+      "test.obs.callback", [&source] { return source; });
+  EXPECT_EQ(MetricsRegistry::Global().Value("test.obs.callback"), 1.0);
+  source = 42.0;
+  EXPECT_EQ(MetricsRegistry::Global().Value("test.obs.callback"), 42.0);
+  // Re-registering replaces (the arena registers idempotently).
+  MetricsRegistry::Global().RegisterCallbackGauge("test.obs.callback",
+                                                  [] { return -1.0; });
+  EXPECT_EQ(MetricsRegistry::Global().Value("test.obs.callback"), -1.0);
+}
+
+TEST(Metrics, HistogramSnapshotsSummaryStatistics) {
+  obs::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.obs.hist");
+  hist->Reset();
+  for (int i = 1; i <= 100; ++i) hist->Observe(static_cast<double>(i));
+  obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.sum, 5050.0);
+  EXPECT_EQ(snap.min, 1.0);
+  EXPECT_EQ(snap.max, 100.0);
+  EXPECT_EQ(snap.Mean(), 50.5);
+  // Log2 buckets: the median of 1..100 lands in the (32, 64] bucket.
+  EXPECT_GE(snap.Quantile(0.5), 32.0);
+  EXPECT_LE(snap.Quantile(0.5), 64.0);
+  hist->Reset();
+  EXPECT_EQ(hist->Snap().count, 0);
+}
+
+TEST(Metrics, ArenaGaugesAreRegistered) {
+  // arena.cc registers its stats as callback gauges at static-init time.
+  // Touch the arena so the linker keeps its object file (and with it the
+  // registration initializer) in this otherwise tensor-free binary.
+  tensor::arena::Stats();
+  EXPECT_TRUE(MetricsRegistry::Global().Has("arena.pool_hits"));
+  EXPECT_TRUE(MetricsRegistry::Global().Has("arena.pooled_bytes"));
+  EXPECT_EQ(MetricsRegistry::Global().Value("arena.pooled_bytes"),
+            static_cast<double>(tensor::arena::PooledBytes()));
+}
+
+TEST(Metrics, ToJsonCoversAllKinds) {
+  MetricsRegistry::Global().GetCounter("test.obs.tojson.counter")->Add(3);
+  MetricsRegistry::Global().GetGauge("test.obs.tojson.gauge")->Set(1.5);
+  Json snapshot = MetricsRegistry::Global().ToJson();
+  ASSERT_TRUE(snapshot.Find("counters") != nullptr);
+  ASSERT_TRUE(snapshot.Find("gauges") != nullptr);
+  ASSERT_TRUE(snapshot.Find("histograms") != nullptr);
+  EXPECT_GE(snapshot.Find("counters")->Find("test.obs.tojson.counter")
+                ->AsInt(), 3);
+  EXPECT_EQ(snapshot.Find("gauges")->Find("test.obs.tojson.gauge")->AsDouble(),
+            1.5);
+  // A parse of the dump must succeed (this object feeds run records).
+  Json parsed;
+  EXPECT_TRUE(Json::Parse(snapshot.Dump(), &parsed));
+}
+
+// ---- Trace spans ----------------------------------------------------------
+
+TEST(Trace, NestedSpansAggregateByPath) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  for (int i = 0; i < 3; ++i) {
+    EDSR_TRACE_SPAN("obs_test_outer");
+    for (int j = 0; j < 2; ++j) {
+      EDSR_TRACE_SPAN("obs_test_inner");
+    }
+  }
+  Tracer::SetEnabled(false);
+
+  bool saw_outer = false;
+  bool saw_inner = false;
+  for (const Tracer::SpanStats& stats : Tracer::Summary()) {
+    if (stats.path == "obs_test_outer") {
+      saw_outer = true;
+      EXPECT_EQ(stats.count, 3);
+      EXPECT_GE(stats.total_ms, 0.0);
+      EXPECT_LE(stats.min_ms, stats.max_ms);
+    } else if (stats.path == "obs_test_outer/obs_test_inner") {
+      saw_inner = true;
+      EXPECT_EQ(stats.count, 6);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_inner);
+  Tracer::Reset();
+}
+
+TEST(Trace, ResetZeroesAggregation) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  {
+    EDSR_TRACE_SPAN("obs_test_reset");
+  }
+  Tracer::SetEnabled(false);
+  Tracer::Reset();
+  for (const Tracer::SpanStats& stats : Tracer::Summary()) {
+    EXPECT_NE(stats.path, "obs_test_reset") << "zero-count span reported";
+  }
+}
+
+TEST(Trace, SummaryJsonIsWellFormed) {
+  Tracer::SetEnabled(true);
+  Tracer::Reset();
+  {
+    EDSR_TRACE_SPAN("obs_test_json");
+  }
+  Tracer::SetEnabled(false);
+  Json summary = Tracer::SummaryJson();
+  ASSERT_TRUE(summary.is_array());
+  ASSERT_GE(summary.size(), 1);
+  const Json& entry = summary.at(0);
+  EXPECT_TRUE(entry.Has("path"));
+  EXPECT_TRUE(entry.Has("count"));
+  EXPECT_TRUE(entry.Has("total_ms"));
+  EXPECT_TRUE(entry.Has("min_ms"));
+  EXPECT_TRUE(entry.Has("max_ms"));
+  Tracer::Reset();
+}
+
+TEST(Trace, ChromeTraceRecordsCompleteEvents) {
+  Tracer::SetEnabled(true);
+  Tracer::SetEventRecording(true);
+  Tracer::Reset();
+  {
+    EDSR_TRACE_SPAN("obs_test_event");
+  }
+  Tracer::SetEventRecording(false);
+  Tracer::SetEnabled(false);
+
+  Json trace = Tracer::ChromeTraceJson();
+  const Json* events = trace.Find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  bool found = false;
+  for (int64_t i = 0; i < events->size(); ++i) {
+    const Json& event = events->at(i);
+    if (event.Find("name")->AsString() != "obs_test_event") continue;
+    found = true;
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_GE(event.Find("dur")->AsDouble(), 0.0);
+    EXPECT_TRUE(event.Has("ts"));
+    EXPECT_TRUE(event.Has("pid"));
+    EXPECT_TRUE(event.Has("tid"));
+  }
+  EXPECT_TRUE(found);
+
+  std::string path = TestPath("obs_trace.json");
+  Tracer::WriteChromeTrace(path).Check();
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Json parsed;
+  EXPECT_TRUE(Json::Parse(text, &parsed));
+  EXPECT_TRUE(parsed.Has("traceEvents"));
+  std::remove(path.c_str());
+  Tracer::Reset();
+}
+
+TEST(Trace, DisabledSpansDoNotAllocate) {
+  Tracer::SetEnabled(false);
+  int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    EDSR_TRACE_SPAN("obs_test_noalloc");
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before)
+      << "runtime-disabled spans must be allocation-free";
+}
+
+TEST(Trace, EnabledSpansDoNotAllocateAfterWarmup) {
+  Tracer::SetEnabled(true);
+  {
+    EDSR_TRACE_SPAN("obs_test_warm");  // creates the node once
+  }
+  int64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    EDSR_TRACE_SPAN("obs_test_warm");
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before)
+      << "steady-state enabled spans must be allocation-free";
+  Tracer::SetEnabled(false);
+  Tracer::Reset();
+}
+
+// ---- RunLogger ------------------------------------------------------------
+
+TEST(RunLogger, WritesOneParseableLinePerRecord) {
+  std::string path = TestPath("obs_records.jsonl");
+  std::remove(path.c_str());
+  {
+    RunLogger logger(path);
+    ASSERT_TRUE(logger.ok());
+    for (int i = 0; i < 3; ++i) {
+      Json record = Json::Object();
+      record.Set("record", "epoch");
+      record.Set("epoch", i);
+      ASSERT_TRUE(logger.Write(record));
+    }
+    EXPECT_EQ(logger.lines_written(), 3);
+  }
+  std::ifstream in(path);
+  std::string line;
+  int64_t lines = 0;
+  while (std::getline(in, line)) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(line, &parsed)) << line;
+    EXPECT_EQ(parsed.Find("epoch")->AsInt(), lines);
+    ++lines;
+  }
+  EXPECT_EQ(lines, 3);
+  std::remove(path.c_str());
+}
+
+TEST(RunLogger, AppendsAcrossReopens) {
+  // The resume path: a second process opens the same file and continues.
+  std::string path = TestPath("obs_append.jsonl");
+  std::remove(path.c_str());
+  {
+    RunLogger first(path);
+    Json record = Json::Object();
+    record.Set("n", 1);
+    first.Write(record);
+  }
+  {
+    RunLogger second(path);
+    Json record = Json::Object();
+    record.Set("n", 2);
+    second.Write(record);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<int64_t> values;
+  while (std::getline(in, line)) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(line, &parsed));
+    values.push_back(parsed.Find("n")->AsInt());
+  }
+  EXPECT_EQ(values, (std::vector<int64_t>{1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(RunLogger, UnopenableFileIsNotOkAndWriteIsNoop) {
+  RunLogger logger("/nonexistent_dir_obs_test/x.jsonl");
+  EXPECT_FALSE(logger.ok());
+  Json record = Json::Object();
+  EXPECT_FALSE(logger.Write(record));
+  EXPECT_EQ(logger.lines_written(), 0);
+}
+
+}  // namespace
+}  // namespace edsr

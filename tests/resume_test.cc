@@ -15,6 +15,7 @@
 #include "src/cl/si.h"
 #include "src/core/edsr.h"
 #include "src/data/synthetic.h"
+#include "src/obs/run_record.h"
 
 namespace edsr {
 namespace {
@@ -172,6 +173,79 @@ TEST(Resume, EdsrResumesBitIdenticalToStraightRun) {
   ExpectSameMatrix(continued.matrix, reference.matrix);
   ExpectSameMemory(resumed.memory(), straight.memory());
   EXPECT_EQ(StateValues(*resumed.encoder()), StateValues(*straight.encoder()));
+  std::remove((checkpoint.directory + "/run.ckpt").c_str());
+}
+
+// Run records minus the volatile "perf" object, which writers append as the
+// LAST key precisely so this truncation works (see run_record.h).
+std::vector<std::string> DeterministicRecordLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t perf = line.find(",\"perf\"");
+    if (perf != std::string::npos) line = line.substr(0, perf) + "}";
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(Resume, RunRecordsConcatenateToTheStraightRunsRecords) {
+  const int64_t kTasks = 3;
+  const EvalOptions eval_options;
+
+  // Straight run, logging to one file.
+  std::string straight_path = TestDir("records_straight.jsonl");
+  std::remove(straight_path.c_str());
+  TaskSequence straight_seq = TinySequence(33, kTasks);
+  core::Edsr straight(TinyContext(7));
+  {
+    obs::RunLogger logger(straight_path);
+    ASSERT_TRUE(logger.ok());
+    straight.SetRunLogger(&logger);
+    RunContinual(&straight, straight_seq, eval_options);
+    straight.SetRunLogger(nullptr);
+  }
+
+  // The same run killed after increment 1 and resumed by a fresh process,
+  // both halves appending to the same record file.
+  std::string resumed_path = TestDir("records_resumed.jsonl");
+  std::remove(resumed_path.c_str());
+  TaskSequence resumed_seq = TinySequence(33, kTasks);
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("records_resume_ckpt");
+  {
+    core::Edsr interrupted(TinyContext(7));
+    obs::RunLogger logger(resumed_path);
+    ASSERT_TRUE(logger.ok());
+    interrupted.SetRunLogger(&logger);
+    CheckpointOptions until_kill = checkpoint;
+    until_kill.stop_after_increment = 0;
+    RunContinual(&interrupted, resumed_seq, eval_options, until_kill);
+  }
+  {
+    core::Edsr resumed(TinyContext(7));
+    obs::RunLogger logger(resumed_path);
+    ASSERT_TRUE(logger.ok());
+    resumed.SetRunLogger(&logger);
+    ContinualRunResult continued{eval::AccuracyMatrix(kTasks)};
+    ResumeContinual(&resumed, resumed_seq, eval_options, checkpoint,
+                    &continued)
+        .Check();
+  }
+
+  // Every deterministic field — losses, selection stats, accuracy cells —
+  // must be byte-identical; only "perf" may differ between the runs.
+  std::vector<std::string> straight_lines =
+      DeterministicRecordLines(straight_path);
+  std::vector<std::string> resumed_lines =
+      DeterministicRecordLines(resumed_path);
+  ASSERT_EQ(straight_lines.size(), resumed_lines.size());
+  for (size_t i = 0; i < straight_lines.size(); ++i) {
+    EXPECT_EQ(resumed_lines[i], straight_lines[i]) << "record " << i;
+  }
+  std::remove(straight_path.c_str());
+  std::remove(resumed_path.c_str());
   std::remove((checkpoint.directory + "/run.ckpt").c_str());
 }
 
