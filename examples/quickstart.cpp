@@ -1,18 +1,63 @@
 // Quickstart: train EDSR on a two-increment synthetic image stream and
 // inspect accuracy, forgetting, and the selected memory.
 //
-//   ./quickstart
+//   ./quickstart [--metrics_out <file.jsonl>] [--trace_out <file.json>]
 //
 // Walks through the full public API surface: dataset generation, task
 // splitting, strategy construction, the continual loop, and evaluation.
+// --metrics_out appends the structured run records the trainer emits
+// (DESIGN.md §6); --trace_out enables trace spans and writes a Chrome
+// trace-event file loadable in Perfetto. Both validate with
+// scripts/validate_telemetry.py.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/cl/trainer.h"
 #include "src/core/edsr.h"
 #include "src/data/synthetic.h"
+#include "src/obs/run_record.h"
+#include "src/obs/trace.h"
 
-int main() {
+namespace {
+
+// `--name value` and `--name=value`; advances *i past a consumed value.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace edsr;
+
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
+        ParseFlag(argc, argv, &i, "--trace_out", &trace_out)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::SetEnabled(true);
+    obs::Tracer::SetEventRecording(true);
+  }
 
   // 1. Generate an unlabeled-for-training synthetic image benchmark:
   //    8 classes rendered from latent class prototypes.
@@ -53,6 +98,22 @@ int main() {
   // 4. Build EDSR (entropy-based selection + noise-enhanced replay) and run
   //    the continual loop; evaluation uses the paper's KNN protocol.
   core::Edsr edsr(context);
+  std::unique_ptr<obs::RunLogger> logger;
+  if (!metrics_out.empty()) {
+    logger = std::make_unique<obs::RunLogger>(metrics_out);
+    if (!logger->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+    obs::Json header = obs::Json::Object();
+    header.Set("record", "run");
+    header.Set("strategy", "edsr");
+    header.Set("seed", static_cast<int64_t>(context.seed));
+    header.Set("increments", sequence.num_tasks());
+    header.Set("epochs", context.epochs);
+    logger->Write(header);
+    edsr.SetRunLogger(logger.get());
+  }
   cl::ContinualRunResult result = cl::RunContinual(&edsr, sequence, {});
 
   std::printf("\naccuracy matrix (row i = after increment i):\n%s",
@@ -71,5 +132,14 @@ int main() {
               static_cast<long long>(entry.task_id),
               static_cast<long long>(entry.source_index),
               entry.noise_scale.size());
+
+  if (!trace_out.empty()) {
+    util::Status status = obs::Tracer::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
+  }
   return 0;
 }

@@ -3,8 +3,16 @@
 // Tr(Cov(M)) each selection achieves (paper Eq. 15) and the kNN noise
 // magnitudes EDSR would store (paper §III-B).
 //
-//   ./selection_demo
+//   ./selection_demo [--metrics_out <file.jsonl>] [--trace_out <file.json>]
+//
+// --metrics_out appends one "selection" record per selector (name, entropy
+// trace, picked indices, class coverage); --trace_out enables trace spans
+// and writes a Chrome trace-event file. Both validate with
+// scripts/validate_telemetry.py.
 #include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
 
 #include "src/cl/selection.h"
 #include "src/cl/strategy.h"
@@ -12,9 +20,55 @@
 #include "src/data/synthetic.h"
 #include "src/eval/representations.h"
 #include "src/linalg/eigen.h"
+#include "src/obs/run_record.h"
+#include "src/obs/trace.h"
 
-int main() {
+namespace {
+
+// `--name value` and `--name=value`; advances *i past a consumed value.
+bool ParseFlag(int argc, char** argv, int* i, const char* name,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace edsr;
+
+  std::string metrics_out;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
+        ParseFlag(argc, argv, &i, "--trace_out", &trace_out)) {
+      continue;
+    }
+    std::fprintf(stderr, "unknown argument %s\n", argv[i]);
+    return 1;
+  }
+  if (!trace_out.empty()) {
+    obs::Tracer::SetEnabled(true);
+    obs::Tracer::SetEventRecording(true);
+  }
+  std::unique_ptr<obs::RunLogger> logger;
+  if (!metrics_out.empty()) {
+    logger = std::make_unique<obs::RunLogger>(metrics_out);
+    if (!logger->ok()) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
 
   data::SyntheticImageConfig config;
   config.name = "selection-demo";
@@ -47,6 +101,7 @@ int main() {
   util::Rng rng(3);
   auto report = [&](const cl::DataSelector& selector,
                     const cl::SelectionContext& ctx) {
+    EDSR_TRACE_SPAN("selection");
     std::vector<int64_t> picks = selector.Select(ctx, budget, &rng);
     // Entropy surrogate of the kept subset: Tr(Cov(M)) with Cov = A^T A.
     std::vector<float> rows;
@@ -66,6 +121,20 @@ int main() {
                 static_cast<long long>(counts[1]),
                 static_cast<long long>(counts[2]),
                 static_cast<long long>(counts[3]));
+    if (logger != nullptr) {
+      obs::Json record = obs::Json::Object();
+      record.Set("record", "selection");
+      record.Set("selector", selector.name());
+      record.Set("budget", budget);
+      record.Set("trace_cov", trace);
+      obs::Json picked = obs::Json::Array();
+      for (int64_t i : picks) picked.Push(obs::Json::Int(i));
+      record.Set("picks", std::move(picked));
+      obs::Json coverage = obs::Json::Array();
+      for (int64_t c : counts) coverage.Push(obs::Json::Int(c));
+      record.Set("class_coverage", std::move(coverage));
+      logger->Write(record);
+    }
   };
 
   cl::SelectionContext ctx{&reps, {}};
@@ -85,6 +154,15 @@ int main() {
     for (float s : scale) mean += s;
     std::printf("  sample %lld: %.4f\n", static_cast<long long>(i),
                 mean / reps.d);
+  }
+
+  if (!trace_out.empty()) {
+    util::Status status = obs::Tracer::WriteChromeTrace(trace_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote trace to %s\n", trace_out.c_str());
   }
   return 0;
 }

@@ -6,9 +6,11 @@ Usage:
                              [--filter REGEX]
 
 Exits non-zero when any benchmark present in both files regressed by more
-than --threshold (default 15%) in real time. Benchmarks only present on one
-side are reported but do not fail the gate (new benches must be recordable
-without first rewriting the baseline).
+than --threshold (default 15%) in real time — or, for benchmarks that
+report items_per_second (the serving load generator's throughput metric),
+when throughput dropped by more than the threshold. Benchmarks only present
+on one side are reported but do not fail the gate (new benches must be
+recordable without first rewriting the baseline).
 
 User counters attached to benchmarks (arena pool_hits/pool_misses, the
 tracing overhead_ratio from bench_obs_overhead, span counts) are compared
@@ -54,15 +56,18 @@ def load_benchmarks(path):
         sys.exit(2)
     results = {}
     counters = {}
+    throughputs = {}
     for bench in doc.get("benchmarks", []):
         # Skip aggregate rows (mean/median/stddev of repeated runs).
         if bench.get("run_type") == "aggregate":
             continue
         results[bench["name"]] = float(bench["real_time"])
+        if "items_per_second" in bench:
+            throughputs[bench["name"]] = float(bench["items_per_second"])
         for key, value in bench.items():
             if key not in _STANDARD_KEYS and isinstance(value, (int, float)):
                 counters[f"{bench['name']}::{key}"] = float(value)
-    return results, counters
+    return results, counters, throughputs
 
 
 def main():
@@ -80,8 +85,8 @@ def main():
     )
     args = parser.parse_args()
 
-    base, base_counters = load_benchmarks(args.baseline)
-    cand, cand_counters = load_benchmarks(args.candidate)
+    base, base_counters, base_tput = load_benchmarks(args.baseline)
+    cand, cand_counters, cand_tput = load_benchmarks(args.candidate)
     if args.filter is not None:
         pattern = re.compile(args.filter)
         base = {k: v for k, v in base.items() if pattern.search(k)}
@@ -90,6 +95,8 @@ def main():
             k: v for k, v in base_counters.items() if pattern.search(k)}
         cand_counters = {
             k: v for k, v in cand_counters.items() if pattern.search(k)}
+        base_tput = {k: v for k, v in base_tput.items() if pattern.search(k)}
+        cand_tput = {k: v for k, v in cand_tput.items() if pattern.search(k)}
 
     shared = sorted(base.keys() & cand.keys())
     if not shared:
@@ -107,6 +114,24 @@ def main():
             marker = "  REGRESSION"
             regressions.append((name, delta))
         print(f"{name:<{width}}  {b:>10.0f}ns  {c:>10.0f}ns  {delta:+7.1%}{marker}")
+
+    # Throughput gate: for benchmarks that report items_per_second (the
+    # serving benches), a drop past the threshold is a regression in its own
+    # right even if real_time noise masks it.
+    shared_tput = sorted(base_tput.keys() & cand_tput.keys())
+    if shared_tput:
+        twidth = max(len(name) for name in shared_tput)
+        print(f"\n{'throughput (items/s)':<{twidth}}  {'baseline':>12}  "
+              f"{'candidate':>12}  delta")
+        for name in shared_tput:
+            b, c = base_tput[name], cand_tput[name]
+            drop = (b - c) / b if b > 0 else 0.0
+            marker = ""
+            if drop > args.threshold:
+                marker = "  REGRESSION"
+                regressions.append((f"{name} [throughput]", drop))
+            print(f"{name:<{twidth}}  {b:>12.4g}  {c:>12.4g}  "
+                  f"{-drop:+7.1%}{marker}")
 
     shared_counters = sorted(base_counters.keys() & cand_counters.keys())
     if shared_counters:

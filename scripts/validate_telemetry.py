@@ -5,14 +5,18 @@ Usage:
     scripts/validate_telemetry.py RUN.jsonl [--trace TRACE.json]
 
 RUN.jsonl is the --metrics_out run-record stream (DESIGN.md §6): one JSON
-object per line, record types "run" / "epoch" / "increment". The validator
+object per line, record types "run" / "epoch" / "increment", plus the
+standalone kinds "selection" (selection_demo: one record per selector) and
+"serve" (serve_embeddings: one record per serving session). The validator
 checks the schema of every record, the sequencing (a "run" header opens each
 run; its declared increment and epoch counts match what follows), the paper
 quantities (loss_components carries L_css everywhere and L_rpl for EDSR
 replay increments; increment stats carry selection_trace_cov and
-noise_scale_mean for EDSR), and the determinism contract that "perf" — the
-only machine-dependent sub-object — is the LAST key of every increment
-record, so deterministic readers can strip it by truncation.
+noise_scale_mean for EDSR), the serving invariants (mixed_responses must be
+0 — a hot-swap never leaks a stale snapshot into a response), and the
+determinism contract that "perf" — the only machine-dependent sub-object —
+is the LAST key of every increment and serve record, so deterministic
+readers can strip it by truncation.
 
 --trace additionally validates a --trace_out file as Chrome trace-event JSON
 (an object with a "traceEvents" list of complete "X" events carrying
@@ -137,8 +141,65 @@ class RunState:
                 f"{self.increment_records} increment records")
 
 
+def validate_selection(rec, line_no):
+    """A selection_demo record: one selector's picks on one increment."""
+    require_keys(rec, ["selector", "budget", "trace_cov", "picks",
+                       "class_coverage"], line_no)
+    require(isinstance(rec["selector"], str), line_no,
+            "selector is not a string")
+    require(is_num(rec["budget"]) and rec["budget"] > 0, line_no,
+            "budget is not a positive number")
+    require(is_num(rec["trace_cov"]) and rec["trace_cov"] >= 0.0, line_no,
+            "trace_cov is negative (it is a sum of squared "
+            "representation norms)")
+    picks = rec["picks"]
+    require(isinstance(picks, list), line_no, "picks is not a list")
+    require(len(picks) <= rec["budget"], line_no,
+            f"{len(picks)} picks exceed the budget of {rec['budget']}")
+    for value in picks:
+        require(is_num(value) and value >= 0, line_no,
+                "pick is not a non-negative index")
+    coverage = rec["class_coverage"]
+    require(isinstance(coverage, list), line_no,
+            "class_coverage is not a list")
+    for value in coverage:
+        require(is_num(value) and value >= 0, line_no,
+                "class_coverage entry is not a non-negative count")
+    require(sum(coverage) == len(picks), line_no,
+            "class_coverage does not sum to the number of picks")
+
+
+def validate_serve(rec, raw_line, line_no):
+    """A serve_embeddings record: one serving session's traffic summary."""
+    require_keys(rec, ["snapshot_id", "requests", "ok", "dropped",
+                       "mixed_responses", "cache", "perf"], line_no)
+    for key in ("snapshot_id", "requests", "ok", "dropped",
+                "mixed_responses", "swaps"):
+        if key in rec:
+            require(is_num(rec[key]) and rec[key] >= 0, line_no,
+                    f"{key} is not a non-negative number")
+    require(rec["mixed_responses"] == 0, line_no,
+            "mixed_responses must be 0 (a hot-swap leaked a stale "
+            "snapshot into a response)")
+    require(rec["ok"] + rec["dropped"] <= rec["requests"], line_no,
+            "ok + dropped exceeds total requests")
+    cache = rec["cache"]
+    require(isinstance(cache, dict), line_no, "cache is not an object")
+    require_keys(cache, ["size", "capacity"], line_no)
+    perf = rec["perf"]
+    require(isinstance(perf, dict), line_no, "perf is not an object")
+    # Same determinism contract as increment records: perf (latencies,
+    # throughput, registry snapshot) is the only machine-dependent
+    # sub-object and must close the record.
+    require(list(rec.keys())[-1] == "perf", line_no,
+            "perf must be the last key of a serve record")
+    require(raw_line.rstrip().endswith("}}"), line_no,
+            "serve record does not end with the perf object")
+
+
 def validate_run_records(path):
     runs = []
+    standalone = {"selection": 0, "serve": 0}
     current = None
     line_no = 0
     with open(path, "r", encoding="utf-8") as f:
@@ -166,13 +227,19 @@ def validate_run_records(path):
                 require(current is not None, line_no,
                         "increment record before any run header")
                 current.on_increment(rec, raw, line_no)
+            elif kind == "selection":
+                validate_selection(rec, line_no)
+                standalone["selection"] += 1
+            elif kind == "serve":
+                validate_serve(rec, raw, line_no)
+                standalone["serve"] += 1
             else:
                 raise ValidationError(
                     f"line {line_no}: unknown record type {kind!r}")
-    require(runs, line_no, "no records found")
+    require(runs or any(standalone.values()), line_no, "no records found")
     if current is not None:
         current.finish(line_no)
-    return runs
+    return runs, standalone
 
 
 def validate_trace(path):
@@ -211,10 +278,13 @@ def main():
     args = parser.parse_args()
 
     try:
-        runs = validate_run_records(args.run_records)
+        runs, standalone = validate_run_records(args.run_records)
         for run in runs:
             print(f"{args.run_records}: run strategy={run.strategy} "
                   f"increments={run.increments} epochs={run.epochs} OK")
+        for kind, count in standalone.items():
+            if count:
+                print(f"{args.run_records}: {count} {kind} record(s) OK")
         if args.trace is not None:
             events = validate_trace(args.trace)
             print(f"{args.trace}: {events} complete trace events OK")

@@ -6,7 +6,8 @@
 # Opt-in perf gate: `scripts/verify.sh --bench` additionally re-runs the
 # micro-benchmarks from the Release build and fails if any benchmark
 # regressed more than 15% against the committed BENCH_micro_kernels.json /
-# BENCH_train_step.json baselines (see scripts/bench_compare.py).
+# BENCH_train_step.json / BENCH_serve.json baselines (see
+# scripts/bench_compare.py).
 set -euo pipefail
 
 RUN_BENCH=0
@@ -33,6 +34,16 @@ trap 'rm -rf "${TELEM_DIR}"' EXIT
     --trace_out="${TELEM_DIR}/trace.json" >/dev/null
 python3 scripts/validate_telemetry.py "${TELEM_DIR}/run.jsonl" \
     --trace "${TELEM_DIR}/trace.json"
+
+echo "== serve: test label + loopback smoke =="
+ctest --test-dir build -L serve --output-on-failure
+# End-to-end: train two increments with checkpointing, serve increment 1
+# over loopback TCP, hot-swap to increment 2 mid-traffic. The binary exits
+# non-zero on any dropped or mixed response; the validator re-checks the
+# emitted serve record (mixed_responses == 0, perf last).
+./build/examples/serve_embeddings \
+    --metrics_out="${TELEM_DIR}/serve.jsonl" >/dev/null
+python3 scripts/validate_telemetry.py "${TELEM_DIR}/serve.jsonl"
 
 echo "== tier 2: sanitize preset (ASan/UBSan) =="
 cmake --preset sanitize
@@ -62,6 +73,12 @@ if [[ "${RUN_BENCH}" -eq 1 ]]; then
   python3 scripts/bench_compare.py BENCH_micro_kernels.json \
       "${TMP_DIR}/obs_overhead.json" --threshold 0.3 \
       --filter '^BM_(SpanSite|TrainStepSpan)'
+  # Serving gate: batched-embed throughput and the cache fast path must not
+  # regress more than 15% against the committed BENCH_serve.json baseline.
+  ./build/bench/bench_micro_serve \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/serve.json" >/dev/null 2>&1
+  python3 scripts/bench_compare.py BENCH_serve.json "${TMP_DIR}/serve.json"
 fi
 
 echo "verify.sh: all suites green"

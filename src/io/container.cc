@@ -134,6 +134,18 @@ util::Result<ContainerReader> ContainerReader::Open(const std::string& path) {
   return reader;
 }
 
+util::Result<ContainerReader> ContainerReader::OpenShared(
+    const std::string& path) {
+  util::Result<ContainerReader> first = Open(path);
+  if (first.ok()) return first;
+  // A failed validation can mean a genuinely corrupt file or a read that
+  // raced the writer's atomic rename. Either way the rename has completed
+  // (or never happened) by now, so one re-read disambiguates: a racing
+  // reader lands on the complete replacement, a corrupt file fails again
+  // with the same clean Status.
+  return Open(path);
+}
+
 bool ContainerReader::HasSection(const std::string& name) const {
   for (const Section& s : sections_) {
     if (s.name == name) return true;
@@ -153,6 +165,18 @@ util::Status ContainerReader::ReadSection(const std::string& name,
     return util::Status::OK();
   }
   return util::Status::InvalidArgument("no section named " + name);
+}
+
+util::Status ContainerReader::ReadSections(
+    const std::vector<std::string>& names,
+    std::vector<std::vector<uint8_t>>* out) const {
+  EDSR_CHECK(out != nullptr);
+  std::vector<std::vector<uint8_t>> staged(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    EDSR_RETURN_NOT_OK(ReadSection(names[i], &staged[i]));
+  }
+  *out = std::move(staged);
+  return util::Status::OK();
 }
 
 std::vector<std::string> ContainerReader::SectionNames() const {

@@ -69,11 +69,28 @@ class ContainerReader {
   // Section payload CRCs are verified on access in ReadSection.
   static util::Result<ContainerReader> Open(const std::string& path);
 
+  // Shared-read mode for files another process may atomically replace while
+  // we open them (the serving layer reading a checkpoint the trainer is
+  // about to rename over). The whole file is slurped into a private copy, so
+  // once Open succeeds the reader is immune to later replacement; if the
+  // slurp itself raced a rename and captured a torn view, validation fails
+  // with a clean Status and OpenShared retries once — the rename is atomic,
+  // so the second read sees either the complete old or complete new file.
+  // Never aborts on any file content.
+  static util::Result<ContainerReader> OpenShared(const std::string& path);
+
   bool HasSection(const std::string& name) const;
   // CRC-verified payload copy; IoError on CRC mismatch, InvalidArgument on
   // an unknown section name.
   util::Status ReadSection(const std::string& name,
                            std::vector<uint8_t>* out) const;
+  // All-or-nothing multi-section read: out->at(i) is the payload of
+  // names[i]. Any missing name, truncated extent, or CRC mismatch (the
+  // signatures of a mid-rename partial file) fails the whole call with a
+  // clean error Status and leaves *out empty — callers never observe a mix
+  // of sections from a half-validated container.
+  util::Status ReadSections(const std::vector<std::string>& names,
+                            std::vector<std::vector<uint8_t>>* out) const;
   std::vector<std::string> SectionNames() const;
 
  private:

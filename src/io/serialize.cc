@@ -56,6 +56,16 @@ util::Status BufferReader::ReadBytes(void* out, size_t size) {
   return util::Status::OK();
 }
 
+util::Status BufferReader::Skip(size_t size) {
+  if (size > remaining()) {
+    return util::Status::IoError("truncated payload: cannot skip " +
+                                 std::to_string(size) + " bytes, have " +
+                                 std::to_string(remaining()));
+  }
+  pos_ += size;
+  return util::Status::OK();
+}
+
 util::Status BufferReader::ReadU8(uint8_t* out) {
   return ReadBytes(out, sizeof(*out));
 }

@@ -54,6 +54,10 @@ class BufferReader {
   util::Status ReadF32(float* out);
   util::Status ReadF64(double* out);
   util::Status ReadBytes(void* out, size_t size);
+  // Advances past `size` bytes without copying them (skipping another
+  // module's serialized state inside a shared payload). Bounds-checked like
+  // every read.
+  util::Status Skip(size_t size);
   util::Status ReadString(std::string* out);
   util::Status ReadFloats(std::vector<float>* out);
   util::Status ReadInts(std::vector<int64_t>* out);

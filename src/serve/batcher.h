@@ -1,0 +1,106 @@
+// Micro-batching request queue: coalesces concurrent embedding requests
+// into one batched forward.
+//
+// A batch-1 forward wastes the PR-3 blocked GEMM (the 128/1-vs-128/0 micro
+// kernels showed batched rows amortize packing); the batcher recovers the
+// batched regime under concurrent load with a classic max-batch / max-delay
+// admission policy:
+//
+//   * Submit() enqueues and returns a future. When the bounded queue is
+//     full it rejects with Status kOverloaded instead of growing or
+//     blocking — backpressure is explicit and the caller decides whether
+//     to retry.
+//   * A single worker thread drains the queue: it takes whatever is
+//     pending, and if the batch is still short of max_batch waits up to
+//     max_delay_us for stragglers before forwarding. Under load batches
+//     fill instantly and the delay never triggers; a lone request pays at
+//     most max_delay_us extra latency.
+//   * The worker resolves the current snapshot ONCE per batch, so every
+//     request in a batch is answered by exactly one model version — the
+//     invariant the hot-swap test asserts (old-or-new, never mixed).
+//
+// Telemetry: serve.requests counter, serve.batch_size histogram,
+// serve.queue_depth callback gauge, serve.overloaded counter, and a
+// serve_batch trace span per forward.
+#ifndef EDSR_SRC_SERVE_BATCHER_H_
+#define EDSR_SRC_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/serve/cache.h"
+#include "src/serve/snapshot.h"
+#include "src/util/status.h"
+
+namespace edsr::serve {
+
+// The answer to one embedding / knn-label request. `status` is the per-
+// request verdict; the payload fields are valid only when it is OK.
+struct EmbedResult {
+  util::Status status;
+  uint64_t snapshot_id = 0;
+  std::vector<float> representation;
+  int64_t label = -1;  // filled for KnnLabel requests only
+};
+
+struct BatcherOptions {
+  int64_t max_batch = 32;      // rows coalesced into one forward
+  int64_t max_queue = 256;     // pending requests beyond which Submit rejects
+  int64_t max_delay_us = 200;  // straggler wait when a batch is short
+};
+
+class MicroBatcher {
+ public:
+  MicroBatcher(SnapshotRegistry* registry, RepresentationCache* cache,
+               const BatcherOptions& options);
+  ~MicroBatcher();
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  // Enqueues one request. Returns OK and a future the worker completes, or
+  // kOverloaded (future untouched) when the queue is at max_queue.
+  util::Status Submit(std::vector<float> input, bool want_label,
+                      std::future<EmbedResult>* result);
+
+  // Testing hooks: a paused worker leaves submissions queued, which is the
+  // only deterministic way to drive the queue to overflow.
+  void Pause();
+  void Resume();
+
+  int64_t queue_depth() const;
+  const BatcherOptions& options() const { return options_; }
+
+  // Stops the worker; queued requests complete with kOverloaded ("shutting
+  // down"). Idempotent; the destructor calls it.
+  void Stop();
+
+ private:
+  struct Pending {
+    std::vector<float> input;
+    bool want_label = false;
+    std::promise<EmbedResult> promise;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+
+  SnapshotRegistry* registry_;
+  RepresentationCache* cache_;
+  BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool running_ = true;
+  bool paused_ = false;
+  std::thread worker_;
+};
+
+}  // namespace edsr::serve
+
+#endif  // EDSR_SRC_SERVE_BATCHER_H_

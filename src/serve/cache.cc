@@ -1,0 +1,78 @@
+#include "src/serve/cache.h"
+
+#include <cstring>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace edsr::serve {
+
+RepresentationCache::RepresentationCache(int64_t capacity)
+    : capacity_(capacity) {
+  EDSR_CHECK_GE(capacity, 0);
+}
+
+uint64_t RepresentationCache::HashInput(const std::vector<float>& input) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (float value : input) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    for (int shift = 0; shift < 32; shift += 8) {
+      hash ^= (bits >> shift) & 0xffU;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  return hash;
+}
+
+bool RepresentationCache::Lookup(uint64_t snapshot_id,
+                                 const std::vector<float>& input,
+                                 std::vector<float>* out) {
+  if (capacity_ == 0) {
+    EDSR_METRIC_COUNT("serve.cache.misses", 1);
+    return false;
+  }
+  Key key{snapshot_id, HashInput(input)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end() || it->second->input != input) {
+    EDSR_METRIC_COUNT("serve.cache.misses", 1);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->representation;
+  EDSR_METRIC_COUNT("serve.cache.hits", 1);
+  return true;
+}
+
+void RepresentationCache::Insert(uint64_t snapshot_id,
+                                 const std::vector<float>& input,
+                                 const std::vector<float>& representation) {
+  if (capacity_ == 0) return;
+  Key key{snapshot_id, HashInput(input)};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Same key: refresh in place. A colliding different input takes over
+    // the slot — correctness relies on the Lookup equality guard, not on
+    // collision-free hashing.
+    it->second->input = input;
+    it->second->representation = representation;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, input, representation});
+  index_[key] = lru_.begin();
+  while (static_cast<int64_t>(lru_.size()) > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    EDSR_METRIC_COUNT("serve.cache.evictions", 1);
+  }
+}
+
+int64_t RepresentationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(lru_.size());
+}
+
+}  // namespace edsr::serve

@@ -1,0 +1,73 @@
+// LRU representation cache keyed by (snapshot id, input hash).
+//
+// Continual serving makes caching subtle: the same input embeds differently
+// under every increment's weights, so entries are scoped to the snapshot id
+// that produced them. A hot-swap silently invalidates the old snapshot's
+// entries — they stop being looked up and age out of the LRU list; no
+// flush, no lock across the swap.
+//
+// Hits must be bit-identical to a cold forward, so a hash match alone is
+// never trusted: the stored input bytes are compared exactly and a
+// colliding key is treated as a miss (and replaced on insert). Hit / miss /
+// eviction counts are exported as serve.cache.{hits,misses,evictions}.
+#ifndef EDSR_SRC_SERVE_CACHE_H_
+#define EDSR_SRC_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace edsr::serve {
+
+class RepresentationCache {
+ public:
+  // Capacity in entries; 0 disables the cache (Lookup always misses,
+  // Insert is a no-op).
+  explicit RepresentationCache(int64_t capacity);
+
+  // On hit copies the cached representation into *out, promotes the entry
+  // to most-recently-used, and returns true.
+  bool Lookup(uint64_t snapshot_id, const std::vector<float>& input,
+              std::vector<float>* out);
+
+  // Inserts (or replaces) the representation for (snapshot_id, input),
+  // evicting the least-recently-used entry beyond capacity.
+  void Insert(uint64_t snapshot_id, const std::vector<float>& input,
+              const std::vector<float>& representation);
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+
+  // FNV-1a over the raw little-endian float bytes.
+  static uint64_t HashInput(const std::vector<float>& input);
+
+ private:
+  struct Key {
+    uint64_t snapshot_id;
+    uint64_t hash;
+    bool operator==(const Key& other) const {
+      return snapshot_id == other.snapshot_id && hash == other.hash;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return static_cast<size_t>(key.hash ^ (key.snapshot_id * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::vector<float> input;  // exact-match guard against hash collisions
+    std::vector<float> representation;
+  };
+
+  int64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+};
+
+}  // namespace edsr::serve
+
+#endif  // EDSR_SRC_SERVE_CACHE_H_

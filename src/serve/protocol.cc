@@ -1,0 +1,246 @@
+#include "src/serve/protocol.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace edsr::serve {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = sizeof(uint32_t) * 2;
+
+bool IsRequestType(MessageType type) {
+  switch (type) {
+    case MessageType::kEmbedRequest:
+    case MessageType::kKnnLabelRequest:
+    case MessageType::kHealthRequest:
+    case MessageType::kStatsRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsResponseType(MessageType type) {
+  switch (type) {
+    case MessageType::kEmbedResponse:
+    case MessageType::kKnnLabelResponse:
+    case MessageType::kHealthResponse:
+    case MessageType::kStatsResponse:
+    case MessageType::kErrorResponse:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<uint8_t> FinishFrame(io::BufferWriter payload) {
+  io::BufferWriter frame;
+  frame.WriteU32(kFrameMagic);
+  frame.WriteU32(static_cast<uint32_t>(payload.bytes().size()));
+  frame.WriteBytes(payload.bytes().data(), payload.bytes().size());
+  return frame.TakeBytes();
+}
+
+util::Status ReadStatus(io::BufferReader* in, util::Status* out) {
+  uint8_t code = 0;
+  std::string message;
+  EDSR_RETURN_NOT_OK(in->ReadU8(&code));
+  EDSR_RETURN_NOT_OK(in->ReadString(&message));
+  *out = util::Status(StatusCodeFromWire(code), std::move(message));
+  return util::Status::OK();
+}
+
+void WriteStatus(io::BufferWriter* out, const util::Status& status) {
+  out->WriteU8(WireStatusCode(status.code()));
+  out->WriteString(status.message());
+}
+
+}  // namespace
+
+uint8_t WireStatusCode(util::StatusCode code) {
+  switch (code) {
+    case util::StatusCode::kOk: return 0;
+    case util::StatusCode::kInvalidArgument: return 1;
+    case util::StatusCode::kOutOfRange: return 2;
+    case util::StatusCode::kNotImplemented: return 3;
+    case util::StatusCode::kIoError: return 4;
+    case util::StatusCode::kInternal: return 5;
+    case util::StatusCode::kOverloaded: return 6;
+  }
+  return 5;
+}
+
+util::StatusCode StatusCodeFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0: return util::StatusCode::kOk;
+    case 1: return util::StatusCode::kInvalidArgument;
+    case 2: return util::StatusCode::kOutOfRange;
+    case 3: return util::StatusCode::kNotImplemented;
+    case 4: return util::StatusCode::kIoError;
+    case 6: return util::StatusCode::kOverloaded;
+    default: return util::StatusCode::kInternal;
+  }
+}
+
+std::vector<uint8_t> EncodeRequest(const Request& request) {
+  io::BufferWriter payload;
+  payload.WriteU8(static_cast<uint8_t>(request.type));
+  payload.WriteU64(request.request_id);
+  switch (request.type) {
+    case MessageType::kEmbedRequest:
+    case MessageType::kKnnLabelRequest:
+      payload.WriteFloats(request.input);
+      break;
+    default:
+      break;  // health / stats have empty bodies
+  }
+  return FinishFrame(std::move(payload));
+}
+
+std::vector<uint8_t> EncodeResponse(const Response& response) {
+  io::BufferWriter payload;
+  payload.WriteU8(static_cast<uint8_t>(response.type));
+  payload.WriteU64(response.request_id);
+  WriteStatus(&payload, response.status);
+  switch (response.type) {
+    case MessageType::kEmbedResponse:
+      payload.WriteU64(response.snapshot_id);
+      payload.WriteFloats(response.representation);
+      break;
+    case MessageType::kKnnLabelResponse:
+      payload.WriteU64(response.snapshot_id);
+      payload.WriteI64(response.label);
+      break;
+    case MessageType::kHealthResponse:
+      payload.WriteU8(response.healthy ? 1 : 0);
+      payload.WriteU64(response.snapshot_id);
+      payload.WriteI64(response.increments_seen);
+      payload.WriteString(response.source);
+      break;
+    case MessageType::kStatsResponse:
+      payload.WriteString(response.stats_json);
+      break;
+    default:
+      break;  // error responses carry just the status
+  }
+  return FinishFrame(std::move(payload));
+}
+
+util::Status DecodeRequest(const std::vector<uint8_t>& payload, Request* out) {
+  io::BufferReader in(payload);
+  uint8_t type = 0;
+  EDSR_RETURN_NOT_OK(in.ReadU8(&type));
+  if (!IsRequestType(static_cast<MessageType>(type))) {
+    return util::Status::InvalidArgument("unknown request type " +
+                                         std::to_string(type));
+  }
+  out->type = static_cast<MessageType>(type);
+  EDSR_RETURN_NOT_OK(in.ReadU64(&out->request_id));
+  out->input.clear();
+  if (out->type == MessageType::kEmbedRequest ||
+      out->type == MessageType::kKnnLabelRequest) {
+    EDSR_RETURN_NOT_OK(in.ReadFloats(&out->input));
+  }
+  return in.ExpectEnd();
+}
+
+util::Status DecodeResponse(const std::vector<uint8_t>& payload,
+                            Response* out) {
+  io::BufferReader in(payload);
+  uint8_t type = 0;
+  EDSR_RETURN_NOT_OK(in.ReadU8(&type));
+  if (!IsResponseType(static_cast<MessageType>(type))) {
+    return util::Status::InvalidArgument("unknown response type " +
+                                         std::to_string(type));
+  }
+  out->type = static_cast<MessageType>(type);
+  EDSR_RETURN_NOT_OK(in.ReadU64(&out->request_id));
+  EDSR_RETURN_NOT_OK(ReadStatus(&in, &out->status));
+  switch (out->type) {
+    case MessageType::kEmbedResponse:
+      EDSR_RETURN_NOT_OK(in.ReadU64(&out->snapshot_id));
+      EDSR_RETURN_NOT_OK(in.ReadFloats(&out->representation));
+      break;
+    case MessageType::kKnnLabelResponse:
+      EDSR_RETURN_NOT_OK(in.ReadU64(&out->snapshot_id));
+      EDSR_RETURN_NOT_OK(in.ReadI64(&out->label));
+      break;
+    case MessageType::kHealthResponse: {
+      uint8_t healthy = 0;
+      EDSR_RETURN_NOT_OK(in.ReadU8(&healthy));
+      out->healthy = healthy != 0;
+      EDSR_RETURN_NOT_OK(in.ReadU64(&out->snapshot_id));
+      EDSR_RETURN_NOT_OK(in.ReadI64(&out->increments_seen));
+      EDSR_RETURN_NOT_OK(in.ReadString(&out->source));
+      break;
+    }
+    case MessageType::kStatsResponse:
+      EDSR_RETURN_NOT_OK(in.ReadString(&out->stats_json));
+      break;
+    default:
+      break;
+  }
+  return in.ExpectEnd();
+}
+
+util::Status WriteFrame(int fd, const std::vector<uint8_t>& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(std::string("send failed: ") +
+                                   std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+namespace {
+
+util::Status RecvExactly(int fd, uint8_t* out, size_t size) {
+  size_t received = 0;
+  while (received < size) {
+    ssize_t n = ::recv(fd, out + received, size - received, 0);
+    if (n == 0) return util::Status::IoError("connection closed");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Status::IoError(std::string("recv failed: ") +
+                                   std::strerror(errno));
+    }
+    received += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status ReadFrame(int fd, std::vector<uint8_t>* payload) {
+  uint8_t header[kFrameHeaderSize];
+  EDSR_RETURN_NOT_OK(RecvExactly(fd, header, sizeof(header)));
+  uint32_t magic = 0;
+  uint32_t size = 0;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&size, header + sizeof(magic), sizeof(size));
+  if (magic != kFrameMagic) {
+    return util::Status::InvalidArgument("bad frame magic");
+  }
+  if (size > kMaxFramePayload) {
+    // Refuse before allocating: a flipped length bit must not drive a
+    // multi-gigabyte reservation.
+    return util::Status::InvalidArgument("frame payload " +
+                                         std::to_string(size) +
+                                         " exceeds limit");
+  }
+  payload->resize(size);
+  return RecvExactly(fd, payload->data(), size);
+}
+
+}  // namespace edsr::serve

@@ -1,0 +1,104 @@
+// Length-prefixed binary wire protocol for the loopback serve server.
+//
+// Frame layout (host-endian fixed-width, like the checkpoint container):
+//
+//   offset 0  u32  frame magic 0x45535256 ("ESRV")
+//   offset 4  u32  payload size (bytes that follow; <= kMaxFramePayload)
+//   offset 8  payload:
+//               u8  message type
+//               u64 request id (echoed verbatim in the response)
+//               type-specific body
+//
+// Bodies:
+//   EmbedRequest / KnnLabelRequest : floats input (u64 count + raw f32)
+//   EmbedResponse                  : u8 status | string message |
+//                                    u64 snapshot id | floats representation
+//   KnnLabelResponse               : u8 status | string message |
+//                                    u64 snapshot id | i64 label
+//   HealthRequest / StatsRequest   : empty body
+//   HealthResponse                 : u8 status | string message |
+//                                    u8 healthy | u64 snapshot id |
+//                                    i64 increments seen | string source
+//   StatsResponse                  : u8 status | string message |
+//                                    string stats json
+//   ErrorResponse                  : u8 status | string message
+//
+// Decoding is BufferReader all the way down: every length is validated
+// against the bytes present before any allocation, trailing bytes are
+// rejected (ExpectEnd), and a frame declaring more than kMaxFramePayload is
+// refused before anything is read — a malicious or bit-flipped frame yields
+// a clean Status, mirroring the checkpoint corruption contract.
+#ifndef EDSR_SRC_SERVE_PROTOCOL_H_
+#define EDSR_SRC_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/io/serialize.h"
+#include "src/serve/batcher.h"
+#include "src/util/status.h"
+
+namespace edsr::serve {
+
+inline constexpr uint32_t kFrameMagic = 0x45535256;  // "ESRV"
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;
+
+enum class MessageType : uint8_t {
+  kEmbedRequest = 1,
+  kKnnLabelRequest = 2,
+  kHealthRequest = 3,
+  kStatsRequest = 4,
+  kEmbedResponse = 65,
+  kKnnLabelResponse = 66,
+  kHealthResponse = 67,
+  kStatsResponse = 68,
+  kErrorResponse = 127,
+};
+
+struct Request {
+  MessageType type = MessageType::kHealthRequest;
+  uint64_t request_id = 0;
+  std::vector<float> input;  // kEmbedRequest / kKnnLabelRequest only
+};
+
+struct Response {
+  MessageType type = MessageType::kErrorResponse;
+  uint64_t request_id = 0;
+  util::Status status;
+  // kEmbedResponse / kKnnLabelResponse
+  uint64_t snapshot_id = 0;
+  std::vector<float> representation;
+  int64_t label = -1;
+  // kHealthResponse
+  bool healthy = false;
+  int64_t increments_seen = 0;
+  std::string source;
+  // kStatsResponse
+  std::string stats_json;
+};
+
+// Stable Status <-> wire byte mapping (the in-memory enum order is not a
+// wire contract).
+uint8_t WireStatusCode(util::StatusCode code);
+util::StatusCode StatusCodeFromWire(uint8_t wire);
+
+// Serializes a complete frame (header + payload).
+std::vector<uint8_t> EncodeRequest(const Request& request);
+std::vector<uint8_t> EncodeResponse(const Response& response);
+
+// Parses a frame *payload* (the bytes after the 8-byte header, which the
+// framing layer has already validated). Rejects unknown types, truncated
+// bodies, and trailing bytes.
+util::Status DecodeRequest(const std::vector<uint8_t>& payload, Request* out);
+util::Status DecodeResponse(const std::vector<uint8_t>& payload, Response* out);
+
+// Blocking framed I/O over a connected socket. ReadFrame validates the
+// magic and the declared size before allocating, fills *payload with the
+// frame body, and reports a peer close as kIoError "connection closed".
+util::Status WriteFrame(int fd, const std::vector<uint8_t>& frame);
+util::Status ReadFrame(int fd, std::vector<uint8_t>* payload);
+
+}  // namespace edsr::serve
+
+#endif  // EDSR_SRC_SERVE_PROTOCOL_H_

@@ -1,0 +1,123 @@
+// Loopback TCP front end for ServeHandle.
+//
+// TcpServer binds 127.0.0.1 (port 0 = kernel-assigned, read back via
+// port()), runs an accept loop on its own thread, and hands each connection
+// to a per-connection handler thread. A connection speaks the protocol.h
+// framing: requests are decoded, dispatched to the shared ServeHandle
+// (whose micro-batcher coalesces rows across connections — concurrency on
+// the socket side is what fills batches), and answered in request order per
+// connection. A malformed frame gets one kErrorResponse and then the
+// connection is closed: after a framing error the byte stream can no longer
+// be trusted to be frame-aligned.
+//
+// Stop() is clean and idempotent: shutdown() on the listen socket unblocks
+// accept(), shutdown() on live connection sockets unblocks their reads, and
+// every thread is joined before Stop returns.
+//
+// ServeClient is the matching blocking client used by tests, the example,
+// and the verify.sh loopback smoke. One request in flight per client;
+// request ids are checked against the echo.
+#ifndef EDSR_SRC_SERVE_TCP_SERVER_H_
+#define EDSR_SRC_SERVE_TCP_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/serve/protocol.h"
+#include "src/serve/server.h"
+#include "src/util/status.h"
+
+namespace edsr::serve {
+
+class TcpServer {
+ public:
+  // Does not take ownership of `handle`; it must outlive the server.
+  explicit TcpServer(ServeHandle* handle);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks a free port) and starts accepting.
+  util::Status Start(uint16_t port);
+
+  // The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  // Stops accepting, unblocks and joins every connection thread. Idempotent;
+  // the destructor calls it.
+  void Stop();
+
+  // Connections accepted over the server's lifetime.
+  int64_t connections_accepted() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  void ServeLoop(int fd);
+  Response Dispatch(const Request& request);
+
+  ServeHandle* handle_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  int64_t connections_accepted_ = 0;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<Connection>> connections_;
+};
+
+// Blocking loopback client.
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  util::Status Connect(uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Each call sends one frame and blocks for the matching response. The
+  // returned EmbedResult carries the server's per-request status (transport
+  // failures surface as kIoError).
+  EmbedResult Embed(const std::vector<float>& input);
+  EmbedResult KnnLabel(const std::vector<float>& input);
+
+  struct HealthReply {
+    util::Status status;
+    bool healthy = false;
+    uint64_t snapshot_id = 0;
+    int64_t increments_seen = 0;
+    std::string source;
+  };
+  HealthReply Health();
+
+  // The server's StatsJson() as a compact JSON string.
+  util::Result<std::string> Stats();
+
+  // Escape hatch for the protocol-fuzz test: writes raw bytes on the socket.
+  util::Status SendRaw(const std::vector<uint8_t>& bytes);
+  // Reads one frame payload (fuzz test helper).
+  util::Status ReadRawPayload(std::vector<uint8_t>* payload);
+
+ private:
+  util::Result<Response> Roundtrip(const Request& request);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace edsr::serve
+
+#endif  // EDSR_SRC_SERVE_TCP_SERVER_H_

@@ -58,6 +58,12 @@ class Encoder : public nn::Module {
   int64_t representation_dim() const {
     return config_.representation_dim;
   }
+  // Width of the flat input rows Forward expects: the active head's input
+  // dimension for heterogeneous encoders, otherwise the backbone's.
+  int64_t input_dim() const {
+    if (!input_heads_.empty()) return config_.input_head_dims[active_head_];
+    return backbone_->input_dim();
+  }
   const EncoderConfig& config() const { return config_; }
 
  private:

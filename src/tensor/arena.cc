@@ -39,9 +39,12 @@ struct Block {
   int64_t size = 0;
 };
 
-// All arena state for one thread. Intentionally never destructed: it stays
-// reachable through the thread-local pointer below, so LeakSanitizer treats
-// it as live and RecycleVector stays safe during static destruction.
+void FreeBlock(Block& block);
+
+// All arena state for one thread. Freed when the owning thread exits (the
+// serving path runs encoders on short-lived worker threads, so an immortal
+// state per thread would accumulate); the raw `state` pointer below keeps
+// the hot path to a single TLS load.
 struct State {
   // Bump region.
   std::vector<Block> blocks;
@@ -52,11 +55,36 @@ struct State {
   std::vector<std::vector<float>> buckets[kNumBuckets];
   int64_t pooled_bytes = 0;
   ArenaStats stats;
+
+  ~State() {
+    for (Block& block : blocks) FreeBlock(block);
+    for (auto& bucket : buckets) {
+      for (std::vector<float>& v : bucket) {
+        EDSR_ARENA_UNPOISON(v.data(), v.capacity() * sizeof(float));
+      }
+    }
+  }
 };
 
+thread_local State* state = nullptr;
+
+// Deletes this thread's state at thread exit and nulls the pointer, so a
+// RecycleVector that runs after teardown degrades to a plain free instead
+// of touching a dead pool.
+struct StateOwner {
+  ~StateOwner() {
+    delete state;
+    state = nullptr;
+  }
+};
+thread_local StateOwner state_owner;
+
 State& TLS() {
-  thread_local State* state = nullptr;
-  if (state == nullptr) state = new State();
+  if (state == nullptr) {
+    state = new State();
+    // Odr-use the owner so its thread-exit destructor gets registered.
+    (void)&state_owner;
+  }
   return *state;
 }
 
@@ -199,7 +227,12 @@ std::vector<float> AcquireZeroedVector(int64_t n) {
 
 void RecycleVector(std::vector<float>&& v) {
   if (v.capacity() == 0) return;
-  State& s = TLS();
+  if (state == nullptr) {
+    // Before first use or after thread-exit teardown: nothing to pool into.
+    std::vector<float>().swap(v);
+    return;
+  }
+  State& s = *state;
   int64_t cap = static_cast<int64_t>(v.capacity());
   int64_t bytes = cap * static_cast<int64_t>(sizeof(float));
   // Bucket by the largest power of two the capacity can serve.

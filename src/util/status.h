@@ -17,6 +17,10 @@ enum class StatusCode {
   kNotImplemented,
   kIoError,
   kInternal,
+  // Admission-control rejection: the caller sent work faster than the
+  // receiver's bounded queue drains. Retryable by design (back off and
+  // resend); never a bug in the callee.
+  kOverloaded,
 };
 
 // A Status carries either success (OK) or an error code plus message.
@@ -41,6 +45,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

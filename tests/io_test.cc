@@ -299,5 +299,63 @@ TEST(Container, EverySingleBitFlipFailsCleanly) {
   std::remove(path.c_str());
 }
 
+TEST(Container, OpenSharedReadsLikeOpen) {
+  std::string path = WriteTwoSectionContainer("container_shared.ckpt");
+  util::Result<io::ContainerReader> reader =
+      io::ContainerReader::OpenShared(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE((*reader).ReadSection("alpha", &bytes).ok());
+  std::string text;
+  ASSERT_TRUE(io::BufferReader(bytes).ReadString(&text).ok());
+  EXPECT_EQ(text, "alpha payload");
+  std::remove(path.c_str());
+}
+
+TEST(Container, OpenSharedRecoversWhenFirstReadSeesAPartialFile) {
+  // Simulate losing the race with an atomic rename: the first Open sees a
+  // truncated file; by the retry the full container has replaced it.
+  // OpenShared's retry-once contract makes this invisible to the caller.
+  std::string good = WriteTwoSectionContainer("container_shared_good.ckpt");
+  const std::vector<uint8_t> full = ReadFile(good);
+  std::string path = TestPath("container_shared_race.ckpt");
+  WriteFile(path, std::vector<uint8_t>(full.begin(),
+                                       full.begin() + full.size() / 2));
+
+  util::Result<io::ContainerReader> partial = io::ContainerReader::Open(path);
+  EXPECT_FALSE(partial.ok());  // a plain Open fails, as it should
+
+  WriteFile(path, full);  // the "rename" lands before OpenShared's retry
+  util::Result<io::ContainerReader> reader =
+      io::ContainerReader::OpenShared(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  std::remove(good.c_str());
+  std::remove(path.c_str());
+}
+
+TEST(Container, ReadSectionsIsAllOrNothing) {
+  std::string path = WriteTwoSectionContainer("container_multiread.ckpt");
+  util::Result<io::ContainerReader> reader = io::ContainerReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+
+  std::vector<std::vector<uint8_t>> sections;
+  ASSERT_TRUE((*reader).ReadSections({"alpha", "beta"}, &sections).ok());
+  ASSERT_EQ(sections.size(), 2u);
+  std::string text;
+  ASSERT_TRUE(io::BufferReader(sections[0]).ReadString(&text).ok());
+  EXPECT_EQ(text, "alpha payload");
+  std::vector<float> floats;
+  ASSERT_TRUE(io::BufferReader(sections[1]).ReadFloats(&floats).ok());
+  EXPECT_EQ(floats, (std::vector<float>{1.0f, 2.0f, 3.0f}));
+
+  // One missing name fails the whole call and leaves *out untouched.
+  std::vector<std::vector<uint8_t>> untouched = {{1, 2, 3}};
+  EXPECT_FALSE(
+      (*reader).ReadSections({"alpha", "gamma"}, &untouched).ok());
+  ASSERT_EQ(untouched.size(), 1u);
+  EXPECT_EQ(untouched[0], (std::vector<uint8_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace edsr
