@@ -33,12 +33,10 @@ int main(int argc, char** argv) {
               context.memory_per_task = budget;
               core::EdsrOptions options;
               options.replay_mode = core::ReplayLossMode::kDis;  // noise off
-              std::unique_ptr<cl::DataSelector> selector;
-              if (variant == 0) {
-                selector = std::make_unique<cl::RandomSelector>();
-              } else {
-                selector = std::make_unique<cl::HighEntropySelector>();
-              }
+              std::unique_ptr<cl::DataSelector> selector =
+                  cl::SelectorRegistry::Global()
+                      .Create(variant == 0 ? "random" : "high-entropy")
+                      .ValueOrDie();
               return std::make_unique<core::Edsr>(
                   context, options, std::move(selector),
                   variant == 0 ? "edsr-random" : "edsr");

@@ -1,0 +1,116 @@
+// Selection-lab micro-benchmarks: every registered selector's RunSelection
+// and every retrieval policy's DrawRetrieval over a synthetic buffer, at the
+// shape the continual benchmarks actually use (n=256 candidates, d=32
+// representations, budget/k=32). The selection pass runs once per increment
+// and the retrieval draw once per replay batch, so these bound how much a
+// fancier strategy costs against `random`/`uniform`.
+//
+// Record the committed baseline with:
+//   ./bench_micro_selection --benchmark_out_format=json
+//                           --benchmark_out=BENCH_selection.json
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench/micro_main.h"
+#include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
+#include "src/cl/selection.h"
+#include "src/eval/representations.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace edsr;
+
+constexpr int64_t kN = 256;
+constexpr int64_t kDim = 32;
+constexpr int64_t kBudget = 32;
+
+eval::RepresentationMatrix MakeReps(int64_t n, int64_t d, uint64_t seed) {
+  eval::RepresentationMatrix reps;
+  reps.n = n;
+  reps.d = d;
+  reps.values.resize(n * d);
+  util::Rng rng(seed);
+  for (float& v : reps.values) v = rng.Uniform(-1.0f, 1.0f);
+  return reps;
+}
+
+// One full selection pass per iteration. The context carries every optional
+// signal (augmentation variance, gradient features) so each selector pays
+// only for what it reads — same as the trainer.
+void BM_RunSelection(benchmark::State& state, const char* spec) {
+  eval::RepresentationMatrix reps = MakeReps(kN, kDim, 7);
+  eval::RepresentationMatrix grads = MakeReps(kN, kDim, 11);
+  cl::SelectionContext context;
+  context.representations = &reps;
+  context.gradient_features = &grads;
+  context.augmentation_variance.resize(kN);
+  for (int64_t i = 0; i < kN; ++i) {
+    context.augmentation_variance[i] = 0.1 + 0.01 * static_cast<double>(i);
+  }
+  std::unique_ptr<cl::DataSelector> selector =
+      cl::SelectorRegistry::Global().Create(spec).ValueOrDie();
+  util::Rng rng(21);
+  for (auto _ : state) {
+    std::vector<int64_t> picks =
+        cl::RunSelection(selector.get(), context, kBudget, &rng);
+    benchmark::DoNotOptimize(picks.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+BENCHMARK_CAPTURE(BM_RunSelection, random, "random");
+BENCHMARK_CAPTURE(BM_RunSelection, distant, "distant");
+BENCHMARK_CAPTURE(BM_RunSelection, kmeans, "kmeans");
+BENCHMARK_CAPTURE(BM_RunSelection, minvar, "minvar");
+BENCHMARK_CAPTURE(BM_RunSelection, high_entropy, "high-entropy");
+BENCHMARK_CAPTURE(BM_RunSelection, high_entropy_logdet,
+                  "high-entropy:mode=logdet");
+BENCHMARK_CAPTURE(BM_RunSelection, gradient_affinity, "gradient-affinity");
+BENCHMARK_CAPTURE(BM_RunSelection, complementary, "complementary");
+
+// One replay draw per iteration against a full buffer whose current-model
+// view has drifted from the stored one (the signal max-loss ranks on).
+void BM_DrawRetrieval(benchmark::State& state, const char* spec) {
+  cl::MemoryBuffer memory(kN);
+  std::vector<cl::MemoryEntry> entries(kN);
+  util::Rng fill(13);
+  for (int64_t i = 0; i < kN; ++i) {
+    entries[i].task_id = 0;
+    entries[i].source_index = i;
+    entries[i].features.resize(kDim);
+    entries[i].stored_representation.resize(kDim);
+    for (float& v : entries[i].features) v = fill.Uniform(-1.0f, 1.0f);
+    for (float& v : entries[i].stored_representation) {
+      v = fill.Uniform(-1.0f, 1.0f);
+    }
+  }
+  memory.AddIncrement(std::move(entries));
+  eval::RepresentationMatrix current = MakeReps(kN, kDim, 17);
+  cl::RetrievalContext context;
+  context.memory = &memory;
+  context.current = &current;
+  std::unique_ptr<cl::RetrievalPolicy> policy =
+      cl::RetrievalRegistry::Global().Create(spec).ValueOrDie();
+  util::Rng rng(31);
+  for (auto _ : state) {
+    std::vector<int64_t> draw =
+        cl::DrawRetrieval(policy.get(), context, kBudget, &rng);
+    benchmark::DoNotOptimize(draw.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kN);
+}
+
+BENCHMARK_CAPTURE(BM_DrawRetrieval, uniform, "uniform");
+BENCHMARK_CAPTURE(BM_DrawRetrieval, max_loss, "max-loss");
+BENCHMARK_CAPTURE(BM_DrawRetrieval, entropy, "entropy");
+BENCHMARK_CAPTURE(BM_DrawRetrieval, margin, "margin");
+
+}  // namespace
+
+EDSR_BENCHMARK_MAIN()

@@ -15,14 +15,8 @@ std::unique_ptr<edsr::cl::ContinualStrategy> MakeVariant(
   core::EdsrOptions options;
   options.replay_mode =
       noise ? core::ReplayLossMode::kRpl : core::ReplayLossMode::kDis;
-  std::unique_ptr<cl::DataSelector> sel;
-  if (selector == "random") sel = std::make_unique<cl::RandomSelector>();
-  if (selector == "kmeans") sel = std::make_unique<cl::KMeansSelector>();
-  if (selector == "minvar") sel = std::make_unique<cl::MinVarSelector>();
-  if (selector == "distant") sel = std::make_unique<cl::DistantSelector>();
-  if (selector == "high-entropy") {
-    sel = std::make_unique<cl::HighEntropySelector>();
-  }
+  std::unique_ptr<cl::DataSelector> sel =
+      cl::SelectorRegistry::Global().Create(selector).ValueOrDie();
   return std::make_unique<core::Edsr>(context, options, std::move(sel),
                                       "edsr-" + selector);
 }

@@ -3,12 +3,16 @@
 // and the forgetting heatmap — a miniature of the paper's Table III row.
 //
 //   ./image_continual [seed] [--method <name>] [--epochs <n>]
+//                     [--selector <name[:key=value,...]>] [--retrieval <name>]
 //                     [--checkpoint_dir <dir>] [--resume]
 //                     [--metrics_out <file.jsonl>] [--trace_out <file.json>]
 //
 // Flags accept both `--flag value` and `--flag=value`. --method restricts
 // the comparison to one strategy; --epochs overrides the per-increment
 // epoch count (the CI telemetry check runs a 2-epoch miniature).
+// --selector/--retrieval override the replay strategies' data-selection and
+// replay-retrieval specs through SelectorRegistry / RetrievalRegistry; an
+// unknown name fails up front with the list of registered entries.
 //
 // With --checkpoint_dir, each method writes an atomic run snapshot after
 // every increment under <dir>/<method>/run.ckpt; --resume picks a killed
@@ -26,6 +30,8 @@
 #include <string>
 
 #include "src/cl/factory.h"
+#include "src/cl/retrieval.h"
+#include "src/cl/selection.h"
 #include "src/cl/trainer.h"
 #include "src/data/synthetic.h"
 #include "src/obs/run_record.h"
@@ -61,11 +67,15 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   std::string epochs_flag;
+  std::string selector_spec;
+  std::string retrieval_spec;
   bool resume = false;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argc, argv, &i, "--checkpoint_dir", &checkpoint_dir) ||
         ParseFlag(argc, argv, &i, "--method", &method_filter) ||
         ParseFlag(argc, argv, &i, "--epochs", &epochs_flag) ||
+        ParseFlag(argc, argv, &i, "--selector", &selector_spec) ||
+        ParseFlag(argc, argv, &i, "--retrieval", &retrieval_spec) ||
         ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
         ParseFlag(argc, argv, &i, "--trace_out", &trace_out)) {
       continue;
@@ -79,6 +89,26 @@ int main(int argc, char** argv) {
   if (resume && checkpoint_dir.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint_dir\n");
     return 1;
+  }
+  // Validate registry specs up front: strategy construction aborts on a bad
+  // spec, whereas here a typo exits cleanly with the registered names.
+  if (!selector_spec.empty()) {
+    util::Result<std::unique_ptr<cl::DataSelector>> probe =
+        cl::SelectorRegistry::Global().Create(selector_spec);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "--selector: %s\n",
+                   probe.status().message().c_str());
+      return 1;
+    }
+  }
+  if (!retrieval_spec.empty()) {
+    util::Result<std::unique_ptr<cl::RetrievalPolicy>> probe =
+        cl::RetrievalRegistry::Global().Create(retrieval_spec);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "--retrieval: %s\n",
+                   probe.status().message().c_str());
+      return 1;
+    }
   }
   if (!trace_out.empty()) {
     obs::Tracer::SetEnabled(true);
@@ -102,6 +132,8 @@ int main(int argc, char** argv) {
   context.memory_per_task = 8;
   context.replay_batch_size = 16;
   context.seed = seed;
+  context.selector_spec = selector_spec;
+  if (!retrieval_spec.empty()) context.retrieval_spec = retrieval_spec;
   if (!epochs_flag.empty()) {
     context.epochs = std::strtoll(epochs_flag.c_str(), nullptr, 10);
     if (context.epochs <= 0) {

@@ -1,10 +1,15 @@
 // Data-selection demo: trains one increment, extracts representations, and
-// contrasts what the five selectors keep — including the entropy trace
-// Tr(Cov(M)) each selection achieves (paper Eq. 15) and the kNN noise
-// magnitudes EDSR would store (paper §III-B).
+// contrasts what every registered selector keeps — including the entropy
+// trace Tr(Cov(M)) each selection achieves (paper Eq. 15) and the kNN noise
+// magnitudes EDSR would store (paper §III-B) — then shows how the retrieval
+// policies would rank a buffer built from the high-entropy picks.
 //
 //   ./selection_demo [--metrics_out <file.jsonl>] [--trace_out <file.json>]
+//                    [--selector <name[:key=value,...]>] [--retrieval <name>]
 //
+// Selectors and retrieval policies are enumerated from SelectorRegistry /
+// RetrievalRegistry; --selector/--retrieval restrict the demo to one entry
+// (an unknown name fails with the registry's list of valid names).
 // --metrics_out appends one "selection" record per selector (name, entropy
 // trace, picked indices, class coverage); --trace_out enables trace spans
 // and writes a Chrome trace-event file. Both validate with
@@ -13,7 +18,10 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
 #include "src/cl/selection.h"
 #include "src/cl/strategy.h"
 #include "src/core/noise.h"
@@ -49,14 +57,47 @@ int main(int argc, char** argv) {
 
   std::string metrics_out;
   std::string trace_out;
+  std::string selector_spec;
+  std::string retrieval_spec;
   for (int i = 1; i < argc; ++i) {
     if (ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
-        ParseFlag(argc, argv, &i, "--trace_out", &trace_out)) {
+        ParseFlag(argc, argv, &i, "--trace_out", &trace_out) ||
+        ParseFlag(argc, argv, &i, "--selector", &selector_spec) ||
+        ParseFlag(argc, argv, &i, "--retrieval", &retrieval_spec)) {
       continue;
     }
     std::fprintf(stderr, "unknown argument %s\n", argv[i]);
     return 1;
   }
+  // Validate the restriction flags up front so a typo fails with the
+  // registry's list of valid names instead of mid-demo.
+  std::vector<std::string> selector_specs;
+  if (!selector_spec.empty()) {
+    util::Result<std::unique_ptr<cl::DataSelector>> probe =
+        cl::SelectorRegistry::Global().Create(selector_spec);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "--selector: %s\n",
+                   probe.status().message().c_str());
+      return 1;
+    }
+    selector_specs.push_back(selector_spec);
+  } else {
+    selector_specs = cl::SelectorRegistry::Global().Names();
+  }
+  std::vector<std::string> retrieval_specs;
+  if (!retrieval_spec.empty()) {
+    util::Result<std::unique_ptr<cl::RetrievalPolicy>> probe =
+        cl::RetrievalRegistry::Global().Create(retrieval_spec);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "--retrieval: %s\n",
+                   probe.status().message().c_str());
+      return 1;
+    }
+    retrieval_specs.push_back(retrieval_spec);
+  } else {
+    retrieval_specs = cl::RetrievalRegistry::Global().Names();
+  }
+
   if (!trace_out.empty()) {
     obs::Tracer::SetEnabled(true);
     obs::Tracer::SetEventRecording(true);
@@ -90,19 +131,33 @@ int main(int argc, char** argv) {
   context.epochs = 10;
   context.seed = 1;
   cl::Finetune trainer(context);
-  trainer.LearnIncrement(sequence.task(0));
+  const data::Task& task = sequence.task(0);
+  trainer.LearnIncrement(task);
 
   eval::RepresentationMatrix reps =
-      eval::ExtractRepresentations(trainer.encoder(), sequence.task(0).train);
+      eval::ExtractRepresentations(trainer.encoder(), task.train);
   std::printf("extracted %lld representations of dim %lld\n",
               static_cast<long long>(reps.n), static_cast<long long>(reps.d));
 
   const int64_t budget = 12;
   util::Rng rng(3);
-  auto report = [&](const cl::DataSelector& selector,
-                    const cl::SelectionContext& ctx) {
+
+  // Shared selection signals, computed once: every selector only *reads*
+  // what it declared (MinVar the variance, gradient-affinity the gradients).
+  cl::SelectionContext selection;
+  selection.representations = &reps;
+  selection.augmentation_variance = trainer.AugmentationVariance(task);
+  eval::RepresentationMatrix gradients = trainer.GradientFeatures(task);
+  selection.gradient_features = &gradients;
+
+  std::vector<int64_t> entropy_picks;  // feeds the retrieval demo below
+  for (const std::string& spec : selector_specs) {
+    std::unique_ptr<cl::DataSelector> selector =
+        std::move(cl::SelectorRegistry::Global().Create(spec)).ValueOrDie();
     EDSR_TRACE_SPAN("selection");
-    std::vector<int64_t> picks = selector.Select(ctx, budget, &rng);
+    std::vector<int64_t> picks =
+        cl::RunSelection(selector.get(), selection, budget, &rng);
+    if (selector->name() == "high-entropy") entropy_picks = picks;
     // Entropy surrogate of the kept subset: Tr(Cov(M)) with Cov = A^T A.
     std::vector<float> rows;
     for (int64_t i : picks) {
@@ -114,17 +169,16 @@ int main(int argc, char** argv) {
         reps.d);
     // Class coverage of the selection (labels are hidden from selectors).
     std::vector<int64_t> counts(4, 0);
-    for (int64_t i : picks) ++counts[sequence.task(0).train.Label(i)];
-    std::printf("%-13s Tr(Cov(M)) = %8.2f   class coverage = [%lld %lld %lld %lld]\n",
-                selector.name().c_str(), trace,
-                static_cast<long long>(counts[0]),
-                static_cast<long long>(counts[1]),
-                static_cast<long long>(counts[2]),
-                static_cast<long long>(counts[3]));
+    for (int64_t i : picks) ++counts[task.train.Label(i)];
+    std::printf(
+        "%-18s Tr(Cov(M)) = %8.2f   class coverage = [%lld %lld %lld %lld]\n",
+        selector->name().c_str(), trace, static_cast<long long>(counts[0]),
+        static_cast<long long>(counts[1]), static_cast<long long>(counts[2]),
+        static_cast<long long>(counts[3]));
     if (logger != nullptr) {
       obs::Json record = obs::Json::Object();
       record.Set("record", "selection");
-      record.Set("selector", selector.name());
+      record.Set("selector", selector->name());
       record.Set("budget", budget);
       record.Set("trace_cov", trace);
       obs::Json picked = obs::Json::Array();
@@ -135,16 +189,7 @@ int main(int argc, char** argv) {
       record.Set("class_coverage", std::move(coverage));
       logger->Write(record);
     }
-  };
-
-  cl::SelectionContext ctx{&reps, {}};
-  report(cl::RandomSelector(), ctx);
-  report(cl::DistantSelector(), ctx);
-  report(cl::KMeansSelector(), ctx);
-  report(cl::HighEntropySelector(cl::HighEntropySelector::Mode::kNorm), ctx);
-  report(cl::HighEntropySelector(), ctx);  // pca-leverage default
-  report(cl::HighEntropySelector(cl::HighEntropySelector::Mode::kGreedyLogDet),
-         ctx);
+  }
 
   // The kNN noise magnitude r(x^m) EDSR would store for the first samples.
   std::printf("\nkNN noise magnitudes r(x^m) (mean over dims, k=10):\n");
@@ -154,6 +199,47 @@ int main(int argc, char** argv) {
     for (float s : scale) mean += s;
     std::printf("  sample %lld: %.4f\n", static_cast<long long>(i),
                 mean / reps.d);
+  }
+
+  // Retrieval demo: buffer the high-entropy picks (write-time representation
+  // = drift anchor), train further so the model moves, then contrast which
+  // entries each retrieval policy would replay first.
+  if (entropy_picks.empty() && !selector_specs.empty()) {
+    // --selector restricted the run; reuse that selector's picks.
+    std::unique_ptr<cl::DataSelector> fallback =
+        std::move(cl::SelectorRegistry::Global().Create(selector_specs[0]))
+            .ValueOrDie();
+    entropy_picks = cl::RunSelection(fallback.get(), selection, budget, &rng);
+  }
+  cl::MemoryBuffer memory(budget);
+  std::vector<cl::MemoryEntry> entries;
+  for (int64_t pick : entropy_picks) {
+    cl::MemoryEntry entry;
+    const float* row = task.train.Row(pick);
+    entry.features.assign(row, row + task.train.dim());
+    entry.task_id = task.task_id;
+    entry.source_index = pick;
+    entry.label = task.train.Label(pick);
+    const float* rep = reps.Row(pick);
+    entry.stored_representation.assign(rep, rep + reps.d);
+    entries.push_back(std::move(entry));
+  }
+  memory.AddIncrement(std::move(entries));
+  trainer.LearnIncrement(task);  // more epochs -> representation drift
+
+  std::printf("\nretrieval order over the %lld buffered samples "
+              "(first 6 entry indices):\n",
+              static_cast<long long>(memory.size()));
+  for (const std::string& spec : retrieval_specs) {
+    std::unique_ptr<cl::RetrievalPolicy> policy =
+        std::move(cl::RetrievalRegistry::Global().Create(spec)).ValueOrDie();
+    std::vector<int64_t> draw = trainer.DrawReplay(memory, policy.get(), 6);
+    std::printf("  %-10s [", policy->name().c_str());
+    for (size_t k = 0; k < draw.size(); ++k) {
+      std::printf("%s%lld", k == 0 ? "" : " ",
+                  static_cast<long long>(draw[k]));
+    }
+    std::printf("]\n");
   }
 
   if (!trace_out.empty()) {

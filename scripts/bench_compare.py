@@ -12,6 +12,9 @@ when throughput dropped by more than the threshold. Benchmarks only present
 on one side are reported but do not fail the gate (new benches must be
 recordable without first rewriting the baseline).
 
+Files recorded with --benchmark_repetitions are compared by their median
+aggregate (noise-robust); single-run files use the lone measurement.
+
 User counters attached to benchmarks (arena pool_hits/pool_misses, the
 tracing overhead_ratio from bench_obs_overhead, span counts) are compared
 too, as an informational table: counter semantics vary (ratios, totals,
@@ -57,9 +60,19 @@ def load_benchmarks(path):
     results = {}
     counters = {}
     throughputs = {}
+    medians = {}
+    median_tput = {}
     for bench in doc.get("benchmarks", []):
-        # Skip aggregate rows (mean/median/stddev of repeated runs).
         if bench.get("run_type") == "aggregate":
+            # When the file was recorded with --benchmark_repetitions, the
+            # median aggregate is the noise-robust statistic: prefer it over
+            # any single repetition. Other aggregates (mean/stddev/cv) are
+            # ignored.
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = float(bench["real_time"])
+                if "items_per_second" in bench:
+                    median_tput[bench["run_name"]] = float(
+                        bench["items_per_second"])
             continue
         results[bench["name"]] = float(bench["real_time"])
         if "items_per_second" in bench:
@@ -67,6 +80,8 @@ def load_benchmarks(path):
         for key, value in bench.items():
             if key not in _STANDARD_KEYS and isinstance(value, (int, float)):
                 counters[f"{bench['name']}::{key}"] = float(value)
+    results.update(medians)
+    throughputs.update(median_tput)
     return results, counters, throughputs
 
 

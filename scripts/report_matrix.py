@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Tabulate a selection_matrix JSONL stream into Table-V-style summaries.
+
+Usage:
+    scripts/report_matrix.py MATRIX.jsonl [--by selector|retrieval|cell]
+
+Reads the "selection_matrix" records emitted by examples/selection_matrix
+(one per selector x retrieval x preset x budget cell) and prints:
+
+  * a per-selector table (mean final accuracy, forgetting, and achieved
+    memory entropy Tr(Cov(f(M))) across every cell using that selector) —
+    the EDSR-vs-baselines comparison of the paper's Table V;
+  * a per-retrieval table (same means grouped by retrieval policy);
+  * an "ordering" line ranking selectors by mean final accuracy, so CI can
+    assert the expected EDSR > baselines ordering with a single grep.
+
+--by cell prints every raw cell instead of aggregating.
+
+Exits 1 if the file holds no selection_matrix records.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_cells(path):
+    cells = []
+    with open(path, "r", encoding="utf-8") as f:
+        for line_no, raw in enumerate(f, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                rec = json.loads(raw)
+            except json.JSONDecodeError as e:
+                print(f"report_matrix: line {line_no}: invalid JSON: {e}",
+                      file=sys.stderr)
+                return None
+            if rec.get("record") == "selection_matrix":
+                cells.append(rec)
+    return cells
+
+
+def mean(values):
+    return sum(values) / len(values) if values else 0.0
+
+
+def group_table(cells, key):
+    groups = defaultdict(list)
+    for cell in cells:
+        groups[cell[key]].append(cell)
+    rows = []
+    for name, members in groups.items():
+        rows.append({
+            "name": name,
+            "cells": len(members),
+            "acc": mean([c["final_acc"] for c in members]) * 100.0,
+            "fgt": mean([c["final_fgt"] for c in members]) * 100.0,
+            "trace": mean([c["trace_cov"] for c in members]),
+            "seconds": sum(c["perf"]["train_seconds"] for c in members),
+        })
+    rows.sort(key=lambda r: -r["acc"])
+    return rows
+
+
+def print_table(title, rows):
+    print(f"\n{title}")
+    print(f"  {'name':<22} {'cells':>5} {'acc%':>7} {'fgt%':>7} "
+          f"{'Tr(Cov)':>10} {'train_s':>8}")
+    for row in rows:
+        print(f"  {row['name']:<22} {row['cells']:>5} {row['acc']:>7.2f} "
+              f"{row['fgt']:>7.2f} {row['trace']:>10.2f} "
+              f"{row['seconds']:>8.2f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("matrix", help="selection_matrix JSONL file")
+    parser.add_argument("--by", choices=["selector", "retrieval", "cell"],
+                        default=None,
+                        help="print only one grouping (default: both "
+                             "aggregate tables)")
+    args = parser.parse_args()
+
+    cells = load_cells(args.matrix)
+    if cells is None:
+        return 1
+    if not cells:
+        print(f"report_matrix: {args.matrix} holds no selection_matrix "
+              f"records", file=sys.stderr)
+        return 1
+
+    presets = sorted({c["preset"] for c in cells})
+    budgets = sorted({c["budget"] for c in cells})
+    print(f"{args.matrix}: {len(cells)} cells "
+          f"(presets={','.join(presets)} "
+          f"budgets={','.join(str(b) for b in budgets)})")
+
+    if args.by == "cell":
+        for c in sorted(cells, key=lambda c: (c["preset"], c["budget"],
+                                              c["selector"],
+                                              c["retrieval"])):
+            print(f"  {c['preset']:<5} b={c['budget']:<3} "
+                  f"{c['selector']:<22} {c['retrieval']:<9} "
+                  f"acc={c['final_acc'] * 100.0:6.2f}% "
+                  f"fgt={c['final_fgt'] * 100.0:6.2f}% "
+                  f"trace={c['trace_cov']:9.2f}")
+        return 0
+
+    if args.by in (None, "selector"):
+        selector_rows = group_table(cells, "selector")
+        print_table("by selector (Table-V-style, mean over cells)",
+                    selector_rows)
+        print("\nordering: " +
+              " > ".join(row["name"] for row in selector_rows))
+    if args.by in (None, "retrieval"):
+        print_table("by retrieval policy (mean over cells)",
+                    group_table(cells, "retrieval"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

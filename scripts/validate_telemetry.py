@@ -6,7 +6,8 @@ Usage:
 
 RUN.jsonl is the --metrics_out run-record stream (DESIGN.md §6): one JSON
 object per line, record types "run" / "epoch" / "increment", plus the
-standalone kinds "selection" (selection_demo: one record per selector) and
+standalone kinds "selection" (selection_demo: one record per selector),
+"selection_matrix" (selection_matrix: one record per experiment cell), and
 "serve" (serve_embeddings: one record per serving session). The validator
 checks the schema of every record, the sequencing (a "run" header opens each
 run; its declared increment and epoch counts match what follows), the paper
@@ -169,6 +170,41 @@ def validate_selection(rec, line_no):
             "class_coverage does not sum to the number of picks")
 
 
+def validate_selection_matrix(rec, raw_line, line_no):
+    """A selection_matrix record: one (selector, retrieval, preset, budget)
+    cell run end-to-end through EDSR."""
+    require_keys(rec, ["selector", "retrieval", "preset", "budget", "seed",
+                       "epochs", "increments", "final_acc", "final_fgt",
+                       "trace_cov", "memory_size", "perf"], line_no)
+    for key in ("selector", "retrieval", "preset"):
+        require(isinstance(rec[key], str) and rec[key], line_no,
+                f"{key} is not a non-empty string")
+    require(is_num(rec["budget"]) and rec["budget"] > 0, line_no,
+            "budget is not a positive number")
+    for key in ("epochs", "increments"):
+        require(is_num(rec[key]) and rec[key] > 0, line_no,
+                f"{key} is not a positive number")
+    require(is_num(rec["final_acc"]) and 0.0 <= rec["final_acc"] <= 1.0,
+            line_no, "final_acc must lie in [0, 1]")
+    require(is_num(rec["final_fgt"]) and -1.0 <= rec["final_fgt"] <= 1.0,
+            line_no, "final_fgt must lie in [-1, 1]")
+    require(is_num(rec["trace_cov"]) and rec["trace_cov"] >= 0.0, line_no,
+            "trace_cov is negative (it is a sum of squared "
+            "representation norms)")
+    require(is_num(rec["memory_size"]) and
+            rec["memory_size"] <= rec["budget"] * rec["increments"], line_no,
+            "memory_size exceeds budget * increments")
+    perf = rec["perf"]
+    require(isinstance(perf, dict), line_no, "perf is not an object")
+    require_keys(perf, ["train_seconds", "eval_seconds"], line_no)
+    # Same determinism contract as increment/serve records: perf is the only
+    # machine-dependent sub-object and must close the record.
+    require(list(rec.keys())[-1] == "perf", line_no,
+            "perf must be the last key of a selection_matrix record")
+    require(raw_line.rstrip().endswith("}}"), line_no,
+            "selection_matrix record does not end with the perf object")
+
+
 def validate_serve(rec, raw_line, line_no):
     """A serve_embeddings record: one serving session's traffic summary."""
     require_keys(rec, ["snapshot_id", "requests", "ok", "dropped",
@@ -199,7 +235,7 @@ def validate_serve(rec, raw_line, line_no):
 
 def validate_run_records(path):
     runs = []
-    standalone = {"selection": 0, "serve": 0}
+    standalone = {"selection": 0, "selection_matrix": 0, "serve": 0}
     current = None
     line_no = 0
     with open(path, "r", encoding="utf-8") as f:
@@ -230,6 +266,9 @@ def validate_run_records(path):
             elif kind == "selection":
                 validate_selection(rec, line_no)
                 standalone["selection"] += 1
+            elif kind == "selection_matrix":
+                validate_selection_matrix(rec, raw, line_no)
+                standalone["selection_matrix"] += 1
             elif kind == "serve":
                 validate_serve(rec, raw, line_no)
                 standalone["serve"] += 1

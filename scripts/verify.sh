@@ -6,8 +6,8 @@
 # Opt-in perf gate: `scripts/verify.sh --bench` additionally re-runs the
 # micro-benchmarks from the Release build and fails if any benchmark
 # regressed more than 15% against the committed BENCH_micro_kernels.json /
-# BENCH_train_step.json / BENCH_serve.json baselines (see
-# scripts/bench_compare.py).
+# BENCH_train_step.json / BENCH_serve.json / BENCH_selection.json baselines
+# (see scripts/bench_compare.py).
 set -euo pipefail
 
 RUN_BENCH=0
@@ -34,6 +34,14 @@ trap 'rm -rf "${TELEM_DIR}"' EXIT
     --trace_out="${TELEM_DIR}/trace.json" >/dev/null
 python3 scripts/validate_telemetry.py "${TELEM_DIR}/run.jsonl" \
     --trace "${TELEM_DIR}/trace.json"
+
+echo "== selection lab: 2x2 matrix smoke + report =="
+./build/examples/selection_matrix --epochs 1 \
+    --selectors random,high-entropy --retrievals uniform,max-loss \
+    --presets hard --budgets 4 \
+    --metrics_out="${TELEM_DIR}/matrix.jsonl" >/dev/null
+python3 scripts/validate_telemetry.py "${TELEM_DIR}/matrix.jsonl"
+python3 scripts/report_matrix.py "${TELEM_DIR}/matrix.jsonl" --by selector
 
 echo "== serve: test label + loopback smoke =="
 ctest --test-dir build -L serve --output-on-failure
@@ -79,6 +87,16 @@ if [[ "${RUN_BENCH}" -eq 1 ]]; then
       --benchmark_out_format=json \
       --benchmark_out="${TMP_DIR}/serve.json" >/dev/null 2>&1
   python3 scripts/bench_compare.py BENCH_serve.json "${TMP_DIR}/serve.json"
+  # Selection gate: registry-driven selector + retrieval micro-benchmarks
+  # against BENCH_selection.json. Median of 5 repetitions on both sides, and
+  # the looser obs-style 30% threshold: the fastest draws are single-digit
+  # microseconds, where scheduler noise alone breaches 15%.
+  ./build/bench/bench_micro_selection \
+      --benchmark_repetitions=5 \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/selection.json" >/dev/null
+  python3 scripts/bench_compare.py BENCH_selection.json \
+      "${TMP_DIR}/selection.json" --threshold 0.3
 fi
 
 echo "verify.sh: all suites green"

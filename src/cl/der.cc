@@ -10,6 +10,7 @@ using tensor::Tensor;
 Der::Der(const StrategyContext& context, const DerOptions& options)
     : ContinualStrategy(context, "der"),
       options_(options),
+      retrieval_(MakeRetrievalOrDie(context.retrieval_spec)),
       memory_(context.memory_per_task) {
   EDSR_CHECK(context.encoder.input_head_dims.empty())
       << "DER replay assumes homogeneous input dims";
@@ -21,7 +22,7 @@ Tensor Der::ComputeBatchLoss(const data::Task& task,
   Tensor base = ContinualStrategy::ComputeBatchLoss(task, indices, view1, view2);
   if (memory_.empty()) return base;
   std::vector<int64_t> replay =
-      memory_.SampleIndices(context_.replay_batch_size, &rng_);
+      DrawReplay(memory_, retrieval_.get(), context_.replay_batch_size);
   Tensor raw = memory_.GatherFeatures(replay);
   // As in DER(++), the buffer sample is re-augmented at replay time while
   // the stored output stays fixed.
@@ -56,6 +57,9 @@ void Der::OnIncrementEnd(const data::Task& task) {
   Tensor outputs = encoder_->ForwardBackbone(task.train.Gather(picks));
   encoder_->SetTraining(was_training);
   int64_t d = outputs.shape()[1];
+  // Write-time representations anchor drift-based retrieval policies.
+  eval::RepresentationMatrix reps =
+      eval::ExtractRepresentationsFor(encoder_.get(), task.train, picks);
 
   std::vector<MemoryEntry> entries(picks.size());
   for (size_t k = 0; k < picks.size(); ++k) {
@@ -67,6 +71,8 @@ void Der::OnIncrementEnd(const data::Task& task) {
     e.label = task.train.Label(picks[k]);
     e.stored_output.assign(outputs.data().begin() + k * d,
                            outputs.data().begin() + (k + 1) * d);
+    const float* rep = reps.Row(static_cast<int64_t>(k));
+    e.stored_representation.assign(rep, rep + reps.d);
   }
   memory_.AddIncrement(std::move(entries));
 }

@@ -7,7 +7,10 @@
 #ifndef EDSR_SRC_CL_DER_H_
 #define EDSR_SRC_CL_DER_H_
 
+#include <memory>
+
 #include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
 #include "src/cl/strategy.h"
 
 namespace edsr::cl {
@@ -21,6 +24,7 @@ class Der : public ContinualStrategy {
   Der(const StrategyContext& context, const DerOptions& options = {});
 
   const MemoryBuffer& memory() const { return memory_; }
+  const RetrievalPolicy& retrieval() const { return *retrieval_; }
 
  protected:
   tensor::Tensor ComputeBatchLoss(const data::Task& task,
@@ -28,16 +32,20 @@ class Der : public ContinualStrategy {
                                   const tensor::Tensor& view1,
                                   const tensor::Tensor& view2) override;
   void OnIncrementEnd(const data::Task& task) override;
-  // The buffer including the frozen backbone outputs it distills against.
+  // The buffer including the frozen backbone outputs it distills against,
+  // plus the retrieval policy's cross-increment state.
   void SaveExtra(io::BufferWriter* out) const override {
     memory_.Serialize(out);
+    SavePolicyState(*retrieval_, out);
   }
   util::Status LoadExtra(io::BufferReader* in) override {
-    return memory_.Deserialize(in);
+    EDSR_RETURN_NOT_OK(memory_.Deserialize(in));
+    return LoadPolicyState(retrieval_.get(), in);
   }
 
  private:
   DerOptions options_;
+  std::unique_ptr<RetrievalPolicy> retrieval_;
   MemoryBuffer memory_;
 };
 

@@ -9,6 +9,14 @@
 namespace edsr::cl {
 
 namespace {
+// Selector spec behind each Table-V variant name; all construction funnels
+// through SelectorRegistry so variants and --selector flags stay one path.
+std::unique_ptr<DataSelector> VariantSelector(const std::string& spec) {
+  util::Result<std::unique_ptr<DataSelector>> selector =
+      SelectorRegistry::Global().Create(spec);
+  return std::move(selector).ValueOrDie();
+}
+
 std::unique_ptr<ContinualStrategy> MakeEdsrVariant(
     const std::string& name, const StrategyContext& context) {
   core::EdsrOptions options;
@@ -19,23 +27,20 @@ std::unique_ptr<ContinualStrategy> MakeEdsrVariant(
     options.replay_mode = name == "edsr-css" ? core::ReplayLossMode::kCss
                                              : core::ReplayLossMode::kDis;
     return std::make_unique<core::Edsr>(
-        context, options, std::make_unique<HighEntropySelector>(), name);
+        context, options, VariantSelector("high-entropy"), name);
   }
   if (name == "edsr-random" || name == "edsr-distant" ||
       name == "edsr-kmeans" || name == "edsr-minvar") {
-    SelectorKind kind = SelectorKind::kRandom;
-    if (name == "edsr-distant") kind = SelectorKind::kDistant;
-    if (name == "edsr-kmeans") kind = SelectorKind::kKMeans;
-    if (name == "edsr-minvar") kind = SelectorKind::kMinVar;
-    return std::make_unique<core::Edsr>(context, options, MakeSelector(kind),
-                                        name);
+    return std::make_unique<core::Edsr>(
+        context, options, VariantSelector(name.substr(sizeof("edsr-") - 1)),
+        name);
   }
   if (name == "edsr-norm" || name == "edsr-logdet") {
-    auto mode = name == "edsr-norm"
-                    ? HighEntropySelector::Mode::kNorm
-                    : HighEntropySelector::Mode::kGreedyLogDet;
     return std::make_unique<core::Edsr>(
-        context, options, std::make_unique<HighEntropySelector>(mode), name);
+        context, options,
+        VariantSelector(name == "edsr-norm" ? "high-entropy:mode=norm"
+                                            : "high-entropy:mode=logdet"),
+        name);
   }
   return nullptr;
 }

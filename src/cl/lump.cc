@@ -9,6 +9,7 @@ using tensor::Tensor;
 Lump::Lump(const StrategyContext& context, const LumpOptions& options)
     : ContinualStrategy(context, "lump"),
       options_(options),
+      retrieval_(MakeRetrievalOrDie(context.retrieval_spec)),
       memory_(context.memory_per_task) {
   EDSR_CHECK(context.encoder.input_head_dims.empty())
       << "LUMP's mixup cannot span heterogeneous input dims (paper §IV-E)";
@@ -20,11 +21,15 @@ Tensor Lump::ComputeBatchLoss(const data::Task& task,
   if (memory_.empty()) {
     return ContinualStrategy::ComputeBatchLoss(task, indices, view1, view2);
   }
-  // Draw one stored sample per new sample (with replacement if the buffer
-  // is smaller than the batch).
+  // Draw through the retrieval policy, then tile the draw so every new
+  // sample gets a mixup partner even when the buffer (or the policy's
+  // ranking) yields fewer entries than the batch.
+  std::vector<int64_t> base = DrawReplay(
+      memory_, retrieval_.get(),
+      std::min<int64_t>(static_cast<int64_t>(indices.size()), memory_.size()));
   std::vector<int64_t> replay(indices.size());
   for (size_t k = 0; k < replay.size(); ++k) {
-    replay[k] = rng_.UniformInt(0, memory_.size() - 1);
+    replay[k] = base[k % base.size()];
   }
   Tensor raw = memory_.GatherFeatures(replay);
   Tensor mem_view1 = ViewOfRaw(raw, task.train.geometry());
@@ -41,6 +46,9 @@ void Lump::OnIncrementEnd(const data::Task& task) {
   if (budget <= 0) return;
   std::vector<int64_t> picks =
       rng_.SampleWithoutReplacement(task.train.size(), budget);
+  // Write-time representations anchor drift-based retrieval policies.
+  eval::RepresentationMatrix reps =
+      eval::ExtractRepresentationsFor(encoder_.get(), task.train, picks);
   std::vector<MemoryEntry> entries(picks.size());
   for (size_t k = 0; k < picks.size(); ++k) {
     MemoryEntry& e = entries[k];
@@ -49,6 +57,8 @@ void Lump::OnIncrementEnd(const data::Task& task) {
     e.task_id = task.task_id;
     e.source_index = picks[k];
     e.label = task.train.Label(picks[k]);
+    const float* rep = reps.Row(static_cast<int64_t>(k));
+    e.stored_representation.assign(rep, rep + reps.d);
   }
   memory_.AddIncrement(std::move(entries));
 }

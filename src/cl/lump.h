@@ -5,7 +5,10 @@
 #ifndef EDSR_SRC_CL_LUMP_H_
 #define EDSR_SRC_CL_LUMP_H_
 
+#include <memory>
+
 #include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
 #include "src/cl/strategy.h"
 
 namespace edsr::cl {
@@ -19,6 +22,7 @@ class Lump : public ContinualStrategy {
   Lump(const StrategyContext& context, const LumpOptions& options = {});
 
   const MemoryBuffer& memory() const { return memory_; }
+  const RetrievalPolicy& retrieval() const { return *retrieval_; }
 
  protected:
   tensor::Tensor ComputeBatchLoss(const data::Task& task,
@@ -28,13 +32,16 @@ class Lump : public ContinualStrategy {
   void OnIncrementEnd(const data::Task& task) override;
   void SaveExtra(io::BufferWriter* out) const override {
     memory_.Serialize(out);
+    SavePolicyState(*retrieval_, out);
   }
   util::Status LoadExtra(io::BufferReader* in) override {
-    return memory_.Deserialize(in);
+    EDSR_RETURN_NOT_OK(memory_.Deserialize(in));
+    return LoadPolicyState(retrieval_.get(), in);
   }
 
  private:
   LumpOptions options_;
+  std::unique_ptr<RetrievalPolicy> retrieval_;
   MemoryBuffer memory_;
 };
 

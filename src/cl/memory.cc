@@ -70,6 +70,7 @@ void MemoryBuffer::Serialize(io::BufferWriter* out) const {
     out->WriteI64(e.label);
     out->WriteFloats(e.noise_scale);
     out->WriteFloats(e.stored_output);
+    out->WriteFloats(e.stored_representation);
   }
 }
 
@@ -95,6 +96,7 @@ util::Status MemoryBuffer::Deserialize(io::BufferReader* in) {
     EDSR_RETURN_NOT_OK(in->ReadI64(&e.label));
     EDSR_RETURN_NOT_OK(in->ReadFloats(&e.noise_scale));
     EDSR_RETURN_NOT_OK(in->ReadFloats(&e.stored_output));
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&e.stored_representation));
     if (e.features.empty()) {
       return util::Status::IoError("memory entry " + std::to_string(i) +
                                    " has no features");

@@ -4,6 +4,9 @@
 //  * noise_scale — EDSR's per-dimension r(x^m) (paper §III-B), computed at
 //    selection time from the kNN of the sample in its increment;
 //  * stored_output — DER's frozen backbone output for distillation;
+//  * stored_representation — the encoder representation at write time; the
+//    drift anchor for retrieval policies (max-loss ranks entries by how far
+//    the current model moved them from this snapshot);
 //  * label / source_index — hidden bookkeeping for analysis and tests only.
 #ifndef EDSR_SRC_CL_MEMORY_H_
 #define EDSR_SRC_CL_MEMORY_H_
@@ -24,6 +27,7 @@ struct MemoryEntry {
   int64_t label = -1;
   std::vector<float> noise_scale;    // EDSR only
   std::vector<float> stored_output;  // DER only
+  std::vector<float> stored_representation;  // retrieval drift anchor
 };
 
 class MemoryBuffer {

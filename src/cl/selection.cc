@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 #include <numeric>
 
@@ -133,24 +134,333 @@ KMeansResult LloydKMeans(const RepresentationMatrix& reps, int64_t clusters,
   return result;
 }
 
+// Unit-normalized copy of an (n, d) matrix; all-zero rows stay zero.
+std::vector<double> NormalizedRows(const RepresentationMatrix& m) {
+  std::vector<double> rows(m.n * m.d);
+  for (int64_t i = 0; i < m.n; ++i) {
+    const float* src = m.Row(i);
+    double norm_sq = 0.0;
+    for (int64_t j = 0; j < m.d; ++j) {
+      norm_sq += static_cast<double>(src[j]) * src[j];
+    }
+    double inv = norm_sq > 0.0 ? 1.0 / std::sqrt(norm_sq) : 0.0;
+    for (int64_t j = 0; j < m.d; ++j) rows[i * m.d + j] = src[j] * inv;
+  }
+  return rows;
+}
+
 }  // namespace
 
+// ---- Edge-case contract ---------------------------------------------------
+
+std::vector<int64_t> RunSelection(DataSelector* selector,
+                                  const SelectionContext& context,
+                                  int64_t budget, util::Rng* rng) {
+  EDSR_CHECK(selector != nullptr);
+  const RepresentationMatrix& reps = Reps(context);
+  int64_t n = reps.n;
+  if (budget <= 0 || n <= 0) return {};
+  if (budget >= n) {
+    // Everything fits: keep the whole increment, no selector opinion needed.
+    std::vector<int64_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  std::vector<int64_t> raw = selector->Select(context, budget, rng);
+  std::vector<bool> chosen(n, false);
+  std::vector<int64_t> picks;
+  picks.reserve(budget);
+  for (int64_t index : raw) {
+    EDSR_CHECK(index >= 0 && index < n)
+        << selector->name() << " selected out-of-range index " << index
+        << " (n = " << n << ")";
+    if (chosen[index]) continue;  // first occurrence wins
+    chosen[index] = true;
+    picks.push_back(index);
+    if (static_cast<int64_t>(picks.size()) == budget) break;
+  }
+  // Deterministic padding: lowest not-yet-chosen indices. A selector that
+  // under-delivers (degenerate data, duplicate collapse) still yields an
+  // exactly-budget selection.
+  for (int64_t i = 0; i < n && static_cast<int64_t>(picks.size()) < budget;
+       ++i) {
+    if (!chosen[i]) {
+      chosen[i] = true;
+      picks.push_back(i);
+    }
+  }
+  return picks;
+}
+
+void SaveSelectorState(const DataSelector& selector, io::BufferWriter* out) {
+  out->WriteString(selector.name());
+  // Length-prefixed payload so readers that don't know this selector (e.g.
+  // the serving snapshot loader scanning past it for the memory) can skip.
+  io::BufferWriter payload;
+  selector.Serialize(&payload);
+  out->WriteU64(payload.bytes().size());
+  out->WriteBytes(payload.bytes().data(), payload.bytes().size());
+}
+
+util::Status LoadSelectorState(DataSelector* selector, io::BufferReader* in) {
+  EDSR_CHECK(selector != nullptr);
+  std::string saved_name;
+  EDSR_RETURN_NOT_OK(in->ReadString(&saved_name));
+  if (saved_name != selector->name()) {
+    return util::Status::InvalidArgument(
+        "checkpoint selector state was written by \"" + saved_name +
+        "\", not \"" + selector->name() + "\"");
+  }
+  uint64_t size = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU64(&size));
+  if (size > in->remaining()) {
+    return util::Status::IoError("truncated selector state payload");
+  }
+  std::vector<uint8_t> bytes(size);
+  EDSR_RETURN_NOT_OK(in->ReadBytes(bytes.data(), bytes.size()));
+  io::BufferReader payload(bytes);
+  EDSR_RETURN_NOT_OK(selector->Deserialize(&payload));
+  return payload.ExpectEnd();
+}
+
+// ---- Spec parsing ---------------------------------------------------------
+
+util::Result<SpecParams> SpecParams::Parse(const std::string& spec) {
+  SpecParams params;
+  size_t colon = spec.find(':');
+  params.name_ = spec.substr(0, colon);
+  if (params.name_.empty()) {
+    return util::Status::InvalidArgument("empty name in spec \"" + spec +
+                                         "\"");
+  }
+  if (colon == std::string::npos) return params;
+  std::string rest = spec.substr(colon + 1);
+  size_t start = 0;
+  while (start <= rest.size()) {
+    size_t comma = rest.find(',', start);
+    std::string pair = rest.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!pair.empty()) {
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == pair.size()) {
+        return util::Status::InvalidArgument(
+            "malformed parameter \"" + pair + "\" in spec \"" + spec +
+            "\" (expected key=value)");
+      }
+      params.entries_.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  params.consumed_.assign(params.entries_.size(), false);
+  return params;
+}
+
+const std::string* SpecParams::Find(const std::string& key) {
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].first == key) {
+      consumed_[i] = true;
+      return &entries_[i].second;
+    }
+  }
+  return nullptr;
+}
+
+int64_t SpecParams::GetInt(const std::string& key, int64_t fallback) {
+  const std::string* value = Find(key);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') {
+    if (error_.empty()) {
+      error_ = "parameter " + key + "=" + *value + " is not an integer";
+    }
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double SpecParams::GetDouble(const std::string& key, double fallback) {
+  const std::string* value = Find(key);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') {
+    if (error_.empty()) {
+      error_ = "parameter " + key + "=" + *value + " is not a number";
+    }
+    return fallback;
+  }
+  return parsed;
+}
+
+std::string SpecParams::GetString(const std::string& key,
+                                  const std::string& fallback) {
+  const std::string* value = Find(key);
+  return value != nullptr ? *value : fallback;
+}
+
+util::Status SpecParams::Finish() const {
+  if (!error_.empty()) {
+    return util::Status::InvalidArgument(name_ + ": " + error_);
+  }
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (!consumed_[i]) {
+      return util::Status::InvalidArgument(
+          name_ + ": unknown parameter \"" + entries_[i].first + "\"");
+    }
+  }
+  return util::Status::OK();
+}
+
+// ---- Registry -------------------------------------------------------------
+
+namespace {
+
+util::Result<std::unique_ptr<DataSelector>> MakeHighEntropy(
+    SpecParams& params) {
+  std::string mode_name = params.GetString("mode", "pca");
+  int64_t components = params.GetInt("components", 8);
+  EDSR_RETURN_NOT_OK(params.Finish());
+  HighEntropySelector::Mode mode;
+  if (mode_name == "norm") {
+    mode = HighEntropySelector::Mode::kNorm;
+  } else if (mode_name == "pca") {
+    mode = HighEntropySelector::Mode::kPcaLeverage;
+  } else if (mode_name == "logdet") {
+    mode = HighEntropySelector::Mode::kGreedyLogDet;
+  } else {
+    return util::Status::InvalidArgument(
+        "high-entropy: unknown mode \"" + mode_name +
+        "\" (expected norm, pca, or logdet)");
+  }
+  return std::unique_ptr<DataSelector>(
+      std::make_unique<HighEntropySelector>(mode, components));
+}
+
+void RegisterBuiltinSelectors(SelectorRegistry* registry) {
+  registry->Register(
+      "random", [](SpecParams& params)
+                    -> util::Result<std::unique_ptr<DataSelector>> {
+        EDSR_RETURN_NOT_OK(params.Finish());
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<RandomSelector>());
+      });
+  registry->Register(
+      "distant", [](SpecParams& params)
+                     -> util::Result<std::unique_ptr<DataSelector>> {
+        EDSR_RETURN_NOT_OK(params.Finish());
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<DistantSelector>());
+      });
+  registry->Register(
+      "kmeans", [](SpecParams& params)
+                    -> util::Result<std::unique_ptr<DataSelector>> {
+        int64_t iters = params.GetInt("iters", 10);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        if (iters <= 0) {
+          return util::Status::InvalidArgument("kmeans: iters must be > 0");
+        }
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<KMeansSelector>(iters));
+      });
+  registry->Register(
+      "minvar", [](SpecParams& params)
+                    -> util::Result<std::unique_ptr<DataSelector>> {
+        int64_t clusters = params.GetInt("clusters", 0);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        if (clusters < 0) {
+          return util::Status::InvalidArgument("minvar: clusters must be >= 0");
+        }
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<MinVarSelector>(clusters));
+      });
+  registry->Register("high-entropy", MakeHighEntropy);
+  registry->Register(
+      "gradient-affinity", [](SpecParams& params)
+                               -> util::Result<std::unique_ptr<DataSelector>> {
+        double tau = params.GetDouble("tau", 1.0);
+        double kappa = params.GetDouble("kappa", 0.5);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<GradientAffinitySelector>(tau, kappa));
+      });
+  registry->Register(
+      "complementary", [](SpecParams& params)
+                           -> util::Result<std::unique_ptr<DataSelector>> {
+        EDSR_RETURN_NOT_OK(params.Finish());
+        return std::unique_ptr<DataSelector>(
+            std::make_unique<ComplementarySelector>());
+      });
+}
+
+}  // namespace
+
+SelectorRegistry& SelectorRegistry::Global() {
+  static SelectorRegistry* registry = [] {
+    auto* r = new SelectorRegistry();
+    RegisterBuiltinSelectors(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void SelectorRegistry::Register(const std::string& name, Factory factory) {
+  EDSR_CHECK(!name.empty());
+  EDSR_CHECK(factory != nullptr);
+  for (const auto& entry : factories_) {
+    EDSR_CHECK_NE(entry.first, name)
+        << "selector \"" << name << "\" registered twice";
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+util::Result<std::unique_ptr<DataSelector>> SelectorRegistry::Create(
+    const std::string& spec) const {
+  util::Result<SpecParams> parsed = SpecParams::Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+  SpecParams params = *parsed;
+  for (const auto& entry : factories_) {
+    if (entry.first == params.name()) return entry.second(params);
+  }
+  std::string known;
+  for (const auto& entry : factories_) {
+    if (!known.empty()) known += ", ";
+    known += entry.first;
+  }
+  return util::Status::InvalidArgument("unknown selector \"" + params.name() +
+                                       "\"; registered: " + known);
+}
+
+bool SelectorRegistry::Contains(const std::string& name) const {
+  for (const auto& entry : factories_) {
+    if (entry.first == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SelectorRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& entry : factories_) names.push_back(entry.first);
+  return names;
+}
+
+// ---- Selectors ------------------------------------------------------------
+
 std::vector<int64_t> RandomSelector::Select(const SelectionContext& context,
-                                            int64_t budget,
-                                            util::Rng* rng) const {
+                                            int64_t budget, util::Rng* rng) {
   const RepresentationMatrix& reps = Reps(context);
   return rng->SampleWithoutReplacement(reps.n, std::min(budget, reps.n));
 }
 
 std::vector<int64_t> DistantSelector::Select(const SelectionContext& context,
-                                             int64_t budget,
-                                             util::Rng* rng) const {
+                                             int64_t budget, util::Rng* rng) {
   return DSquaredSeeding(Reps(context), budget, rng);
 }
 
 std::vector<int64_t> KMeansSelector::Select(const SelectionContext& context,
-                                            int64_t budget,
-                                            util::Rng* rng) const {
+                                            int64_t budget, util::Rng* rng) {
   const RepresentationMatrix& reps = Reps(context);
   int64_t k = std::min(budget, reps.n);
   KMeansResult kmeans = LloydKMeans(reps, k, iterations_, rng);
@@ -184,8 +494,7 @@ std::vector<int64_t> KMeansSelector::Select(const SelectionContext& context,
 }
 
 std::vector<int64_t> MinVarSelector::Select(const SelectionContext& context,
-                                            int64_t budget,
-                                            util::Rng* rng) const {
+                                            int64_t budget, util::Rng* rng) {
   const RepresentationMatrix& reps = Reps(context);
   EDSR_CHECK_EQ(context.augmentation_variance.size(),
                 static_cast<size_t>(reps.n))
@@ -225,7 +534,7 @@ std::vector<int64_t> MinVarSelector::Select(const SelectionContext& context,
 }
 
 std::vector<int64_t> HighEntropySelector::Select(
-    const SelectionContext& context, int64_t budget, util::Rng* rng) const {
+    const SelectionContext& context, int64_t budget, util::Rng* rng) {
   (void)rng;  // fully deterministic given the representations
   const RepresentationMatrix& reps = Reps(context);
   switch (mode_) {
@@ -313,21 +622,170 @@ std::vector<int64_t> HighEntropySelector::SelectGreedyLogDet(
   return chosen;
 }
 
-std::unique_ptr<DataSelector> MakeSelector(SelectorKind kind) {
-  switch (kind) {
-    case SelectorKind::kRandom:
-      return std::make_unique<RandomSelector>();
-    case SelectorKind::kDistant:
-      return std::make_unique<DistantSelector>();
-    case SelectorKind::kKMeans:
-      return std::make_unique<KMeansSelector>();
-    case SelectorKind::kMinVar:
-      return std::make_unique<MinVarSelector>();
-    case SelectorKind::kHighEntropy:
-      return std::make_unique<HighEntropySelector>();
+std::vector<int64_t> GradientAffinitySelector::Select(
+    const SelectionContext& context, int64_t budget, util::Rng* rng) {
+  (void)rng;  // deterministic greedy given the gradients
+  const RepresentationMatrix& reps = Reps(context);
+  EDSR_CHECK(context.gradient_features != nullptr)
+      << "gradient-affinity requires per-sample gradient features";
+  const RepresentationMatrix& grads = *context.gradient_features;
+  EDSR_CHECK_EQ(grads.n, reps.n)
+      << "gradient features must cover every sample";
+  int64_t n = grads.n;
+  int64_t d = grads.d;
+  int64_t k = std::min(budget, n);
+  std::vector<double> g = NormalizedRows(grads);
+
+  // Minibatch similarity: cosine to the mean gradient direction (OCS's
+  // "representative" term).
+  std::vector<double> mean(d, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < d; ++j) mean[j] += g[i * d + j];
   }
-  EDSR_CHECK(false) << "unknown selector kind";
-  return nullptr;
+  double mean_norm = 0.0;
+  for (int64_t j = 0; j < d; ++j) mean_norm += mean[j] * mean[j];
+  mean_norm = std::sqrt(mean_norm);
+  if (mean_norm > 0.0) {
+    for (int64_t j = 0; j < d; ++j) mean[j] /= mean_norm;
+  }
+
+  // Affinity: cosine to the running reference gradient of past selections.
+  std::vector<double> base(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double sim = 0.0;
+    for (int64_t j = 0; j < d; ++j) sim += g[i * d + j] * mean[j];
+    base[i] = sim;
+  }
+  if (reference_count_ > 0 &&
+      static_cast<int64_t>(reference_.size()) == d) {
+    double ref_norm = 0.0;
+    for (int64_t j = 0; j < d; ++j) ref_norm += reference_[j] * reference_[j];
+    ref_norm = std::sqrt(ref_norm);
+    if (ref_norm > 0.0) {
+      for (int64_t i = 0; i < n; ++i) {
+        double aff = 0.0;
+        for (int64_t j = 0; j < d; ++j) {
+          aff += g[i * d + j] * reference_[j] / ref_norm;
+        }
+        base[i] += tau_ * aff;
+      }
+    }
+  }
+
+  // Greedy pick with a diversity penalty: each step takes the candidate
+  // maximizing base_i − kappa · mean cosine to the already-selected set.
+  std::vector<bool> taken(n, false);
+  std::vector<double> redundancy(n, 0.0);  // Σ_{j∈S} cos(g_i, g_j)
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  for (int64_t step = 0; step < k; ++step) {
+    int64_t best = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    double inv_count = chosen.empty() ? 0.0 : 1.0 / chosen.size();
+    for (int64_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      double score = base[i] - kappa_ * redundancy[i] * inv_count;
+      if (score > best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    taken[best] = true;
+    chosen.push_back(best);
+    for (int64_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      double sim = 0.0;
+      for (int64_t j = 0; j < d; ++j) sim += g[i * d + j] * g[best * d + j];
+      redundancy[i] += sim;
+    }
+  }
+
+  // Fold the kept gradients into the running reference (the affinity anchor
+  // for future increments). A dimensionality change resets the state.
+  if (static_cast<int64_t>(reference_.size()) != d) {
+    reference_.assign(d, 0.0);
+    reference_count_ = 0;
+  }
+  for (int64_t pick : chosen) {
+    for (int64_t j = 0; j < d; ++j) {
+      reference_[j] += (g[pick * d + j] - reference_[j]) /
+                       static_cast<double>(reference_count_ + 1);
+    }
+    ++reference_count_;
+  }
+  return chosen;
+}
+
+void GradientAffinitySelector::Serialize(io::BufferWriter* out) const {
+  out->WriteI64(reference_count_);
+  out->WriteU64(reference_.size());
+  for (double v : reference_) out->WriteF64(v);
+}
+
+util::Status GradientAffinitySelector::Deserialize(io::BufferReader* in) {
+  int64_t count = 0;
+  EDSR_RETURN_NOT_OK(in->ReadI64(&count));
+  if (count < 0) {
+    return util::Status::IoError("negative gradient-affinity reference count");
+  }
+  uint64_t dims = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU64(&dims));
+  if (dims > in->remaining() / sizeof(double)) {
+    return util::Status::IoError("truncated gradient-affinity reference");
+  }
+  std::vector<double> reference(dims);
+  for (uint64_t j = 0; j < dims; ++j) {
+    EDSR_RETURN_NOT_OK(in->ReadF64(&reference[j]));
+  }
+  reference_count_ = count;
+  reference_ = std::move(reference);
+  return util::Status::OK();
+}
+
+std::vector<int64_t> ComplementarySelector::Select(
+    const SelectionContext& context, int64_t budget, util::Rng* rng) {
+  (void)rng;  // deterministic greedy coverage
+  const RepresentationMatrix& reps = Reps(context);
+  int64_t n = reps.n;
+  int64_t k = std::min(budget, n);
+  // Full pairwise similarity; increments are small at this repo's scale
+  // (hundreds of samples), so the n^2 matrix is cheap and GEMM-backed.
+  tensor::arena::Scope scope;
+  float* dist = tensor::arena::AllocFloats(n * n);
+  tensor::kernels::PairwiseSqDist(reps.values.data(), n, reps.values.data(),
+                                  n, reps.d, dist);
+  std::vector<double> cover(n, 0.0);  // best similarity to the kept set
+  std::vector<bool> taken(n, false);
+  std::vector<int64_t> chosen;
+  chosen.reserve(k);
+  auto similarity = [&](int64_t i, int64_t j) {
+    return 1.0 / (1.0 + static_cast<double>(dist[i * n + j]));
+  };
+  for (int64_t step = 0; step < k; ++step) {
+    int64_t best = -1;
+    double best_gain = -1.0;
+    for (int64_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      double gain = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        double s = similarity(i, j);
+        if (s > cover[j]) gain += s - cover[j];
+      }
+      // Deterministic tie-break: strictly-greater keeps the lowest index.
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    taken[best] = true;
+    chosen.push_back(best);
+    for (int64_t j = 0; j < n; ++j) {
+      cover[j] = std::max(cover[j], similarity(best, j));
+    }
+  }
+  return chosen;
 }
 
 }  // namespace edsr::cl

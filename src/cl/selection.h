@@ -1,18 +1,32 @@
 // Data selection methods (paper §III-A and Table V baselines).
 //
 // A DataSelector picks `budget` sample indices from one increment, given the
-// representations extracted by the just-trained model. MinVar additionally
-// consumes a per-sample augmentation-variance score; selectors declare
-// whether they need it so the trainer only pays for it when required.
+// representations extracted by the just-trained model. Selectors declare the
+// extra signals they consume — MinVar needs per-sample augmentation
+// variance, the gradient-affinity coreset needs per-sample loss gradients —
+// so the trainer only pays for a signal when the active selector asks.
+//
+// Selectors are constructed through SelectorRegistry from a spec string
+//   "name" or "name:key=value,key=value"
+// (e.g. "kmeans:iters=5", "high-entropy:mode=logdet"). The registry is the
+// single construction path for demos, the factory, benches, and the
+// experiment-matrix driver; unknown names fail with a Status listing every
+// registered entry. RunSelection() wraps Select() with the central edge-case
+// contract (budget clamping, dedup, in-range enforcement) so individual
+// selectors stay simple.
 #ifndef EDSR_SRC_CL_SELECTION_H_
 #define EDSR_SRC_CL_SELECTION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/eval/representations.h"
+#include "src/io/serialize.h"
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace edsr::cl {
 
@@ -22,24 +36,110 @@ struct SelectionContext {
   // Per-sample variance of augmented-view representations (MinVar); empty
   // unless the selector asked for it.
   std::vector<double> augmentation_variance;
+  // (n, d) per-sample loss-gradient embeddings ∂L/∂z_i (gradient-affinity);
+  // null unless the selector asked for it.
+  const eval::RepresentationMatrix* gradient_features = nullptr;
 };
 
 class DataSelector {
  public:
   virtual ~DataSelector() = default;
 
+  // Raw selection policy. Callers should go through RunSelection(), which
+  // enforces the shared contract; Select itself may assume 0 < budget and a
+  // non-empty representation matrix. Non-const: selectors may carry state
+  // across increments (e.g. the gradient-affinity reference direction).
   virtual std::vector<int64_t> Select(const SelectionContext& context,
-                                      int64_t budget,
-                                      util::Rng* rng) const = 0;
+                                      int64_t budget, util::Rng* rng) = 0;
   virtual bool needs_augmentation_variance() const { return false; }
+  virtual bool needs_gradient_features() const { return false; }
   virtual std::string name() const = 0;
+
+  // Cross-increment selector state for checkpoint/crash-resume. Stateless
+  // selectors keep the no-op defaults; stateful ones must round-trip
+  // bit-identically (resume_test.cc).
+  virtual void Serialize(io::BufferWriter* out) const { (void)out; }
+  virtual util::Status Deserialize(io::BufferReader* in) {
+    (void)in;
+    return util::Status::OK();
+  }
+};
+
+// The shared selection contract, enforced once for every selector:
+//   * budget <= 0            -> empty selection;
+//   * budget >= n            -> all indices [0, n) (no selector call);
+//   * otherwise              -> exactly `budget` unique in-range indices:
+//     duplicates from the selector are dropped (first occurrence wins) and
+//     short returns are padded with the lowest not-yet-chosen indices, so
+//     downstream memory writes never see a ragged selection.
+// Out-of-range indices are a selector bug and abort.
+std::vector<int64_t> RunSelection(DataSelector* selector,
+                                  const SelectionContext& context,
+                                  int64_t budget, util::Rng* rng);
+
+// Name-tagged selector state for checkpoint payloads: Save writes the
+// selector's name then its Serialize payload; Load validates the name (a
+// checkpoint written under one selector must not silently feed another) and
+// restores the state.
+void SaveSelectorState(const DataSelector& selector, io::BufferWriter* out);
+util::Status LoadSelectorState(DataSelector* selector, io::BufferReader* in);
+
+// Parsed "name:key=value,..." spec. Getters mark their key consumed;
+// Finish() fails on keys no getter asked about (catches typos) and on
+// malformed values, so every selector/policy rejects unknown parameters
+// without per-factory bookkeeping.
+class SpecParams {
+ public:
+  // Splits "name[:k=v,...]"; fails on empty names or malformed pairs.
+  static util::Result<SpecParams> Parse(const std::string& spec);
+
+  const std::string& name() const { return name_; }
+  int64_t GetInt(const std::string& key, int64_t fallback);
+  double GetDouble(const std::string& key, double fallback);
+  std::string GetString(const std::string& key, const std::string& fallback);
+  // Unknown keys / unparsable values accumulated by the getters.
+  util::Status Finish() const;
+
+ private:
+  const std::string* Find(const std::string& key);
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<bool> consumed_;
+  std::string error_;
+};
+
+// String-keyed registry of selector factories. Global() is pre-populated
+// with every built-in selector; extensions register additional entries
+// (README "Adding a selector" shows the ~20-line recipe).
+class SelectorRegistry {
+ public:
+  using Factory = std::function<util::Result<std::unique_ptr<DataSelector>>(
+      SpecParams& params)>;
+
+  static SelectorRegistry& Global();
+
+  // Registering a duplicate name aborts — two meanings for one spec string
+  // would silently change experiments.
+  void Register(const std::string& name, Factory factory);
+  // Builds a selector from "name[:key=value,...]". Unknown names and unknown
+  // or malformed parameters return InvalidArgument; the unknown-name message
+  // lists every registered entry.
+  util::Result<std::unique_ptr<DataSelector>> Create(
+      const std::string& spec) const;
+  bool Contains(const std::string& name) const;
+  // Registered names in registration order (built-ins first).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::vector<std::pair<std::string, Factory>> factories_;
 };
 
 // "Random" baseline: uniform sample without replacement.
 class RandomSelector : public DataSelector {
  public:
   std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
-                              util::Rng* rng) const override;
+                              util::Rng* rng) override;
   std::string name() const override { return "random"; }
 };
 
@@ -48,7 +148,7 @@ class RandomSelector : public DataSelector {
 class DistantSelector : public DataSelector {
  public:
   std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
-                              util::Rng* rng) const override;
+                              util::Rng* rng) override;
   std::string name() const override { return "distant"; }
 };
 
@@ -58,7 +158,7 @@ class KMeansSelector : public DataSelector {
  public:
   explicit KMeansSelector(int64_t iterations = 10) : iterations_(iterations) {}
   std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
-                              util::Rng* rng) const override;
+                              util::Rng* rng) override;
   std::string name() const override { return "kmeans"; }
 
  private:
@@ -72,7 +172,7 @@ class MinVarSelector : public DataSelector {
   explicit MinVarSelector(int64_t num_clusters = 0)
       : num_clusters_(num_clusters) {}
   std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
-                              util::Rng* rng) const override;
+                              util::Rng* rng) override;
   bool needs_augmentation_variance() const override { return true; }
   std::string name() const override { return "minvar"; }
 
@@ -100,7 +200,7 @@ class HighEntropySelector : public DataSelector {
       : mode_(mode), num_components_(num_components) {}
 
   std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
-                              util::Rng* rng) const override;
+                              util::Rng* rng) override;
   std::string name() const override { return "high-entropy"; }
 
   Mode mode() const { return mode_; }
@@ -113,9 +213,48 @@ class HighEntropySelector : public DataSelector {
   int64_t num_components_;
 };
 
-enum class SelectorKind { kRandom, kDistant, kKMeans, kMinVar, kHighEntropy };
+// Gradient-affinity coreset (OCS-style, SNIPPETS.md #2): scores each sample
+// by its per-sample loss-gradient embedding g_i = ∂L/∂z_i —
+//   score_i = cos(g_i, ḡ)            (minibatch similarity: representative)
+//           + tau · cos(g_i, ref)    (affinity to previously kept gradients)
+//   greedy:  argmax score_i − kappa · mean_{j∈S} cos(g_i, g_j)  (diversity)
+// where ḡ is the increment's mean gradient and `ref` is a running mean of
+// the gradients this selector kept on earlier increments. `ref` is the
+// cross-increment state and is checkpointed (Serialize/Deserialize).
+class GradientAffinitySelector : public DataSelector {
+ public:
+  explicit GradientAffinitySelector(double tau = 1.0, double kappa = 0.5)
+      : tau_(tau), kappa_(kappa) {}
 
-std::unique_ptr<DataSelector> MakeSelector(SelectorKind kind);
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) override;
+  bool needs_gradient_features() const override { return true; }
+  std::string name() const override { return "gradient-affinity"; }
+
+  void Serialize(io::BufferWriter* out) const override;
+  util::Status Deserialize(io::BufferReader* in) override;
+
+  int64_t reference_count() const { return reference_count_; }
+
+ private:
+  double tau_;
+  double kappa_;
+  // Running mean of the unit-normalized gradients of every kept sample.
+  std::vector<double> reference_;
+  int64_t reference_count_ = 0;
+};
+
+// Complementary-embeddings selector (PAPERS.md, Yanowsky & Weinshall):
+// greedy facility-location coverage — each pick maximizes the marginal gain
+// in how well the kept set covers the increment, so small buffers hold
+// *complementary* samples rather than redundant high-score ones:
+//   gain(i) = Σ_j max(0, sim(i, j) − cover_j),  sim = 1 / (1 + ||z_i−z_j||²)
+class ComplementarySelector : public DataSelector {
+ public:
+  std::vector<int64_t> Select(const SelectionContext& context, int64_t budget,
+                              util::Rng* rng) override;
+  std::string name() const override { return "complementary"; }
+};
 
 }  // namespace edsr::cl
 

@@ -1,5 +1,9 @@
 #include "src/cl/strategy.h"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
 #include "src/data/batching.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops.h"
@@ -159,6 +163,146 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
 
   OnIncrementEnd(task);
   ++increments_seen_;
+}
+
+std::vector<double> ContinualStrategy::AugmentationVariance(
+    const data::Task& task, int64_t variance_views) {
+  EDSR_TRACE_SPAN("augmentation_variance");
+  int64_t n = task.train.size();
+  int64_t d = encoder_->representation_dim();
+  int64_t views = std::max<int64_t>(2, variance_views);
+  std::vector<double> sum(n * d, 0.0);
+  std::vector<double> sum_sq(n * d, 0.0);
+  // Variance scoring only reads representations; forwards stay graph-free.
+  tensor::NoGradGuard no_grad;
+  bool was_training = encoder_->training();
+  encoder_->SetTraining(false);
+  std::vector<int64_t> all(n);
+  for (int64_t i = 0; i < n; ++i) all[i] = i;
+  for (int64_t v = 0; v < views; ++v) {
+    for (int64_t start = 0; start < n; start += 64) {
+      int64_t count = std::min<int64_t>(64, n - start);
+      std::vector<int64_t> chunk(all.begin() + start,
+                                 all.begin() + start + count);
+      Tensor reps = encoder_->Forward(View(task.train, chunk));
+      for (int64_t k = 0; k < count; ++k) {
+        for (int64_t j = 0; j < d; ++j) {
+          double value = reps.at(k, j);
+          sum[(start + k) * d + j] += value;
+          sum_sq[(start + k) * d + j] += value * value;
+        }
+      }
+    }
+  }
+  encoder_->SetTraining(was_training);
+  std::vector<double> variance(n, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      double mean = sum[i * d + j] / views;
+      acc += std::max(0.0, sum_sq[i * d + j] / views - mean * mean);
+    }
+    variance[i] = acc / d;
+  }
+  return variance;
+}
+
+eval::RepresentationMatrix ContinualStrategy::GradientFeatures(
+    const data::Task& task) {
+  EDSR_TRACE_SPAN("gradient_features");
+  int64_t n = task.train.size();
+  int64_t d = encoder_->representation_dim();
+  eval::RepresentationMatrix features;
+  features.n = n;
+  features.d = d;
+  features.values.assign(n * d, 0.0f);
+  bool was_training = encoder_->training();
+  encoder_->SetTraining(true);
+  std::vector<int64_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  for (int64_t start = 0; start < n; start += 64) {
+    int64_t count = std::min<int64_t>(64, n - start);
+    std::vector<int64_t> chunk(all.begin() + start,
+                               all.begin() + start + count);
+    Tensor view1 = View(task.train, chunk);
+    Tensor view2 = View(task.train, chunk);
+    Tensor z1 = encoder_->Forward(view1);
+    Tensor z2 = encoder_->Forward(view2);
+    Tensor loss = loss_->Loss(z1, z2);
+    loss.Backward();
+    // z1 is an interior graph node, so Backward accumulated ∂L/∂z1 on it.
+    const std::vector<float>& grad = z1.grad();
+    EDSR_CHECK_EQ(grad.size(), static_cast<size_t>(count * d));
+    // The loss averages over the chunk; scale back so the last (smaller)
+    // chunk's rows are comparable to the full chunks'.
+    float scale = static_cast<float>(count);
+    for (int64_t k = 0; k < count; ++k) {
+      for (int64_t j = 0; j < d; ++j) {
+        features.values[(start + k) * d + j] = grad[k * d + j] * scale;
+      }
+    }
+  }
+  // The probing backwards accumulated gradients on the trained parameters;
+  // clear them so the next optimizer step starts clean.
+  for (Tensor& param : TrainedParameters()) param.ZeroGrad();
+  encoder_->SetTraining(was_training);
+  return features;
+}
+
+eval::RepresentationMatrix ContinualStrategy::MemoryRepresentations(
+    const MemoryBuffer& memory) {
+  eval::RepresentationMatrix reps;
+  reps.n = memory.size();
+  reps.d = encoder_->representation_dim();
+  reps.values.assign(reps.n * reps.d, 0.0f);
+  if (memory.empty()) return reps;
+  tensor::NoGradGuard no_grad;
+  bool was_training = encoder_->training();
+  encoder_->SetTraining(false);
+  std::vector<int64_t> all(memory.size());
+  std::iota(all.begin(), all.end(), 0);
+  // Heterogeneous buffers run each source increment through its own input
+  // head (GatherFeatures requires homogeneous dims within a batch anyway).
+  for (const std::vector<int64_t>& group : memory.GroupByTask(all)) {
+    if (group.empty()) continue;
+    if (encoder_->has_input_heads()) {
+      encoder_->SetActiveHead(memory.entry(group.front()).task_id);
+    }
+    for (size_t start = 0; start < group.size(); start += 64) {
+      size_t count = std::min<size_t>(64, group.size() - start);
+      std::vector<int64_t> chunk(group.begin() + start,
+                                 group.begin() + start + count);
+      Tensor out = encoder_->Forward(memory.GatherFeatures(chunk));
+      for (size_t k = 0; k < count; ++k) {
+        for (int64_t j = 0; j < reps.d; ++j) {
+          reps.values[chunk[k] * reps.d + j] =
+              out.at(static_cast<int64_t>(k), j);
+        }
+      }
+    }
+  }
+  encoder_->SetTraining(was_training);
+  return reps;
+}
+
+std::vector<int64_t> ContinualStrategy::DrawReplay(const MemoryBuffer& memory,
+                                                   RetrievalPolicy* policy,
+                                                   int64_t k,
+                                                   int64_t restore_head) {
+  EDSR_CHECK(policy != nullptr);
+  RetrievalContext context;
+  context.memory = &memory;
+  eval::RepresentationMatrix current;
+  if (policy->needs_current_representations() && !memory.empty() && k > 0 &&
+      k < memory.size()) {
+    EDSR_TRACE_SPAN("retrieval_representations");
+    current = MemoryRepresentations(memory);
+    context.current = &current;
+    if (restore_head >= 0 && encoder_->has_input_heads()) {
+      encoder_->SetActiveHead(restore_head);
+    }
+  }
+  return DrawRetrieval(policy, context, k, &rng_);
 }
 
 util::Status ContinualStrategy::SaveTo(io::ContainerWriter* writer) {

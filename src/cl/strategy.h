@@ -20,8 +20,11 @@
 #include <vector>
 
 #include "src/augment/view_provider.h"
+#include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
 #include "src/cl/strategy_context.h"
 #include "src/data/task_sequence.h"
+#include "src/eval/representations.h"
 #include "src/io/container.h"
 #include "src/obs/run_record.h"
 #include "src/optim/optimizer.h"
@@ -56,6 +59,32 @@ class ContinualStrategy {
   // Per-increment scalars recorded by hooks since the last call (selection
   // entropy, noise scales, ...), in recording order; clears the buffer.
   std::vector<std::pair<std::string, double>> TakeIncrementStats();
+
+  // ---- Selection / retrieval signals -------------------------------------
+  // Per-sample variance of augmented-view representations over
+  // `variance_views` draws (MinVar's signal). Graph-free, eval mode; must be
+  // called with this increment's view provider active (inside LearnIncrement
+  // or right after it, e.g. from OnIncrementEnd or a demo).
+  std::vector<double> AugmentationVariance(const data::Task& task,
+                                           int64_t variance_views = 4);
+  // Per-sample loss-gradient embeddings ∂L/∂z1_i: two augmented views per
+  // chunk through the live loss, one backward, then the gradient rows of z1
+  // (the gradient-affinity selector's signal). Clears the trained
+  // parameters' gradients afterwards so the next optimizer step is clean.
+  eval::RepresentationMatrix GradientFeatures(const data::Task& task);
+  // Current-model representations of every buffer entry (row k = entry k):
+  // un-augmented, eval mode, graph-free; heterogeneous buffers run each
+  // task's entries through its input head. The caller owns restoring the
+  // active head afterwards (DrawReplay does).
+  eval::RepresentationMatrix MemoryRepresentations(const MemoryBuffer& memory);
+  // Draws a replay batch through the retrieval policy (DrawRetrieval
+  // contract: min(k, size) unique entry indices). Computes current buffer
+  // representations only when the policy asks; `restore_head` reselects that
+  // input head afterwards (-1 skips; pass the increment's task id when the
+  // encoder has heads).
+  std::vector<int64_t> DrawReplay(const MemoryBuffer& memory,
+                                  RetrievalPolicy* policy, int64_t k,
+                                  int64_t restore_head = -1);
 
   // ---- Checkpointing -----------------------------------------------------
   // Writes the strategy's complete learned state — encoder, loss module,

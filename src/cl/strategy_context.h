@@ -4,6 +4,7 @@
 #define EDSR_SRC_CL_STRATEGY_CONTEXT_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/ssl/encoder.h"
 #include "src/ssl/losses.h"
@@ -27,6 +28,12 @@ struct StrategyContext {
   // Memory (methods that store data).
   int64_t memory_per_task = 32;
   int64_t replay_batch_size = 16;
+  // Registry specs consumed by memory strategies ("name[:key=value,...]",
+  // see cl/selection.h and cl/retrieval.h). selector_spec empty = the
+  // strategy's own default write policy (EDSR: high-entropy); retrieval_spec
+  // picks how replay batches are drawn from the buffer.
+  std::string selector_spec;
+  std::string retrieval_spec = "uniform";
 
   uint64_t seed = 0;
 };

@@ -34,7 +34,9 @@ double EvaluateTask(ssl::Encoder* encoder, const data::Task& task,
 namespace {
 
 // Run-snapshot sub-format inside the io:: container ("run/..." sections).
-constexpr uint32_t kRunCheckpointVersion = 1;
+// v2: MemoryEntry grew stored_representation; EDSR extras append name-tagged
+// selector + retrieval-policy state. v1 checkpoints cannot load.
+constexpr uint32_t kRunCheckpointVersion = 2;
 
 std::string CheckpointPath(const CheckpointOptions& checkpoint) {
   return checkpoint.directory + "/" + checkpoint.filename;

@@ -12,17 +12,41 @@ namespace edsr::core {
 using cl::MemoryEntry;
 using tensor::Tensor;
 
+namespace {
+
+// Options spec wins over the context's; empty means "use the default".
+std::unique_ptr<cl::DataSelector> ResolveSelector(
+    const cl::StrategyContext& context, const EdsrOptions& options) {
+  const std::string& spec = !options.selector_spec.empty()
+                                ? options.selector_spec
+                                : context.selector_spec;
+  if (spec.empty()) {
+    return std::make_unique<cl::HighEntropySelector>(options.entropy_mode,
+                                                     options.pca_components);
+  }
+  util::Result<std::unique_ptr<cl::DataSelector>> selector =
+      cl::SelectorRegistry::Global().Create(spec);
+  return std::move(selector).ValueOrDie();
+}
+
+std::unique_ptr<cl::RetrievalPolicy> ResolveRetrieval(
+    const cl::StrategyContext& context, const EdsrOptions& options) {
+  return cl::MakeRetrievalOrDie(!options.retrieval_spec.empty()
+                                    ? options.retrieval_spec
+                                    : context.retrieval_spec);
+}
+
+}  // namespace
+
 Edsr::Edsr(const cl::StrategyContext& context, const EdsrOptions& options)
-    : Edsr(context, options,
-           std::make_unique<cl::HighEntropySelector>(options.entropy_mode,
-                                                     options.pca_components),
-           "edsr") {}
+    : Edsr(context, options, ResolveSelector(context, options), "edsr") {}
 
 Edsr::Edsr(const cl::StrategyContext& context, const EdsrOptions& options,
            std::unique_ptr<cl::DataSelector> selector, std::string name)
     : cl::Cassle(context, cl::CassleOptions{}, std::move(name)),
       options_(options),
       selector_(std::move(selector)),
+      retrieval_(ResolveRetrieval(context, options)),
       memory_(context.memory_per_task) {
   EDSR_CHECK(selector_ != nullptr);
 }
@@ -51,8 +75,11 @@ Tensor Edsr::ReplayLoss(const data::Task& task) {
   if (memory_.empty() || options_.replay_mode == ReplayLossMode::kNone) {
     return Tensor();
   }
+  // The retrieval policy decides *which* stored samples replay this batch
+  // (uniform reproduces the original SampleIndices draw bit-for-bit).
   std::vector<int64_t> replay =
-      memory_.SampleIndices(context_.replay_batch_size, &rng_);
+      DrawReplay(memory_, retrieval_.get(), context_.replay_batch_size,
+                 encoder_->has_input_heads() ? task.task_id : -1);
   Tensor total;
   int64_t total_count = 0;
   if (encoder_->has_input_heads()) {
@@ -122,52 +149,17 @@ Tensor Edsr::GroupReplayLoss(const data::Task& task,
 void Edsr::SaveExtra(io::BufferWriter* out) const {
   cl::Cassle::SaveExtra(out);
   memory_.Serialize(out);
+  // Name-tagged so a checkpoint written under one selector/policy pairing
+  // can never silently feed another.
+  cl::SaveSelectorState(*selector_, out);
+  cl::SavePolicyState(*retrieval_, out);
 }
 
 util::Status Edsr::LoadExtra(io::BufferReader* in) {
   EDSR_RETURN_NOT_OK(cl::Cassle::LoadExtra(in));
-  return memory_.Deserialize(in);
-}
-
-std::vector<double> Edsr::AugmentationVariance(const data::Task& task) {
-  EDSR_TRACE_SPAN("augmentation_variance");
-  int64_t n = task.train.size();
-  int64_t d = encoder_->representation_dim();
-  int64_t views = std::max<int64_t>(2, options_.variance_views);
-  std::vector<double> sum(n * d, 0.0);
-  std::vector<double> sum_sq(n * d, 0.0);
-  // Variance scoring only reads representations; forwards stay graph-free.
-  tensor::NoGradGuard no_grad;
-  bool was_training = encoder_->training();
-  encoder_->SetTraining(false);
-  std::vector<int64_t> all(n);
-  for (int64_t i = 0; i < n; ++i) all[i] = i;
-  for (int64_t v = 0; v < views; ++v) {
-    for (int64_t start = 0; start < n; start += 64) {
-      int64_t count = std::min<int64_t>(64, n - start);
-      std::vector<int64_t> chunk(all.begin() + start,
-                                 all.begin() + start + count);
-      Tensor reps = encoder_->Forward(View(task.train, chunk));
-      for (int64_t k = 0; k < count; ++k) {
-        for (int64_t j = 0; j < d; ++j) {
-          double value = reps.at(k, j);
-          sum[(start + k) * d + j] += value;
-          sum_sq[(start + k) * d + j] += value * value;
-        }
-      }
-    }
-  }
-  encoder_->SetTraining(was_training);
-  std::vector<double> variance(n, 0.0);
-  for (int64_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (int64_t j = 0; j < d; ++j) {
-      double mean = sum[i * d + j] / views;
-      acc += std::max(0.0, sum_sq[i * d + j] / views - mean * mean);
-    }
-    variance[i] = acc / d;
-  }
-  return variance;
+  EDSR_RETURN_NOT_OK(memory_.Deserialize(in));
+  EDSR_RETURN_NOT_OK(cl::LoadSelectorState(selector_.get(), in));
+  return cl::LoadPolicyState(retrieval_.get(), in);
 }
 
 void Edsr::OnIncrementEnd(const data::Task& task) {
@@ -183,9 +175,16 @@ void Edsr::OnIncrementEnd(const data::Task& task) {
   cl::SelectionContext selection;
   selection.representations = &reps;
   if (selector_->needs_augmentation_variance()) {
-    selection.augmentation_variance = AugmentationVariance(task);
+    selection.augmentation_variance =
+        AugmentationVariance(task, options_.variance_views);
   }
-  std::vector<int64_t> picks = selector_->Select(selection, budget, &rng_);
+  eval::RepresentationMatrix gradients;
+  if (selector_->needs_gradient_features()) {
+    gradients = GradientFeatures(task);
+    selection.gradient_features = &gradients;
+  }
+  std::vector<int64_t> picks =
+      cl::RunSelection(selector_.get(), selection, budget, &rng_);
 
   std::vector<MemoryEntry> entries;
   entries.reserve(picks.size());
@@ -196,6 +195,9 @@ void Edsr::OnIncrementEnd(const data::Task& task) {
     entry.task_id = task.task_id;
     entry.source_index = pick;
     entry.label = task.train.Label(pick);
+    // Write-time representation: the drift anchor for retrieval policies.
+    const float* rep = reps.Row(pick);
+    entry.stored_representation.assign(rep, rep + reps.d);
     if (options_.replay_mode == ReplayLossMode::kRpl &&
         options_.noise_neighbors > 0) {
       entry.noise_scale = KnnNoiseScale(reps, pick, options_.noise_neighbors);

@@ -21,9 +21,11 @@
 #define EDSR_SRC_CORE_EDSR_H_
 
 #include <memory>
+#include <string>
 
 #include "src/cl/cassle.h"
 #include "src/cl/memory.h"
+#include "src/cl/retrieval.h"
 #include "src/cl/selection.h"
 
 namespace edsr::core {
@@ -41,24 +43,32 @@ struct EdsrOptions {
   int64_t noise_neighbors = 10;
   // Weight of the replay term (the ½ in §III-C).
   float replay_weight = 0.5f;
-  // High-entropy selector settings (used when no custom selector is given).
+  // High-entropy selector settings (used when no selector spec is given).
   cl::HighEntropySelector::Mode entropy_mode =
       cl::HighEntropySelector::Mode::kPcaLeverage;
   int64_t pca_components = 8;
   // Augmented views drawn per sample when a selector needs view variance.
   int64_t variance_views = 4;
+  // Registry specs ("name[:key=value,...]"). Resolution order: these, then
+  // the StrategyContext's specs, then the defaults (high-entropy selection,
+  // uniform retrieval). Invalid specs abort at construction; validate via
+  // SelectorRegistry/RetrievalRegistry::Create first for a clean error.
+  std::string selector_spec;
+  std::string retrieval_spec;
 };
 
 class Edsr : public cl::Cassle {
  public:
-  // Default: high-entropy selection.
+  // Selector resolved from options.selector_spec / context.selector_spec
+  // (default: high-entropy selection).
   Edsr(const cl::StrategyContext& context, const EdsrOptions& options = {});
-  // Custom selector (Table V's selection ablation).
+  // Custom selector instance (Table V's selection ablation).
   Edsr(const cl::StrategyContext& context, const EdsrOptions& options,
        std::unique_ptr<cl::DataSelector> selector, std::string name);
 
   const cl::MemoryBuffer& memory() const { return memory_; }
   const cl::DataSelector& selector() const { return *selector_; }
+  const cl::RetrievalPolicy& retrieval() const { return *retrieval_; }
   const EdsrOptions& options() const { return options_; }
 
  protected:
@@ -80,11 +90,10 @@ class Edsr : public cl::Cassle {
   // replay loss.
   tensor::Tensor GroupReplayLoss(const data::Task& task,
                                  const std::vector<int64_t>& entry_indices);
-  // Per-sample variance of augmented-view representations (MinVar support).
-  std::vector<double> AugmentationVariance(const data::Task& task);
 
   EdsrOptions options_;
   std::unique_ptr<cl::DataSelector> selector_;
+  std::unique_ptr<cl::RetrievalPolicy> retrieval_;
   cl::MemoryBuffer memory_;
 };
 

@@ -78,12 +78,14 @@ util::Status ParseMemoryEntries(io::BufferReader* in, int64_t input_dim,
     int64_t label = 0;
     std::vector<float> noise_scale;
     std::vector<float> stored_output;
+    std::vector<float> stored_representation;
     EDSR_RETURN_NOT_OK(in->ReadFloats(&row));
     EDSR_RETURN_NOT_OK(in->ReadI64(&task_id));
     EDSR_RETURN_NOT_OK(in->ReadI64(&source_index));
     EDSR_RETURN_NOT_OK(in->ReadI64(&label));
     EDSR_RETURN_NOT_OK(in->ReadFloats(&noise_scale));
     EDSR_RETURN_NOT_OK(in->ReadFloats(&stored_output));
+    EDSR_RETURN_NOT_OK(in->ReadFloats(&stored_representation));
     if (static_cast<int64_t>(row.size()) != input_dim) {
       return util::Status::IoError(
           "memory entry " + std::to_string(i) + " has " +
@@ -122,6 +124,16 @@ void ParseMemoryFromExtra(const std::vector<uint8_t>& extra, int64_t input_dim,
     if (!ParseMemoryEntries(&in, input_dim, &staged_features, &staged_labels)
              .ok()) {
       return false;
+    }
+    // Replay strategies append name-tagged, length-prefixed selector /
+    // retrieval-policy state after the memory (Save{Selector,Policy}State);
+    // serving doesn't use it, so skip each blob.
+    while (!in.AtEnd()) {
+      std::string state_name;
+      uint64_t state_size = 0;
+      if (!in.ReadString(&state_name).ok()) return false;
+      if (!in.ReadU64(&state_size).ok()) return false;
+      if (!in.Skip(state_size).ok()) return false;
     }
     if (!in.ExpectEnd().ok()) return false;
     *features = std::move(staged_features);

@@ -67,6 +67,38 @@ TEST(MemoryBuffer, GatherFeaturesShape) {
   EXPECT_FLOAT_EQ(batch.at(1, 2), 1.5f);
 }
 
+TEST(MemoryBuffer, SerializeRoundTripsEverySideChannel) {
+  MemoryBuffer buffer(2);
+  MemoryEntry a = MakeEntry(0, 1.0f);
+  a.source_index = 7;
+  a.noise_scale = {0.5f, 0.25f, 0.125f};
+  a.stored_output = {1.0f, -1.0f};
+  a.stored_representation = {0.3f, -0.6f, 0.9f, 1.2f};
+  MemoryEntry b = MakeEntry(0, 2.0f);
+  buffer.AddIncrement({a, b});
+
+  io::BufferWriter out;
+  buffer.Serialize(&out);
+  MemoryBuffer restored(2);
+  io::BufferReader in(out.bytes());
+  ASSERT_TRUE(restored.Deserialize(&in).ok());
+  ASSERT_TRUE(in.ExpectEnd().ok());
+
+  ASSERT_EQ(restored.size(), buffer.size());
+  for (int64_t i = 0; i < buffer.size(); ++i) {
+    const MemoryEntry& x = buffer.entry(i);
+    const MemoryEntry& y = restored.entry(i);
+    EXPECT_EQ(y.features, x.features) << "entry " << i;
+    EXPECT_EQ(y.task_id, x.task_id) << "entry " << i;
+    EXPECT_EQ(y.source_index, x.source_index) << "entry " << i;
+    EXPECT_EQ(y.label, x.label) << "entry " << i;
+    EXPECT_EQ(y.noise_scale, x.noise_scale) << "entry " << i;
+    EXPECT_EQ(y.stored_output, x.stored_output) << "entry " << i;
+    EXPECT_EQ(y.stored_representation, x.stored_representation)
+        << "entry " << i;
+  }
+}
+
 TEST(MemoryBuffer, GroupByTaskPartitions) {
   MemoryBuffer buffer(2);
   buffer.AddIncrement({MakeEntry(0, 1, 2), MakeEntry(0, 2, 2)});

@@ -93,6 +93,8 @@ void ExpectSameMemory(const cl::MemoryBuffer& actual,
     EXPECT_EQ(y.label, x.label) << "entry " << i;
     EXPECT_EQ(y.noise_scale, x.noise_scale) << "entry " << i;
     EXPECT_EQ(y.stored_output, x.stored_output) << "entry " << i;
+    EXPECT_EQ(y.stored_representation, x.stored_representation)
+        << "entry " << i;
   }
 }
 
@@ -166,6 +168,42 @@ TEST(Resume, EdsrResumesBitIdenticalToStraightRun) {
     RunContinual(&interrupted, resumed_seq, eval_options, until_kill);
   }
   core::Edsr resumed(TinyContext(9));
+  ContinualRunResult continued{eval::AccuracyMatrix(kTasks)};
+  ResumeContinual(&resumed, resumed_seq, eval_options, checkpoint, &continued)
+      .Check();
+
+  ExpectSameMatrix(continued.matrix, reference.matrix);
+  ExpectSameMemory(resumed.memory(), straight.memory());
+  EXPECT_EQ(StateValues(*resumed.encoder()), StateValues(*straight.encoder()));
+  std::remove((checkpoint.directory + "/run.ckpt").c_str());
+}
+
+TEST(Resume, StatefulSelectorAndPolicyResumeBitIdentical) {
+  // The gradient-affinity selector carries a cross-increment reference
+  // gradient and max-loss retrieval ranks by representation drift: both
+  // read state through SaveExtra/LoadExtra, so an interrupted run only
+  // matches the straight one if that state round-trips exactly.
+  const int64_t kTasks = 4;
+  const EvalOptions eval_options;
+  StrategyContext context = TinyContext(9);
+  context.selector_spec = "gradient-affinity";
+  context.retrieval_spec = "max-loss";
+
+  TaskSequence straight_seq = TinySequence(21, kTasks);
+  core::Edsr straight(context);
+  ContinualRunResult reference =
+      RunContinual(&straight, straight_seq, eval_options);
+
+  TaskSequence resumed_seq = TinySequence(21, kTasks);
+  CheckpointOptions checkpoint;
+  checkpoint.directory = TestDir("edsr_stateful_resume");
+  {
+    core::Edsr interrupted(context);
+    CheckpointOptions until_kill = checkpoint;
+    until_kill.stop_after_increment = 1;
+    RunContinual(&interrupted, resumed_seq, eval_options, until_kill);
+  }
+  core::Edsr resumed(context);
   ContinualRunResult continued{eval::AccuracyMatrix(kTasks)};
   ResumeContinual(&resumed, resumed_seq, eval_options, checkpoint, &continued)
       .Check();

@@ -222,14 +222,226 @@ TEST(HighEntropyLogDet, CoversDirectionsNotJustNorms) {
   EXPECT_EQ(norm_set, (std::set<int64_t>{0, 1}));
 }
 
-TEST(MakeSelector, AllKindsConstruct) {
-  using cl::SelectorKind;
-  EXPECT_EQ(cl::MakeSelector(SelectorKind::kRandom)->name(), "random");
-  EXPECT_EQ(cl::MakeSelector(SelectorKind::kDistant)->name(), "distant");
-  EXPECT_EQ(cl::MakeSelector(SelectorKind::kKMeans)->name(), "kmeans");
-  EXPECT_EQ(cl::MakeSelector(SelectorKind::kMinVar)->name(), "minvar");
-  EXPECT_EQ(cl::MakeSelector(SelectorKind::kHighEntropy)->name(),
+// ---- Registry + shared-contract property suite ----------------------------
+
+// A context carrying every optional signal, so the suite below can drive any
+// registered selector regardless of what it declares it needs.
+SelectionContext FullContext(const RepresentationMatrix& reps,
+                             const RepresentationMatrix& grads) {
+  SelectionContext context;
+  context.representations = &reps;
+  context.augmentation_variance.resize(reps.n);
+  for (int64_t i = 0; i < reps.n; ++i) {
+    context.augmentation_variance[i] = 0.1 + 0.01 * static_cast<double>(i);
+  }
+  context.gradient_features = &grads;
+  return context;
+}
+
+std::unique_ptr<DataSelector> MustCreate(const std::string& spec) {
+  util::Result<std::unique_ptr<DataSelector>> selector =
+      cl::SelectorRegistry::Global().Create(spec);
+  EXPECT_TRUE(selector.ok()) << spec << ": " << selector.status().message();
+  return std::move(selector).ValueOrDie();
+}
+
+TEST(SelectorRegistry, EveryBuiltinConstructsByName) {
+  std::vector<std::string> names = cl::SelectorRegistry::Global().Names();
+  ASSERT_GE(names.size(), 7u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(cl::SelectorRegistry::Global().Contains(name));
+    EXPECT_EQ(MustCreate(name)->name(), name);
+  }
+}
+
+TEST(SelectorRegistry, UnknownNameListsRegisteredEntries) {
+  util::Result<std::unique_ptr<DataSelector>> result =
+      cl::SelectorRegistry::Global().Create("no-such-selector");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("no-such-selector"),
+            std::string::npos);
+  for (const std::string& name : cl::SelectorRegistry::Global().Names()) {
+    EXPECT_NE(result.status().message().find(name), std::string::npos)
+        << "error must list " << name;
+  }
+}
+
+TEST(SelectorRegistry, ParameterizedSpecsConstruct) {
+  EXPECT_EQ(MustCreate("kmeans:iters=3")->name(), "kmeans");
+  EXPECT_EQ(MustCreate("high-entropy:mode=logdet,components=4")->name(),
             "high-entropy");
+  EXPECT_EQ(MustCreate("gradient-affinity:tau=0.5,kappa=0.1")->name(),
+            "gradient-affinity");
+}
+
+TEST(SelectorRegistry, RejectsUnknownParameter) {
+  util::Result<std::unique_ptr<DataSelector>> result =
+      cl::SelectorRegistry::Global().Create("random:foo=1");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown parameter"),
+            std::string::npos);
+}
+
+TEST(SelectorRegistry, RejectsMalformedSpecs) {
+  EXPECT_FALSE(cl::SelectorRegistry::Global().Create("").ok());
+  EXPECT_FALSE(cl::SelectorRegistry::Global().Create("kmeans:iters").ok());
+  EXPECT_FALSE(cl::SelectorRegistry::Global().Create("kmeans:iters=abc").ok());
+  EXPECT_FALSE(
+      cl::SelectorRegistry::Global().Create("high-entropy:mode=bogus").ok());
+}
+
+TEST(SelectorRegistry, PropertyExactUniqueInRangeForEveryBudget) {
+  RepresentationMatrix reps = ClusteredReps();
+  RepresentationMatrix grads = ClusteredReps();
+  for (const std::string& name : cl::SelectorRegistry::Global().Names()) {
+    std::unique_ptr<DataSelector> selector = MustCreate(name);
+    SelectionContext context = FullContext(reps, grads);
+    for (int64_t budget : {int64_t{0}, int64_t{5}, reps.n, int64_t{100}}) {
+      util::Rng rng(17);
+      std::vector<int64_t> picks =
+          cl::RunSelection(selector.get(), context, budget, &rng);
+      int64_t expected = std::min<int64_t>(std::max<int64_t>(budget, 0),
+                                           reps.n);
+      EXPECT_EQ(static_cast<int64_t>(picks.size()), expected)
+          << name << " at budget " << budget;
+      std::set<int64_t> unique(picks.begin(), picks.end());
+      EXPECT_EQ(unique.size(), picks.size()) << name << " returned duplicates";
+      for (int64_t pick : picks) {
+        EXPECT_GE(pick, 0) << name;
+        EXPECT_LT(pick, reps.n) << name;
+      }
+    }
+  }
+}
+
+TEST(SelectorRegistry, PropertyDeterministicUnderFixedSeed) {
+  RepresentationMatrix reps = ClusteredReps();
+  RepresentationMatrix grads = ClusteredReps();
+  for (const std::string& name : cl::SelectorRegistry::Global().Names()) {
+    std::unique_ptr<DataSelector> a = MustCreate(name);
+    std::unique_ptr<DataSelector> b = MustCreate(name);
+    SelectionContext context = FullContext(reps, grads);
+    util::Rng rng_a(21), rng_b(21);
+    EXPECT_EQ(cl::RunSelection(a.get(), context, 6, &rng_a),
+              cl::RunSelection(b.get(), context, 6, &rng_b))
+        << name << " must be deterministic under a fixed seed";
+  }
+}
+
+// ---- RunSelection edge-case contract --------------------------------------
+
+class StubSelector : public DataSelector {
+ public:
+  explicit StubSelector(std::vector<int64_t> raw) : raw_(std::move(raw)) {}
+  std::vector<int64_t> Select(const SelectionContext&, int64_t,
+                              util::Rng*) override {
+    return raw_;
+  }
+  std::string name() const override { return "stub"; }
+
+ private:
+  std::vector<int64_t> raw_;
+};
+
+TEST(RunSelection, DropsDuplicatesAndPadsShortReturns) {
+  RepresentationMatrix reps = ClusteredReps();
+  SelectionContext context{&reps, {}, nullptr};
+  StubSelector stub({2, 2, 5});
+  util::Rng rng(30);
+  EXPECT_EQ(cl::RunSelection(&stub, context, 4, &rng),
+            (std::vector<int64_t>{2, 5, 0, 1}));
+}
+
+TEST(RunSelection, BudgetCoveringDataSkipsTheSelector) {
+  RepresentationMatrix reps = MakeReps({1, 2, 3, 4}, 2, 2);
+  SelectionContext context{&reps, {}, nullptr};
+  // Out-of-range stub: would abort if RunSelection consulted it.
+  StubSelector stub({-1});
+  util::Rng rng(31);
+  EXPECT_EQ(cl::RunSelection(&stub, context, 2, &rng),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(cl::RunSelection(&stub, context, 9, &rng),
+            (std::vector<int64_t>{0, 1}));
+}
+
+TEST(RunSelection, NonPositiveBudgetIsEmpty) {
+  RepresentationMatrix reps = ClusteredReps();
+  SelectionContext context{&reps, {}, nullptr};
+  StubSelector stub({0});
+  util::Rng rng(32);
+  EXPECT_TRUE(cl::RunSelection(&stub, context, 0, &rng).empty());
+  EXPECT_TRUE(cl::RunSelection(&stub, context, -3, &rng).empty());
+}
+
+TEST(RunSelection, OutOfRangePickAborts) {
+  RepresentationMatrix reps = ClusteredReps();
+  SelectionContext context{&reps, {}, nullptr};
+  StubSelector stub({99});
+  util::Rng rng(33);
+  EXPECT_DEATH(cl::RunSelection(&stub, context, 2, &rng), "out-of-range");
+}
+
+// ---- Stateful-selector checkpointing --------------------------------------
+
+TEST(GradientAffinitySelector, StateRoundTripsThroughSerialize) {
+  RepresentationMatrix reps = ClusteredReps();
+  RepresentationMatrix grads = ClusteredReps();
+  SelectionContext context = FullContext(reps, grads);
+
+  cl::GradientAffinitySelector original;
+  util::Rng rng(40);
+  cl::RunSelection(&original, context, 5, &rng);
+  ASSERT_GT(original.reference_count(), 0);
+
+  io::BufferWriter out;
+  cl::SaveSelectorState(original, &out);
+  cl::GradientAffinitySelector restored;
+  io::BufferReader in(out.bytes());
+  ASSERT_TRUE(cl::LoadSelectorState(&restored, &in).ok());
+  ASSERT_TRUE(in.ExpectEnd().ok());
+  EXPECT_EQ(restored.reference_count(), original.reference_count());
+
+  // The restored selector must continue exactly like the original.
+  util::Rng rng_a(41), rng_b(41);
+  EXPECT_EQ(cl::RunSelection(&original, context, 5, &rng_a),
+            cl::RunSelection(&restored, context, 5, &rng_b));
+}
+
+TEST(SelectorState, NameMismatchIsRejected) {
+  cl::RandomSelector random;
+  io::BufferWriter out;
+  cl::SaveSelectorState(random, &out);
+  cl::KMeansSelector kmeans;
+  io::BufferReader in(out.bytes());
+  util::Status status = cl::LoadSelectorState(&kmeans, &in);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("random"), std::string::npos);
+  EXPECT_NE(status.message().find("kmeans"), std::string::npos);
+}
+
+// ---- New selectors --------------------------------------------------------
+
+TEST(GradientAffinitySelector, RequiresGradientFeatures) {
+  cl::GradientAffinitySelector selector;
+  EXPECT_TRUE(selector.needs_gradient_features());
+  RepresentationMatrix reps = ClusteredReps();
+  SelectionContext context{&reps, {}, nullptr};
+  util::Rng rng(50);
+  EXPECT_DEATH(selector.Select(context, 2, &rng), "gradient");
+}
+
+TEST(ComplementarySelector, SpansClustersInsteadOfStackingOne) {
+  // Facility-location coverage: with two tight clusters and budget 2, the
+  // picks must come from different clusters.
+  RepresentationMatrix reps = ClusteredReps();
+  SelectionContext context{&reps, {}, nullptr};
+  cl::ComplementarySelector selector;
+  util::Rng rng(51);
+  std::vector<int64_t> picks = selector.Select(context, 2, &rng);
+  ASSERT_EQ(picks.size(), 2u);
+  auto cluster = [](int64_t i) { return (i == 20 || i < 10) ? 0 : 1; };
+  EXPECT_NE(cluster(picks[0]), cluster(picks[1]))
+      << "complementary picks must cover both clusters";
 }
 
 }  // namespace
