@@ -6,13 +6,16 @@
 //                     [--selector <name[:key=value,...]>] [--retrieval <name>]
 //                     [--checkpoint_dir <dir>] [--resume]
 //                     [--metrics_out <file.jsonl>] [--trace_out <file.json>]
+//                     [--list]
 //
 // Flags accept both `--flag value` and `--flag=value`. --method restricts
 // the comparison to one strategy; --epochs overrides the per-increment
 // epoch count (the CI telemetry check runs a 2-epoch miniature).
 // --selector/--retrieval override the replay strategies' data-selection and
 // replay-retrieval specs through SelectorRegistry / RetrievalRegistry; an
-// unknown name fails up front with the list of registered entries.
+// unknown name fails up front with the list of registered entries. --list
+// prints every registered selector, retrieval policy, stream transform,
+// cycle trigger, and image preset, then exits.
 //
 // With --checkpoint_dir, each method writes an atomic run snapshot after
 // every increment under <dir>/<method>/run.ckpt; --resume picks a killed
@@ -36,6 +39,8 @@
 #include "src/data/synthetic.h"
 #include "src/obs/run_record.h"
 #include "src/obs/trace.h"
+#include "src/stream/transform.h"
+#include "src/stream/trigger.h"
 #include "src/util/logging.h"
 
 namespace {
@@ -55,6 +60,31 @@ bool ParseFlag(int argc, char** argv, int* i, const char* name,
     return true;
   }
   return false;
+}
+
+// `--list`: every string-keyed registry a spec flag can name.
+void PrintRegistries() {
+  using namespace edsr;
+  std::printf("selectors:\n");
+  for (const std::string& name : cl::SelectorRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("retrieval policies:\n");
+  for (const std::string& name : cl::RetrievalRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("stream transforms:\n");
+  for (const std::string& name : stream::StreamRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("cycle triggers:\n");
+  for (const std::string& name : stream::TriggerRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("image presets:\n");
+  for (const std::string& name : data::ImagePresetNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
 }
 
 }  // namespace
@@ -82,6 +112,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--resume") == 0) {
       resume = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      PrintRegistries();
+      return 0;
     } else {
       seed = std::strtoull(argv[i], nullptr, 10);
     }

@@ -6,10 +6,13 @@
 //
 //   ./selection_demo [--metrics_out <file.jsonl>] [--trace_out <file.json>]
 //                    [--selector <name[:key=value,...]>] [--retrieval <name>]
+//                    [--list]
 //
 // Selectors and retrieval policies are enumerated from SelectorRegistry /
 // RetrievalRegistry; --selector/--retrieval restrict the demo to one entry
-// (an unknown name fails with the registry's list of valid names).
+// (an unknown name fails with the registry's list of valid names). --list
+// prints every registered selector, retrieval policy, stream transform,
+// cycle trigger, and image preset, then exits.
 // --metrics_out appends one "selection" record per selector (name, entropy
 // trace, picked indices, class coverage); --trace_out enables trace spans
 // and writes a Chrome trace-event file. Both validate with
@@ -30,6 +33,8 @@
 #include "src/linalg/eigen.h"
 #include "src/obs/run_record.h"
 #include "src/obs/trace.h"
+#include "src/stream/transform.h"
+#include "src/stream/trigger.h"
 
 namespace {
 
@@ -50,6 +55,31 @@ bool ParseFlag(int argc, char** argv, int* i, const char* name,
   return false;
 }
 
+// `--list`: every string-keyed registry a spec flag can name.
+void PrintRegistries() {
+  using namespace edsr;
+  std::printf("selectors:\n");
+  for (const std::string& name : cl::SelectorRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("retrieval policies:\n");
+  for (const std::string& name : cl::RetrievalRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("stream transforms:\n");
+  for (const std::string& name : stream::StreamRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("cycle triggers:\n");
+  for (const std::string& name : stream::TriggerRegistry::Global().Names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("image presets:\n");
+  for (const std::string& name : data::ImagePresetNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +95,10 @@ int main(int argc, char** argv) {
         ParseFlag(argc, argv, &i, "--selector", &selector_spec) ||
         ParseFlag(argc, argv, &i, "--retrieval", &retrieval_spec)) {
       continue;
+    }
+    if (std::strcmp(argv[i], "--list") == 0) {
+      PrintRegistries();
+      return 0;
     }
     std::fprintf(stderr, "unknown argument %s\n", argv[i]);
     return 1;

@@ -16,13 +16,24 @@ Reads the "selection_matrix" records emitted by examples/selection_matrix
 
 --by cell prints every raw cell instead of aggregating.
 
-Exits 1 if the file holds no selection_matrix records.
+A record missing a required field (a truncated line or an older schema)
+fails with the line number and the fields that are absent, and a matrix
+whose (selector, retrieval, preset, budget) cross-product is incomplete — a
+killed sweep — gets each missing cell reported readably on stderr instead
+of a bare KeyError mid-table.
+
+Exits 1 if the file holds no selection_matrix records or a record is
+malformed.
 """
 
 import argparse
+import itertools
 import json
 import sys
 from collections import defaultdict
+
+REQUIRED_FIELDS = ("selector", "retrieval", "preset", "budget",
+                   "final_acc", "final_fgt", "trace_cov", "perf")
 
 
 def load_cells(path):
@@ -38,9 +49,42 @@ def load_cells(path):
                 print(f"report_matrix: line {line_no}: invalid JSON: {e}",
                       file=sys.stderr)
                 return None
-            if rec.get("record") == "selection_matrix":
-                cells.append(rec)
+            if rec.get("record") != "selection_matrix":
+                continue
+            missing = [k for k in REQUIRED_FIELDS if k not in rec]
+            if missing:
+                print(f"report_matrix: line {line_no}: selection_matrix "
+                      f"record is missing {', '.join(missing)}",
+                      file=sys.stderr)
+                return None
+            if "train_seconds" not in rec.get("perf", {}):
+                print(f"report_matrix: line {line_no}: perf object is "
+                      f"missing train_seconds", file=sys.stderr)
+                return None
+            cells.append(rec)
     return cells
+
+
+def report_missing_cells(cells):
+    """Warn (readably) about holes in the selector x retrieval x preset x
+    budget cross-product — the signature of a sweep killed mid-matrix."""
+    seen = {(c["selector"], c["retrieval"], c["preset"], c["budget"])
+            for c in cells}
+    selectors = sorted({c["selector"] for c in cells})
+    retrievals = sorted({c["retrieval"] for c in cells})
+    presets = sorted({c["preset"] for c in cells})
+    budgets = sorted({c["budget"] for c in cells})
+    missing = [cell for cell in itertools.product(selectors, retrievals,
+                                                  presets, budgets)
+               if cell not in seen]
+    for selector, retrieval, preset, budget in missing:
+        print(f"report_matrix: missing cell (selector={selector}, "
+              f"retrieval={retrieval}, preset={preset}, budget={budget})",
+              file=sys.stderr)
+    if missing:
+        print(f"report_matrix: matrix is incomplete — {len(missing)} of "
+              f"{len(seen) + len(missing)} cells absent; aggregates below "
+              f"cover only the finished cells", file=sys.stderr)
 
 
 def mean(values):
@@ -97,6 +141,7 @@ def main():
     print(f"{args.matrix}: {len(cells)} cells "
           f"(presets={','.join(presets)} "
           f"budgets={','.join(str(b) for b in budgets)})")
+    report_missing_cells(cells)
 
     if args.by == "cell":
         for c in sorted(cells, key=lambda c: (c["preset"], c["budget"],

@@ -7,8 +7,11 @@ Usage:
 RUN.jsonl is the --metrics_out run-record stream (DESIGN.md §6): one JSON
 object per line, record types "run" / "epoch" / "increment", plus the
 standalone kinds "selection" (selection_demo: one record per selector),
-"selection_matrix" (selection_matrix: one record per experiment cell), and
-"serve" (serve_embeddings: one record per serving session). The validator
+"selection_matrix" (selection_matrix: one record per experiment cell),
+"serve" (serve_embeddings: one record per serving session), and "stream"
+(stream_continual: one record per boundary-free consolidation cycle, with
+monotonic cycle indices per (strategy, stream, trigger) cell, a non-empty
+trigger cause, and ID/OOD accuracies in [0, 1]). The validator
 checks the schema of every record, the sequencing (a "run" header opens each
 run; its declared increment and epoch counts match what follows), the paper
 quantities (loss_components carries L_css everywhere and L_rpl for EDSR
@@ -233,9 +236,62 @@ def validate_serve(rec, raw_line, line_no):
             "serve record does not end with the perf object")
 
 
+def validate_stream(rec, raw_line, line_no, stream_cells):
+    """A stream_continual record: one boundary-free consolidation cycle.
+    `stream_cells` maps (strategy, stream, trigger) -> expected next cycle
+    and last cumulative sample count, so indices stay monotonic per cell."""
+    require_keys(rec, ["strategy", "stream", "trigger", "cycle", "cause",
+                       "samples", "micro_batches", "total_samples", "loss",
+                       "drift", "buffer", "accuracy", "perf"], line_no)
+    for key in ("strategy", "stream", "trigger", "cause"):
+        require(isinstance(rec[key], str) and rec[key], line_no,
+                f"{key} is not a non-empty string")
+    cell = (rec["strategy"], rec["stream"], rec["trigger"])
+    expected_cycle, last_total = stream_cells.get(cell, (0, 0))
+    require(rec["cycle"] == expected_cycle, line_no,
+            f"stream cycle {rec['cycle']} out of order for cell {cell} "
+            f"(expected {expected_cycle})")
+    for key in ("samples", "micro_batches"):
+        require(is_num(rec[key]) and rec[key] > 0, line_no,
+                f"{key} is not a positive number")
+    require(is_num(rec["total_samples"]) and
+            rec["total_samples"] == last_total + rec["samples"], line_no,
+            f"total_samples {rec['total_samples']} does not accumulate "
+            f"(previous {last_total} + samples {rec['samples']})")
+    stream_cells[cell] = (expected_cycle + 1, rec["total_samples"])
+    require(is_num(rec["loss"]), line_no, "loss is not a number")
+    # drift is the fire-time probe value; negative means never probed (count
+    # triggers, cold-start cycles without buffer anchors).
+    require(is_num(rec["drift"]), line_no, "drift is not a number")
+    buffer = rec["buffer"]
+    require(isinstance(buffer, dict), line_no, "buffer is not an object")
+    require_keys(buffer, ["size", "entropy"], line_no)
+    require(is_num(buffer["size"]) and buffer["size"] >= 0, line_no,
+            "buffer size is not a non-negative number")
+    require(is_num(buffer["entropy"]) and buffer["entropy"] >= 0.0, line_no,
+            "buffer composition entropy is negative")
+    accuracy = rec["accuracy"]
+    require(isinstance(accuracy, dict), line_no, "accuracy is not an object")
+    require("id" in accuracy, line_no, "accuracy missing the ID probe")
+    for key, value in accuracy.items():
+        require(is_num(value) and 0.0 <= value <= 1.0, line_no,
+                f"accuracy {key!r} must lie in [0, 1]")
+    perf = rec["perf"]
+    require(isinstance(perf, dict), line_no, "perf is not an object")
+    require_keys(perf, ["train_seconds", "eval_seconds"], line_no)
+    # Same determinism contract as increment/serve records: perf is the only
+    # machine-dependent sub-object and must close the record.
+    require(list(rec.keys())[-1] == "perf", line_no,
+            "perf must be the last key of a stream record")
+    require(raw_line.rstrip().endswith("}}"), line_no,
+            "stream record does not end with the perf object")
+
+
 def validate_run_records(path):
     runs = []
-    standalone = {"selection": 0, "selection_matrix": 0, "serve": 0}
+    standalone = {"selection": 0, "selection_matrix": 0, "serve": 0,
+                  "stream": 0}
+    stream_cells = {}
     current = None
     line_no = 0
     with open(path, "r", encoding="utf-8") as f:
@@ -272,6 +328,9 @@ def validate_run_records(path):
             elif kind == "serve":
                 validate_serve(rec, raw, line_no)
                 standalone["serve"] += 1
+            elif kind == "stream":
+                validate_stream(rec, raw, line_no, stream_cells)
+                standalone["stream"] += 1
             else:
                 raise ValidationError(
                     f"line {line_no}: unknown record type {kind!r}")

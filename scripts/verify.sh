@@ -53,6 +53,38 @@ ctest --test-dir build -L serve --output-on-failure
     --metrics_out="${TELEM_DIR}/serve.jsonl" >/dev/null
 python3 scripts/validate_telemetry.py "${TELEM_DIR}/serve.jsonl"
 
+echo "== stream: test label + boundary-free smoke =="
+ctest --test-dir build -L stream --output-on-failure
+# End-to-end: a dirty (imbalance + label-noise) stream through both trigger
+# kinds with an OOD probe, then a mid-stream kill (stop_after_cycle) resumed
+# bit-identically — the stripped record streams must match exactly.
+./build/examples/stream_continual --methods edsr --samples 128 \
+    --micro_batch 16 \
+    --streams "SynthCifar10|imbalance:alpha=1.2|label_noise:p=0.2" \
+    --triggers "count:n=48;drift:threshold=0.001,min=32,max=64,check=1" \
+    --metrics_out="${TELEM_DIR}/stream.jsonl" >/dev/null
+python3 scripts/validate_telemetry.py "${TELEM_DIR}/stream.jsonl"
+./build/examples/stream_continual --methods edsr --samples 128 \
+    --micro_batch 16 --triggers "count:n=48" \
+    --metrics_out="${TELEM_DIR}/stream_straight.jsonl" \
+    --checkpoint_dir="${TELEM_DIR}/stream_ckpt_a" >/dev/null
+./build/examples/stream_continual --methods edsr --samples 128 \
+    --micro_batch 16 --triggers "count:n=48" \
+    --metrics_out="${TELEM_DIR}/stream_resumed.jsonl" \
+    --checkpoint_dir="${TELEM_DIR}/stream_ckpt_b" --stop_after_cycle 0 \
+    >/dev/null
+./build/examples/stream_continual --methods edsr --samples 128 \
+    --micro_batch 16 --triggers "count:n=48" \
+    --metrics_out="${TELEM_DIR}/stream_resumed.jsonl" \
+    --checkpoint_dir="${TELEM_DIR}/stream_ckpt_b" --resume >/dev/null
+sed 's/,"perf".*//' "${TELEM_DIR}/stream_straight.jsonl" \
+    > "${TELEM_DIR}/stream_straight.stripped"
+sed 's/,"perf".*//' "${TELEM_DIR}/stream_resumed.jsonl" \
+    > "${TELEM_DIR}/stream_resumed.stripped"
+diff "${TELEM_DIR}/stream_straight.stripped" \
+    "${TELEM_DIR}/stream_resumed.stripped"
+python3 scripts/validate_telemetry.py "${TELEM_DIR}/stream_resumed.jsonl"
+
 echo "== tier 2: sanitize preset (ASan/UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "${JOBS}"

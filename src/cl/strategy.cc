@@ -125,19 +125,7 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
     double epoch_loss = 0.0;
     int64_t batches = 0;
     while (iterator.Next(&batch)) {
-      EDSR_TRACE_SPAN("batch");
-      Tensor view1 = View(task.train, batch);
-      Tensor view2 = View(task.train, batch);
-      optimizer_->ZeroGrad();
-      Tensor batch_loss = ComputeBatchLoss(task, batch, view1, view2);
-      batch_loss.Backward();
-      if (context_.grad_clip > 0.0f) {
-        optim::ClipGradNorm(params, context_.grad_clip);
-      }
-      BeforeOptimizerStep();
-      optimizer_->Step();
-      AfterOptimizerStep();
-      epoch_loss += batch_loss.item();
+      epoch_loss += TrainOnBatch(task, batch, params);
       ++batches;
     }
     EDSR_LOG(Debug) << name_ << " task " << task.task_id << " epoch " << epoch
@@ -163,6 +151,58 @@ void ContinualStrategy::LearnIncrement(const data::Task& task) {
 
   OnIncrementEnd(task);
   ++increments_seen_;
+}
+
+double ContinualStrategy::TrainOnBatch(const data::Task& task,
+                                       const std::vector<int64_t>& batch,
+                                       const std::vector<Tensor>& params) {
+  EDSR_TRACE_SPAN("batch");
+  Tensor view1 = View(task.train, batch);
+  Tensor view2 = View(task.train, batch);
+  optimizer_->ZeroGrad();
+  Tensor batch_loss = ComputeBatchLoss(task, batch, view1, view2);
+  batch_loss.Backward();
+  if (context_.grad_clip > 0.0f) {
+    optim::ClipGradNorm(params, context_.grad_clip);
+  }
+  BeforeOptimizerStep();
+  optimizer_->Step();
+  AfterOptimizerStep();
+  return batch_loss.item();
+}
+
+void ContinualStrategy::StreamBeginCycle(const data::Task& task) {
+  EDSR_TRACE_SPAN("stream_begin_cycle");
+  EDSR_CHECK(!encoder_->has_input_heads())
+      << "task-free streaming requires a homogeneous encoder "
+         "(per-task input heads need a fixed task count)";
+  EDSR_CHECK_GT(task.train.size(), 0)
+      << "stream cycle " << task.task_id << " opened with no samples";
+  views_ = augment::ViewProvider::ForDataset(task.train);
+  encoder_->SetTraining(true);
+  loss_->SetTraining(true);
+  OnIncrementStart(task);
+  stream_params_ = TrainedParameters();
+  BuildOptimizer(stream_params_);
+}
+
+double ContinualStrategy::StreamTrainBatch(const data::Task& task) {
+  EDSR_CHECK(optimizer_ != nullptr && !stream_params_.empty())
+      << "StreamTrainBatch outside an open cycle (call StreamBeginCycle)";
+  EDSR_CHECK_GT(task.train.size(), 1)
+      << "micro-batch too small to train on (needs >= 2 samples)";
+  std::vector<int64_t> batch(task.train.size());
+  std::iota(batch.begin(), batch.end(), 0);
+  return TrainOnBatch(task, batch, stream_params_);
+}
+
+void ContinualStrategy::StreamEndCycle(const data::Task& task) {
+  EDSR_TRACE_SPAN("stream_end_cycle");
+  EDSR_CHECK(!stream_params_.empty())
+      << "StreamEndCycle outside an open cycle (call StreamBeginCycle)";
+  OnIncrementEnd(task);
+  ++increments_seen_;
+  stream_params_.clear();
 }
 
 std::vector<double> ContinualStrategy::AugmentationVariance(

@@ -41,6 +41,23 @@ class ContinualStrategy {
   // Trains on one data increment (the template method).
   void LearnIncrement(const data::Task& task);
 
+  // ---- Task-free streaming (src/stream) ----------------------------------
+  // The boundary-free analogue of LearnIncrement, split into three calls so
+  // a StreamDriver can interleave micro-batch training with trigger checks.
+  // One cycle runs the same hooks in the same order as one LearnIncrement
+  // (OnIncrementStart -> batch steps -> OnIncrementEnd -> ++increments_seen_),
+  // so CaSSLe/EDSR teacher snapshots and selection behave per cycle exactly
+  // as they do per increment. Streaming requires a homogeneous encoder (no
+  // per-task input heads — there is no fixed task count to size heads by).
+  //
+  // StreamBeginCycle: view/hook setup + optimizer (re)build. `task` is the
+  // cycle's first micro-batch (supplies the modality; task_id = cycle).
+  void StreamBeginCycle(const data::Task& task);
+  // One optimizer step over all rows of task.train; returns the batch loss.
+  double StreamTrainBatch(const data::Task& task);
+  // Consolidation over the cycle's full accumulated window (selection etc.).
+  void StreamEndCycle(const data::Task& task);
+
   ssl::Encoder* encoder() { return encoder_.get(); }
   ssl::CsslLoss* loss() { return loss_.get(); }
   optim::Optimizer* optimizer() { return optimizer_.get(); }
@@ -158,7 +175,16 @@ class ContinualStrategy {
     int64_t count = 0;
   };
 
+  // The shared per-batch training step (views -> loss -> backward -> clip ->
+  // step, with the Before/After hooks); returns the batch loss value.
+  double TrainOnBatch(const data::Task& task,
+                      const std::vector<int64_t>& batch,
+                      const std::vector<tensor::Tensor>& params);
+
   std::string name_;
+  // Parameter list of the open streaming cycle (for gradient clipping
+  // between StreamBeginCycle and StreamEndCycle).
+  std::vector<tensor::Tensor> stream_params_;
   obs::RunLogger* run_logger_ = nullptr;
   std::vector<ComponentSum> epoch_components_;
   std::vector<std::pair<std::string, double>> increment_stats_;

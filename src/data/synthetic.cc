@@ -190,6 +190,26 @@ SyntheticImageConfig SynthDomainNetConfig(uint64_t seed) {
   return config;
 }
 
+std::vector<std::string> ImagePresetNames() {
+  return {"SynthCifar10", "SynthCifar100", "SynthTinyImageNet",
+          "SynthDomainNet"};
+}
+
+util::Result<SyntheticImageConfig> ImagePresetConfig(const std::string& name,
+                                                     uint64_t seed) {
+  if (name == "SynthCifar10") return SynthCifar10Config(seed);
+  if (name == "SynthCifar100") return SynthCifar100Config(seed);
+  if (name == "SynthTinyImageNet") return SynthTinyImageNetConfig(seed);
+  if (name == "SynthDomainNet") return SynthDomainNetConfig(seed);
+  std::string known;
+  for (const std::string& preset : ImagePresetNames()) {
+    if (!known.empty()) known += ", ";
+    known += preset;
+  }
+  return util::Status::InvalidArgument("unknown image preset \"" + name +
+                                       "\" (registered: " + known + ")");
+}
+
 SyntheticTabularPair MakeSyntheticTabularData(
     const SyntheticTabularConfig& config) {
   EDSR_CHECK_GT(config.num_features, 0);

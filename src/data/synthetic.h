@@ -17,6 +17,7 @@
 
 #include "src/data/dataset.h"
 #include "src/util/rng.h"
+#include "src/util/status.h"
 
 namespace edsr::data {
 
@@ -60,6 +61,14 @@ SyntheticImageConfig SynthCifar10Config(uint64_t seed);
 SyntheticImageConfig SynthCifar100Config(uint64_t seed);
 SyntheticImageConfig SynthTinyImageNetConfig(uint64_t seed);
 SyntheticImageConfig SynthDomainNetConfig(uint64_t seed);
+
+// String-keyed lookup over the image presets above, so stream specs (and any
+// other text-configured driver) can name a preset the way selector specs name
+// a selector. `ImagePresetNames()` is the canonical ordering; unknown names
+// fail with InvalidArgument listing every valid preset.
+std::vector<std::string> ImagePresetNames();
+util::Result<SyntheticImageConfig> ImagePresetConfig(const std::string& name,
+                                                     uint64_t seed);
 
 struct SyntheticTabularConfig {
   std::string name = "tabular";

@@ -1,0 +1,129 @@
+// StreamDriver: the boundary-free training loop.
+//
+// RunStream replaces the fixed TaskSequence increment loop: it pulls
+// micro-batches from a StreamSource, trains one optimizer step per
+// micro-batch through the strategy's streaming API, and asks a CycleTrigger
+// after every batch whether to close the open cycle. Closing a cycle runs
+// the strategy's consolidation (selection + replay bookkeeping) over the
+// cycle's full sample window, probes ID accuracy on the stream preset's
+// clean held-out split (and optionally an OOD preset's), and emits one
+// "stream" JSONL record.
+//
+// Checkpointing happens at cycle boundaries — the open window is always
+// empty when a snapshot is written, so stream state is exactly: strategy
+// state (SaveTo), source state (rng + emission counter + transform bursts),
+// trigger state, and the driver's counters. ResumeStream restores all of it
+// and continues bit-identically (resume_test idiom: `stop_after_cycle`
+// simulates the kill).
+#ifndef EDSR_SRC_STREAM_DRIVER_H_
+#define EDSR_SRC_STREAM_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cl/memory.h"
+#include "src/cl/strategy.h"
+#include "src/cl/trainer.h"
+#include "src/obs/run_record.h"
+#include "src/stream/source.h"
+#include "src/stream/trigger.h"
+
+namespace edsr::stream {
+
+struct StreamRunOptions {
+  // Samples per micro-batch (one optimizer step each); must be >= 2.
+  int64_t micro_batch = 16;
+  // Total stream length in samples; the driver stops once consumed. A
+  // trailing fragment smaller than 2 samples is never drawn.
+  int64_t total_samples = 512;
+  cl::EvalOptions eval;
+  // Clean held-out split of the stream's preset (required): the ID probe.
+  const data::Task* id_probe = nullptr;
+  // A disjoint preset's held-out split (optional): the OOD probe.
+  const data::Task* ood_probe = nullptr;
+  // The strategy's replay buffer, for drift anchors and composition entropy
+  // (optional; EDSR passes &edsr->memory(). nullptr = no drift signal, so
+  // drift triggers fall back to their `max` ceiling).
+  const cl::MemoryBuffer* memory = nullptr;
+  // Per-cycle "stream" records (not owned; nullptr = no telemetry). The
+  // driver owns record emission — do not also attach the logger to the
+  // strategy, or epoch records from the increment path would interleave.
+  obs::RunLogger* logger = nullptr;
+  // Spec strings recorded in telemetry and validated on resume.
+  std::string stream_spec;
+  std::string trigger_spec;
+  // Cycle-boundary checkpointing; empty directory disables it.
+  std::string checkpoint_directory;
+  std::string checkpoint_filename = "stream.ckpt";
+  // Return (still checkpointed) after this many completed cycles; -1 runs
+  // the stream to the end. Lets tests simulate a mid-stream kill.
+  int64_t stop_after_cycle = -1;
+};
+
+struct StreamCycleResult {
+  int64_t cycle = 0;
+  std::string cause;           // "count" | "drift" | "max" | "end"
+  int64_t samples = 0;         // window size of this cycle
+  int64_t micro_batches = 0;
+  int64_t total_samples = 0;   // cumulative at cycle close
+  double loss = 0.0;           // mean micro-batch loss over the cycle
+  double drift = -1.0;         // fire-time drift signal (-1 = never probed)
+  int64_t buffer_size = 0;
+  double buffer_entropy = 0.0; // Shannon entropy (nats) of buffer labels
+  double id_accuracy = 0.0;
+  double ood_accuracy = -1.0;  // -1 = no OOD probe
+  // Wall-clock (machine-dependent; excluded from resume bit-identity).
+  double train_seconds = 0.0;
+  double eval_seconds = 0.0;
+};
+
+struct StreamRunResult {
+  std::vector<StreamCycleResult> cycles;
+  int64_t total_samples = 0;
+  // False when stop_after_cycle ended the process early.
+  bool finished = false;
+};
+
+// Mean per-dimension squared drift of the buffer's entries between their
+// stored_representation anchors and the current encoder (the MIR signal).
+// Negative when there are no anchors (null or empty buffer).
+double BufferDrift(cl::ContinualStrategy* strategy,
+                   const cl::MemoryBuffer* memory);
+
+// Shannon entropy (nats) of the buffer's label composition; 0 when empty.
+double BufferCompositionEntropy(const cl::MemoryBuffer* memory);
+
+// Drives the whole stream. Fails fast (InvalidArgument) on bad options
+// (micro_batch < 2, missing id_probe).
+util::Result<StreamRunResult> RunStream(cl::ContinualStrategy* strategy,
+                                        StreamSource* source,
+                                        CycleTrigger* trigger,
+                                        const StreamRunOptions& options);
+
+// Restores the snapshot in options.checkpoint_directory into the freshly
+// constructed strategy/source/trigger (same context, same specs) and
+// continues to the end of the stream. Clean Status on missing, truncated,
+// corrupt, or mismatched checkpoints.
+util::Status ResumeStream(cl::ContinualStrategy* strategy,
+                          StreamSource* source, CycleTrigger* trigger,
+                          const StreamRunOptions& options,
+                          StreamRunResult* result);
+
+// Snapshot primitives, exposed for tests. `next_cycle` is the first cycle
+// still to stream.
+util::Status SaveStreamCheckpoint(const std::string& path,
+                                  cl::ContinualStrategy* strategy,
+                                  StreamSource* source, CycleTrigger* trigger,
+                                  const StreamRunOptions& options,
+                                  const StreamRunResult& result,
+                                  int64_t next_cycle);
+util::Status LoadStreamCheckpoint(const std::string& path,
+                                  cl::ContinualStrategy* strategy,
+                                  StreamSource* source, CycleTrigger* trigger,
+                                  const StreamRunOptions& options,
+                                  StreamRunResult* result,
+                                  int64_t* next_cycle);
+
+}  // namespace edsr::stream
+
+#endif  // EDSR_SRC_STREAM_DRIVER_H_

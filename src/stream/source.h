@@ -1,0 +1,94 @@
+// StreamSource: the boundary-free sample feed behind a StreamDriver.
+//
+// A source wraps a base Dataset and a chain of StreamTransforms. Samples
+// are drawn i.i.d.: first a class from the categorical distribution formed
+// by multiplying every stage's ClassWeight, then a uniform row of that
+// class, then the transform chain mutates the sample in stage order. All
+// randomness comes from one serialized rng, so a stream replays (and
+// crash-resumes) bit-identically.
+//
+// Stream specs compose a preset with transform stages:
+//   "SynthCifar10|imbalance:alpha=1.5|label_noise:p=0.2"
+// The first '|'-segment names an image preset (data::ImagePresetNames);
+// the rest are StreamRegistry specs. MakeStreamBundle materializes the
+// preset's clean train/test splits (ground-truth labels, for the ID probe)
+// plus the dirty source over the train split.
+#ifndef EDSR_SRC_STREAM_SOURCE_H_
+#define EDSR_SRC_STREAM_SOURCE_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/data/synthetic.h"
+#include "src/stream/transform.h"
+
+namespace edsr::stream {
+
+class StreamSource {
+ public:
+  // `seed` drives sampling and transform draws; the base dataset's
+  // generation seed is independent (the preset's).
+  StreamSource(data::Dataset base,
+               std::vector<std::unique_ptr<StreamTransform>> transforms,
+               uint64_t seed);
+
+  // Draws `n` samples (class-weighted, transform chain applied).
+  std::vector<StreamSample> NextBatch(int64_t n);
+
+  const data::Dataset& base() const { return base_; }
+  int64_t emitted() const { return emitted_; }
+  const std::vector<std::unique_ptr<StreamTransform>>& transforms() const {
+    return transforms_;
+  }
+  // The effective (unnormalized) per-class sampling weights.
+  const std::vector<float>& class_weights() const { return class_weights_; }
+
+  // Exact stream-state round-trip: rng engine, emission counter, and every
+  // stage's name-tagged state payload. Deserialize validates stage names
+  // against this source's chain — a checkpoint written under one spec must
+  // not silently feed another.
+  void Serialize(io::BufferWriter* out) const;
+  util::Status Deserialize(io::BufferReader* in);
+
+ private:
+  data::Dataset base_;
+  std::vector<std::unique_ptr<StreamTransform>> transforms_;
+  std::vector<std::vector<int64_t>> class_indices_;
+  std::vector<float> class_weights_;
+  util::Rng rng_;
+  int64_t emitted_ = 0;
+};
+
+// Parsed "Preset|stage|stage" spec. `preset` is the canonical preset name;
+// `stages` are the raw transform specs in chain order.
+struct StreamSpec {
+  std::string preset;
+  std::vector<std::string> stages;
+};
+
+// Splits on '|' and validates each part: the preset against
+// data::ImagePresetNames (unknown names list the presets), each stage by
+// probe-constructing it through StreamRegistry (unknown stages list the
+// registered transforms). Cheap — no data generation.
+util::Result<StreamSpec> ParseStreamSpec(const std::string& spec);
+
+// A materialized stream: the preset's clean splits plus the dirty source.
+struct StreamBundle {
+  std::string preset;       // canonical preset name
+  data::Dataset id_train;   // clean train split (ground truth)
+  data::Dataset id_test;    // clean held-out split (the ID probe)
+  std::unique_ptr<StreamSource> source;
+};
+
+// Generates the preset with `seed` and builds the source over its train
+// split (source rng derived from `seed` so two bundles with the same spec
+// and seed emit identical streams).
+util::Result<StreamBundle> MakeStreamBundle(const std::string& spec,
+                                            uint64_t seed);
+
+}  // namespace edsr::stream
+
+#endif  // EDSR_SRC_STREAM_SOURCE_H_

@@ -1,0 +1,173 @@
+#include "src/stream/transform.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace edsr::stream {
+
+namespace {
+
+void RegisterBuiltinTransforms(StreamRegistry* registry) {
+  registry->Register(
+      "imbalance",
+      [](cl::SpecParams& params)
+          -> util::Result<std::unique_ptr<StreamTransform>> {
+        double alpha = params.GetDouble("alpha", 1.5);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        if (alpha < 0.0) {
+          return util::Status::InvalidArgument(
+              "imbalance: alpha must be >= 0");
+        }
+        return std::unique_ptr<StreamTransform>(
+            new ImbalanceTransform(alpha));
+      });
+  registry->Register(
+      "label_noise",
+      [](cl::SpecParams& params)
+          -> util::Result<std::unique_ptr<StreamTransform>> {
+        double p = params.GetDouble("p", 0.1);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        if (p < 0.0 || p > 1.0) {
+          return util::Status::InvalidArgument(
+              "label_noise: p must be in [0, 1]");
+        }
+        return std::unique_ptr<StreamTransform>(new LabelNoiseTransform(p));
+      });
+  registry->Register(
+      "corrupt",
+      [](cl::SpecParams& params)
+          -> util::Result<std::unique_ptr<StreamTransform>> {
+        double p = params.GetDouble("p", 0.05);
+        double strength = params.GetDouble("strength", 0.5);
+        int64_t burst = params.GetInt("burst", 4);
+        double occlusion = params.GetDouble("occlusion", 0.25);
+        EDSR_RETURN_NOT_OK(params.Finish());
+        if (p < 0.0 || p > 1.0) {
+          return util::Status::InvalidArgument("corrupt: p must be in [0, 1]");
+        }
+        if (strength < 0.0) {
+          return util::Status::InvalidArgument(
+              "corrupt: strength must be >= 0");
+        }
+        if (burst < 1) {
+          return util::Status::InvalidArgument("corrupt: burst must be >= 1");
+        }
+        if (occlusion < 0.0 || occlusion > 1.0) {
+          return util::Status::InvalidArgument(
+              "corrupt: occlusion must be in [0, 1]");
+        }
+        return std::unique_ptr<StreamTransform>(
+            new CorruptTransform(p, strength, burst, occlusion));
+      });
+}
+
+}  // namespace
+
+StreamRegistry& StreamRegistry::Global() {
+  static StreamRegistry* registry = [] {
+    auto* r = new StreamRegistry();
+    RegisterBuiltinTransforms(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StreamRegistry::Register(const std::string& name, Factory factory) {
+  EDSR_CHECK(!name.empty());
+  EDSR_CHECK(factory != nullptr);
+  for (const auto& entry : factories_) {
+    EDSR_CHECK_NE(entry.first, name)
+        << "stream transform \"" << name << "\" registered twice";
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+util::Result<std::unique_ptr<StreamTransform>> StreamRegistry::Create(
+    const std::string& spec) const {
+  util::Result<cl::SpecParams> parsed = cl::SpecParams::Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+  cl::SpecParams params = *parsed;
+  for (const auto& entry : factories_) {
+    if (entry.first == params.name()) return entry.second(params);
+  }
+  std::string known;
+  for (const auto& entry : factories_) {
+    if (!known.empty()) known += ", ";
+    known += entry.first;
+  }
+  return util::Status::InvalidArgument("unknown stream transform \"" +
+                                       params.name() +
+                                       "\"; registered: " + known);
+}
+
+bool StreamRegistry::Contains(const std::string& name) const {
+  for (const auto& entry : factories_) {
+    if (entry.first == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> StreamRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& entry : factories_) names.push_back(entry.first);
+  return names;
+}
+
+// ---- Transforms -----------------------------------------------------------
+
+float ImbalanceTransform::ClassWeight(int64_t cls, int64_t num_classes) const {
+  (void)num_classes;
+  return static_cast<float>(
+      std::pow(static_cast<double>(cls + 1), -alpha_));
+}
+
+void LabelNoiseTransform::Apply(StreamSample* sample, int64_t num_classes,
+                                util::Rng* rng) {
+  if (num_classes < 2 || p_ <= 0.0) return;
+  if (!rng->Bernoulli(static_cast<float>(p_))) return;
+  // Uniform over the other classes: draw from [0, C-2] and skip the current
+  // observed label.
+  int64_t draw = rng->UniformInt(0, num_classes - 2);
+  if (draw >= sample->observed_label) ++draw;
+  sample->observed_label = draw;
+}
+
+void CorruptTransform::Apply(StreamSample* sample, int64_t num_classes,
+                             util::Rng* rng) {
+  (void)num_classes;
+  if (burst_remaining_ <= 0) {
+    if (p_ <= 0.0 || !rng->Bernoulli(static_cast<float>(p_))) return;
+    burst_remaining_ = burst_length_;
+  }
+  --burst_remaining_;
+  int64_t dim = static_cast<int64_t>(sample->features.size());
+  if (dim == 0) return;
+  for (float& v : sample->features) {
+    v += rng->Normal(0.0f, static_cast<float>(strength_));
+  }
+  int64_t span = static_cast<int64_t>(occlusion_ * static_cast<double>(dim));
+  if (span > 0) {
+    int64_t start = rng->UniformInt(0, dim - 1);
+    for (int64_t i = 0; i < span; ++i) {
+      sample->features[(start + i) % dim] = 0.0f;
+    }
+  }
+}
+
+void CorruptTransform::Serialize(io::BufferWriter* out) const {
+  out->WriteI64(burst_remaining_);
+}
+
+util::Status CorruptTransform::Deserialize(io::BufferReader* in) {
+  int64_t remaining = 0;
+  EDSR_RETURN_NOT_OK(in->ReadI64(&remaining));
+  if (remaining < 0 || remaining > burst_length_) {
+    return util::Status::IoError("corrupt: burst counter out of range");
+  }
+  burst_remaining_ = remaining;
+  return util::Status::OK();
+}
+
+}  // namespace edsr::stream

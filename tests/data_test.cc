@@ -281,5 +281,34 @@ TEST(BatchIterator, DropsTinyTail) {
   EXPECT_EQ(it.batches_per_epoch(), 2);
 }
 
+TEST(ImagePresets, NamesCoverEveryBenchmark) {
+  std::vector<std::string> names = data::ImagePresetNames();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "SynthCifar10");
+  for (const std::string& name : names) {
+    auto config = data::ImagePresetConfig(name, /*seed=*/3);
+    ASSERT_TRUE(config.ok()) << name;
+    EXPECT_GT((*config).num_classes, 0) << name;
+  }
+}
+
+TEST(ImagePresets, LookupIsSeededAndMatchesDirectConfig) {
+  auto config = data::ImagePresetConfig("SynthCifar10", /*seed=*/5);
+  ASSERT_TRUE(config.ok());
+  data::SyntheticImageConfig direct = data::SynthCifar10Config(5);
+  EXPECT_EQ((*config).name, direct.name);
+  EXPECT_EQ((*config).num_classes, direct.num_classes);
+  EXPECT_EQ((*config).seed, direct.seed);
+}
+
+TEST(ImagePresets, UnknownNameListsPresets) {
+  auto config = data::ImagePresetConfig("Cifar10", /*seed=*/0);
+  ASSERT_FALSE(config.ok());
+  EXPECT_NE(config.status().message().find("SynthCifar10"),
+            std::string::npos);
+  EXPECT_NE(config.status().message().find("SynthDomainNet"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace edsr
