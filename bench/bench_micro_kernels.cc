@@ -7,16 +7,21 @@
 //                         --benchmark_out=BENCH_micro_kernels.json
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench/micro_main.h"
 #include "src/cl/selection.h"
 #include "src/eval/knn.h"
+#include "src/nn/quant.h"
 #include "src/ssl/encoder.h"
 #include "src/tensor/arena.h"
 #include "src/tensor/conv.h"
 #include "src/tensor/grad_mode.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
+#include "src/tensor/simd.h"
 #include "src/util/rng.h"
+#include "src/util/threadpool.h"
 
 namespace {
 
@@ -83,6 +88,106 @@ void BM_KernelsPairwiseSqDist(benchmark::State& state) {
 }
 BENCHMARK(BM_KernelsPairwiseSqDist)->Args({64, 512})->Args({256, 1024});
 
+// ---- Dispatch tiers ------------------------------------------------------
+
+// Pins (tier, threads) for one benchmark run and restores the startup
+// configuration afterwards, so arm order never leaks state.
+class DispatchArm {
+ public:
+  DispatchArm(benchmark::State& state, int tier, int threads)
+      : saved_tier_(tensor::simd::ActiveTier()),
+        saved_threads_(util::ThreadPool::Global().NumThreads()),
+        skipped_(false) {
+    if (tier == 1 &&
+        tensor::simd::SupportedTier() != tensor::simd::Tier::kAvx2) {
+      state.SkipWithError("avx2 unsupported on this host");
+      skipped_ = true;
+      return;
+    }
+    tensor::simd::SetTierForTesting(tier == 0 ? tensor::simd::Tier::kScalar
+                                              : tensor::simd::Tier::kAvx2);
+    util::ThreadPool::Global().SetNumThreadsForTesting(threads);
+  }
+  ~DispatchArm() {
+    if (skipped_) return;
+    tensor::simd::SetTierForTesting(saved_tier_);
+    util::ThreadPool::Global().SetNumThreadsForTesting(saved_threads_);
+  }
+  bool skipped() const { return skipped_; }
+
+ private:
+  tensor::simd::Tier saved_tier_;
+  int saved_threads_;
+  bool skipped_;
+};
+
+void BM_GemmDispatch(benchmark::State& state) {
+  // The tentpole A/B: one square GEMM size under an explicit (tier,
+  // threads) pin. Arm labels: size / tier (0=scalar, 1=avx2) / threads.
+  const int64_t n = state.range(0);
+  DispatchArm arm(state, static_cast<int>(state.range(1)),
+                  static_cast<int>(state.range(2)));
+  if (arm.skipped()) return;
+  std::vector<float> a = RandomBuffer(n * n, 40);
+  std::vector<float> b = RandomBuffer(n * n, 41);
+  std::vector<float> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(a.data(), b.data(), c.data(), n, n, n, false,
+                          false, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmDispatch)
+    ->Args({128, 0, 1})
+    ->Args({128, 1, 1})
+    ->Args({256, 0, 1})
+    ->Args({256, 1, 1})
+    ->Args({512, 0, 1})
+    ->Args({512, 1, 1})
+    ->Args({512, 1, 2})
+    ->Args({512, 1, 4});
+
+void BM_KernelsGemmInt8(benchmark::State& state) {
+  // Same shape as the float BM_GemmDispatch arms for a direct float-vs-int8
+  // read (int8 does 2*n^3 int multiply-adds; items processed matches).
+  const int64_t n = state.range(0);
+  std::vector<int8_t> a(n * n);
+  std::vector<int8_t> bt(n * n);
+  util::Rng rng(42);
+  for (int8_t& v : a) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  for (int8_t& v : bt) v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  std::vector<int32_t> c(n * n);
+  for (auto _ : state) {
+    tensor::kernels::GemmInt8(a.data(), bt.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_KernelsGemmInt8)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_QuantizedEncoderForward(benchmark::State& state) {
+  // Int8 counterpart of BM_EncoderForwardNoGrad (same architecture and
+  // batch): the serve-path embed kernel.
+  util::Rng rng(20);
+  ssl::EncoderConfig config;
+  config.mlp_dims = {192, 64, 64};
+  config.projector_hidden = 64;
+  config.representation_dim = 32;
+  auto encoder = ssl::Encoder::Make(config, &rng);
+  encoder->SetTraining(false);
+  encoder->SetRequiresGrad(false);
+  nn::quant::QuantizedEncoder quantized(*encoder);
+  std::vector<float> input = RandomBuffer(64 * 192, 21);
+  std::vector<float> out(64 * 32);
+  tensor::NoGradGuard no_grad;
+  for (auto _ : state) {
+    quantized.Forward(input.data(), 64, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_QuantizedEncoderForward);
+
 // ---- Scratch arena -------------------------------------------------------
 
 void BM_ArenaScopedAlloc(benchmark::State& state) {
@@ -122,12 +227,20 @@ void BM_ArenaAcquireRecycle(benchmark::State& state) {
 BENCHMARK(BM_ArenaAcquireRecycle)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_KernelsAxpy(benchmark::State& state) {
+  // Arena buffers, not std::vector: real tensors are 64-byte-aligned arena
+  // allocations, and at ~50ns/iter the 16-vs-32-byte alignment lottery of
+  // heap buffers swings AVX2 throughput ±40% from one process to the next.
   int64_t n = state.range(0);
-  std::vector<float> x = RandomBuffer(n, 12);
-  std::vector<float> y = RandomBuffer(n, 13);
+  std::vector<float> xv = RandomBuffer(n, 12);
+  std::vector<float> yv = RandomBuffer(n, 13);
+  tensor::arena::Scope scope;
+  float* x = tensor::arena::AllocFloats(n);
+  float* y = tensor::arena::AllocFloats(n);
+  std::copy(xv.begin(), xv.end(), x);
+  std::copy(yv.begin(), yv.end(), y);
   for (auto _ : state) {
-    tensor::kernels::Axpy(n, 0.5f, x.data(), y.data());
-    benchmark::DoNotOptimize(y.data());
+    tensor::kernels::Axpy(n, 0.5f, x, y);
+    benchmark::DoNotOptimize(y);
   }
   state.SetItemsProcessed(state.iterations() * n);
 }

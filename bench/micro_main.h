@@ -4,7 +4,10 @@
 // main refuses to write --benchmark_out JSON unless NDEBUG was defined when
 // *this project* was compiled (the system libbenchmark reports its own build
 // type, not ours). Every run is tagged with an "edsr_build" context key so
-// scripts/bench_compare.py can reject mismatched recordings.
+// scripts/bench_compare.py can reject mismatched recordings, plus
+// "edsr_simd" (the dispatch tier the run resolved to) and
+// "edsr_num_threads" (pool size) so a recorded number always identifies the
+// code path that produced it.
 #ifndef EDSR_BENCH_MICRO_MAIN_H_
 #define EDSR_BENCH_MICRO_MAIN_H_
 
@@ -12,6 +15,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+
+#include "src/tensor/simd.h"
+#include "src/util/threadpool.h"
 
 inline bool EdsrWantsJsonOut(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -27,6 +34,12 @@ inline bool EdsrWantsJsonOut(int argc, char** argv) {
         /* NOLINTNEXTLINE */                                                   \
         (EDSR_BENCH_NDEBUG);                                                   \
     benchmark::AddCustomContext("edsr_build", ndebug ? "release" : "debug");   \
+    benchmark::AddCustomContext(                                               \
+        "edsr_simd",                                                           \
+        edsr::tensor::simd::TierName(edsr::tensor::simd::ActiveTier()));       \
+    benchmark::AddCustomContext(                                               \
+        "edsr_num_threads",                                                    \
+        std::to_string(edsr::util::ThreadPool::Global().NumThreads()));        \
     if (!ndebug && EdsrWantsJsonOut(argc, argv)) {                             \
       std::fprintf(stderr,                                                     \
                    "refusing to record benchmark JSON from a non-NDEBUG "      \

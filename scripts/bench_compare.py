@@ -8,12 +8,22 @@ Usage:
 Exits non-zero when any benchmark present in both files regressed by more
 than --threshold (default 15%) in real time — or, for benchmarks that
 report items_per_second (the serving load generator's throughput metric),
-when throughput dropped by more than the threshold. Benchmarks only present
-on one side are reported but do not fail the gate (new benches must be
-recordable without first rewriting the baseline).
+when throughput dropped by more than the threshold.
 
-Files recorded with --benchmark_repetitions are compared by their median
-aggregate (noise-robust); single-run files use the lone measurement.
+A candidate benchmark with NO baseline entry is a hard failure: it means
+the committed BENCH_*.json predates the bench arm, so the gate would
+silently skip it forever. The error names each missing key and the exact
+re-record command; pass --allow-new when intentionally landing new arms in
+the same change that re-records the baseline. Benchmarks only present in
+the baseline (removed arms) stay informational.
+
+Files recorded with --benchmark_repetitions are compared by the BEST
+repetition (min real time / max throughput). For microbenchmarks on shared
+hardware the minimum is the noise-robust regression statistic: transient
+host steal only ever inflates a repetition, so "can the code still run
+this fast" compares the least-disturbed run on each side, while medians
+still fail stochastically when one side's whole recording window was busy.
+Single-run files use the lone measurement.
 
 User counters attached to benchmarks (arena pool_hits/pool_misses, the
 tracing overhead_ratio from bench_obs_overhead, span counts) are compared
@@ -60,28 +70,25 @@ def load_benchmarks(path):
     results = {}
     counters = {}
     throughputs = {}
-    medians = {}
-    median_tput = {}
     for bench in doc.get("benchmarks", []):
+        # Aggregate rows (median/mean/stddev/cv) are skipped: the gate
+        # statistic is the best individual repetition — min real time, max
+        # throughput — since host steal only ever inflates a repetition.
         if bench.get("run_type") == "aggregate":
-            # When the file was recorded with --benchmark_repetitions, the
-            # median aggregate is the noise-robust statistic: prefer it over
-            # any single repetition. Other aggregates (mean/stddev/cv) are
-            # ignored.
-            if bench.get("aggregate_name") == "median":
-                medians[bench["run_name"]] = float(bench["real_time"])
-                if "items_per_second" in bench:
-                    median_tput[bench["run_name"]] = float(
-                        bench["items_per_second"])
             continue
-        results[bench["name"]] = float(bench["real_time"])
+        name = bench.get("run_name", bench["name"])
+        rt = float(bench["real_time"])
+        results[name] = min(results.get(name, rt), rt)
         if "items_per_second" in bench:
-            throughputs[bench["name"]] = float(bench["items_per_second"])
+            tput = float(bench["items_per_second"])
+            throughputs[name] = max(throughputs.get(name, tput), tput)
         for key, value in bench.items():
             if key not in _STANDARD_KEYS and isinstance(value, (int, float)):
-                counters[f"{bench['name']}::{key}"] = float(value)
-    results.update(medians)
-    throughputs.update(median_tput)
+                ckey = f"{name}::{key}"
+                # Counters ride along with the best-latency repetition so
+                # the informational table stays self-consistent.
+                if ckey not in counters or rt == results[name]:
+                    counters[ckey] = float(value)
     return results, counters, throughputs
 
 
@@ -97,6 +104,13 @@ def main():
     )
     parser.add_argument(
         "--filter", default=None, help="only compare benchmark names matching this regex"
+    )
+    parser.add_argument(
+        "--allow-new",
+        action="store_true",
+        help="permit candidate benchmarks that have no baseline entry "
+        "(use when landing new bench arms together with a re-recorded "
+        "baseline)",
     )
     args = parser.parse_args()
 
@@ -160,8 +174,26 @@ def main():
 
     for name in sorted(base.keys() - cand.keys()):
         print(f"note: {name} only in baseline (not compared)")
-    for name in sorted(cand.keys() - base.keys()):
-        print(f"note: {name} only in candidate (not compared)")
+
+    missing_baseline = sorted(cand.keys() - base.keys())
+    if missing_baseline and not args.allow_new:
+        print(
+            f"\nFAIL: {len(missing_baseline)} candidate benchmark(s) have "
+            f"no baseline entry in {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name in missing_baseline:
+            print(f"  no baseline entry: {name}", file=sys.stderr)
+        print(
+            "re-record the committed baseline from a bench-preset build "
+            "(e.g. ./bench_binary --benchmark_out_format=json "
+            f"--benchmark_out={args.baseline}), or pass --allow-new if "
+            "landing these arms with a baseline refresh",
+            file=sys.stderr,
+        )
+        return 1
+    for name in missing_baseline:
+        print(f"note: {name} only in candidate (--allow-new)")
 
     if regressions:
         print(

@@ -1,6 +1,7 @@
 #include "src/eval/knn.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -8,6 +9,7 @@
 #include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 #include "src/util/check.h"
+#include "src/util/threadpool.h"
 
 namespace edsr::eval {
 
@@ -75,13 +77,21 @@ double KnnClassifier::Evaluate(const RepresentationMatrix& queries,
   float* dist = tensor::arena::AllocFloats(queries.n * bank_.n);
   tensor::kernels::PairwiseSqDist(normed.values.data(), normed.n,
                                   bank_.values.data(), bank_.n, bank_.d, dist);
-  int64_t correct = 0;
-  for (int64_t i = 0; i < queries.n; ++i) {
-    float* row = dist + i * bank_.n;
-    for (int64_t j = 0; j < bank_.n; ++j) row[j] = 1.0f - 0.5f * row[j];
-    if (VoteTopK(row) == labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(queries.n);
+  // The vote loop fans out over query blocks; each row votes independently
+  // and the correct-count is an integer sum, so the result is identical at
+  // every thread count.
+  std::atomic<int64_t> correct{0};
+  util::ParallelFor(0, queries.n, /*grain=*/16, [&](int64_t i0, int64_t i1) {
+    int64_t local = 0;
+    for (int64_t i = i0; i < i1; ++i) {
+      float* row = dist + i * bank_.n;
+      for (int64_t j = 0; j < bank_.n; ++j) row[j] = 1.0f - 0.5f * row[j];
+      if (VoteTopK(row) == labels[i]) ++local;
+    }
+    correct.fetch_add(local, std::memory_order_relaxed);
+  });
+  return static_cast<double>(correct.load()) /
+         static_cast<double>(queries.n);
 }
 
 }  // namespace edsr::eval

@@ -1,0 +1,425 @@
+#include "src/nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "src/tensor/arena.h"
+#include "src/tensor/grad_mode.h"
+#include "src/tensor/kernels.h"
+#include "src/util/check.h"
+#include "src/util/threadpool.h"
+
+namespace edsr::nn::quant {
+
+namespace {
+
+// Matches the BatchNorm1d/2d default the networks are built with
+// (layers.h); folding must use the same epsilon the float forward does.
+constexpr float kBnEps = 1e-5f;
+
+using TensorMap = std::map<std::string, tensor::Tensor>;
+
+TensorMap StateMap(const ssl::Encoder& encoder) {
+  TensorMap map;
+  for (const nn::NamedTensor& nt : encoder.NamedState()) {
+    map.emplace(nt.name, nt.value);
+  }
+  return map;
+}
+
+const std::vector<float>& Get(const TensorMap& map, const std::string& name) {
+  auto it = map.find(name);
+  EDSR_CHECK(it != map.end()) << "quant: missing tensor '" << name << "'";
+  return it->second.data();
+}
+
+bool Has(const TensorMap& map, const std::string& name) {
+  return map.find(name) != map.end();
+}
+
+int8_t QuantizeValue(float value, float inv_scale) {
+  float q = std::nearbyint(value * inv_scale);
+  q = std::min(127.0f, std::max(-127.0f, q));
+  return static_cast<int8_t>(q);
+}
+
+// Per-output-channel symmetric quantization of a folded weight column set.
+// `column` fetches folded W'[p][j] for depth index p < k.
+template <typename ColumnFn>
+void QuantizeChannel(int64_t j, int64_t k, int64_t k_padded, ColumnFn column,
+                     int8_t* row_out, float* scale_out) {
+  float maxabs = 0.0f;
+  for (int64_t p = 0; p < k; ++p) {
+    maxabs = std::max(maxabs, std::fabs(column(p, j)));
+  }
+  float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  float inv = 1.0f / scale;
+  for (int64_t p = 0; p < k; ++p) {
+    row_out[p] = QuantizeValue(column(p, j), inv);
+  }
+  for (int64_t p = k; p < k_padded; ++p) row_out[p] = 0;
+  *scale_out = scale;
+}
+
+struct BnParams {
+  const std::vector<float>* gamma = nullptr;
+  const std::vector<float>* beta = nullptr;
+  const std::vector<float>* mean = nullptr;
+  const std::vector<float>* var = nullptr;
+};
+
+BnParams GetBn(const TensorMap& map, const std::string& prefix) {
+  BnParams bn;
+  bn.gamma = &Get(map, prefix + ".gamma");
+  bn.beta = &Get(map, prefix + ".beta");
+  bn.mean = &Get(map, prefix + ".running_mean");
+  bn.var = &Get(map, prefix + ".running_var");
+  return bn;
+}
+
+// Folds Linear(in x out) [+ BatchNorm1d] into a QuantizedLinear.
+QuantizedLinear FoldLinear(const TensorMap& map, const std::string& prefix,
+                           int64_t in, int64_t out, const BnParams* bn,
+                           bool relu) {
+  const std::vector<float>& w = Get(map, prefix + ".weight");
+  EDSR_CHECK_EQ(static_cast<int64_t>(w.size()), in * out);
+  const std::vector<float>* b =
+      Has(map, prefix + ".bias") ? &Get(map, prefix + ".bias") : nullptr;
+
+  QuantizedLinear q;
+  q.in = in;
+  q.out = out;
+  q.k_padded = PadDepth(in);
+  q.relu = relu;
+  q.weight_t.resize(q.out * q.k_padded);
+  q.w_scale.resize(q.out);
+  q.bias.resize(q.out);
+  for (int64_t j = 0; j < out; ++j) {
+    float g = 1.0f;
+    float shift = 0.0f;
+    if (bn != nullptr) {
+      g = (*bn->gamma)[j] / std::sqrt((*bn->var)[j] + kBnEps);
+      shift = (*bn->beta)[j] - (*bn->mean)[j] * g;
+    }
+    q.bias[j] = (b != nullptr ? (*b)[j] : 0.0f) * g + shift;
+    QuantizeChannel(
+        j, in, q.k_padded,
+        [&](int64_t p, int64_t jj) { return w[p * out + jj] * g; },
+        q.weight_t.data() + j * q.k_padded, &q.w_scale[j]);
+  }
+  return q;
+}
+
+// Folds Conv2d(out_c, in_c, k, k) + BatchNorm2d into a QuantizedConv. The
+// repo's convs carry no bias (BatchNorm follows every one).
+QuantizedConv FoldConv(const TensorMap& map, const std::string& conv_prefix,
+                       const std::string& bn_prefix, int64_t in_c,
+                       int64_t out_c, int64_t kernel, int64_t stride,
+                       int64_t padding, bool relu) {
+  const std::vector<float>& w = Get(map, conv_prefix + ".weight");
+  int64_t col_rows = in_c * kernel * kernel;
+  EDSR_CHECK_EQ(static_cast<int64_t>(w.size()), out_c * col_rows);
+  BnParams bn = GetBn(map, bn_prefix);
+
+  QuantizedConv q;
+  q.in_c = in_c;
+  q.out_c = out_c;
+  q.kernel = kernel;
+  q.stride = stride;
+  q.padding = padding;
+  q.k_padded = PadDepth(col_rows);
+  q.relu = relu;
+  q.weight.resize(q.out_c * q.k_padded);
+  q.w_scale.resize(q.out_c);
+  q.bias.resize(q.out_c);
+  for (int64_t o = 0; o < out_c; ++o) {
+    float g = (*bn.gamma)[o] / std::sqrt((*bn.var)[o] + kBnEps);
+    q.bias[o] = (*bn.beta)[o] - (*bn.mean)[o] * g;
+    QuantizeChannel(
+        o, col_rows, q.k_padded,
+        [&](int64_t p, int64_t oo) { return w[oo * col_rows + p] * g; },
+        q.weight.data() + o * q.k_padded, &q.w_scale[o]);
+  }
+  return q;
+}
+
+// Folds an Mlp ("prefix" = path to its Sequential body) into a sequence of
+// QuantizedLinears. Mirrors Mlp's construction: each stack is Linear
+// [+ BatchNorm1d][+ ReLU], and ReLU layers consume a Sequential slot even
+// though they carry no state.
+std::vector<QuantizedLinear> FoldMlp(const TensorMap& map,
+                                     const std::string& prefix,
+                                     const std::vector<int64_t>& dims,
+                                     bool batch_norm, bool final_activation) {
+  std::vector<QuantizedLinear> layers;
+  int64_t slot = 0;
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    bool last = i + 2 == dims.size();
+    bool activated = !last || final_activation;
+    std::string linear = prefix + ".layer" + std::to_string(slot++);
+    BnParams bn;
+    bool has_bn = activated && batch_norm;
+    if (has_bn) {
+      bn = GetBn(map, prefix + ".layer" + std::to_string(slot++));
+    }
+    if (activated) ++slot;  // ReluLayer slot
+    layers.push_back(FoldLinear(map, linear, dims[i], dims[i + 1],
+                                has_bn ? &bn : nullptr, activated));
+  }
+  return layers;
+}
+
+// Quantizes one float buffer symmetrically; returns the scale.
+float QuantizeBuffer(const float* src, int64_t n, int8_t* dst) {
+  float maxabs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    maxabs = std::max(maxabs, std::fabs(src[i]));
+  }
+  float scale = maxabs > 0.0f ? maxabs / 127.0f : 1.0f;
+  float inv = 1.0f / scale;
+  for (int64_t i = 0; i < n; ++i) dst[i] = QuantizeValue(src[i], inv);
+  return scale;
+}
+
+// Unfolds a quantized (C, H, W) image into (out_area, k_padded) int8 patch
+// rows — GemmInt8's bt operand. Out-of-bounds taps are 0, which is exact:
+// symmetric quantization has zero-point 0.
+void Im2RowS8(const int8_t* image, int64_t channels, int64_t height,
+              int64_t width, int64_t kernel, int64_t stride, int64_t padding,
+              int64_t k_padded, int8_t* rows) {
+  int64_t oh = (height + 2 * padding - kernel) / stride + 1;
+  int64_t ow = (width + 2 * padding - kernel) / stride + 1;
+  int64_t col_rows = channels * kernel * kernel;
+  for (int64_t oi = 0; oi < oh; ++oi) {
+    for (int64_t oj = 0; oj < ow; ++oj) {
+      int8_t* r = rows + (oi * ow + oj) * k_padded;
+      int64_t idx = 0;
+      for (int64_t c = 0; c < channels; ++c) {
+        for (int64_t ki = 0; ki < kernel; ++ki) {
+          int64_t ii = oi * stride + ki - padding;
+          for (int64_t kj = 0; kj < kernel; ++kj) {
+            int64_t jj = oj * stride + kj - padding;
+            bool inside = ii >= 0 && ii < height && jj >= 0 && jj < width;
+            r[idx++] = inside ? image[(c * height + ii) * width + jj] : 0;
+          }
+        }
+      }
+      for (; idx < k_padded; ++idx) r[idx] = 0;
+      (void)col_rows;
+    }
+  }
+}
+
+}  // namespace
+
+int64_t PadDepth(int64_t k) {
+  return (k + kDepthAlign - 1) / kDepthAlign * kDepthAlign;
+}
+
+void LinearForward(const QuantizedLinear& layer, const float* input,
+                   int64_t n, float* out) {
+  tensor::arena::Scope scope;
+  int8_t* qa = tensor::arena::AllocInt8(n * layer.k_padded);
+  float* a_scale = tensor::arena::AllocFloats(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int8_t* row = qa + i * layer.k_padded;
+    a_scale[i] = QuantizeBuffer(input + i * layer.in, layer.in, row);
+    std::fill(row + layer.in, row + layer.k_padded, int8_t{0});
+  }
+  int32_t* c32 = tensor::arena::AllocInt32(n * layer.out);
+  tensor::kernels::GemmInt8(qa, layer.weight_t.data(), c32, n,
+                            layer.k_padded, layer.out);
+  for (int64_t i = 0; i < n; ++i) {
+    const int32_t* crow = c32 + i * layer.out;
+    float* orow = out + i * layer.out;
+    float as = a_scale[i];
+    for (int64_t j = 0; j < layer.out; ++j) {
+      float v = static_cast<float>(crow[j]) * (as * layer.w_scale[j]) +
+                layer.bias[j];
+      orow[j] = layer.relu && v < 0.0f ? 0.0f : v;
+    }
+  }
+}
+
+void ConvForward(const QuantizedConv& layer, const float* image, int64_t h,
+                 int64_t w, float* out) {
+  int64_t oh = (h + 2 * layer.padding - layer.kernel) / layer.stride + 1;
+  int64_t ow = (w + 2 * layer.padding - layer.kernel) / layer.stride + 1;
+  int64_t out_area = oh * ow;
+  int64_t in_elems = layer.in_c * h * w;
+
+  tensor::arena::Scope scope;
+  int8_t* qimg = tensor::arena::AllocInt8(in_elems);
+  float a_scale = QuantizeBuffer(image, in_elems, qimg);
+  int8_t* rows = tensor::arena::AllocInt8(out_area * layer.k_padded);
+  Im2RowS8(qimg, layer.in_c, h, w, layer.kernel, layer.stride, layer.padding,
+           layer.k_padded, rows);
+  int32_t* c32 = tensor::arena::AllocInt32(layer.out_c * out_area);
+  tensor::kernels::GemmInt8(layer.weight.data(), rows, c32, layer.out_c,
+                            layer.k_padded, out_area);
+  for (int64_t o = 0; o < layer.out_c; ++o) {
+    const int32_t* crow = c32 + o * out_area;
+    float* orow = out + o * out_area;
+    float s = a_scale * layer.w_scale[o];
+    float b = layer.bias[o];
+    for (int64_t p = 0; p < out_area; ++p) {
+      float v = static_cast<float>(crow[p]) * s + b;
+      orow[p] = layer.relu && v < 0.0f ? 0.0f : v;
+    }
+  }
+}
+
+QuantizedEncoder::QuantizedEncoder(const ssl::Encoder& encoder) {
+  const ssl::EncoderConfig& config = encoder.config();
+  TensorMap map = StateMap(encoder);
+
+  input_dim_ = encoder.input_dim();
+  representation_dim_ = config.representation_dim;
+
+  if (encoder.has_input_heads()) {
+    has_head_ = true;
+    int64_t head = encoder.active_head();
+    int64_t backbone_in =
+        config.backbone == ssl::EncoderConfig::BackboneType::kMlp
+            ? config.mlp_dims.front()
+            : config.conv.channels * config.conv.height * config.conv.width;
+    head_ = FoldLinear(map, "head" + std::to_string(head),
+                       config.input_head_dims[head], backbone_in,
+                       /*bn=*/nullptr, /*relu=*/true);
+  }
+
+  if (config.backbone == ssl::EncoderConfig::BackboneType::kMlp) {
+    conv_backbone_ = false;
+    backbone_ = FoldMlp(map, "backbone.body", config.mlp_dims,
+                        /*batch_norm=*/true, /*final_activation=*/true);
+    backbone_out_ = config.mlp_dims.back();
+  } else {
+    conv_backbone_ = true;
+    const nn::SmallConvNetConfig& cc = config.conv;
+    conv_.config = cc;
+    int64_t bw = cc.base_width;
+    conv_.stem = FoldConv(map, "backbone.stem", "backbone.stem_bn",
+                          cc.channels, bw, 3, 1, 1, /*relu=*/true);
+    conv_.b1_conv1 = FoldConv(map, "backbone.block1.conv1",
+                              "backbone.block1.bn1", bw, bw, 3, 1, 1, true);
+    conv_.b1_conv2 = FoldConv(map, "backbone.block1.conv2",
+                              "backbone.block1.bn2", bw, bw, 3, 1, 1, false);
+    conv_.widen = FoldConv(map, "backbone.widen", "backbone.widen_bn", bw,
+                           2 * bw, 3, 1, 1, true);
+    conv_.b2_conv1 =
+        FoldConv(map, "backbone.block2.conv1", "backbone.block2.bn1", 2 * bw,
+                 2 * bw, 3, 1, 1, true);
+    conv_.b2_conv2 =
+        FoldConv(map, "backbone.block2.conv2", "backbone.block2.bn2", 2 * bw,
+                 2 * bw, 3, 1, 1, false);
+    backbone_out_ = 2 * bw;
+  }
+
+  projector_ = FoldMlp(
+      map, "projector.body",
+      {backbone_out_, config.projector_hidden, config.representation_dim},
+      /*batch_norm=*/true, /*final_activation=*/false);
+}
+
+// Residual stage helper: out = relu(conv2(relu-conv1(x)) + x), all maps
+// (c, h, w) with stride-1 3x3 convs so shapes are preserved.
+namespace {
+void ResidualForward(const QuantizedConv& conv1, const QuantizedConv& conv2,
+                     float* x, float* scratch_a, float* scratch_b, int64_t h,
+                     int64_t w) {
+  int64_t elems = conv1.out_c * h * w;
+  ConvForward(conv1, x, h, w, scratch_a);
+  ConvForward(conv2, scratch_a, h, w, scratch_b);
+  for (int64_t i = 0; i < elems; ++i) {
+    float v = scratch_b[i] + x[i];
+    x[i] = v < 0.0f ? 0.0f : v;
+  }
+}
+}  // namespace
+
+void QuantizedEncoder::ForwardConvImage(const float* image,
+                                        float* features) const {
+  const nn::SmallConvNetConfig& cc = conv_.config;
+  int64_t h = cc.height;
+  int64_t w = cc.width;
+  int64_t bw = cc.base_width;
+
+  tensor::arena::Scope scope;
+  int64_t max_elems = std::max(bw * h * w, 2 * bw * (h / 2) * (w / 2));
+  float* f = tensor::arena::AllocFloats(max_elems);
+  float* sa = tensor::arena::AllocFloats(max_elems);
+  float* sb = tensor::arena::AllocFloats(max_elems);
+  int64_t* argmax = tensor::arena::AllocInt64(max_elems);
+
+  ConvForward(conv_.stem, image, h, w, f);
+  ResidualForward(conv_.b1_conv1, conv_.b1_conv2, f, sa, sb, h, w);
+  tensor::kernels::MaxPool2dForward(f, 1, bw, h, w, 2, sa, argmax);
+  h /= 2;
+  w /= 2;
+  ConvForward(conv_.widen, sa, h, w, f);
+  ResidualForward(conv_.b2_conv1, conv_.b2_conv2, f, sa, sb, h, w);
+  tensor::kernels::MaxPool2dForward(f, 1, 2 * bw, h, w, 2, sa, argmax);
+  h /= 2;
+  w /= 2;
+  int64_t area = h * w;
+  for (int64_t c = 0; c < 2 * bw; ++c) {
+    features[c] = static_cast<float>(
+        tensor::kernels::SumAll(area, sa + c * area) /
+        static_cast<double>(area));
+  }
+}
+
+void QuantizedEncoder::Forward(const float* input, int64_t n,
+                               float* out) const {
+  EDSR_CHECK(!tensor::GradMode::IsEnabled())
+      << "QuantizedEncoder::Forward is serve-only (NoGradGuard required)";
+  EDSR_CHECK_GT(n, 0);
+
+  tensor::arena::Scope scope;
+  // Widest intermediate across head/backbone/projector stages.
+  int64_t max_dim = std::max(backbone_out_, representation_dim_);
+  if (has_head_) max_dim = std::max(max_dim, head_.out);
+  for (const QuantizedLinear& l : backbone_) {
+    max_dim = std::max(max_dim, l.out);
+  }
+  for (const QuantizedLinear& l : projector_) {
+    max_dim = std::max(max_dim, l.out);
+  }
+  float* cur = tensor::arena::AllocFloats(n * max_dim);
+  float* nxt = tensor::arena::AllocFloats(n * max_dim);
+
+  const float* x = input;
+  if (has_head_) {
+    LinearForward(head_, x, n, cur);
+    x = cur;
+  }
+  if (!conv_backbone_) {
+    for (const QuantizedLinear& l : backbone_) {
+      LinearForward(l, x, n, x == cur ? nxt : cur);
+      x = x == cur ? nxt : cur;
+    }
+  } else {
+    int64_t img_elems = conv_.config.channels * conv_.config.height *
+                        conv_.config.width;
+    const float* images = x;
+    float* feats = x == cur ? nxt : cur;
+    // Images are independent; each worker runs the whole quantized pipeline
+    // for its images in its own arena.
+    util::ParallelFor(0, n, /*grain=*/1, [&](int64_t b0, int64_t b1) {
+      for (int64_t b = b0; b < b1; ++b) {
+        ForwardConvImage(images + b * img_elems, feats + b * backbone_out_);
+      }
+    });
+    x = feats;
+  }
+  for (size_t i = 0; i < projector_.size(); ++i) {
+    bool last = i + 1 == projector_.size();
+    float* dst = last ? out : (x == cur ? nxt : cur);
+    LinearForward(projector_[i], x, n, dst);
+    x = dst;
+  }
+}
+
+}  // namespace edsr::nn::quant

@@ -1,0 +1,125 @@
+// Int8 quantized inference for the serve path.
+//
+// Serving never needs gradients (the batcher forwards under NoGradGuard),
+// so the embed hot path can trade float GEMMs for int8 ones:
+//
+//   * Weights: per-output-channel symmetric quantization. Each output
+//     channel j of a Linear/Conv weight is scaled by s_j = maxabs_j / 127
+//     and rounded to int8 (s_j == 0 guards to 1). BatchNorm layers are
+//     folded into the preceding Linear/Conv first (eval-mode statistics:
+//     g = gamma / sqrt(running_var + eps), W' = W * g,
+//     b' = (b - running_mean) * g + beta), so the quantized net has no
+//     separate normalization step.
+//   * Activations: dynamic symmetric quantization — per-row for Linear
+//     inputs, per-tensor for conv feature maps — computed on the fly from
+//     each batch's maxabs. No calibration dataset is needed; the "
+//     calibration" is reading the float snapshot's weights at load time.
+//   * Everything else (residual adds, max/avg pooling, ReLU) runs in
+//     float between the int8 GEMMs.
+//
+// The int8 GEMM itself is kernels::GemmInt8 (AVX2 maddubs-style widening
+// when the SIMD tier allows, scalar otherwise); depths are zero-padded to
+// its 32-element contract, which is exact under symmetric quantization
+// (pad terms are 0 * 0).
+//
+// Accuracy contract (tested in quant_test.cc): representations from
+// QuantizedEncoder::Forward stay within a small max-abs tolerance of the
+// float encoder on the same inputs, and serve kNN labels computed against
+// a bank embedded by the SAME quantized encoder match float serving
+// accuracy. Quantized serving embeds its own kNN bank precisely so bank
+// and queries live in the same (quantized) representation space.
+#ifndef EDSR_SRC_NN_QUANT_H_
+#define EDSR_SRC_NN_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ssl/encoder.h"
+
+namespace edsr::nn::quant {
+
+// GemmInt8 depth contract.
+inline constexpr int64_t kDepthAlign = 32;
+int64_t PadDepth(int64_t k);
+
+// One Linear (optionally with a following BatchNorm1d folded in and a
+// trailing ReLU). Weights are stored transposed — one contiguous
+// k_padded-vector per output channel — matching GemmInt8's bt operand.
+struct QuantizedLinear {
+  int64_t in = 0;
+  int64_t out = 0;
+  int64_t k_padded = 0;
+  bool relu = false;
+  std::vector<int8_t> weight_t;  // (out, k_padded)
+  std::vector<float> w_scale;    // (out)
+  std::vector<float> bias;       // (out), BN folded
+};
+
+// input (n x in) -> out (n x out); per-row dynamic activation scales.
+// Scratch comes from the thread-local arena.
+void LinearForward(const QuantizedLinear& layer, const float* input,
+                   int64_t n, float* out);
+
+// One Conv2d (square kernel; following BatchNorm2d folded in). Weight rows
+// are already patch vectors (in_c * kernel * kernel, zero-padded), i.e. the
+// GemmInt8 `a` operand.
+struct QuantizedConv {
+  int64_t in_c = 0;
+  int64_t out_c = 0;
+  int64_t kernel = 0;
+  int64_t stride = 1;
+  int64_t padding = 0;
+  int64_t k_padded = 0;
+  bool relu = false;
+  std::vector<int8_t> weight;  // (out_c, k_padded)
+  std::vector<float> w_scale;  // (out_c)
+  std::vector<float> bias;     // (out_c), BN folded
+};
+
+// One image (in_c, h, w) -> (out_c, oh, ow); per-tensor dynamic activation
+// scale, int8 im2row unfold (zero padding stays exact), float output.
+void ConvForward(const QuantizedConv& layer, const float* image, int64_t h,
+                 int64_t w, float* out);
+
+// A full encoder (input head + backbone + projector) quantized from a float
+// ssl::Encoder snapshot. Construction reads NamedState() of the frozen
+// float encoder — the encoder must be in eval mode with grads off, which is
+// exactly the state serve snapshots freeze at install.
+class QuantizedEncoder {
+ public:
+  explicit QuantizedEncoder(const ssl::Encoder& encoder);
+
+  // rows (n x input_dim) -> representations (n x representation_dim).
+  // Serve-path only: aborts if grad mode is enabled.
+  void Forward(const float* input, int64_t n, float* out) const;
+
+  int64_t input_dim() const { return input_dim_; }
+  int64_t representation_dim() const { return representation_dim_; }
+
+ private:
+  struct ConvStage {
+    nn::SmallConvNetConfig config;
+    QuantizedConv stem;
+    QuantizedConv b1_conv1;
+    QuantizedConv b1_conv2;
+    QuantizedConv widen;
+    QuantizedConv b2_conv1;
+    QuantizedConv b2_conv2;
+  };
+
+  void ForwardConvImage(const float* image, float* features) const;
+
+  int64_t input_dim_ = 0;
+  int64_t representation_dim_ = 0;
+  bool has_head_ = false;
+  QuantizedLinear head_;                   // active input head, if any
+  bool conv_backbone_ = false;
+  std::vector<QuantizedLinear> backbone_;  // kMlp backbones
+  ConvStage conv_;                         // kConv backbones
+  int64_t backbone_out_ = 0;
+  std::vector<QuantizedLinear> projector_;
+};
+
+}  // namespace edsr::nn::quant
+
+#endif  // EDSR_SRC_NN_QUANT_H_

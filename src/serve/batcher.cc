@@ -169,18 +169,28 @@ void MicroBatcher::ProcessBatch(std::vector<Pending> batch) {
   batch_hist->Observe(static_cast<double>(rows.size()));
 
   tensor::NoGradGuard no_grad;
-  tensor::Tensor reps = snapshot->encoder()->Forward(tensor::Tensor::FromVector(
-      std::move(flat), {static_cast<int64_t>(rows.size()), dim}));
   const int64_t rep_dim = snapshot->representation_dim();
-  EDSR_CHECK_EQ(reps.shape()[1], rep_dim);
+  const int64_t batch_n = static_cast<int64_t>(rows.size());
+  std::vector<float> rep_values;
+  if (snapshot->quantized() != nullptr) {
+    // Int8 serving: the quantized copy embeds the batch; the bank was built
+    // through the same quantized encoder, so the spaces match.
+    rep_values.resize(batch_n * rep_dim);
+    snapshot->quantized()->Forward(flat.data(), batch_n, rep_values.data());
+  } else {
+    tensor::Tensor reps = snapshot->encoder()->Forward(tensor::Tensor::FromVector(
+        std::move(flat), {batch_n, dim}));
+    EDSR_CHECK_EQ(reps.shape()[1], rep_dim);
+    rep_values.assign(reps.data().begin(), reps.data().end());
+  }
 
   for (size_t k = 0; k < rows.size(); ++k) {
     Pending& pending = batch[rows[k]];
     EmbedResult result;
     result.snapshot_id = snapshot->id();
     result.representation.assign(
-        reps.data().begin() + static_cast<int64_t>(k) * rep_dim,
-        reps.data().begin() + static_cast<int64_t>(k + 1) * rep_dim);
+        rep_values.begin() + static_cast<int64_t>(k) * rep_dim,
+        rep_values.begin() + static_cast<int64_t>(k + 1) * rep_dim);
     if (cache_ != nullptr) {
       cache_->Insert(snapshot->id(), pending.input, result.representation);
     }

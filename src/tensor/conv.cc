@@ -5,6 +5,7 @@
 #include "src/tensor/arena.h"
 #include "src/tensor/kernels.h"
 #include "src/tensor/ops.h"
+#include "src/util/threadpool.h"
 
 namespace edsr::tensor {
 
@@ -60,10 +61,15 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
   std::vector<float> out = arena::AcquireVector(n * o * out_area);
   const float* pin = input.data().data();
   const float* pw = weight.data().data();
-  {
+  // Forward fans out over batch images: each image unfolds into its
+  // worker's own arena and writes a disjoint output slice, so the split is
+  // exact at every thread count. The Gemm inside a task runs inline (the
+  // pool never nests). Backward stays serial: dW accumulates across the
+  // batch in a fixed order.
+  util::ParallelFor(0, n, /*grain=*/1, [&](int64_t b0, int64_t b1) {
     arena::Scope scope;
     float* cols = arena::AllocFloats(col_rows * out_area);
-    for (int64_t b = 0; b < n; ++b) {
+    for (int64_t b = b0; b < b1; ++b) {
       kernels::Im2Col(pin + b * c * h * w, c, h, w, k, spec.stride,
                       spec.padding, cols);
       // out_b (o x out_area) = weight (o x col_rows) * cols; each batch
@@ -71,7 +77,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& weight, const Tensor& bias,
       kernels::Gemm(pw, cols, out.data() + b * o * out_area, o, col_rows,
                     out_area, false, false, false);
     }
-  }
+  });
   if (bias.defined()) {
     const float* pb = bias.data().data();
     for (int64_t b = 0; b < n; ++b) {

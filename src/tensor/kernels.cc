@@ -1,6 +1,7 @@
 #include "src/tensor/kernels.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -8,58 +9,35 @@
 
 #include "src/obs/metrics.h"
 #include "src/tensor/arena.h"
+#include "src/tensor/kernels_internal.h"
+#include "src/tensor/simd.h"
+#include "src/util/threadpool.h"
 
 namespace edsr::tensor::kernels {
 
 namespace {
 
-// Blocked/packed GEMM geometry (see DESIGN.md "Kernel & arena architecture").
-// The micro-kernel computes a kMr x kNr register tile; A is packed into
-// column-major row panels of height kMr, B into row-major column panels of
-// width kNr, so the inner loop streams both packs contiguously regardless of
-// the trans_a/trans_b combination. Block sizes: the B pack (kKc x kNr per
-// panel, 8 KiB) stays L1-resident across the ic loop, the A pack
-// (kMc x kKc, 64 KiB) and the full B pack (kKc x kNc, 512 KiB) stay
-// L2-resident.
+// Scalar blocked/packed GEMM geometry (see DESIGN.md "Kernel & arena
+// architecture"). The micro-kernel computes a kMr x kNr register tile over
+// packs produced by internal::PackA/PackB; geometry and code are unchanged
+// from the pre-SIMD engine, so the scalar tier (EDSR_SIMD=off) stays
+// bit-identical to it. Block sizes: the B pack (kKc x kNr per panel, 8 KiB)
+// stays L1-resident across the ic loop, the A pack (kMc x kKc, 64 KiB) and
+// the full B pack (kKc x kNc, 512 KiB) stay L2-resident. The AVX2 tier
+// (kernels_avx2.cc) instantiates the same blocked driver with a 6x16 FMA
+// tile; simd::ActiveTier() picks between them once at startup.
 constexpr int64_t kMr = 4;
 constexpr int64_t kNr = 8;
 constexpr int64_t kMc = 64;   // multiple of kMr
 constexpr int64_t kKc = 256;
 constexpr int64_t kNc = 512;  // multiple of kNr
 
-// Packs op(A)(ic.., pc..) of size (mc x kc) into kMr-row panels:
-//   ap[panel * kMr * kc + p * kMr + ir] = op(A)(ic + panel*kMr + ir, pc + p)
-// Rows past mc are zero-filled so the micro-kernel needs no row bounds.
-// rs/cs are the element strides of op(A) along its rows/columns.
-void PackA(const float* a, int64_t rs, int64_t cs, int64_t mc, int64_t kc,
-           float* ap) {
-  for (int64_t panel = 0; panel < mc; panel += kMr) {
-    int64_t rows = std::min<int64_t>(kMr, mc - panel);
-    float* dst = ap + panel * kc;
-    for (int64_t p = 0; p < kc; ++p) {
-      const float* src = a + panel * rs + p * cs;
-      int64_t ir = 0;
-      for (; ir < rows; ++ir) dst[p * kMr + ir] = src[ir * rs];
-      for (; ir < kMr; ++ir) dst[p * kMr + ir] = 0.0f;
-    }
-  }
-}
+bool UseAvx2() { return simd::ActiveTier() == simd::Tier::kAvx2; }
 
-// Packs op(B)(pc.., jc..) of size (kc x nc) into kNr-column panels:
-//   bp[panel * kNr * kc + p * kNr + jr] = op(B)(pc + p, jc + panel*kNr + jr)
-// Columns past nc are zero-filled.
-void PackB(const float* b, int64_t rs, int64_t cs, int64_t kc, int64_t nc,
-           float* bp) {
-  for (int64_t panel = 0; panel < nc; panel += kNr) {
-    int64_t cols = std::min<int64_t>(kNr, nc - panel);
-    float* dst = bp + panel * kc;
-    for (int64_t p = 0; p < kc; ++p) {
-      const float* src = b + p * rs + panel * cs;
-      int64_t jr = 0;
-      for (; jr < cols; ++jr) dst[p * kNr + jr] = src[jr * cs];
-      for (; jr < kNr; ++jr) dst[p * kNr + jr] = 0.0f;
-    }
-  }
+int64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
 }
 
 // C(mr_eff x nr_eff) += Ap panel * Bp panel over depth kc. Accumulators
@@ -100,42 +78,47 @@ void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
   if (!accumulate) std::fill(c, c + m * n, 0.0f);
   if (m == 0 || n == 0 || k == 0) return;
+  auto start = std::chrono::steady_clock::now();
   EDSR_METRIC_COUNT("kernels.gemm.calls", 1);
   EDSR_METRIC_COUNT("kernels.gemm.flops", 2 * m * n * k);
   EDSR_METRIC_COUNT("kernels.gemm.bytes",
                     static_cast<int64_t>(sizeof(float)) *
                         (m * k + k * n + 2 * m * n));
-  // Element strides of op(A) (m x k) and op(B) (k x n) over the stored
-  // buffers; packing reads through these, so all four transpose combos
-  // stream the same contiguous panels afterwards.
-  int64_t a_rs = trans_a ? 1 : k;
-  int64_t a_cs = trans_a ? m : 1;
-  int64_t b_rs = trans_b ? 1 : n;
-  int64_t b_cs = trans_b ? k : 1;
+  if (UseAvx2()) {
+    avx2::Gemm(a, b, c, m, k, n, trans_a, trans_b);
+  } else {
+    internal::GemmBlockedDriver<kMr, kNr, kMc, kKc, kNc>(
+        a, b, c, m, k, n, trans_a, trans_b, MicroKernel);
+  }
+  EDSR_METRIC_COUNT("kernels.gemm.ns", ElapsedNs(start));
+}
 
-  arena::Scope scope;
-  float* ap = arena::AllocFloats(kMc * kKc);
-  float* bp = arena::AllocFloats(kKc * kNc);
-  for (int64_t pc = 0; pc < k; pc += kKc) {
-    int64_t kc = std::min(kKc, k - pc);
-    for (int64_t jc = 0; jc < n; jc += kNc) {
-      int64_t nc = std::min(kNc, n - jc);
-      PackB(b + pc * b_rs + jc * b_cs, b_rs, b_cs, kc, nc, bp);
-      for (int64_t ic = 0; ic < m; ic += kMc) {
-        int64_t mc = std::min(kMc, m - ic);
-        PackA(a + ic * a_rs + pc * a_cs, a_rs, a_cs, mc, kc, ap);
-        for (int64_t jp = 0; jp < nc; jp += kNr) {
-          int64_t nr_eff = std::min<int64_t>(kNr, nc - jp);
-          const float* bpanel = bp + jp * kc;
-          for (int64_t ip = 0; ip < mc; ip += kMr) {
-            int64_t mr_eff = std::min<int64_t>(kMr, mc - ip);
-            MicroKernel(kc, ap + ip * kc, bpanel, mr_eff, nr_eff,
-                        c + (ic + ip) * n + jc + jp, n);
-          }
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* c, int64_t m,
+              int64_t k, int64_t n) {
+  if (m == 0 || n == 0) return;
+  EDSR_CHECK_EQ(k % 32, 0) << "GemmInt8 depth must be zero-padded to 32";
+  EDSR_METRIC_COUNT("kernels.gemm_int8.calls", 1);
+  EDSR_METRIC_COUNT("kernels.gemm_int8.flops", 2 * m * n * k);
+  // Output rows are independent and the accumulation is integer, so the
+  // parallel split is exact at every thread count.
+  util::ParallelFor(0, m, /*grain=*/8, [&](int64_t r0, int64_t r1) {
+    if (UseAvx2()) {
+      avx2::GemmInt8(a + r0 * k, bt, c + r0 * n, r1 - r0, k, n);
+      return;
+    }
+    for (int64_t i = r0; i < r1; ++i) {
+      const int8_t* arow = a + i * k;
+      int32_t* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const int8_t* brow = bt + j * k;
+        int32_t acc = 0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<int32_t>(arow[p]) * brow[p];
         }
+        crow[j] = acc;
       }
     }
-  }
+  });
 }
 
 void PairwiseSqDist(const float* a, int64_t n, const float* b, int64_t m,
@@ -148,51 +131,82 @@ void PairwiseSqDist(const float* a, int64_t n, const float* b, int64_t m,
   // packing). Row norms accumulate in double; the combined result is
   // clamped at zero to hide cancellation, so exact zeros for identical
   // rows are NOT guaranteed (callers needing them must pin known pairs).
+  // Norms and the combine run per-row, so both fan out over the pool
+  // (rows are independent: exact at every thread count).
   arena::Scope scope;
   float* na = arena::AllocFloats(n);
   float* nb = arena::AllocFloats(m);
-  for (int64_t i = 0; i < n; ++i) {
-    na[i] = static_cast<float>(SumSquares(d, a + i * d));
-  }
-  for (int64_t j = 0; j < m; ++j) {
-    nb[j] = static_cast<float>(SumSquares(d, b + j * d));
-  }
+  util::ParallelFor(0, n, /*grain=*/64, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      na[i] = static_cast<float>(SumSquares(d, a + i * d));
+    }
+  });
+  util::ParallelFor(0, m, /*grain=*/64, [&](int64_t j0, int64_t j1) {
+    for (int64_t j = j0; j < j1; ++j) {
+      nb[j] = static_cast<float>(SumSquares(d, b + j * d));
+    }
+  });
   Gemm(a, b, out, n, d, m, /*trans_a=*/false, /*trans_b=*/true,
        /*accumulate=*/false);
-  for (int64_t i = 0; i < n; ++i) {
-    float* row = out + i * m;
-    float ni = na[i];
-    for (int64_t j = 0; j < m; ++j) {
-      row[j] = std::max(0.0f, ni + nb[j] - 2.0f * row[j]);
+  bool use_avx2 = UseAvx2();
+  util::ParallelFor(0, n, /*grain=*/64, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      float* row = out + i * m;
+      float ni = na[i];
+      if (use_avx2) {
+        avx2::PairwiseCombine(m, ni, nb, row);
+      } else {
+        for (int64_t j = 0; j < m; ++j) {
+          row[j] = std::max(0.0f, ni + nb[j] - 2.0f * row[j]);
+        }
+      }
     }
-  }
+  });
 }
 
 void Axpy(int64_t n, float alpha, const float* x, float* y) {
+  if (UseAvx2()) {
+    avx2::Axpy(n, alpha, x, y);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
 void Scale(int64_t n, float alpha, float* x) {
+  if (UseAvx2()) {
+    avx2::Scale(n, alpha, x);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
 }
 
 void AddScalar(int64_t n, float value, float* dst) {
+  if (UseAvx2()) {
+    avx2::AddScalar(n, value, dst);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) dst[i] += value;
 }
 
 void EmaUpdate(int64_t n, float tau, const float* online, float* target) {
+  if (UseAvx2()) {
+    avx2::EmaUpdate(n, tau, online, target);
+    return;
+  }
   for (int64_t i = 0; i < n; ++i) {
     target[i] = tau * target[i] + (1.0f - tau) * online[i];
   }
 }
 
 double SumAll(int64_t n, const float* x) {
+  if (UseAvx2()) return avx2::SumAll(n, x);
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) total += x[i];
   return total;
 }
 
 double SumSquares(int64_t n, const float* x) {
+  if (UseAvx2()) return avx2::SumSquares(n, x);
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     total += static_cast<double>(x[i]) * x[i];
@@ -201,6 +215,7 @@ double SumSquares(int64_t n, const float* x) {
 }
 
 double Dot(int64_t n, const float* x, const float* y) {
+  if (UseAvx2()) return avx2::Dot(n, x, y);
   double total = 0.0;
   for (int64_t i = 0; i < n; ++i) {
     total += static_cast<double>(x[i]) * y[i];
@@ -217,11 +232,12 @@ void NormalizeL2(int64_t n, float* x, float eps) {
 void StridedSum(const float* src, int64_t outer, int64_t dim, int64_t inner,
                 float* dst) {
   std::fill(dst, dst + outer * inner, 0.0f);
+  // Row additions route through Axpy so they pick up the SIMD tier; on the
+  // scalar tier Axpy is the exact loop this kernel always ran.
   for (int64_t o = 0; o < outer; ++o) {
     float* drow = dst + o * inner;
     for (int64_t d = 0; d < dim; ++d) {
-      const float* srow = src + (o * dim + d) * inner;
-      for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
+      Axpy(inner, 1.0f, src + (o * dim + d) * inner, drow);
     }
   }
 }
@@ -231,8 +247,7 @@ void StridedBroadcastAdd(const float* src, int64_t outer, int64_t dim,
   for (int64_t o = 0; o < outer; ++o) {
     const float* srow = src + o * inner;
     for (int64_t d = 0; d < dim; ++d) {
-      float* drow = dst + (o * dim + d) * inner;
-      for (int64_t i = 0; i < inner; ++i) drow[i] += srow[i];
+      Axpy(inner, 1.0f, srow, dst + (o * dim + d) * inner);
     }
   }
 }

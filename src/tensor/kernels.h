@@ -30,6 +30,15 @@ namespace edsr::tensor::kernels {
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate);
 
+// Int8 GEMM for the quantized serve path: c[i*n+j] = dot(a_i, bt_j) with
+// int32 accumulation, B stored TRANSPOSED ((n x k) row-major, i.e. one
+// contiguous k-vector per output column). k must be a multiple of 32 —
+// callers zero-pad both operands, which is exact under symmetric
+// quantization (pad terms are 0 * 0). Dequantization (scales, bias) is the
+// caller's job (src/nn/quant).
+void GemmInt8(const int8_t* a, const int8_t* bt, int32_t* c, int64_t m,
+              int64_t k, int64_t n);
+
 // out (n x m): out[i*m+j] = ||a_i - b_j||^2 for row-major a (n x d) and
 // b (m x d), computed as ||a||^2 + ||b||^2 - 2 A B^T with the cross terms
 // via Gemm. Results are clamped at 0 to hide float cancellation; identical

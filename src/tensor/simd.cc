@@ -1,0 +1,100 @@
+#include "src/tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace edsr::tensor::simd {
+
+namespace internal {
+// Defined in kernels_avx2.cc: true when that TU compiled its AVX2 bodies
+// (x86-64 GCC/Clang), false when it built the portable stubs.
+bool Avx2KernelsCompiled();
+}  // namespace internal
+
+namespace {
+
+constexpr int kUnresolved = -1;
+std::atomic<int> g_tier{kUnresolved};
+
+Tier Detect() {
+  if (!internal::Avx2KernelsCompiled()) return Tier::kScalar;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return Tier::kAvx2;
+  }
+#endif
+  return Tier::kScalar;
+}
+
+Tier Resolve() {
+  Tier detected = Detect();
+  const char* env = std::getenv("EDSR_SIMD");
+  Tier tier = TierFromEnvString(env == nullptr ? "" : env, detected);
+  EDSR_LOG(Info) << "simd: dispatch tier " << TierName(tier) << " (cpu max "
+                 << TierName(detected) << ")";
+  return tier;
+}
+
+// The active tier and pool size must be visible in run records; gauges are
+// registered once, lazily alongside the first dispatch decision.
+void RegisterDispatchGauge() {
+  static const bool registered = [] {
+    obs::MetricsRegistry::Global().RegisterCallbackGauge(
+        "kernels.dispatch",
+        [] { return static_cast<double>(ActiveTier()); });
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace
+
+Tier ActiveTier() {
+  int tier = g_tier.load(std::memory_order_relaxed);
+  if (tier == kUnresolved) {
+    Tier resolved = Resolve();
+    int expected = kUnresolved;
+    // First resolver wins; a concurrent caller that lost re-reads.
+    g_tier.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                   std::memory_order_relaxed);
+    tier = g_tier.load(std::memory_order_relaxed);
+    RegisterDispatchGauge();
+  }
+  return static_cast<Tier>(tier);
+}
+
+Tier SupportedTier() { return Detect(); }
+
+bool CpuSupportsAvx2() { return Detect() == Tier::kAvx2; }
+
+void SetTierForTesting(Tier tier) {
+  EDSR_CHECK(tier == Tier::kScalar || Detect() == Tier::kAvx2)
+      << "SetTierForTesting(avx2) on a CPU/binary without AVX2 kernels";
+  ActiveTier();  // ensure the gauge is registered even when forced early
+  g_tier.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+Tier TierFromEnvString(const std::string& value, Tier detected) {
+  if (value.empty() || value == "on" || value == "auto") return detected;
+  if (value == "off" || value == "scalar" || value == "0") {
+    return Tier::kScalar;
+  }
+  if (value == "avx2") {
+    EDSR_CHECK(detected == Tier::kAvx2)
+        << "EDSR_SIMD=avx2 but this CPU/binary has no AVX2 kernels";
+    return Tier::kAvx2;
+  }
+  EDSR_CHECK(false) << "unknown EDSR_SIMD value '" << value
+                    << "' (want off|scalar|avx2|auto)";
+  return detected;
+}
+
+const char* TierName(Tier tier) {
+  return tier == Tier::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace edsr::tensor::simd

@@ -1,0 +1,238 @@
+#include "src/util/threadpool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace edsr::util {
+
+namespace {
+
+thread_local bool t_in_parallel = false;
+
+int PoolSizeFromEnv() {
+  const char* env = std::getenv("EDSR_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  long value = std::strtol(env, &end, 10);
+  EDSR_CHECK(end != env && *end == '\0' && value >= 1 && value <= 256)
+      << "EDSR_NUM_THREADS='" << env << "' (want an integer in [1, 256])";
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  struct Task {
+    int64_t begin;
+    int64_t end;
+  };
+
+  // Per-participant deque. Owner pops from the front, thieves take from
+  // the back, so an owner keeps cache-warm consecutive chunks while a
+  // thief walks off with the far end of the range.
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Serializes parallel regions: one region owns the pool at a time.
+  std::mutex run_mu;
+
+  // Guards epoch/shutdown/fn/ctx/error and backs both condvars.
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  uint64_t epoch = 0;
+  bool shutdown = false;
+  void (*fn)(void*, int64_t, int64_t) = nullptr;
+  void* ctx = nullptr;
+  std::exception_ptr error;
+
+  std::atomic<int64_t> pending{0};
+  std::atomic<int> num_threads{1};
+  std::vector<std::unique_ptr<Queue>> queues;  // queues[0] = caller
+  std::vector<std::thread> workers;            // num_threads - 1 entries
+
+  bool PopOrSteal(int self, Task* out) {
+    {
+      Queue& q = *queues[self];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        *out = q.tasks.front();
+        q.tasks.pop_front();
+        return true;
+      }
+    }
+    int n = static_cast<int>(queues.size());
+    for (int step = 1; step < n; ++step) {
+      Queue& victim = *queues[(self + step) % n];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        *out = victim.tasks.back();
+        victim.tasks.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Participate(int self) {
+    t_in_parallel = true;
+    Task task;
+    while (PopOrSteal(self, &task)) {
+      try {
+        fn(ctx, task.begin, task.end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+    t_in_parallel = false;
+  }
+
+  void WorkerLoop(int self) {
+    uint64_t seen = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return shutdown || epoch != seen; });
+        if (shutdown) return;
+        seen = epoch;
+      }
+      Participate(self);
+    }
+  }
+
+  void SpawnWorkers(int n) {
+    num_threads.store(n, std::memory_order_relaxed);
+    queues.clear();
+    for (int i = 0; i < n; ++i) queues.push_back(std::make_unique<Queue>());
+    for (int i = 1; i < n; ++i) {
+      workers.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  void JoinWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = false;
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  int n = PoolSizeFromEnv();
+  impl_->SpawnWorkers(n);
+  if (n > 1) {
+    EDSR_LOG(Info) << "threadpool: " << n << " threads (" << (n - 1)
+                   << " workers + caller)";
+  }
+  obs::MetricsRegistry::Global().RegisterCallbackGauge(
+      "kernels.threads",
+      [impl = impl_] {
+        return static_cast<double>(
+            impl->num_threads.load(std::memory_order_relaxed));
+      });
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->JoinWorkers();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::NumThreads() const {
+  return impl_->num_threads.load(std::memory_order_relaxed);
+}
+
+bool ThreadPool::InParallelRegion() { return t_in_parallel; }
+
+void ThreadPool::SetNumThreadsForTesting(int num_threads) {
+  EDSR_CHECK_GE(num_threads, 1);
+  EDSR_CHECK_LE(num_threads, 256);
+  std::unique_lock<std::mutex> run_lock(impl_->run_mu, std::try_to_lock);
+  EDSR_CHECK(run_lock.owns_lock())
+      << "SetNumThreadsForTesting during an active parallel region";
+  impl_->JoinWorkers();
+  impl_->SpawnWorkers(num_threads);
+}
+
+void ThreadPool::RunParallel(int64_t begin, int64_t end, int64_t grain,
+                             void (*fn)(void*, int64_t, int64_t), void* ctx) {
+  std::unique_lock<std::mutex> run_lock(impl_->run_mu, std::try_to_lock);
+  if (!run_lock.owns_lock()) {
+    // Another thread owns the pool; don't block a serve/train thread on it.
+    fn(ctx, begin, end);
+    return;
+  }
+
+  int64_t ntasks = (end - begin + grain - 1) / grain;
+  // Publish the run (fn/ctx/pending) BEFORE any task becomes visible in a
+  // queue: a straggler worker from the previous epoch may still be in its
+  // steal loop and pick up new tasks early — it must see the new fn.
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->fn = fn;
+    impl_->ctx = ctx;
+    impl_->error = nullptr;
+    impl_->pending.store(ntasks, std::memory_order_release);
+  }
+  int n = static_cast<int>(impl_->queues.size());
+  int64_t idx = 0;
+  for (int64_t s = begin; s < end; s += grain, ++idx) {
+    Impl::Queue& q = *impl_->queues[idx % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    q.tasks.push_back({s, s + grain < end ? s + grain : end});
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    ++impl_->epoch;
+  }
+  impl_->work_cv.notify_all();
+
+  impl_->Participate(0);
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->done_cv.wait(lock, [&] {
+      return impl_->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    err = impl_->error;
+    impl_->error = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace edsr::util

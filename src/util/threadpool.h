@@ -1,0 +1,99 @@
+// Work-stealing intra-op threadpool for the kernels layer.
+//
+// One global pool sized by EDSR_NUM_THREADS (default 1). Kernels submit work
+// as ParallelFor(begin, end, grain, fn) where fn(b, e) processes the
+// half-open index range [b, e). The range is split into fixed `grain`-sized
+// chunks — the decomposition depends only on (begin, end, grain), never on
+// the pool size, so a kernel whose chunks write disjoint outputs produces
+// bit-identical results at every thread count.
+//
+// The 1-thread path (the default) is a direct call to fn with no heap
+// allocation, no atomics, and no synchronization, so every existing
+// bit-exactness and resume test runs the exact same code as before the pool
+// existed. With N > 1 threads the pool keeps N-1 persistent workers; the
+// caller participates as the N-th. Each participant owns a mutex-guarded
+// deque: it pops its own tasks from the front and steals from the back of a
+// victim's queue when it runs dry.
+//
+// Rules of engagement:
+//   * Nested ParallelFor (a task body calling ParallelFor) runs inline on
+//     the calling worker — no deadlock, no oversubscription.
+//   * A second thread entering ParallelFor while a region is active runs
+//     its range inline (the pool serves one region at a time).
+//   * Exceptions thrown by fn are captured; the first one is rethrown on
+//     the calling thread after the region drains. Remaining tasks still run.
+//   * Workers are ordinary threads: each gets its own thread-local scratch
+//     arena (src/tensor/arena) and its own metrics counter cells for free.
+//
+// The pool size is exported as the "kernels.threads" gauge so run records
+// identify how many workers produced a number.
+#ifndef EDSR_SRC_UTIL_THREADPOOL_H_
+#define EDSR_SRC_UTIL_THREADPOOL_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace edsr::util {
+
+class ThreadPool {
+ public:
+  // The process-wide pool. First call reads EDSR_NUM_THREADS and spawns
+  // workers; later calls are a plain static reference.
+  static ThreadPool& Global();
+
+  // Total participants (workers + the calling thread). >= 1.
+  int NumThreads() const;
+
+  // Resizes the pool (tests only). Joins existing workers, spawns
+  // num_threads - 1 new ones. Aborts if num_threads < 1 or a parallel
+  // region is active on another thread.
+  void SetNumThreadsForTesting(int num_threads);
+
+  // True while the current thread is executing inside a ParallelFor task.
+  static bool InParallelRegion();
+
+  // Runs fn over [begin, end) in `grain`-sized chunks. fn must be callable
+  // as fn(int64_t chunk_begin, int64_t chunk_end) and chunks must be safe
+  // to run concurrently. Blocks until every chunk completed.
+  template <typename Fn>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+    if (end <= begin) return;
+    if (grain < 1) grain = 1;
+    if (NumThreads() <= 1 || end - begin <= grain || InParallelRegion()) {
+      fn(begin, end);
+      return;
+    }
+    using Decayed = std::remove_reference_t<Fn>;
+    RunParallel(begin, end, grain, &Trampoline<Decayed>,
+                const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  template <typename Fn>
+  static void Trampoline(void* ctx, int64_t chunk_begin, int64_t chunk_end) {
+    (*static_cast<Fn*>(ctx))(chunk_begin, chunk_end);
+  }
+
+  void RunParallel(int64_t begin, int64_t end, int64_t grain,
+                   void (*fn)(void*, int64_t, int64_t), void* ctx);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+// Convenience wrapper over ThreadPool::Global().
+template <typename Fn>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  ThreadPool::Global().ParallelFor(begin, end, grain,
+                                   static_cast<Fn&&>(fn));
+}
+
+}  // namespace edsr::util
+
+#endif  // EDSR_SRC_UTIL_THREADPOOL_H_

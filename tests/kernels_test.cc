@@ -3,12 +3,15 @@
 #include "src/tensor/kernels.h"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/tensor/simd.h"
 #include "src/util/rng.h"
+#include "src/util/threadpool.h"
 
 namespace edsr {
 namespace {
@@ -373,6 +376,205 @@ TEST(Kernels, AdamStepMatchesReference) {
     EXPECT_NEAR(m[i], rm[i], 1e-6f);
     EXPECT_NEAR(v[i], rv[i], 1e-6f);
     EXPECT_NEAR(data[i], rd[i], 1e-6f);
+  }
+}
+
+// ---- Dispatch-tier sweep -------------------------------------------------
+//
+// Every (tier, thread-count) configuration the dispatcher can select must
+// agree: scalar and AVX2 within a float tolerance, and — the determinism
+// contract from threadpool.h — every thread count bit-identical to the
+// 1-thread run of the same tier.
+
+namespace simd = tensor::simd;
+
+// Saves and restores the dispatch tier and pool size around a test.
+class DispatchConfigGuard {
+ public:
+  DispatchConfigGuard()
+      : tier_(simd::ActiveTier()),
+        threads_(util::ThreadPool::Global().NumThreads()) {}
+  ~DispatchConfigGuard() {
+    simd::SetTierForTesting(tier_);
+    util::ThreadPool::Global().SetNumThreadsForTesting(threads_);
+  }
+
+ private:
+  simd::Tier tier_;
+  int threads_;
+};
+
+struct DispatchConfig {
+  simd::Tier tier;
+  int threads;
+};
+
+std::vector<DispatchConfig> AllDispatchConfigs() {
+  std::vector<DispatchConfig> configs = {{simd::Tier::kScalar, 1},
+                                         {simd::Tier::kScalar, 4}};
+  if (simd::SupportedTier() == simd::Tier::kAvx2) {
+    configs.push_back({simd::Tier::kAvx2, 1});
+    configs.push_back({simd::Tier::kAvx2, 2});
+    configs.push_back({simd::Tier::kAvx2, 4});
+  }
+  return configs;
+}
+
+void ApplyConfig(const DispatchConfig& config) {
+  simd::SetTierForTesting(config.tier);
+  util::ThreadPool::Global().SetNumThreadsForTesting(config.threads);
+}
+
+TEST(KernelsDispatch, GemmEveryTierMatchesNaiveAndThreadsAreBitIdentical) {
+  DispatchConfigGuard guard;
+  util::Rng rng(31);
+  // Odd sizes straddling both register tiles (scalar 4x8, AVX2 6x16) and
+  // the cache blocks, plus a square size past the packing boundaries.
+  struct Shape { int64_t m, k, n; };
+  const Shape shapes[] = {{1, 1, 1},   {5, 3, 17},   {23, 65, 9},
+                          {97, 31, 130}, {64, 300, 48}, {129, 129, 129}};
+  for (const Shape& shape : shapes) {
+    for (bool ta : {false, true}) {
+      for (bool tb : {false, true}) {
+        std::vector<float> a = RandomVec(shape.m * shape.k, &rng);
+        std::vector<float> b = RandomVec(shape.k * shape.n, &rng);
+        std::vector<float> expected = RandomVec(shape.m * shape.n, &rng);
+        const std::vector<float> seed_c = expected;
+        NaiveGemm(a, b, &expected, shape.m, shape.k, shape.n, ta, tb,
+                  /*accumulate=*/true);
+        const float tol = 1e-4f * static_cast<float>(shape.k);
+        for (const DispatchConfig& config : AllDispatchConfigs()) {
+          ApplyConfig(config);
+          std::vector<float> actual = seed_c;
+          kernels::Gemm(a.data(), b.data(), actual.data(), shape.m, shape.k,
+                        shape.n, ta, tb, /*accumulate=*/true);
+          for (int64_t i = 0; i < shape.m * shape.n; ++i) {
+            ASSERT_NEAR(actual[i], expected[i], tol)
+                << "tier=" << simd::TierName(config.tier)
+                << " threads=" << config.threads << " m=" << shape.m
+                << " k=" << shape.k << " n=" << shape.n << " ta=" << ta
+                << " tb=" << tb << " i=" << i;
+          }
+          if (config.threads == 1) continue;
+          // Bit-identical to the same tier at 1 thread: the macro-panel
+          // decomposition must not depend on the pool size.
+          simd::SetTierForTesting(config.tier);
+          util::ThreadPool::Global().SetNumThreadsForTesting(1);
+          std::vector<float> serial = seed_c;
+          kernels::Gemm(a.data(), b.data(), serial.data(), shape.m, shape.k,
+                        shape.n, ta, tb, /*accumulate=*/true);
+          ASSERT_EQ(0, std::memcmp(serial.data(), actual.data(),
+                                   serial.size() * sizeof(float)))
+              << "tier=" << simd::TierName(config.tier) << " threads="
+              << config.threads << " diverged from its own 1-thread run";
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsDispatch, PairwiseSqDistEveryTierMatchesAndThreadsBitIdentical) {
+  DispatchConfigGuard guard;
+  util::Rng rng(32);
+  const int64_t n = 130, m = 70, d = 33;
+  std::vector<float> a = RandomVec(n * d, &rng);
+  std::vector<float> b = RandomVec(m * d, &rng);
+  for (const DispatchConfig& config : AllDispatchConfigs()) {
+    ApplyConfig(config);
+    std::vector<float> out(n * m);
+    kernels::PairwiseSqDist(a.data(), n, b.data(), m, d, out.data());
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        double expected = 0.0;
+        for (int64_t c = 0; c < d; ++c) {
+          double diff = static_cast<double>(a[i * d + c]) - b[j * d + c];
+          expected += diff * diff;
+        }
+        ASSERT_NEAR(out[i * m + j], expected, 1e-3)
+            << "tier=" << simd::TierName(config.tier)
+            << " threads=" << config.threads << " i=" << i << " j=" << j;
+        ASSERT_GE(out[i * m + j], 0.0f);
+      }
+    }
+    if (config.threads == 1) continue;
+    simd::SetTierForTesting(config.tier);
+    util::ThreadPool::Global().SetNumThreadsForTesting(1);
+    std::vector<float> serial(n * m);
+    kernels::PairwiseSqDist(a.data(), n, b.data(), m, d, serial.data());
+    ASSERT_EQ(0, std::memcmp(serial.data(), out.data(),
+                             serial.size() * sizeof(float)))
+        << "tier=" << simd::TierName(config.tier)
+        << " threads=" << config.threads;
+  }
+}
+
+TEST(KernelsDispatch, Blas1AndReductionsAgreeAcrossTiers) {
+  DispatchConfigGuard guard;
+  util::Rng rng(33);
+  const int64_t n = 1031;  // odd length: exercises every vector tail
+  std::vector<float> x = RandomVec(n, &rng);
+  std::vector<float> y = RandomVec(n, &rng);
+
+  simd::SetTierForTesting(simd::Tier::kScalar);
+  std::vector<float> y_scalar = y;
+  kernels::Axpy(n, 0.7f, x.data(), y_scalar.data());
+  kernels::Scale(n, 1.3f, y_scalar.data());
+  kernels::AddScalar(n, -0.2f, y_scalar.data());
+  std::vector<float> t_scalar = x;
+  kernels::EmaUpdate(n, 0.9f, y_scalar.data(), t_scalar.data());
+  const double sum_scalar = kernels::SumAll(n, y_scalar.data());
+  const double sq_scalar = kernels::SumSquares(n, y_scalar.data());
+  const double dot_scalar = kernels::Dot(n, x.data(), y_scalar.data());
+
+  if (simd::SupportedTier() != simd::Tier::kAvx2) {
+    GTEST_SKIP() << "AVX2 unsupported on this host";
+  }
+  simd::SetTierForTesting(simd::Tier::kAvx2);
+  std::vector<float> y_simd = y;
+  kernels::Axpy(n, 0.7f, x.data(), y_simd.data());
+  kernels::Scale(n, 1.3f, y_simd.data());
+  kernels::AddScalar(n, -0.2f, y_simd.data());
+  std::vector<float> t_simd = x;
+  kernels::EmaUpdate(n, 0.9f, y_simd.data(), t_simd.data());
+  for (int64_t i = 0; i < n; ++i) {
+    // Element-wise ops don't reassociate, but the AVX2 lanes use FMA
+    // (single rounding) where scalar rounds twice: allow a few ulps.
+    ASSERT_NEAR(y_scalar[i], y_simd[i], 1e-5f) << "i=" << i;
+    ASSERT_NEAR(t_scalar[i], t_simd[i], 1e-6f) << "i=" << i;
+  }
+  // Reductions reassociate (8 lanes + double pairs); allow a small slack.
+  EXPECT_NEAR(kernels::SumAll(n, y_simd.data()), sum_scalar, 1e-4);
+  EXPECT_NEAR(kernels::SumSquares(n, y_simd.data()), sq_scalar, 1e-4);
+  EXPECT_NEAR(kernels::Dot(n, x.data(), y_simd.data()), dot_scalar, 1e-4);
+}
+
+TEST(KernelsDispatch, GemmInt8ExactAcrossTiersAndThreads) {
+  DispatchConfigGuard guard;
+  util::Rng rng(34);
+  const int64_t m = 37, k = 96, n = 29;  // k: multiple of 32
+  std::vector<int8_t> a(m * k);
+  std::vector<int8_t> bt(n * k);
+  for (int8_t& v : a) v = static_cast<int8_t>(rng.Uniform(-127.0f, 127.0f));
+  for (int8_t& v : bt) v = static_cast<int8_t>(rng.Uniform(-127.0f, 127.0f));
+  std::vector<int32_t> expected(m * n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(a[i * k + p]) *
+               static_cast<int32_t>(bt[j * k + p]);
+      }
+      expected[i * n + j] = acc;
+    }
+  }
+  for (const DispatchConfig& config : AllDispatchConfigs()) {
+    ApplyConfig(config);
+    std::vector<int32_t> actual(m * n, -1);
+    kernels::GemmInt8(a.data(), bt.data(), actual.data(), m, k, n);
+    // Integer accumulation: every tier and thread count is exact.
+    ASSERT_EQ(expected, actual)
+        << "tier=" << simd::TierName(config.tier)
+        << " threads=" << config.threads;
   }
 }
 

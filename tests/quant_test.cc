@@ -1,0 +1,220 @@
+// Tests for the int8 quantized serve path: depth padding, quantized-vs-float
+// encoder tolerance (MLP, heads, conv), and serve kNN accuracy parity when a
+// snapshot is installed with int8_serving.
+#include "src/nn/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/eval/knn.h"
+#include "src/serve/snapshot.h"
+#include "src/ssl/encoder.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace edsr {
+namespace {
+
+using nn::quant::QuantizedEncoder;
+
+// Documented accuracy contract (quant.h): quantized representations stay
+// within this fraction of the float representation's max magnitude. Int8
+// carries ~0.4% error per layer; 10% headroom across a 5-layer stack still
+// fails loudly on any real defect (a wrong BN fold or layer mapping is an
+// O(1) relative error).
+constexpr float kRelTolerance = 0.1f;
+
+std::vector<float> RandomRows(int64_t n, int64_t d, util::Rng* rng) {
+  std::vector<float> v(n * d);
+  for (float& x : v) x = rng->Uniform(-1.0f, 1.0f);
+  return v;
+}
+
+// Builds an encoder, runs a few training-mode batches so the BatchNorm
+// running statistics move off their init (exercising the eval-mode fold),
+// then freezes it the way serve snapshots do.
+std::unique_ptr<ssl::Encoder> FrozenEncoder(const ssl::EncoderConfig& config,
+                                            uint64_t seed) {
+  util::Rng rng(seed);
+  auto encoder = ssl::Encoder::Make(config, &rng);
+  {
+    tensor::NoGradGuard no_grad;
+    encoder->SetTraining(true);
+    for (int step = 0; step < 3; ++step) {
+      std::vector<float> batch = RandomRows(16, encoder->input_dim(), &rng);
+      encoder->Forward(
+          tensor::Tensor::FromVector(batch, {16, encoder->input_dim()}));
+    }
+  }
+  encoder->SetTraining(false);
+  encoder->SetRequiresGrad(false);
+  return encoder;
+}
+
+// Max-abs error between quantized and float forward, normalized by the
+// float output's max magnitude.
+float RelativeError(ssl::Encoder* encoder, const QuantizedEncoder& quantized,
+                    int64_t n, util::Rng* rng) {
+  std::vector<float> input = RandomRows(n, encoder->input_dim(), rng);
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor expected = encoder->Forward(
+      tensor::Tensor::FromVector(input, {n, encoder->input_dim()}));
+  std::vector<float> actual(n * encoder->representation_dim());
+  quantized.Forward(input.data(), n, actual.data());
+  float max_abs = 1e-6f, max_err = 0.0f;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(expected.data()[i]));
+    max_err = std::max(max_err, std::abs(actual[i] - expected.data()[i]));
+  }
+  return max_err / max_abs;
+}
+
+TEST(Quant, PadDepthRoundsUpToAlignment) {
+  EXPECT_EQ(nn::quant::PadDepth(1), 32);
+  EXPECT_EQ(nn::quant::PadDepth(32), 32);
+  EXPECT_EQ(nn::quant::PadDepth(33), 64);
+  EXPECT_EQ(nn::quant::PadDepth(192), 192);
+}
+
+TEST(Quant, MlpEncoderWithinTolerance) {
+  ssl::EncoderConfig config;
+  config.mlp_dims = {24, 48, 32};
+  config.projector_hidden = 16;
+  config.representation_dim = 8;
+  auto encoder = FrozenEncoder(config, 11);
+  QuantizedEncoder quantized(*encoder);
+  EXPECT_EQ(quantized.input_dim(), encoder->input_dim());
+  EXPECT_EQ(quantized.representation_dim(), encoder->representation_dim());
+  util::Rng rng(12);
+  EXPECT_LE(RelativeError(encoder.get(), quantized, 32, &rng), kRelTolerance);
+}
+
+TEST(Quant, HeterogeneousHeadEncoderUsesActiveHead) {
+  ssl::EncoderConfig config;
+  config.mlp_dims = {20, 24, 16};
+  config.projector_hidden = 16;
+  config.representation_dim = 8;
+  config.input_head_dims = {10, 14};
+  auto encoder = FrozenEncoder(config, 21);
+  encoder->SetActiveHead(1);
+  QuantizedEncoder quantized(*encoder);
+  EXPECT_EQ(quantized.input_dim(), 14);
+  util::Rng rng(22);
+  EXPECT_LE(RelativeError(encoder.get(), quantized, 24, &rng), kRelTolerance);
+}
+
+TEST(Quant, ConvEncoderWithinTolerance) {
+  ssl::EncoderConfig config;
+  config.backbone = ssl::EncoderConfig::BackboneType::kConv;
+  config.conv.channels = 3;
+  config.conv.height = 8;
+  config.conv.width = 8;
+  config.conv.base_width = 8;
+  config.projector_hidden = 16;
+  config.representation_dim = 8;
+  auto encoder = FrozenEncoder(config, 31);
+  QuantizedEncoder quantized(*encoder);
+  util::Rng rng(32);
+  EXPECT_LE(RelativeError(encoder.get(), quantized, 8, &rng), kRelTolerance);
+}
+
+TEST(Quant, ForwardIsDeterministic) {
+  ssl::EncoderConfig config;
+  config.mlp_dims = {16, 24, 16};
+  config.projector_hidden = 8;
+  config.representation_dim = 8;
+  auto encoder = FrozenEncoder(config, 41);
+  QuantizedEncoder quantized(*encoder);
+  util::Rng rng(42);
+  std::vector<float> input = RandomRows(8, encoder->input_dim(), &rng);
+  tensor::NoGradGuard no_grad;
+  std::vector<float> first(8 * config.representation_dim);
+  std::vector<float> second(8 * config.representation_dim);
+  quantized.Forward(input.data(), 8, first.data());
+  quantized.Forward(input.data(), 8, second.data());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Quant, ServeSnapshotInt8AccuracyParity) {
+  // Two well-separated input clusters; a frozen random encoder keeps them
+  // separated in representation space, so kNN over a labeled memory bank
+  // classifies queries near-perfectly. Int8 serving embeds both bank and
+  // queries through the quantized encoder and must hold that accuracy.
+  ssl::EncoderConfig config;
+  config.mlp_dims = {24, 32, 16};
+  config.projector_hidden = 16;
+  config.representation_dim = 8;
+  const int64_t d = config.mlp_dims[0];
+  util::Rng rng(51);
+  std::vector<float> centers = RandomRows(2, d, &rng);
+  for (float& x : centers) x *= 4.0f;  // spread the clusters apart
+  auto sample = [&](int64_t label) {
+    std::vector<float> row(d);
+    for (int64_t c = 0; c < d; ++c) {
+      row[c] = centers[label * d + c] + rng.Uniform(-0.2f, 0.2f);
+    }
+    return row;
+  };
+
+  const int64_t bank_n = 40, query_n = 30;
+  std::vector<float> memory;
+  std::vector<int64_t> memory_labels;
+  for (int64_t i = 0; i < bank_n; ++i) {
+    const int64_t label = i % 2;
+    std::vector<float> row = sample(label);
+    memory.insert(memory.end(), row.begin(), row.end());
+    memory_labels.push_back(label);
+  }
+  std::vector<float> queries;
+  std::vector<int64_t> query_labels;
+  for (int64_t i = 0; i < query_n; ++i) {
+    const int64_t label = i % 2;
+    std::vector<float> row = sample(label);
+    queries.insert(queries.end(), row.begin(), row.end());
+    query_labels.push_back(label);
+  }
+
+  auto accuracy_for = [&](bool int8_serving) {
+    serve::SnapshotLoadOptions options;
+    options.encoder = config;
+    options.int8_serving = int8_serving;
+    serve::SnapshotPayload payload;
+    // Same seed both times: float and int8 snapshots share weights.
+    payload.encoder = FrozenEncoder(config, 52);
+    payload.memory_features = memory;
+    payload.memory_labels = memory_labels;
+    serve::SnapshotRegistry registry;
+    serve::SnapshotHandle snapshot =
+        registry.Install(std::move(payload), options, "quant_test");
+    EXPECT_EQ(snapshot->quantized() != nullptr, int8_serving);
+    eval::RepresentationMatrix reps;
+    reps.n = query_n;
+    reps.d = config.representation_dim;
+    reps.values.resize(query_n * reps.d);
+    tensor::NoGradGuard no_grad;
+    if (int8_serving) {
+      snapshot->quantized()->Forward(queries.data(), query_n,
+                                     reps.values.data());
+    } else {
+      tensor::Tensor out = snapshot->encoder()->Forward(
+          tensor::Tensor::FromVector(queries, {query_n, d}));
+      std::copy(out.data().begin(), out.data().end(), reps.values.begin());
+    }
+    return snapshot->knn()->Evaluate(reps, query_labels);
+  };
+
+  const double float_acc = accuracy_for(false);
+  const double int8_acc = accuracy_for(true);
+  EXPECT_GE(float_acc, 0.9);
+  // Parity: the quantized path must not lose more than one query's worth
+  // of accuracy relative to float serving on this separable problem.
+  EXPECT_GE(int8_acc, float_acc - 1.0 / static_cast<double>(query_n) - 1e-9);
+}
+
+}  // namespace
+}  // namespace edsr
