@@ -1,0 +1,20 @@
+// The compiled-out arm of bench_micro_obs_histo: EDSR_HISTO_RECORD is
+// defined to discard its arguments before the workload header's default
+// kicks in, so StepRecordCompiledOut runs the identical value-generation
+// body with zero instrumentation — the baseline the enabled arm is measured
+// against. Named without the bench_ prefix on purpose: the glob in
+// bench/CMakeLists.txt must not turn it into its own binary; it is attached
+// to bench_micro_obs_histo via target_sources.
+#define EDSR_HISTO_RECORD(histo, us) (void)(us)
+
+#include "bench/obs_histo_workload.h"
+
+namespace edsr::benchobs {
+
+int64_t StepRecordCompiledOut(HistoWorkload& workload) {
+  int64_t us = workload.NextLatencyUs();
+  EDSR_HISTO_RECORD(workload.histo, us);
+  return us;
+}
+
+}  // namespace edsr::benchobs

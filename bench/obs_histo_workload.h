@@ -1,0 +1,42 @@
+// Shared workload for bench_micro_obs_histo: one step generates a pseudo-
+// random latency and (maybe) records it into a LatencyHisto. The two arms —
+// StepRecordEnabled in bench_micro_obs_histo.cc and StepRecordCompiledOut in
+// obs_histo_disabled.cc — compile the identical body with EDSR_HISTO_RECORD
+// expanding to a real Record call or to nothing, so their timing difference
+// is exactly the record path (same pattern as bench_obs_overhead's
+// compiled-out tracing arm).
+#ifndef EDSR_BENCH_OBS_HISTO_WORKLOAD_H_
+#define EDSR_BENCH_OBS_HISTO_WORKLOAD_H_
+
+#include <cstdint>
+
+#include "src/obs/histo.h"
+
+#ifndef EDSR_HISTO_RECORD
+#define EDSR_HISTO_RECORD(histo, us) (histo)->Record(us)
+#endif
+
+namespace edsr::benchobs {
+
+struct HistoWorkload {
+  obs::LatencyHisto* histo = nullptr;
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+
+  // xorshift64: cheap, and identical across both arms, so the value stream
+  // (and thus the bucket-index arithmetic) cannot be constant-folded away.
+  int64_t NextLatencyUs() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return static_cast<int64_t>(state % 100000);  // 0 .. 100ms
+  }
+};
+
+// Defined in bench_micro_obs_histo.cc (record enabled).
+int64_t StepRecordEnabled(HistoWorkload& workload);
+// Defined in obs_histo_disabled.cc (EDSR_HISTO_RECORD compiled out).
+int64_t StepRecordCompiledOut(HistoWorkload& workload);
+
+}  // namespace edsr::benchobs
+
+#endif  // EDSR_BENCH_OBS_HISTO_WORKLOAD_H_

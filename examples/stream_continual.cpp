@@ -7,6 +7,8 @@
 //                      [--streams "<spec>;<spec>"] [--triggers "<spec>;<spec>"]
 //                      [--micro_batch <n>] [--samples <n>] [--ood <preset>]
 //                      [--metrics_out <file.jsonl>]
+//                      [--timeseries_out <file.jsonl>]
+//                      [--metrics_interval_ms <n>]
 //                      [--checkpoint_dir <dir>] [--resume]
 //                      [--stop_after_cycle <n>] [--list]
 //
@@ -22,6 +24,10 @@
 // With --checkpoint_dir, each cell snapshots atomically after every cycle
 // under <dir>/<cell>/stream.ckpt; --resume continues a killed run
 // bit-identically (--stop_after_cycle simulates the kill).
+//
+// --timeseries_out attaches a background MetricsExporter writing one
+// "serve_timeseries" record every --metrics_interval_ms (default 1000),
+// carrying the stream.* per-cycle gauges alongside the full registry.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,6 +41,7 @@
 #include "src/cl/selection.h"
 #include "src/core/edsr.h"
 #include "src/data/synthetic.h"
+#include "src/obs/exporter.h"
 #include "src/obs/run_record.h"
 #include "src/stream/driver.h"
 #include "src/util/logging.h"
@@ -110,6 +117,8 @@ int main(int argc, char** argv) {
   std::string samples_flag;
   std::string ood_flag;
   std::string metrics_out;
+  std::string timeseries_out;
+  std::string interval_flag;
   std::string checkpoint_dir;
   std::string stop_after_flag;
   bool resume = false;
@@ -122,6 +131,8 @@ int main(int argc, char** argv) {
         ParseFlag(argc, argv, &i, "--samples", &samples_flag) ||
         ParseFlag(argc, argv, &i, "--ood", &ood_flag) ||
         ParseFlag(argc, argv, &i, "--metrics_out", &metrics_out) ||
+        ParseFlag(argc, argv, &i, "--timeseries_out", &timeseries_out) ||
+        ParseFlag(argc, argv, &i, "--metrics_interval_ms", &interval_flag) ||
         ParseFlag(argc, argv, &i, "--checkpoint_dir", &checkpoint_dir) ||
         ParseFlag(argc, argv, &i, "--stop_after_cycle", &stop_after_flag)) {
       continue;
@@ -204,6 +215,26 @@ int main(int argc, char** argv) {
     logger = std::make_unique<obs::RunLogger>(metrics_out);
     if (!logger->ok()) {
       std::fprintf(stderr, "cannot open %s\n", metrics_out.c_str());
+      return 1;
+    }
+  }
+
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (!timeseries_out.empty()) {
+    obs::MetricsExporterOptions exporter_options;
+    exporter_options.path = timeseries_out;
+    exporter_options.interval_ms =
+        interval_flag.empty()
+            ? 1000
+            : std::strtoll(interval_flag.c_str(), nullptr, 10);
+    if (exporter_options.interval_ms < 1) {
+      std::fprintf(stderr, "--metrics_interval_ms must be >= 1\n");
+      return 1;
+    }
+    exporter = std::make_unique<obs::MetricsExporter>(exporter_options);
+    util::Status started = exporter->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "%s\n", started.ToString().c_str());
       return 1;
     }
   }

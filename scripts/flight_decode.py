@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Decode a crash flight-recorder ring file into its JSON dump schema.
+
+The serve/stream processes map a ring of recent trace events at
+<dir>/flight_<pid>.bin (64-byte header + 64-byte slots, little-endian;
+layout in src/obs/flight.h). Because the ring is mmap(MAP_SHARED), the
+kernel persists it even through kill -9 — this script is the post-mortem
+reader, emitting exactly the JSON object the in-process signal handler
+writes to flight_<pid>.json on catchable deaths:
+
+  {"record":"flight","pid":..,"capacity":..,"start_ts_us":..,
+   "events_recorded":N,"events":[{"seq":..,"ts_us":..,"kind":..,
+   "tid":..,"name":..,"a":..,"b":..}, ...]}
+
+Torn slots (a writer was mid-overwrite when the process died: the slot's
+seq field does not match the expected sequence number) are skipped, same
+as the in-process dumper.
+
+Usage:
+  flight_decode.py <flight.bin>            # JSON on stdout
+  flight_decode.py <flight.bin> -o out.json
+"""
+import argparse
+import json
+import struct
+import sys
+
+MAGIC = b"EDSRFLT1"
+HEADER_SIZE = 64
+SLOT_SIZE = 64
+HEADER_FMT = "<8sIIQqiI"  # magic, version, capacity, next_seq, start_ts_us, pid, reserved
+SLOT_FMT = "<Qq II 24s qq".replace(" ", "")  # seq, ts_us, kind, tid, name, a, b
+INVALID_SEQ = 0xFFFFFFFFFFFFFFFF
+
+
+def decode(data: bytes) -> dict:
+    if len(data) < HEADER_SIZE:
+        raise ValueError(f"file too short for a flight header ({len(data)} bytes)")
+    magic, version, capacity, next_seq, start_ts_us, pid, _reserved = (
+        struct.unpack_from(HEADER_FMT, data, 0)
+    )
+    if magic != MAGIC:
+        raise ValueError(f"bad magic {magic!r} (want {MAGIC!r})")
+    if version != 1:
+        raise ValueError(f"unsupported flight version {version}")
+    if capacity < 1:
+        raise ValueError("flight header declares zero capacity")
+    want = HEADER_SIZE + SLOT_SIZE * capacity
+    if len(data) < want:
+        raise ValueError(
+            f"file truncated: {len(data)} bytes, header declares {want}"
+        )
+
+    lo = next_seq - capacity if next_seq > capacity else 0
+    events = []
+    for seq in range(lo, next_seq):
+        offset = HEADER_SIZE + (seq % capacity) * SLOT_SIZE
+        slot_seq, ts_us, kind, tid, name, a, b = struct.unpack_from(
+            SLOT_FMT, data, offset
+        )
+        if slot_seq != seq:  # torn or stale slot; skip like the C++ dumper
+            continue
+        events.append(
+            {
+                "seq": seq,
+                "ts_us": ts_us,
+                "kind": kind,
+                "tid": tid,
+                "name": name.split(b"\0", 1)[0].decode("ascii", "replace"),
+                "a": a,
+                "b": b,
+            }
+        )
+    return {
+        "record": "flight",
+        "pid": pid,
+        "capacity": capacity,
+        "start_ts_us": start_ts_us,
+        "events_recorded": next_seq,
+        "events": events,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("bin_path", help="flight_<pid>.bin ring file")
+    parser.add_argument("-o", "--out", help="write JSON here instead of stdout")
+    args = parser.parse_args()
+
+    with open(args.bin_path, "rb") as f:
+        data = f.read()
+    try:
+        record = decode(data)
+    except ValueError as error:
+        print(f"flight_decode: {args.bin_path}: {error}", file=sys.stderr)
+        return 1
+
+    line = json.dumps(record, separators=(",", ":"))
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(line + "\n")
+    else:
+        print(line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

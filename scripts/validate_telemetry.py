@@ -8,10 +8,12 @@ RUN.jsonl is the --metrics_out run-record stream (DESIGN.md §6): one JSON
 object per line, record types "run" / "epoch" / "increment", plus the
 standalone kinds "selection" (selection_demo: one record per selector),
 "selection_matrix" (selection_matrix: one record per experiment cell),
-"serve" (serve_embeddings: one record per serving session), and "stream"
+"serve" (serve_embeddings: one record per serving session), "stream"
 (stream_continual: one record per boundary-free consolidation cycle, with
 monotonic cycle indices per (strategy, stream, trigger) cell, a non-empty
-trigger cause, and ID/OOD accuracies in [0, 1]). The validator
+trigger cause, and ID/OOD accuracies in [0, 1]), and "serve_timeseries"
+(the MetricsExporter tick stream: seq strictly increasing from 0, with the
+machine-dependent payload under a closing "perf" object). The validator
 checks the schema of every record, the sequencing (a "run" header opens each
 run; its declared increment and epoch counts match what follows), the paper
 quantities (loss_components carries L_css everywhere and L_rpl for EDSR
@@ -25,6 +27,11 @@ readers can strip it by truncation.
 --trace additionally validates a --trace_out file as Chrome trace-event JSON
 (an object with a "traceEvents" list of complete "X" events carrying
 name/ts/dur/pid/tid), the format Perfetto and chrome://tracing load.
+
+--flight validates a crash flight-recorder dump (flight_<pid>.json from the
+in-process signal handler, or scripts/flight_decode.py's output for a
+kill -9): the "flight" record schema with strictly increasing event seqs,
+known event kinds, and at most `capacity` surviving events.
 
 Exits 0 and prints a one-line summary per run when everything checks out;
 exits 1 with the offending line number otherwise.
@@ -287,11 +294,89 @@ def validate_stream(rec, raw_line, line_no, stream_cells):
             "stream record does not end with the perf object")
 
 
+def validate_serve_timeseries(rec, raw_line, line_no, ts_state):
+    """A MetricsExporter tick: the only deterministic field is seq, which
+    must count up from 0; everything machine-dependent closes the record
+    under "perf". A seq of 0 mid-file starts a new series (a restarted
+    process appending to the same file)."""
+    require_keys(rec, ["seq", "perf"], line_no)
+    seq = rec["seq"]
+    require(is_num(seq) and seq >= 0, line_no,
+            "seq is not a non-negative number")
+    expected = ts_state.get("next", 0)
+    require(seq == expected or seq == 0, line_no,
+            f"serve_timeseries seq {seq} out of order (expected {expected} "
+            f"or a restart at 0)")
+    ts_state["next"] = seq + 1
+    perf = rec["perf"]
+    require(isinstance(perf, dict), line_no, "perf is not an object")
+    require_keys(perf, ["ts_ms", "uptime_ms", "metrics"], line_no)
+    require(isinstance(perf["metrics"], dict), line_no,
+            "perf.metrics is not an object")
+    # Same determinism contract as increment/serve records.
+    require(list(rec.keys())[-1] == "perf", line_no,
+            "perf must be the last key of a serve_timeseries record")
+    require(raw_line.rstrip().endswith("}}"), line_no,
+            "serve_timeseries record does not end with the perf object")
+
+
+FLIGHT_KINDS = {1: "mark", 2: "request", 3: "response", 4: "metric",
+                5: "signal"}
+
+
+def validate_flight(path):
+    """A flight dump: the signal handler's flight_<pid>.json, or the
+    decoder's reconstruction of flight_<pid>.bin after kill -9. Both paths
+    emit the identical schema, so one validator covers both deaths."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        raise ValidationError(f"{path}: invalid JSON: {e}")
+    if not isinstance(doc, dict) or doc.get("record") != "flight":
+        raise ValidationError(f"{path}: not a flight record")
+    for key in ("pid", "capacity", "start_ts_us", "events_recorded",
+                "events"):
+        if key not in doc:
+            raise ValidationError(f"{path}: missing key {key!r}")
+    capacity = doc["capacity"]
+    if not (is_num(capacity) and capacity >= 1):
+        raise ValidationError(f"{path}: capacity must be a positive number")
+    events = doc["events"]
+    if not isinstance(events, list):
+        raise ValidationError(f"{path}: events is not a list")
+    if len(events) > capacity:
+        raise ValidationError(
+            f"{path}: {len(events)} events exceed ring capacity {capacity}")
+    if doc["events_recorded"] < len(events):
+        raise ValidationError(
+            f"{path}: events_recorded {doc['events_recorded']} is less than "
+            f"the {len(events)} surviving events")
+    last_seq = -1
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValidationError(f"{path}: event {i} is not an object")
+        for key in ("seq", "ts_us", "kind", "tid", "name", "a", "b"):
+            if key not in event:
+                raise ValidationError(f"{path}: event {i} missing {key!r}")
+        if event["kind"] not in FLIGHT_KINDS:
+            raise ValidationError(
+                f"{path}: event {i} has unknown kind {event['kind']!r}")
+        # Strictly increasing: torn slots are skipped, never duplicated.
+        if event["seq"] <= last_seq:
+            raise ValidationError(
+                f"{path}: event {i} seq {event['seq']} not strictly "
+                f"increasing (previous {last_seq})")
+        last_seq = event["seq"]
+    return len(events)
+
+
 def validate_run_records(path):
     runs = []
     standalone = {"selection": 0, "selection_matrix": 0, "serve": 0,
-                  "stream": 0}
+                  "stream": 0, "serve_timeseries": 0}
     stream_cells = {}
+    ts_state = {}
     current = None
     line_no = 0
     with open(path, "r", encoding="utf-8") as f:
@@ -331,6 +416,9 @@ def validate_run_records(path):
             elif kind == "stream":
                 validate_stream(rec, raw, line_no, stream_cells)
                 standalone["stream"] += 1
+            elif kind == "serve_timeseries":
+                validate_serve_timeseries(rec, raw, line_no, ts_state)
+                standalone["serve_timeseries"] += 1
             else:
                 raise ValidationError(
                     f"line {line_no}: unknown record type {kind!r}")
@@ -373,6 +461,9 @@ def main():
     parser.add_argument("run_records", help="--metrics_out JSONL file")
     parser.add_argument("--trace", default=None,
                         help="--trace_out Chrome trace JSON file")
+    parser.add_argument("--flight", default=None,
+                        help="flight_<pid>.json dump (or flight_decode.py "
+                        "output) to validate")
     args = parser.parse_args()
 
     try:
@@ -386,6 +477,9 @@ def main():
         if args.trace is not None:
             events = validate_trace(args.trace)
             print(f"{args.trace}: {events} complete trace events OK")
+        if args.flight is not None:
+            events = validate_flight(args.flight)
+            print(f"{args.flight}: {events} flight events OK")
     except ValidationError as e:
         print(f"validate_telemetry: {e}", file=sys.stderr)
         return 1

@@ -53,6 +53,74 @@ ctest --test-dir build -L serve --output-on-failure
     --metrics_out="${TELEM_DIR}/serve.jsonl" >/dev/null
 python3 scripts/validate_telemetry.py "${TELEM_DIR}/serve.jsonl"
 
+echo "== ops plane: live kMetrics/kStatus + crash flight recorder =="
+# A serve_ops server with the full ops stack (SLO tracker, time-series
+# exporter, flight recorder), queried in-band over the TCP protocol while
+# load runs, then killed two ways: SIGKILL (only the mmap'd ring survives;
+# flight_decode.py reconstructs the dump) and SIGTERM (the in-process
+# signal handler writes flight_<pid>.json directly).
+OPS_DIR="${TELEM_DIR}/ops"
+mkdir -p "${OPS_DIR}"
+./build/examples/serve_ops --slo "embed:p99<50ms,err<1%" \
+    --timeseries_out="${OPS_DIR}/ts.jsonl" --metrics_interval_ms 50 \
+    --flight_dir "${OPS_DIR}" > "${OPS_DIR}/server.out" &
+OPS_WRAPPER=$!
+for _ in $(seq 1 100); do
+  grep -q "^PID " "${OPS_DIR}/server.out" 2>/dev/null && break
+  sleep 0.1
+done
+OPS_PORT="$(awk '/^PORT /{print $2}' "${OPS_DIR}/server.out")"
+OPS_PID="$(awk '/^PID /{print $2}' "${OPS_DIR}/server.out")"
+./build/examples/serve_ops --connect "${OPS_PORT}" --load 40 \
+    | grep -q "^LOAD_OK 40 0$"
+# Both kMetrics modes and kStatus answer live, with sane payloads.
+./build/examples/serve_ops --connect "${OPS_PORT}" --query metrics \
+    --mode json > "${OPS_DIR}/metrics.json"
+python3 - "${OPS_DIR}/metrics.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["metrics"]["latency"]["serve.lat.embed"]["count"] >= 40, doc
+assert isinstance(doc["slo"], list) and doc["slo"], "SLO state missing"
+assert not any(o["breach"] for o in doc["slo"]), "healthy load breached SLO"
+EOF
+./build/examples/serve_ops --connect "${OPS_PORT}" --query metrics \
+    --mode text | grep -q 'serve_lat_embed_us{quantile="0.99"}'
+./build/examples/serve_ops --connect "${OPS_PORT}" --query status \
+    > "${OPS_DIR}/status.json"
+python3 - "${OPS_DIR}/status.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["snapshot"]["source"] == "serve-ops", doc
+assert doc["last_rid"] >= 43 and doc["slo_breached"] == 0, doc
+EOF
+# kill -9: no handler can run, but the mmap'd ring survives the kernel's
+# teardown. Decode it and validate the reconstructed dump.
+kill -9 "${OPS_PID}"
+wait "${OPS_WRAPPER}" 2>/dev/null || true
+test -s "${OPS_DIR}/flight_${OPS_PID}.bin"
+test ! -e "${OPS_DIR}/flight_${OPS_PID}.json"  # SIGKILL: no JSON dump
+python3 scripts/flight_decode.py "${OPS_DIR}/flight_${OPS_PID}.bin" \
+    -o "${OPS_DIR}/flight_decoded.json"
+python3 scripts/validate_telemetry.py "${OPS_DIR}/ts.jsonl" \
+    --flight "${OPS_DIR}/flight_decoded.json"
+# SIGTERM: the async-signal-safe handler writes flight_<pid>.json itself.
+./build/examples/serve_ops --flight_dir "${OPS_DIR}" \
+    > "${OPS_DIR}/server2.out" &
+OPS_WRAPPER=$!
+for _ in $(seq 1 100); do
+  grep -q "^PID " "${OPS_DIR}/server2.out" 2>/dev/null && break
+  sleep 0.1
+done
+OPS_PID="$(awk '/^PID /{print $2}' "${OPS_DIR}/server2.out")"
+kill -TERM "${OPS_PID}"
+wait "${OPS_WRAPPER}" 2>/dev/null || true
+for _ in $(seq 1 50); do
+  test -s "${OPS_DIR}/flight_${OPS_PID}.json" && break
+  sleep 0.1
+done
+python3 scripts/validate_telemetry.py "${OPS_DIR}/ts.jsonl" \
+    --flight "${OPS_DIR}/flight_${OPS_PID}.json"
+
 echo "== stream: test label + boundary-free smoke =="
 ctest --test-dir build -L stream --output-on-failure
 # End-to-end: a dirty (imbalance + label-noise) stream through both trigger
@@ -161,6 +229,33 @@ EOF
   python3 scripts/bench_compare.py BENCH_micro_kernels.json \
       "${TMP_DIR}/obs_overhead.json" --threshold 0.3 \
       --filter '^BM_(SpanSite|TrainStepSpan)'
+  # Latency-histogram gate: the LatencyHisto record/query rows also live in
+  # the kernels baseline (same 30% ns-scale threshold), and the full
+  # per-request RecordTrace fan-out must stay under 5% of the serve embed
+  # p50 recorded in BENCH_serve.json — the budget the live ops plane is
+  # allowed to charge the hot path.
+  ./build/bench/bench_micro_obs_histo \
+      --benchmark_repetitions=3 \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/obs_histo.json" >/dev/null
+  python3 scripts/bench_compare.py BENCH_micro_kernels.json \
+      "${TMP_DIR}/obs_histo.json" --threshold 0.3 \
+      --filter '^BM_(LatencyHisto|Log2Histogram|ServeRecordTrace)'
+  python3 - "${TMP_DIR}/obs_histo.json" <<'EOF'
+import json, sys
+histo = json.load(open(sys.argv[1]))
+record_ns = min(b["real_time"] for b in histo["benchmarks"]
+                if b.get("run_type") != "aggregate"
+                and b["name"] == "BM_ServeRecordTrace")
+serve = json.load(open("BENCH_serve.json"))
+p50_us = min(b["p50_us"] for b in serve["benchmarks"]
+             if b.get("run_type") != "aggregate"
+             and b["name"].startswith("BM_ServeEmbed/1/"))
+overhead = record_ns / 1000.0 / p50_us
+print(f"RecordTrace {record_ns:.0f}ns vs embed p50 {p50_us:.1f}us "
+      f"-> {overhead:.2%} overhead")
+assert overhead < 0.05, "histogram record path exceeds 5% of embed p50"
+EOF
   # Serving gate: batched-embed throughput and the cache fast path against
   # the committed BENCH_serve.json baseline. Looser 30% threshold: every
   # serve arm measures a submit->worker->response round trip, so on one

@@ -1,0 +1,275 @@
+#include "src/obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+namespace {
+
+// Everything in this block is callable from a signal handler: no malloc,
+// no stdio, no locks — write() and stack buffers only.
+
+int64_t WallUs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000 + ts.tv_nsec / 1000;
+}
+
+void RawWrite(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    ssize_t n = ::write(fd, data + done, size - done);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // a failed dump must not make the crash worse
+    }
+    done += static_cast<size_t>(n);
+  }
+}
+
+void WriteStr(int fd, const char* s) { RawWrite(fd, s, std::strlen(s)); }
+
+void WriteI64(int fd, int64_t v) {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  uint64_t u = v < 0 ? ~static_cast<uint64_t>(v) + 1 : static_cast<uint64_t>(v);
+  do {
+    *--p = static_cast<char>('0' + u % 10);
+    u /= 10;
+  } while (u != 0);
+  if (v < 0) *--p = '-';
+  RawWrite(fd, p, static_cast<size_t>(buf + sizeof(buf) - p));
+}
+
+// Writes `s` JSON-escaped (the name field is ASCII by convention; anything
+// unprintable is dropped rather than escaped to keep this loop trivial).
+void WriteJsonStr(int fd, const char* s, size_t max) {
+  RawWrite(fd, "\"", 1);
+  for (size_t i = 0; i < max && s[i] != '\0'; ++i) {
+    char c = s[i];
+    if (c == '"' || c == '\\') {
+      char esc[2] = {'\\', c};
+      RawWrite(fd, esc, 2);
+    } else if (c >= 0x20 && c < 0x7f) {
+      RawWrite(fd, &c, 1);
+    }
+  }
+  RawWrite(fd, "\"", 1);
+}
+
+// One small per-thread id for the tid field: assigned on first use from a
+// process-wide counter. Reading a thread_local is async-signal-safe once
+// it has been touched on the thread, which Record() guarantees before any
+// handler can run on it.
+uint32_t ThisTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+constexpr int kHandledSignals[] = {SIGSEGV, SIGABRT, SIGBUS,
+                                   SIGILL,  SIGFPE,  SIGTERM};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();  // never dies
+  return *recorder;
+}
+
+util::Status FlightRecorder::Init(const Options& options) {
+  EDSR_CHECK_GE(options.capacity, 1u);
+  State* state = new State();
+  int written = std::snprintf(state->bin_path, sizeof(state->bin_path),
+                              "%s/flight_%d.bin", options.dir.c_str(),
+                              static_cast<int>(::getpid()));
+  if (written < 0 || written >= static_cast<int>(sizeof(state->bin_path))) {
+    delete state;
+    return util::Status::InvalidArgument("flight dir path too long");
+  }
+  std::snprintf(state->json_path, sizeof(state->json_path),
+                "%s/flight_%d.json", options.dir.c_str(),
+                static_cast<int>(::getpid()));
+
+  int fd = ::open(state->bin_path, O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    util::Status status = util::Status::IoError(
+        std::string("open ") + state->bin_path + ": " + std::strerror(errno));
+    delete state;
+    return status;
+  }
+  size_t bytes = sizeof(Header) + sizeof(Slot) * options.capacity;
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    util::Status status = util::Status::IoError(
+        std::string("ftruncate: ") + std::strerror(errno));
+    ::close(fd);
+    delete state;
+    return status;
+  }
+  void* mapped =
+      ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (mapped == MAP_FAILED) {
+    util::Status status =
+        util::Status::IoError(std::string("mmap: ") + std::strerror(errno));
+    delete state;
+    return status;
+  }
+  state->mapped_bytes = bytes;
+  state->header = static_cast<Header*>(mapped);
+  state->slots = reinterpret_cast<Slot*>(static_cast<char*>(mapped) +
+                                         sizeof(Header));
+  std::memcpy(state->header->magic, "EDSRFLT1", 8);
+  state->header->version = 1;
+  state->header->capacity = options.capacity;
+  state->header->next_seq.store(0, std::memory_order_relaxed);
+  state->header->start_ts_us = WallUs();
+  state->header->pid = static_cast<int32_t>(::getpid());
+  state->header->reserved = 0;
+
+  State* old = state_.exchange(state, std::memory_order_acq_rel);
+  if (old != nullptr) {
+    ::munmap(old->header, old->mapped_bytes);
+    delete old;
+  }
+
+  if (options.install_signal_handlers) {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &FlightRecorder::HandleSignal;
+    sigemptyset(&action.sa_mask);
+    for (int signo : kHandledSignals) {
+      ::sigaction(signo, &action, nullptr);
+    }
+  }
+  Record(kMark, "flight_init", static_cast<int64_t>(options.capacity));
+  return util::Status::OK();
+}
+
+void FlightRecorder::Record(uint32_t kind, const char* name, int64_t a,
+                            int64_t b) {
+  State* state = state_.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  uint64_t seq =
+      state->header->next_seq.fetch_add(1, std::memory_order_relaxed);
+  Slot* slot = &state->slots[seq % state->header->capacity];
+  // Invalidate first, publish seq last: a reader that sees slot.seq == seq
+  // (acquire) also sees every field of this write; anything else is torn
+  // and skipped.
+  slot->seq.store(UINT64_MAX, std::memory_order_release);
+  slot->ts_us = WallUs();
+  slot->kind = kind;
+  slot->tid = ThisTid();
+  std::memset(slot->name, 0, sizeof(slot->name));
+  if (name != nullptr) {
+    std::strncpy(slot->name, name, sizeof(slot->name) - 1);
+  }
+  slot->a = a;
+  slot->b = b;
+  slot->seq.store(seq, std::memory_order_release);
+}
+
+void FlightRecorder::DumpToFd(int fd) {
+  State* state = state_.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  const Header* header = state->header;
+  const uint64_t next = header->next_seq.load(std::memory_order_acquire);
+  const uint64_t capacity = header->capacity;
+  const uint64_t lo = next > capacity ? next - capacity : 0;
+  WriteStr(fd, "{\"record\":\"flight\",\"pid\":");
+  WriteI64(fd, header->pid);
+  WriteStr(fd, ",\"capacity\":");
+  WriteI64(fd, static_cast<int64_t>(capacity));
+  WriteStr(fd, ",\"start_ts_us\":");
+  WriteI64(fd, header->start_ts_us);
+  WriteStr(fd, ",\"events_recorded\":");
+  WriteI64(fd, static_cast<int64_t>(next));
+  WriteStr(fd, ",\"events\":[");
+  bool first = true;
+  for (uint64_t seq = lo; seq < next; ++seq) {
+    const Slot* slot = &state->slots[seq % capacity];
+    if (slot->seq.load(std::memory_order_acquire) != seq) continue;  // torn
+    if (!first) WriteStr(fd, ",");
+    first = false;
+    WriteStr(fd, "{\"seq\":");
+    WriteI64(fd, static_cast<int64_t>(seq));
+    WriteStr(fd, ",\"ts_us\":");
+    WriteI64(fd, slot->ts_us);
+    WriteStr(fd, ",\"kind\":");
+    WriteI64(fd, slot->kind);
+    WriteStr(fd, ",\"tid\":");
+    WriteI64(fd, slot->tid);
+    WriteStr(fd, ",\"name\":");
+    WriteJsonStr(fd, slot->name, sizeof(slot->name));
+    WriteStr(fd, ",\"a\":");
+    WriteI64(fd, slot->a);
+    WriteStr(fd, ",\"b\":");
+    WriteI64(fd, slot->b);
+    WriteStr(fd, "}");
+  }
+  WriteStr(fd, "]}\n");
+}
+
+util::Status FlightRecorder::DumpJson(const std::string& path) {
+  if (!initialized()) return util::Status::Internal("flight recorder not initialized");
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return util::Status::IoError("open " + path + ": " + std::strerror(errno));
+  }
+  DumpToFd(fd);
+  ::close(fd);
+  return util::Status::OK();
+}
+
+uint64_t FlightRecorder::events_recorded() const {
+  State* state = state_.load(std::memory_order_acquire);
+  if (state == nullptr) return 0;
+  return state->header->next_seq.load(std::memory_order_relaxed);
+}
+
+std::string FlightRecorder::bin_path() const {
+  State* state = state_.load(std::memory_order_acquire);
+  return state != nullptr ? state->bin_path : "";
+}
+
+std::string FlightRecorder::json_path() const {
+  State* state = state_.load(std::memory_order_acquire);
+  return state != nullptr ? state->json_path : "";
+}
+
+void FlightRecorder::HandleSignal(int signo) {
+  // Re-entrancy guard: a crash inside the dump must not recurse forever.
+  static std::atomic<bool> dumping{false};
+  FlightRecorder& recorder = Global();
+  if (!dumping.exchange(true, std::memory_order_acq_rel)) {
+    recorder.Record(kSignal, "signal", signo);
+    State* state = recorder.state_.load(std::memory_order_acquire);
+    if (state != nullptr) {
+      int fd = ::open(state->json_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+      if (fd >= 0) {
+        recorder.DumpToFd(fd);
+        ::close(fd);
+      }
+    }
+  }
+  if (signo == SIGTERM) {
+    ::_exit(128 + SIGTERM);
+  }
+  // Fatal signals: restore the default disposition and re-raise so the
+  // exit code / core dump are exactly what they would have been.
+  ::signal(signo, SIG_DFL);
+  ::raise(signo);
+}
+
+}  // namespace edsr::obs

@@ -1,0 +1,117 @@
+// Crash flight recorder: a preallocated lock-free ring of recent trace
+// events and metric deltas that survives any way the process dies.
+//
+// Two persistence paths, because no single one covers every death:
+//
+//  * The ring lives in an mmap(MAP_SHARED) file, `<dir>/flight_<pid>.bin`.
+//    The kernel owns the pages, so even kill -9 — which no handler can
+//    intercept — leaves the last `capacity` events on disk, decodable
+//    post-mortem with scripts/flight_decode.py into the same JSON schema.
+//  * For catchable deaths (SIGSEGV/SIGABRT/SIGBUS/SIGILL/SIGFPE/SIGTERM)
+//    an installed handler dumps `<dir>/flight_<pid>.json` directly. The
+//    dump path is async-signal-safe by construction: open/write/close plus
+//    hand-rolled integer formatting into stack buffers — no malloc, no
+//    stdio, no locks. Fatal signals then re-raise with the default
+//    disposition so exit codes and core dumps are unchanged.
+//
+// Recording is wait-free: one relaxed fetch_add claims a sequence number,
+// the slot at seq % capacity is overwritten, and the slot's seq field is
+// stored LAST (release) so readers — the decoder, or a dump racing live
+// writers — can detect and skip torn slots (slot.seq != expected seq).
+//
+// Binary layout (fixed-width little-endian, 64-byte header + 64-byte
+// slots; scripts/flight_decode.py is the reference reader):
+//
+//   header: char[8] "EDSRFLT1" | u32 version | u32 capacity | u64 next_seq
+//           | i64 start_ts_us | i32 pid | u32 reserved | pad to 64
+//   slot:   u64 seq | i64 ts_us | u32 kind | u32 tid | char[24] name
+//           | i64 a | i64 b
+#ifndef EDSR_SRC_OBS_FLIGHT_H_
+#define EDSR_SRC_OBS_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace edsr::obs {
+
+class FlightRecorder {
+ public:
+  // Event kinds (u32 on the wire; the decoder maps them to strings).
+  static constexpr uint32_t kMark = 1;      // free-form annotation
+  static constexpr uint32_t kRequest = 2;   // a=rid, b=class
+  static constexpr uint32_t kResponse = 3;  // a=rid, b=latency_us
+  static constexpr uint32_t kMetric = 4;    // a=value, b=aux
+  static constexpr uint32_t kSignal = 5;    // a=signo
+
+  struct Options {
+    std::string dir = ".";        // flight_<pid>.{bin,json} land here
+    uint32_t capacity = 4096;     // ring slots (64 bytes each)
+    bool install_signal_handlers = true;
+  };
+
+  static FlightRecorder& Global();
+
+  // Creates and maps the ring file. Re-initializing replaces the previous
+  // ring (tests); the old mapping is unmapped after the swap.
+  util::Status Init(const Options& options);
+  bool initialized() const {
+    return state_.load(std::memory_order_acquire) != nullptr;
+  }
+
+  // Wait-free, thread-safe, no-op until Init. `name` is truncated to 23
+  // chars; `a`/`b` are kind-specific payloads.
+  void Record(uint32_t kind, const char* name, int64_t a = 0, int64_t b = 0);
+
+  // Async-signal-safe JSON dump of the ring to an open fd (write() only).
+  void DumpToFd(int fd);
+  // Convenience wrapper: dump to `path` (the normal, non-signal path).
+  util::Status DumpJson(const std::string& path);
+
+  uint64_t events_recorded() const;
+  std::string bin_path() const;
+  std::string json_path() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq;
+    int64_t ts_us;
+    uint32_t kind;
+    uint32_t tid;
+    char name[24];
+    int64_t a;
+    int64_t b;
+  };
+  static_assert(sizeof(Slot) == 64, "slot layout is a wire contract");
+
+  struct Header {
+    char magic[8];
+    uint32_t version;
+    uint32_t capacity;
+    std::atomic<uint64_t> next_seq;
+    int64_t start_ts_us;
+    int32_t pid;
+    uint32_t reserved;
+    char pad[24];
+  };
+  static_assert(sizeof(Header) == 64, "header layout is a wire contract");
+
+  struct State {
+    Header* header = nullptr;
+    Slot* slots = nullptr;
+    size_t mapped_bytes = 0;
+    char bin_path[256] = {};
+    char json_path[256] = {};
+  };
+
+  FlightRecorder() = default;
+  static void HandleSignal(int signo);
+
+  std::atomic<State*> state_{nullptr};
+};
+
+}  // namespace edsr::obs
+
+#endif  // EDSR_SRC_OBS_FLIGHT_H_

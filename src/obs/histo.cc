@@ -1,0 +1,109 @@
+#include "src/obs/histo.h"
+
+#include <bit>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+int LatencyHisto::BucketFor(int64_t us) {
+  EDSR_CHECK_GE(us, 0) << "negative duration recorded into LatencyHisto";
+  if (us > kMaxValue) us = kMaxValue;
+  if (us < kSubCount) return static_cast<int>(us);
+  // v in [2^k, 2^(k+1)): shift so the mantissa lands in [kSubCount,
+  // 2*kSubCount), giving kSubCount linear sub-buckets per range. The linear
+  // region above is the same formula with shift = 0.
+  const int k = 63 - std::countl_zero(static_cast<uint64_t>(us));
+  const int shift = k - kSubBits;
+  return kSubCount * shift + static_cast<int>(us >> shift);
+}
+
+int64_t LatencyHisto::BucketLowerBound(int b) {
+  EDSR_CHECK_GE(b, 0);
+  EDSR_CHECK_LT(b, kNumBuckets);
+  if (b < 2 * kSubCount) return b;  // shift 0: buckets are exact values
+  const int shift = b / kSubCount - 1;
+  return static_cast<int64_t>(b % kSubCount + kSubCount) << shift;
+}
+
+int64_t LatencyHisto::BucketUpperBound(int b) {
+  if (b == kNumBuckets - 1) return kMaxValue;
+  return BucketLowerBound(b + 1) - 1;
+}
+
+LatencyHisto::Cell* LatencyHisto::CellForThisThread() {
+  thread_local std::vector<std::pair<LatencyHisto*, Cell*>> tls_cells;
+  for (const auto& entry : tls_cells) {
+    if (entry.first == this) return entry.second;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  cells_.emplace_back();
+  Cell* cell = &cells_.back();
+  tls_cells.emplace_back(this, cell);
+  return cell;
+}
+
+void LatencyHisto::Record(int64_t us) {
+  const int bucket = BucketFor(us);
+  if (us > kMaxValue) us = kMaxValue;
+  Cell* cell = CellForThisThread();
+  // Single-writer cells (same contract as Histogram): relaxed
+  // load-modify-store is race-free for the owning thread and readers merge
+  // a coherent-if-stale view.
+  cell->sum_us.fetch_add(us, std::memory_order_relaxed);
+  if (us > cell->max_us.load(std::memory_order_relaxed)) {
+    cell->max_us.store(us, std::memory_order_relaxed);
+  }
+  cell->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHisto::Snapshot LatencyHisto::Snap() const {
+  Snapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Cell& cell : cells_) {
+    int64_t count = cell.count.load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    snap.count += count;
+    snap.sum_us += cell.sum_us.load(std::memory_order_relaxed);
+    int64_t max = cell.max_us.load(std::memory_order_relaxed);
+    if (max > snap.max_us) snap.max_us = max;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      snap.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void LatencyHisto::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Cell& cell : cells_) {
+    cell.count.store(0, std::memory_order_relaxed);
+    cell.sum_us.store(0, std::memory_order_relaxed);
+    cell.max_us.store(0, std::memory_order_relaxed);
+    for (int b = 0; b < kNumBuckets; ++b) {
+      cell.buckets[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+int64_t LatencyHisto::Snapshot::Quantile(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t rank = static_cast<int64_t>(p * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  int64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      int64_t upper = BucketUpperBound(b);
+      return upper < max_us ? upper : max_us;
+    }
+  }
+  return max_us;
+}
+
+}  // namespace edsr::obs

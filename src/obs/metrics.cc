@@ -1,6 +1,7 @@
 #include "src/obs/metrics.h"
 
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 
 #include "src/util/check.h"
@@ -57,17 +58,22 @@ double Gauge::Decode(uint64_t bits) {
 // ---- Histogram ------------------------------------------------------------
 
 int Histogram::BucketFor(double v) {
-  if (!(v > 0.0)) return 0;  // non-positive and NaN land in bucket 0
+  // A negative or NaN sample is an upstream bug (a backwards clock, an
+  // uninitialized read); folding it into a bucket would silently poison
+  // every quantile read after it.
+  EDSR_CHECK(v >= 0.0) << "negative or NaN value observed by histogram";
+  if (v == 0.0) return 0;  // zero gets its own bucket, distinct from (0, 1]
   int e = 0;
   std::frexp(v, &e);  // v = m * 2^e with m in [0.5, 1)
-  int bucket = e + 32;
-  if (bucket < 0) bucket = 0;
+  int bucket = e + 33;
+  if (bucket < 1) bucket = 1;
   if (bucket >= kBuckets) bucket = kBuckets - 1;
   return bucket;
 }
 
 double Histogram::BucketUpperBound(int bucket) {
-  return std::ldexp(1.0, bucket - 32);
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, bucket - 33);
 }
 
 double Histogram::Snapshot::Quantile(double p) const {
@@ -163,6 +169,10 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
     EDSR_CHECK(h->name() != name)
         << name << " already registered as a histogram";
   }
+  for (const auto& l : latency_histos_) {
+    EDSR_CHECK(l->name() != name)
+        << name << " already registered as a latency histogram";
+  }
   counters_.emplace_back(new Counter(std::string(name)));
   return counters_.back().get();
 }
@@ -175,6 +185,10 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   for (const auto& c : counters_) {
     EDSR_CHECK(c->name() != name)
         << name << " already registered as a counter";
+  }
+  for (const auto& l : latency_histos_) {
+    EDSR_CHECK(l->name() != name)
+        << name << " already registered as a latency histogram";
   }
   gauges_.emplace_back(new Gauge(std::string(name)));
   return gauges_.back().get();
@@ -189,8 +203,32 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
     EDSR_CHECK(c->name() != name)
         << name << " already registered as a counter";
   }
+  for (const auto& l : latency_histos_) {
+    EDSR_CHECK(l->name() != name)
+        << name << " already registered as a latency histogram";
+  }
   histograms_.emplace_back(new Histogram(std::string(name)));
   return histograms_.back().get();
+}
+
+LatencyHisto* MetricsRegistry::GetLatencyHisto(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& l : latency_histos_) {
+    if (l->name() == name) return l.get();
+  }
+  for (const auto& c : counters_) {
+    EDSR_CHECK(c->name() != name)
+        << name << " already registered as a counter";
+  }
+  for (const auto& g : gauges_) {
+    EDSR_CHECK(g->name() != name) << name << " already registered as a gauge";
+  }
+  for (const auto& h : histograms_) {
+    EDSR_CHECK(h->name() != name)
+        << name << " already registered as a histogram";
+  }
+  latency_histos_.emplace_back(new LatencyHisto(std::string(name)));
+  return latency_histos_.back().get();
 }
 
 void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
@@ -206,7 +244,56 @@ void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
   callbacks_.emplace_back(std::string(name), std::move(fn));
 }
 
+namespace {
+
+// Splits "serve.lat.embed.p99" into base "serve.lat.embed" + stat "p99".
+// Returns false when `name` has no dot or the suffix is not a known stat.
+bool SplitStatSuffix(std::string_view name, std::string_view* base,
+                     std::string_view* stat) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string_view::npos) return false;
+  std::string_view suffix = name.substr(dot + 1);
+  static constexpr std::string_view kStats[] = {
+      "count", "sum", "mean", "min", "max", "p50", "p95", "p99", "p999"};
+  for (std::string_view known : kStats) {
+    if (suffix == known) {
+      *base = name.substr(0, dot);
+      *stat = suffix;
+      return true;
+    }
+  }
+  return false;
+}
+
+double HistogramStat(const Histogram::Snapshot& snap, std::string_view stat) {
+  if (stat == "count") return static_cast<double>(snap.count);
+  if (stat == "sum") return snap.sum;
+  if (stat == "mean") return snap.Mean();
+  if (stat == "min") return snap.min;
+  if (stat == "max") return snap.max;
+  if (stat == "p50") return snap.Quantile(0.5);
+  if (stat == "p95") return snap.Quantile(0.95);
+  if (stat == "p99") return snap.Quantile(0.99);
+  return snap.Quantile(0.999);  // "p999"
+}
+
+double LatencyStat(const LatencyHisto::Snapshot& snap, std::string_view stat) {
+  if (stat == "count") return static_cast<double>(snap.count);
+  if (stat == "sum") return static_cast<double>(snap.sum_us);
+  if (stat == "mean") return snap.Mean();
+  if (stat == "max") return static_cast<double>(snap.max_us);
+  if (stat == "p50") return static_cast<double>(snap.Quantile(0.5));
+  if (stat == "p95") return static_cast<double>(snap.Quantile(0.95));
+  if (stat == "p99") return static_cast<double>(snap.Quantile(0.99));
+  if (stat == "p999") return static_cast<double>(snap.Quantile(0.999));
+  return 0.0;  // "min": latency histograms do not track a minimum
+}
+
+}  // namespace
+
 bool MetricsRegistry::Has(std::string_view name) {
+  std::string_view base, stat;
+  bool has_suffix = SplitStatSuffix(name, &base, &stat);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& c : counters_) {
     if (c->name() == name) return true;
@@ -217,11 +304,23 @@ bool MetricsRegistry::Has(std::string_view name) {
   for (const auto& entry : callbacks_) {
     if (entry.first == name) return true;
   }
+  for (const auto& h : histograms_) {
+    if (h->name() == name) return true;
+    if (has_suffix && h->name() == base) return true;
+  }
+  for (const auto& l : latency_histos_) {
+    if (l->name() == name) return true;
+    if (has_suffix && l->name() == base) return true;
+  }
   return false;
 }
 
 double MetricsRegistry::Value(std::string_view name) {
+  std::string_view base, stat;
+  bool has_suffix = SplitStatSuffix(name, &base, &stat);
   std::function<double()> callback;
+  Histogram* histogram = nullptr;
+  LatencyHisto* latency = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& c : counters_) {
@@ -236,8 +335,27 @@ double MetricsRegistry::Value(std::string_view name) {
         break;
       }
     }
+    // Bucketed state is bridged through derived names ("<histo>.p99") so a
+    // telemetry consumer can pull a quantile exactly like a gauge.
+    if (callback == nullptr && has_suffix) {
+      for (const auto& h : histograms_) {
+        if (h->name() == base) {
+          histogram = h.get();
+          break;
+        }
+      }
+      for (const auto& l : latency_histos_) {
+        if (l->name() == base) {
+          latency = l.get();
+          break;
+        }
+      }
+    }
   }
-  // Callbacks run outside the registry lock: they may touch the registry.
+  // Callbacks and snapshots run outside the registry lock: they may touch
+  // the registry.
+  if (histogram != nullptr) return HistogramStat(histogram->Snap(), stat);
+  if (latency != nullptr) return LatencyStat(latency->Snap(), stat);
   EDSR_CHECK(callback != nullptr) << "unknown metric " << name;
   return callback();
 }
@@ -248,13 +366,16 @@ void MetricsRegistry::ResetCountersAndHistograms() {
   // way, but this keeps the registry lock short.
   std::vector<Counter*> counters;
   std::vector<Histogram*> histograms;
+  std::vector<LatencyHisto*> latency_histos;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& c : counters_) counters.push_back(c.get());
     for (const auto& h : histograms_) histograms.push_back(h.get());
+    for (const auto& l : latency_histos_) latency_histos.push_back(l.get());
   }
   for (Counter* c : counters) c->Reset();
   for (Histogram* h : histograms) h->Reset();
+  for (LatencyHisto* l : latency_histos) l->Reset();
 }
 
 Json MetricsRegistry::ToJson() {
@@ -262,12 +383,14 @@ Json MetricsRegistry::ToJson() {
   std::vector<Counter*> counters;
   std::vector<Gauge*> gauges;
   std::vector<Histogram*> histograms;
+  std::vector<LatencyHisto*> latency_histos;
   std::vector<std::pair<std::string, std::function<double()>>> callbacks;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& c : counters_) counters.push_back(c.get());
     for (const auto& g : gauges_) gauges.push_back(g.get());
     for (const auto& h : histograms_) histograms.push_back(h.get());
+    for (const auto& l : latency_histos_) latency_histos.push_back(l.get());
     callbacks = callbacks_;
   }
   Json counters_json = Json::Object();
@@ -290,10 +413,105 @@ Json MetricsRegistry::ToJson() {
     hj.Set("p99", snap.Quantile(0.99));
     histograms_json.Set(h->name(), std::move(hj));
   }
+  Json latency_json = Json::Object();
+  for (LatencyHisto* l : latency_histos) {
+    LatencyHisto::Snapshot snap = l->Snap();
+    Json lj = Json::Object();
+    lj.Set("count", snap.count);
+    lj.Set("sum_us", snap.sum_us);
+    lj.Set("max_us", snap.max_us);
+    lj.Set("mean_us", snap.Mean());
+    lj.Set("p50_us", snap.Quantile(0.5));
+    lj.Set("p95_us", snap.Quantile(0.95));
+    lj.Set("p99_us", snap.Quantile(0.99));
+    lj.Set("p999_us", snap.Quantile(0.999));
+    latency_json.Set(l->name(), std::move(lj));
+  }
   Json out = Json::Object();
   out.Set("counters", std::move(counters_json));
   out.Set("gauges", std::move(gauges_json));
   out.Set("histograms", std::move(histograms_json));
+  out.Set("latency", std::move(latency_json));
+  return out;
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted paths
+// map 1:1 by swapping '.' for '_'.
+std::string PromName(const std::string& dotted) {
+  std::string out = dotted;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+void AppendPromValue(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() {
+  // Reuse the JSON snapshot so both exposition modes always agree on the
+  // set of metrics and their values.
+  Json snapshot = ToJson();
+  std::string out;
+  const Json* counters = snapshot.Find("counters");
+  for (int64_t i = 0; i < counters->size(); ++i) {
+    const auto& [name, value] = counters->member(i);
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n" + prom + " ";
+    AppendPromValue(&out, value.AsDouble());
+    out += "\n";
+  }
+  const Json* gauges = snapshot.Find("gauges");
+  for (int64_t i = 0; i < gauges->size(); ++i) {
+    const auto& [name, value] = gauges->member(i);
+    std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n" + prom + " ";
+    AppendPromValue(&out, value.AsDouble());
+    out += "\n";
+  }
+  // Both histogram kinds export as Prometheus summaries: quantile series
+  // plus the _sum/_count pair scrapers expect.
+  auto emit_summary = [&out](const std::string& prom, const Json& hj,
+                             const char* quantile_keys[4],
+                             const double quantiles[4], const char* sum_key) {
+    out += "# TYPE " + prom + " summary\n";
+    for (int q = 0; q < 4; ++q) {
+      const Json* value = hj.Find(quantile_keys[q]);
+      if (value == nullptr) continue;
+      char label[32];
+      std::snprintf(label, sizeof(label), "{quantile=\"%g\"}", quantiles[q]);
+      out += prom + label + " ";
+      AppendPromValue(&out, value->AsDouble());
+      out += "\n";
+    }
+    out += prom + "_sum ";
+    AppendPromValue(&out, hj.Find(sum_key)->AsDouble());
+    out += "\n" + prom + "_count ";
+    AppendPromValue(&out, hj.Find("count")->AsDouble());
+    out += "\n";
+  };
+  static const char* kHistoKeys[4] = {"p50", "p95", "p99", "p999"};
+  static const char* kLatencyKeys[4] = {"p50_us", "p95_us", "p99_us",
+                                        "p999_us"};
+  static const double kQuantiles[4] = {0.5, 0.95, 0.99, 0.999};
+  const Json* histograms = snapshot.Find("histograms");
+  for (int64_t i = 0; i < histograms->size(); ++i) {
+    const auto& [name, hj] = histograms->member(i);
+    emit_summary(PromName(name), hj, kHistoKeys, kQuantiles, "sum");
+  }
+  const Json* latency = snapshot.Find("latency");
+  for (int64_t i = 0; i < latency->size(); ++i) {
+    const auto& [name, lj] = latency->member(i);
+    emit_summary(PromName(name) + "_us", lj, kLatencyKeys, kQuantiles,
+                 "sum_us");
+  }
   return out;
 }
 

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/histo.h"
 #include "src/obs/json.h"
 
 namespace edsr::obs {
@@ -108,13 +109,18 @@ class Histogram {
     double Quantile(double p) const;
   };
 
+  // Records one sample. Aborts on negatives or NaN — a negative count or
+  // duration is an upstream bug, and silently folding it into a bucket
+  // poisons every quantile read after it.
   void Observe(double v);
   Snapshot Snap() const;
   void Reset();
   const std::string& name() const { return name_; }
 
-  // Bucket index for a value: log2 scale covering ~[2^-32, 2^31].
+  // Bucket index for a value: bucket 0 is exactly zero; buckets 1..63 are
+  // a log2 scale covering ~[2^-32, 2^30]. Aborts on negatives and NaN.
   static int BucketFor(double v);
+  // Upper bound of bucket `bucket` (0.0 for the zero bucket).
   static double BucketUpperBound(int bucket);
 
  private:
@@ -143,6 +149,7 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+  LatencyHisto* GetLatencyHisto(std::string_view name);
 
   // A pull-model gauge: `fn` is evaluated on the *calling* thread at
   // snapshot/Value time. Re-registering a name replaces the callback (the
@@ -152,8 +159,12 @@ class MetricsRegistry {
   void RegisterCallbackGauge(std::string_view name,
                              std::function<double()> fn);
 
-  // Current value of a counter, gauge, or callback gauge. Aborts on unknown
-  // names — a telemetry query for a metric nobody exports is a bug.
+  // Current value of a counter, gauge, or callback gauge. Histogram and
+  // latency-histogram state is bridged through the same path with derived
+  // names: "<histo>.count", ".sum", ".mean", ".min", ".max", ".p50",
+  // ".p95", ".p99", ".p999" (latency histograms report microseconds and
+  // have no ".min"). Aborts on unknown names — a telemetry query for a
+  // metric nobody exports is a bug.
   double Value(std::string_view name);
   bool Has(std::string_view name);
 
@@ -163,8 +174,15 @@ class MetricsRegistry {
   void ResetCountersAndHistograms();
 
   // Full snapshot: {"counters":{...},"gauges":{...},"histograms":{name:
-  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..}}}.
+  // {"count":..,"sum":..,"min":..,"max":..,"mean":..,"p50":..,"p99":..}},
+  // "latency":{name:{"count":..,"sum_us":..,"max_us":..,"mean_us":..,
+  // "p50_us":..,"p95_us":..,"p99_us":..,"p999_us":..}}}.
   Json ToJson();
+
+  // Prometheus text exposition of the same snapshot: dotted names become
+  // underscored, histograms and latency histograms export summary-style
+  // quantile series plus _count/_sum.
+  std::string ToPrometheusText();
 
  private:
   MetricsRegistry() = default;
@@ -173,6 +191,7 @@ class MetricsRegistry {
   std::vector<std::unique_ptr<Counter>> counters_;
   std::vector<std::unique_ptr<Gauge>> gauges_;
   std::vector<std::unique_ptr<Histogram>> histograms_;
+  std::vector<std::unique_ptr<LatencyHisto>> latency_histos_;
   std::vector<std::pair<std::string, std::function<double()>>> callbacks_;
 };
 

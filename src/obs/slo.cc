@@ -1,0 +1,250 @@
+#include "src/obs/slo.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace edsr::obs {
+
+std::string_view SloMetricName(SloMetric metric) {
+  switch (metric) {
+    case SloMetric::kP50: return "p50";
+    case SloMetric::kP95: return "p95";
+    case SloMetric::kP99: return "p99";
+    case SloMetric::kP999: return "p999";
+    case SloMetric::kErr: return "err";
+  }
+  return "?";
+}
+
+namespace {
+
+util::Status SpecError(std::string_view spec, const std::string& why) {
+  return util::Status::InvalidArgument("bad SLO spec \"" + std::string(spec) +
+                                       "\": " + why);
+}
+
+// "2ms" -> 2000, "500us" -> 500, "0.5s" -> 500000; err "0.1%" -> 0.001.
+bool ParseThreshold(std::string_view text, SloMetric metric, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  std::string owned(text);
+  double value = std::strtod(owned.c_str(), &end);
+  if (end == owned.c_str() || value < 0.0) return false;
+  std::string_view unit(end);
+  if (metric == SloMetric::kErr) {
+    if (unit == "%") {
+      *out = value / 100.0;
+    } else if (unit.empty()) {
+      *out = value;
+    } else {
+      return false;
+    }
+    return *out <= 1.0;
+  }
+  if (unit == "us") {
+    *out = value;
+  } else if (unit == "ms") {
+    *out = value * 1e3;
+  } else if (unit == "s") {
+    *out = value * 1e6;
+  } else if (unit.empty()) {
+    *out = value;  // bare latency numbers are microseconds
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseMetric(std::string_view text, SloMetric* out) {
+  if (text == "p50") *out = SloMetric::kP50;
+  else if (text == "p95") *out = SloMetric::kP95;
+  else if (text == "p99") *out = SloMetric::kP99;
+  else if (text == "p999") *out = SloMetric::kP999;
+  else if (text == "err") *out = SloMetric::kErr;
+  else return false;
+  return true;
+}
+
+std::vector<std::string_view> SplitOn(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find(sep, start);
+    if (end == std::string_view::npos) end = text.size();
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+double WindowQuantile(const LatencyHisto::Snapshot& newest,
+                      const LatencyHisto::Snapshot& oldest, double p) {
+  LatencyHisto::Snapshot delta;
+  delta.count = newest.count - oldest.count;
+  delta.sum_us = newest.sum_us - oldest.sum_us;
+  delta.max_us = newest.max_us;  // max cannot be windowed; newest is closest
+  for (size_t b = 0; b < delta.buckets.size(); ++b) {
+    delta.buckets[b] = newest.buckets[b] - oldest.buckets[b];
+  }
+  if (delta.count <= 0) return 0.0;
+  return static_cast<double>(delta.Quantile(p));
+}
+
+}  // namespace
+
+util::Result<std::vector<SloObjective>> ParseSloSpec(std::string_view spec) {
+  std::vector<SloObjective> objectives;
+  if (spec.empty()) return objectives;
+  for (std::string_view group : SplitOn(spec, ';')) {
+    if (group.empty()) continue;
+    size_t colon = group.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return SpecError(spec, "expected \"class:metric<threshold,...\" in \"" +
+                                 std::string(group) + "\"");
+    }
+    std::string klass(group.substr(0, colon));
+    for (std::string_view item : SplitOn(group.substr(colon + 1), ',')) {
+      size_t lt = item.find('<');
+      if (lt == std::string_view::npos) {
+        return SpecError(spec, "objective \"" + std::string(item) +
+                                   "\" is missing '<'");
+      }
+      SloObjective objective;
+      objective.klass = klass;
+      if (!ParseMetric(item.substr(0, lt), &objective.metric)) {
+        return SpecError(spec, "unknown metric \"" +
+                                   std::string(item.substr(0, lt)) + "\"");
+      }
+      if (!ParseThreshold(item.substr(lt + 1), objective.metric,
+                          &objective.threshold)) {
+        return SpecError(spec, "bad threshold \"" +
+                                   std::string(item.substr(lt + 1)) + "\"");
+      }
+      objectives.push_back(std::move(objective));
+    }
+  }
+  return objectives;
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives, int64_t window)
+    : objectives_(std::move(objectives)), window_(window) {
+  EDSR_CHECK_GE(window_, 1);
+  values_.assign(objectives_.size(), 0.0);
+  breaches_.assign(objectives_.size(), false);
+  // Pre-register the gauges so kMetrics shows every declared objective from
+  // the first snapshot, breach or not.
+  auto& registry = MetricsRegistry::Global();
+  for (const SloObjective& objective : objectives_) {
+    std::string base = "slo." + objective.klass + "." +
+                       std::string(SloMetricName(objective.metric));
+    registry.GetGauge(base)->Set(0.0);
+    registry.GetGauge(base + ".breach")->Set(0.0);
+  }
+  registry.GetGauge("slo.breached")->Set(0.0);
+}
+
+SloTracker SloTracker::FromSpec(std::string_view spec, int64_t window) {
+  auto objectives = ParseSloSpec(spec);
+  objectives.status().Check();
+  return SloTracker(std::move(objectives).ValueOrDie(), window);
+}
+
+void SloTracker::Bind(std::string_view klass, LatencyHisto* latency,
+                      Counter* requests, Counter* errors) {
+  EDSR_CHECK(latency != nullptr);
+  EDSR_CHECK(requests != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Binding& binding : bindings_) {
+    EDSR_CHECK(binding.klass != klass)
+        << "SLO class " << klass << " bound twice";
+  }
+  Binding binding;
+  binding.klass = std::string(klass);
+  binding.latency = latency;
+  binding.requests = requests;
+  binding.errors = errors;
+  bindings_.push_back(std::move(binding));
+}
+
+void SloTracker::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Binding& binding : bindings_) {
+    Sample sample;
+    sample.latency = binding.latency->Snap();
+    sample.requests = binding.requests->Value();
+    sample.errors = binding.errors != nullptr ? binding.errors->Value() : 0;
+    binding.ring.push_back(std::move(sample));
+    while (static_cast<int64_t>(binding.ring.size()) > window_ + 1) {
+      binding.ring.pop_front();
+    }
+  }
+  int64_t breached = 0;
+  auto& registry = MetricsRegistry::Global();
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& objective = objectives_[i];
+    const Binding* binding = nullptr;
+    for (const Binding& candidate : bindings_) {
+      if (candidate.klass == objective.klass) {
+        binding = &candidate;
+        break;
+      }
+    }
+    double value = 0.0;
+    bool breach = false;
+    if (binding != nullptr && !binding->ring.empty()) {
+      const Sample& newest = binding->ring.back();
+      const Sample& oldest = binding->ring.front();
+      if (objective.metric == SloMetric::kErr) {
+        int64_t requests = newest.requests - oldest.requests;
+        int64_t errors = newest.errors - oldest.errors;
+        value = requests > 0
+                    ? static_cast<double>(errors) / static_cast<double>(requests)
+                    : 0.0;
+      } else {
+        double p = objective.metric == SloMetric::kP50    ? 0.5
+                   : objective.metric == SloMetric::kP95  ? 0.95
+                   : objective.metric == SloMetric::kP99  ? 0.99
+                                                          : 0.999;
+        value = WindowQuantile(newest.latency, oldest.latency, p);
+      }
+      breach = value > objective.threshold;
+    }
+    values_[i] = value;
+    breaches_[i] = breach;
+    if (breach) ++breached;
+    std::string base = "slo." + objective.klass + "." +
+                       std::string(SloMetricName(objective.metric));
+    registry.GetGauge(base)->Set(value);
+    registry.GetGauge(base + ".breach")->Set(breach ? 1.0 : 0.0);
+  }
+  registry.GetGauge("slo.breached")->Set(static_cast<double>(breached));
+}
+
+int64_t SloTracker::breached() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (bool breach : breaches_) {
+    if (breach) ++total;
+  }
+  return total;
+}
+
+Json SloTracker::StateJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::Array();
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& objective = objectives_[i];
+    Json oj = Json::Object();
+    oj.Set("class", objective.klass);
+    oj.Set("metric", std::string(SloMetricName(objective.metric)));
+    oj.Set("threshold", objective.threshold);
+    oj.Set("value", values_[i]);
+    oj.Set("breach", breaches_[i]);
+    out.Push(std::move(oj));
+  }
+  return out;
+}
+
+}  // namespace edsr::obs

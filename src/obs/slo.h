@@ -1,0 +1,112 @@
+// SLO tracker: declared latency/error objectives evaluated over sliding
+// windows, with breach state exported as gauges.
+//
+// Spec grammar (one string flag configures everything):
+//
+//   spec      := objective-group (";" objective-group)*
+//   group     := class ":" objective ("," objective)*
+//   objective := metric "<" threshold
+//   class     := "embed" | "knn" | "health" (any bound class name)
+//   metric    := "p50" | "p95" | "p99" | "p999" | "err"
+//   threshold := latency with unit ("2ms", "500us", "0.5s")
+//                or error rate ("0.1%" or a plain fraction "0.001")
+//
+// e.g. "embed:p99<2ms,err<0.1%;knn:p99<5ms".
+//
+// Each bound class contributes a LatencyHisto (the per-class total latency
+// on the serve path) plus request/error counters. Evaluate() snapshots
+// them, keeps a ring of the last `window` snapshots, and scores each
+// objective on the DELTA between the newest and oldest snapshot in the
+// ring — a sliding window of recent traffic, so a breach clears once the
+// bad interval ages out instead of being diluted forever by the
+// since-startup totals.
+//
+// Results surface twice: as registry gauges — "slo.<class>.<metric>"
+// (windowed value) and "slo.<class>.<metric>.breach" (0/1), plus the
+// overall "slo.breached" count — which is the hook a future load-shedder
+// keys off, and as StateJson() for the kMetrics response.
+#ifndef EDSR_SRC_OBS_SLO_H_
+#define EDSR_SRC_OBS_SLO_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/obs/histo.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/util/status.h"
+
+namespace edsr::obs {
+
+enum class SloMetric : uint8_t { kP50, kP95, kP99, kP999, kErr };
+
+std::string_view SloMetricName(SloMetric metric);
+
+struct SloObjective {
+  std::string klass;   // request class the objective applies to
+  SloMetric metric = SloMetric::kP99;
+  double threshold = 0.0;  // microseconds (latency) or fraction (err)
+};
+
+// Parses the spec grammar above. Empty spec parses to an empty list.
+util::Result<std::vector<SloObjective>> ParseSloSpec(std::string_view spec);
+
+class SloTracker {
+ public:
+  // `window` is the number of Evaluate() calls the sliding window spans
+  // (>= 1); at a 1s exporter tick, window=10 scores the last ~10s.
+  SloTracker(std::vector<SloObjective> objectives, int64_t window);
+
+  // Convenience: parse-or-die from a spec string (flag plumbing asserts
+  // the spec is valid at startup, not on the first tick).
+  static SloTracker FromSpec(std::string_view spec, int64_t window);
+
+  // Binds a request class to its instruments. `errors` may be null (the
+  // class then never breaches an err objective). Unbound classes named by
+  // objectives evaluate to value 0 / no breach until bound.
+  void Bind(std::string_view klass, LatencyHisto* latency, Counter* requests,
+            Counter* errors);
+
+  // Snapshots every bound class, scores all objectives on the sliding
+  // window, and publishes the slo.* gauges. Thread-safe; typically driven
+  // by the MetricsExporter tick or a kMetrics query.
+  void Evaluate();
+
+  // Objectives currently breaching (as of the last Evaluate).
+  int64_t breached() const;
+
+  // [{"class":..,"metric":..,"threshold":..,"value":..,"breach":..}, ...]
+  Json StateJson() const;
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+
+ private:
+  struct Sample {
+    LatencyHisto::Snapshot latency;
+    int64_t requests = 0;
+    int64_t errors = 0;
+  };
+  struct Binding {
+    std::string klass;
+    LatencyHisto* latency = nullptr;
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    std::deque<Sample> ring;  // newest at back; bounded by window_ + 1
+  };
+
+  std::vector<SloObjective> objectives_;
+  int64_t window_;
+
+  mutable std::mutex mu_;
+  std::vector<Binding> bindings_;
+  std::vector<double> values_;   // per objective, last Evaluate
+  std::vector<bool> breaches_;   // per objective, last Evaluate
+};
+
+}  // namespace edsr::obs
+
+#endif  // EDSR_SRC_OBS_SLO_H_

@@ -33,7 +33,8 @@ MicroBatcher::~MicroBatcher() {
 }
 
 util::Status MicroBatcher::Submit(std::vector<float> input, bool want_label,
-                                  std::future<EmbedResult>* result) {
+                                  std::future<EmbedResult>* result,
+                                  TraceContext* trace) {
   EDSR_CHECK(result != nullptr);
   std::unique_lock<std::mutex> lock(mu_);
   if (!running_) {
@@ -48,6 +49,7 @@ util::Status MicroBatcher::Submit(std::vector<float> input, bool want_label,
   Pending pending;
   pending.input = std::move(input);
   pending.want_label = want_label;
+  pending.trace = trace;
   *result = pending.promise.get_future();
   queue_.push_back(std::move(pending));
   lock.unlock();
@@ -130,6 +132,13 @@ void MicroBatcher::WorkerLoop() {
 
 void MicroBatcher::ProcessBatch(std::vector<Pending> batch) {
   EDSR_TRACE_SPAN("serve_batch");
+  // Stamp batch formation before any promise can be fulfilled: once
+  // set_value runs the submitting thread may return and destroy its
+  // TraceContext, so every trace write happens strictly before it.
+  const int64_t t_batch_us = TraceNowUs();
+  for (Pending& pending : batch) {
+    if (pending.trace != nullptr) pending.trace->t_batch_us = t_batch_us;
+  }
   // One snapshot per batch: every response in this batch comes from exactly
   // this model version, whatever Install() does concurrently.
   SnapshotHandle snapshot = registry_->Current();
@@ -182,6 +191,13 @@ void MicroBatcher::ProcessBatch(std::vector<Pending> batch) {
         std::move(flat), {batch_n, dim}));
     EDSR_CHECK_EQ(reps.shape()[1], rep_dim);
     rep_values.assign(reps.data().begin(), reps.data().end());
+  }
+
+  const int64_t t_forward_us = TraceNowUs();
+  for (size_t k = 0; k < rows.size(); ++k) {
+    if (batch[rows[k]].trace != nullptr) {
+      batch[rows[k]].trace->t_forward_us = t_forward_us;
+    }
   }
 
   for (size_t k = 0; k < rows.size(); ++k) {

@@ -35,6 +35,7 @@
 
 #include "src/serve/cache.h"
 #include "src/serve/snapshot.h"
+#include "src/serve/trace_context.h"
 #include "src/util/status.h"
 
 namespace edsr::serve {
@@ -64,8 +65,15 @@ class MicroBatcher {
 
   // Enqueues one request. Returns OK and a future the worker completes, or
   // kOverloaded (future untouched) when the queue is at max_queue.
+  //
+  // `trace` (optional) is stamped by the worker: t_batch_us when the
+  // request is pulled into a batch, t_forward_us when the batched forward
+  // completes — always strictly before the promise is fulfilled, so the
+  // caller may read the stamps as soon as future.get() returns and must
+  // keep the context alive until then.
   util::Status Submit(std::vector<float> input, bool want_label,
-                      std::future<EmbedResult>* result);
+                      std::future<EmbedResult>* result,
+                      TraceContext* trace = nullptr);
 
   // Testing hooks: a paused worker leaves submissions queued, which is the
   // only deterministic way to drive the queue to overflow.
@@ -83,6 +91,7 @@ class MicroBatcher {
   struct Pending {
     std::vector<float> input;
     bool want_label = false;
+    TraceContext* trace = nullptr;  // owned by the submitting thread
     std::promise<EmbedResult> promise;
   };
 

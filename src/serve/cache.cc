@@ -7,10 +7,38 @@
 
 namespace edsr::serve {
 
+namespace {
+
+double GlobalHitRate() {
+  auto& registry = obs::MetricsRegistry::Global();
+  const double hits =
+      static_cast<double>(registry.GetCounter("serve.cache.hits")->Value());
+  const double misses =
+      static_cast<double>(registry.GetCounter("serve.cache.misses")->Value());
+  return hits + misses > 0.0 ? hits / (hits + misses) : 0.0;
+}
+
+}  // namespace
+
 RepresentationCache::RepresentationCache(int64_t capacity)
     : capacity_(capacity) {
   EDSR_CHECK_GE(capacity, 0);
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.RegisterCallbackGauge("serve.cache.hit_rate",
+                                 [] { return GlobalHitRate(); });
+  registry.RegisterCallbackGauge(
+      "serve.cache.size", [this] { return static_cast<double>(size()); });
 }
+
+RepresentationCache::~RepresentationCache() {
+  // The registry keeps callbacks forever; leave a dead cache's size gauge
+  // pointing at a constant instead of a dangling `this`. hit_rate reads
+  // global counters only and stays valid.
+  obs::MetricsRegistry::Global().RegisterCallbackGauge(
+      "serve.cache.size", [] { return 0.0; });
+}
+
+double RepresentationCache::hit_rate() const { return GlobalHitRate(); }
 
 uint64_t RepresentationCache::HashInput(const std::vector<float>& input) {
   uint64_t hash = 0xcbf29ce484222325ULL;

@@ -9,7 +9,9 @@
 // Hits must be bit-identical to a cold forward, so a hash match alone is
 // never trusted: the stored input bytes are compared exactly and a
 // colliding key is treated as a miss (and replaced on insert). Hit / miss /
-// eviction counts are exported as serve.cache.{hits,misses,evictions}.
+// eviction counts are exported as serve.cache.{hits,misses,evictions};
+// the constructor also registers pull-model gauges serve.cache.hit_rate
+// (derived from those counters) and serve.cache.size (this instance).
 #ifndef EDSR_SRC_SERVE_CACHE_H_
 #define EDSR_SRC_SERVE_CACHE_H_
 
@@ -26,6 +28,7 @@ class RepresentationCache {
   // Capacity in entries; 0 disables the cache (Lookup always misses,
   // Insert is a no-op).
   explicit RepresentationCache(int64_t capacity);
+  ~RepresentationCache();
 
   // On hit copies the cached representation into *out, promotes the entry
   // to most-recently-used, and returns true.
@@ -39,6 +42,10 @@ class RepresentationCache {
 
   int64_t size() const;
   int64_t capacity() const { return capacity_; }
+
+  // Lifetime hit fraction, hits / (hits + misses), from the global
+  // serve.cache.{hits,misses} counters; 0 before any lookup.
+  double hit_rate() const;
 
   // FNV-1a over the raw little-endian float bytes.
   static uint64_t HashInput(const std::vector<float>& input);

@@ -17,6 +17,8 @@ bool IsRequestType(MessageType type) {
     case MessageType::kKnnLabelRequest:
     case MessageType::kHealthRequest:
     case MessageType::kStatsRequest:
+    case MessageType::kMetricsRequest:
+    case MessageType::kStatusRequest:
       return true;
     default:
       return false;
@@ -29,6 +31,8 @@ bool IsResponseType(MessageType type) {
     case MessageType::kKnnLabelResponse:
     case MessageType::kHealthResponse:
     case MessageType::kStatsResponse:
+    case MessageType::kMetricsResponse:
+    case MessageType::kStatusResponse:
     case MessageType::kErrorResponse:
       return true;
     default:
@@ -94,8 +98,11 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     case MessageType::kKnnLabelRequest:
       payload.WriteFloats(request.input);
       break;
+    case MessageType::kMetricsRequest:
+      payload.WriteU8(static_cast<uint8_t>(request.metrics_mode));
+      break;
     default:
-      break;  // health / stats have empty bodies
+      break;  // health / stats / status have empty bodies
   }
   return FinishFrame(std::move(payload));
 }
@@ -121,6 +128,8 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
       payload.WriteString(response.source);
       break;
     case MessageType::kStatsResponse:
+    case MessageType::kMetricsResponse:
+    case MessageType::kStatusResponse:
       payload.WriteString(response.stats_json);
       break;
     default:
@@ -140,9 +149,18 @@ util::Status DecodeRequest(const std::vector<uint8_t>& payload, Request* out) {
   out->type = static_cast<MessageType>(type);
   EDSR_RETURN_NOT_OK(in.ReadU64(&out->request_id));
   out->input.clear();
+  out->metrics_mode = MetricsMode::kJson;
   if (out->type == MessageType::kEmbedRequest ||
       out->type == MessageType::kKnnLabelRequest) {
     EDSR_RETURN_NOT_OK(in.ReadFloats(&out->input));
+  } else if (out->type == MessageType::kMetricsRequest) {
+    uint8_t mode = 0;
+    EDSR_RETURN_NOT_OK(in.ReadU8(&mode));
+    if (mode > static_cast<uint8_t>(MetricsMode::kPrometheusText)) {
+      return util::Status::InvalidArgument("unknown metrics mode " +
+                                           std::to_string(mode));
+    }
+    out->metrics_mode = static_cast<MetricsMode>(mode);
   }
   return in.ExpectEnd();
 }
@@ -178,6 +196,8 @@ util::Status DecodeResponse(const std::vector<uint8_t>& payload,
       break;
     }
     case MessageType::kStatsResponse:
+    case MessageType::kMetricsResponse:
+    case MessageType::kStatusResponse:
       EDSR_RETURN_NOT_OK(in.ReadString(&out->stats_json));
       break;
     default:

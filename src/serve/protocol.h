@@ -16,11 +16,14 @@
 //   KnnLabelResponse               : u8 status | string message |
 //                                    u64 snapshot id | i64 label
 //   HealthRequest / StatsRequest   : empty body
+//   MetricsRequest                 : u8 mode (0 json, 1 prometheus text)
+//   StatusRequest                  : empty body
 //   HealthResponse                 : u8 status | string message |
 //                                    u8 healthy | u64 snapshot id |
 //                                    i64 increments seen | string source
-//   StatsResponse                  : u8 status | string message |
-//                                    string stats json
+//   StatsResponse / MetricsResponse / StatusResponse
+//                                  : u8 status | string message |
+//                                    string body
 //   ErrorResponse                  : u8 status | string message
 //
 // Decoding is BufferReader all the way down: every length is validated
@@ -49,17 +52,25 @@ enum class MessageType : uint8_t {
   kKnnLabelRequest = 2,
   kHealthRequest = 3,
   kStatsRequest = 4,
+  kMetricsRequest = 5,
+  kStatusRequest = 6,
   kEmbedResponse = 65,
   kKnnLabelResponse = 66,
   kHealthResponse = 67,
   kStatsResponse = 68,
+  kMetricsResponse = 69,
+  kStatusResponse = 70,
   kErrorResponse = 127,
 };
+
+// kMetricsRequest body: which exposition format the response body uses.
+enum class MetricsMode : uint8_t { kJson = 0, kPrometheusText = 1 };
 
 struct Request {
   MessageType type = MessageType::kHealthRequest;
   uint64_t request_id = 0;
   std::vector<float> input;  // kEmbedRequest / kKnnLabelRequest only
+  MetricsMode metrics_mode = MetricsMode::kJson;  // kMetricsRequest only
 };
 
 struct Response {
@@ -74,7 +85,9 @@ struct Response {
   bool healthy = false;
   int64_t increments_seen = 0;
   std::string source;
-  // kStatsResponse
+  // kStatsResponse / kMetricsResponse / kStatusResponse: the body string
+  // (JSON for stats/status and metrics-in-json mode; Prometheus text for
+  // metrics-in-text mode).
   std::string stats_json;
 };
 

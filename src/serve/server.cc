@@ -4,7 +4,6 @@
 
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
-#include "src/util/stopwatch.h"
 
 namespace edsr::serve {
 
@@ -36,18 +35,28 @@ SnapshotHandle ServeHandle::InstallSnapshot(
                            std::move(source));
 }
 
-EmbedResult ServeHandle::Embed(const std::vector<float>& input) {
-  return Roundtrip(input, /*want_label=*/false);
+EmbedResult ServeHandle::Embed(const std::vector<float>& input,
+                               TraceContext* trace) {
+  return Roundtrip(input, /*want_label=*/false, trace);
 }
 
-EmbedResult ServeHandle::KnnLabel(const std::vector<float>& input) {
-  return Roundtrip(input, /*want_label=*/true);
+EmbedResult ServeHandle::KnnLabel(const std::vector<float>& input,
+                                  TraceContext* trace) {
+  return Roundtrip(input, /*want_label=*/true, trace);
 }
 
 EmbedResult ServeHandle::Roundtrip(const std::vector<float>& input,
-                                   bool want_label) {
+                                   bool want_label, TraceContext* trace) {
   EDSR_TRACE_SPAN("serve_request");
-  util::Stopwatch watch;
+  // In-process callers get a local context so the per-class latency
+  // histograms see every request, not just the TCP ones.
+  TraceContext local;
+  const bool own_trace = trace == nullptr;
+  if (own_trace) {
+    trace = &local;
+    trace->t_accept_us = TraceNowUs();
+  }
+  trace->klass = want_label ? RequestClass::kKnnLabel : RequestClass::kEmbed;
   EmbedResult result;
 
   // Cache fast path. A cached representation can also answer KnnLabel —
@@ -56,6 +65,7 @@ EmbedResult ServeHandle::Roundtrip(const std::vector<float>& input,
   SnapshotHandle snapshot = registry_.Current();
   if (snapshot != nullptr &&
       cache_.Lookup(snapshot->id(), input, &result.representation)) {
+    trace->cache_hit = true;
     result.snapshot_id = snapshot->id();
     if (want_label) {
       if (snapshot->knn() == nullptr) {
@@ -67,8 +77,10 @@ EmbedResult ServeHandle::Roundtrip(const std::vector<float>& input,
       }
     }
   } else {
+    trace->t_queue_us = TraceNowUs();
     std::future<EmbedResult> future;
-    util::Status submitted = batcher_->Submit(input, want_label, &future);
+    util::Status submitted = batcher_->Submit(input, want_label, &future,
+                                              trace);
     if (!submitted.ok()) {
       result.status = std::move(submitted);
     } else {
@@ -76,9 +88,11 @@ EmbedResult ServeHandle::Roundtrip(const std::vector<float>& input,
     }
   }
 
-  static thread_local obs::Histogram* latency_hist =
-      obs::MetricsRegistry::Global().GetHistogram("serve.latency_us");
-  latency_hist->Observe(watch.ElapsedSeconds() * 1e6);
+  trace->error = !result.status.ok();
+  if (own_trace) {
+    trace->t_reply_us = TraceNowUs();
+    RecordTrace(*trace);
+  }
   return result;
 }
 

@@ -57,8 +57,17 @@ class ServeHandle {
                                  std::string source);
 
   // Blocking request paths; safe from any number of threads.
-  EmbedResult Embed(const std::vector<float>& input);
-  EmbedResult KnnLabel(const std::vector<float>& input);
+  //
+  // With `trace == nullptr` (in-process callers) a request-scoped
+  // TraceContext is created internally and recorded on return, so the
+  // serve.lat.<class> / serve.stage.* latency histograms cover every
+  // request. The TCP front end passes its own context (carrying the
+  // server-assigned rid and the frame-accept stamp) and records it after
+  // the reply is written.
+  EmbedResult Embed(const std::vector<float>& input,
+                    TraceContext* trace = nullptr);
+  EmbedResult KnnLabel(const std::vector<float>& input,
+                       TraceContext* trace = nullptr);
 
   struct HealthInfo {
     bool ok = false;  // a snapshot is installed and the worker is accepting
@@ -80,7 +89,8 @@ class ServeHandle {
   const ServeOptions& options() const { return options_; }
 
  private:
-  EmbedResult Roundtrip(const std::vector<float>& input, bool want_label);
+  EmbedResult Roundtrip(const std::vector<float>& input, bool want_label,
+                        TraceContext* trace);
 
   ServeOptions options_;
   SnapshotRegistry registry_;

@@ -9,8 +9,11 @@
 #include <cstring>
 #include <utility>
 
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
+#include "src/tensor/simd.h"
 #include "src/util/logging.h"
+#include "src/util/threadpool.h"
 
 namespace edsr::serve {
 
@@ -64,6 +67,7 @@ util::Status TcpServer::Start(uint16_t port) {
   }
   port_ = ntohs(addr.sin_port);
 
+  start_us_ = TraceNowUs();
   {
     std::lock_guard<std::mutex> lock(mu_);
     running_ = true;
@@ -182,17 +186,38 @@ void TcpServer::ServeLoop(int fd) {
       EDSR_METRIC_COUNT("serve.protocol_errors", 1);
       return;
     }
-    Response response = Dispatch(request);
-    if (!WriteFrame(fd, EncodeResponse(response)).ok()) return;
+    // One trace context per admitted request, rid assigned here so ids are
+    // strictly monotone across every connection thread.
+    TraceContext trace;
+    trace.rid = next_rid_.fetch_add(1, std::memory_order_relaxed);
+    trace.t_accept_us = TraceNowUs();
+    const bool traced = request.type == MessageType::kEmbedRequest ||
+                        request.type == MessageType::kKnnLabelRequest ||
+                        request.type == MessageType::kHealthRequest;
+    if (traced) {
+      obs::FlightRecorder::Global().Record(
+          obs::FlightRecorder::kRequest, "accept",
+          static_cast<int64_t>(trace.rid),
+          static_cast<int64_t>(request.type));
+    }
+    Response response = Dispatch(request, &trace);
+    bool wrote = WriteFrame(fd, EncodeResponse(response)).ok();
+    if (traced) {
+      // Stamp after the frame hit the socket: the reply stage covers
+      // serialization and the write, which is what the client feels.
+      trace.t_reply_us = TraceNowUs();
+      RecordTrace(trace);
+    }
+    if (!wrote) return;
   }
 }
 
-Response TcpServer::Dispatch(const Request& request) {
+Response TcpServer::Dispatch(const Request& request, TraceContext* trace) {
   Response response;
   response.request_id = request.request_id;
   switch (request.type) {
     case MessageType::kEmbedRequest: {
-      EmbedResult result = handle_->Embed(request.input);
+      EmbedResult result = handle_->Embed(request.input, trace);
       response.type = MessageType::kEmbedResponse;
       response.status = std::move(result.status);
       response.snapshot_id = result.snapshot_id;
@@ -200,7 +225,7 @@ Response TcpServer::Dispatch(const Request& request) {
       break;
     }
     case MessageType::kKnnLabelRequest: {
-      EmbedResult result = handle_->KnnLabel(request.input);
+      EmbedResult result = handle_->KnnLabel(request.input, trace);
       response.type = MessageType::kKnnLabelResponse;
       response.status = std::move(result.status);
       response.snapshot_id = result.snapshot_id;
@@ -208,17 +233,43 @@ Response TcpServer::Dispatch(const Request& request) {
       break;
     }
     case MessageType::kHealthRequest: {
+      trace->klass = RequestClass::kHealth;
+      trace->cache_hit = true;  // never enters the batcher; total only
       ServeHandle::HealthInfo info = handle_->Health();
       response.type = MessageType::kHealthResponse;
       response.healthy = info.ok;
       response.snapshot_id = info.snapshot_id;
       response.increments_seen = info.increments_seen;
       response.source = info.source;
+      trace->error = !info.ok;
       break;
     }
     case MessageType::kStatsRequest: {
       response.type = MessageType::kStatsResponse;
       response.stats_json = handle_->StatsJson().Dump();
+      break;
+    }
+    // kMetrics / kStatus run inline on this connection's thread — they
+    // read registry and handle state only and never touch the batch
+    // worker, so an ops poller cannot add latency to embedding traffic.
+    case MessageType::kMetricsRequest: {
+      if (slo_ != nullptr) slo_->Evaluate();
+      response.type = MessageType::kMetricsResponse;
+      if (request.metrics_mode == MetricsMode::kPrometheusText) {
+        response.stats_json =
+            obs::MetricsRegistry::Global().ToPrometheusText();
+      } else {
+        obs::Json body = obs::Json::Object();
+        body.Set("metrics", obs::MetricsRegistry::Global().ToJson());
+        body.Set("slo",
+                 slo_ != nullptr ? slo_->StateJson() : obs::Json::Array());
+        response.stats_json = body.Dump();
+      }
+      break;
+    }
+    case MessageType::kStatusRequest: {
+      response.type = MessageType::kStatusResponse;
+      response.stats_json = StatusJson().Dump();
       break;
     }
     default: {
@@ -228,6 +279,41 @@ Response TcpServer::Dispatch(const Request& request) {
     }
   }
   return response;
+}
+
+obs::Json TcpServer::StatusJson() {
+  obs::Json status = obs::Json::Object();
+  obs::Json snap = obs::Json::Object();
+  SnapshotHandle snapshot = handle_->registry()->Current();
+  if (snapshot != nullptr) {
+    snap.Set("id", static_cast<int64_t>(snapshot->id()));
+    snap.Set("source", snapshot->source());
+    snap.Set("increments_seen", snapshot->increments_seen());
+    snap.Set("quantized", snapshot->quantized() != nullptr);
+  }
+  status.Set("snapshot", std::move(snap));
+  status.Set("swaps", handle_->registry()->swaps());
+  status.Set("uptime_ms", (TraceNowUs() - start_us_) / 1000);
+  status.Set("last_rid", static_cast<int64_t>(last_rid()));
+  status.Set("connections_accepted", connections_accepted());
+  obs::Json queue = obs::Json::Object();
+  queue.Set("depth", handle_->batcher()->queue_depth());
+  queue.Set("max_batch", handle_->batcher()->options().max_batch);
+  queue.Set("max_queue", handle_->batcher()->options().max_queue);
+  queue.Set("max_delay_us", handle_->batcher()->options().max_delay_us);
+  status.Set("queue", std::move(queue));
+  obs::Json cache = obs::Json::Object();
+  cache.Set("size", handle_->cache()->size());
+  cache.Set("capacity", handle_->cache()->capacity());
+  cache.Set("hit_rate", handle_->cache()->hit_rate());
+  status.Set("cache", std::move(cache));
+  obs::Json dispatch = obs::Json::Object();
+  dispatch.Set("threads", util::ThreadPool::Global().NumThreads());
+  dispatch.Set("simd", tensor::simd::TierName(tensor::simd::ActiveTier()));
+  status.Set("dispatch", std::move(dispatch));
+  status.Set("slo_breached",
+             slo_ != nullptr ? slo_->breached() : int64_t{0});
+  return status;
 }
 
 // ---------------------------------------------------------------------------
@@ -333,6 +419,29 @@ ServeClient::HealthReply ServeClient::Health() {
 util::Result<std::string> ServeClient::Stats() {
   Request request;
   request.type = MessageType::kStatsRequest;
+  request.request_id = next_request_id_++;
+  auto roundtrip = Roundtrip(request);
+  if (!roundtrip.ok()) return roundtrip.status();
+  Response response = std::move(roundtrip).ValueOrDie();
+  if (!response.status.ok()) return response.status;
+  return std::move(response.stats_json);
+}
+
+util::Result<std::string> ServeClient::Metrics(MetricsMode mode) {
+  Request request;
+  request.type = MessageType::kMetricsRequest;
+  request.request_id = next_request_id_++;
+  request.metrics_mode = mode;
+  auto roundtrip = Roundtrip(request);
+  if (!roundtrip.ok()) return roundtrip.status();
+  Response response = std::move(roundtrip).ValueOrDie();
+  if (!response.status.ok()) return response.status;
+  return std::move(response.stats_json);
+}
+
+util::Result<std::string> ServeClient::Status() {
+  Request request;
+  request.type = MessageType::kStatusRequest;
   request.request_id = next_request_id_++;
   auto roundtrip = Roundtrip(request);
   if (!roundtrip.ok()) return roundtrip.status();

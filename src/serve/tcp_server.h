@@ -20,6 +20,7 @@
 #ifndef EDSR_SRC_SERVE_TCP_SERVER_H_
 #define EDSR_SRC_SERVE_TCP_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -27,8 +28,10 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/slo.h"
 #include "src/serve/protocol.h"
 #include "src/serve/server.h"
+#include "src/serve/trace_context.h"
 #include "src/util/status.h"
 
 namespace edsr::serve {
@@ -54,13 +57,28 @@ class TcpServer {
   // Connections accepted over the server's lifetime.
   int64_t connections_accepted() const;
 
+  // Attaches an SLO tracker (not owned; must outlive the server). Each
+  // kMetrics query evaluates it first, so breach gauges are fresh in-band.
+  void SetSloTracker(obs::SloTracker* slo) { slo_ = slo; }
+
+  // The last server-assigned request id (0 before any request). Request
+  // ids are assigned from one atomic counter at frame-decode time, so they
+  // are strictly monotone across all connections.
+  uint64_t last_rid() const {
+    return next_rid_.load(std::memory_order_relaxed) - 1;
+  }
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
   void ServeLoop(int fd);
-  Response Dispatch(const Request& request);
+  Response Dispatch(const Request& request, TraceContext* trace);
+  obs::Json StatusJson();
 
   ServeHandle* handle_;
+  obs::SloTracker* slo_ = nullptr;
+  std::atomic<uint64_t> next_rid_{1};
+  int64_t start_us_ = 0;  // TraceNowUs at Start
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread accept_thread_;
@@ -105,6 +123,14 @@ class ServeClient {
 
   // The server's StatsJson() as a compact JSON string.
   util::Result<std::string> Stats();
+
+  // In-band introspection. Metrics returns the full registry snapshot —
+  // counters, gauges, both histogram kinds, SLO state — as ordered-key
+  // JSON (kJson) or Prometheus text exposition (kPrometheusText). Status
+  // returns the cheap liveness view: snapshot identity, uptime, queue
+  // depth, cache hit rate, threadpool/dispatch config.
+  util::Result<std::string> Metrics(MetricsMode mode = MetricsMode::kJson);
+  util::Result<std::string> Status();
 
   // Escape hatch for the protocol-fuzz test: writes raw bytes on the socket.
   util::Status SendRaw(const std::vector<uint8_t>& bytes);

@@ -1,0 +1,96 @@
+#include "src/serve/trace_context.h"
+
+#include <chrono>
+
+#include "src/obs/flight.h"
+#include "src/obs/metrics.h"
+
+namespace edsr::serve {
+
+const char* RequestClassName(RequestClass klass) {
+  switch (klass) {
+    case RequestClass::kEmbed: return "embed";
+    case RequestClass::kKnnLabel: return "knn";
+    case RequestClass::kHealth: return "health";
+  }
+  return "?";
+}
+
+int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+namespace {
+
+struct ClassInstruments {
+  obs::LatencyHisto* latency;
+  obs::Counter* requests;
+  obs::Counter* errors;
+};
+
+// Function-local statics: the registry hands out process-lifetime pointers,
+// so resolve each name exactly once.
+const ClassInstruments& InstrumentsFor(RequestClass klass) {
+  static ClassInstruments embed = {
+      obs::MetricsRegistry::Global().GetLatencyHisto("serve.lat.embed"),
+      obs::MetricsRegistry::Global().GetCounter("serve.req.embed"),
+      obs::MetricsRegistry::Global().GetCounter("serve.err.embed")};
+  static ClassInstruments knn = {
+      obs::MetricsRegistry::Global().GetLatencyHisto("serve.lat.knn"),
+      obs::MetricsRegistry::Global().GetCounter("serve.req.knn"),
+      obs::MetricsRegistry::Global().GetCounter("serve.err.knn")};
+  static ClassInstruments health = {
+      obs::MetricsRegistry::Global().GetLatencyHisto("serve.lat.health"),
+      obs::MetricsRegistry::Global().GetCounter("serve.req.health"),
+      obs::MetricsRegistry::Global().GetCounter("serve.err.health")};
+  switch (klass) {
+    case RequestClass::kKnnLabel: return knn;
+    case RequestClass::kHealth: return health;
+    case RequestClass::kEmbed: break;
+  }
+  return embed;
+}
+
+obs::LatencyHisto* StageHisto(const char* name) {
+  return obs::MetricsRegistry::Global().GetLatencyHisto(name);
+}
+
+// A stage whose boundary stamps are missing (cache hit, health, error
+// short-circuit) records nothing; clock skew can't go negative on a steady
+// clock, but a zero-stamped field must not produce a giant bogus duration.
+void RecordStage(obs::LatencyHisto* histo, int64_t from_us, int64_t to_us) {
+  if (from_us <= 0 || to_us < from_us) return;
+  histo->Record(to_us - from_us);
+}
+
+}  // namespace
+
+void RecordTrace(const TraceContext& context) {
+  if (context.t_accept_us <= 0 || context.t_reply_us < context.t_accept_us) {
+    return;
+  }
+  const ClassInstruments& instruments = InstrumentsFor(context.klass);
+  const int64_t total_us = context.t_reply_us - context.t_accept_us;
+  instruments.latency->Record(total_us);
+  instruments.requests->Add(1);
+  if (context.error) instruments.errors->Add(1);
+
+  if (!context.cache_hit && context.t_queue_us > 0) {
+    static obs::LatencyHisto* accept = StageHisto("serve.stage.accept");
+    static obs::LatencyHisto* queue = StageHisto("serve.stage.queue");
+    static obs::LatencyHisto* forward = StageHisto("serve.stage.forward");
+    static obs::LatencyHisto* reply = StageHisto("serve.stage.reply");
+    RecordStage(accept, context.t_accept_us, context.t_queue_us);
+    RecordStage(queue, context.t_queue_us, context.t_batch_us);
+    RecordStage(forward, context.t_batch_us, context.t_forward_us);
+    RecordStage(reply, context.t_forward_us, context.t_reply_us);
+  }
+
+  obs::FlightRecorder::Global().Record(
+      obs::FlightRecorder::kResponse, RequestClassName(context.klass),
+      static_cast<int64_t>(context.rid), total_us);
+}
+
+}  // namespace edsr::serve

@@ -1,0 +1,60 @@
+// Request-scoped trace context: one POD carried with a request through
+// protocol framing, the micro-batcher, and the snapshot forward, stamping
+// a steady-clock timestamp at each pipeline stage boundary.
+//
+//   accept  — frame decoded, request admitted (t_accept_us)
+//   queue   — enqueued into the micro-batcher (t_queue_us)
+//   batch   — the worker pulled it into a batch (t_batch_us)
+//   forward — the batched forward finished (t_forward_us)
+//   reply   — the response was written back (t_reply_us)
+//
+// RecordTrace() turns a completed context into per-class and per-stage
+// LatencyHisto records:
+//
+//   serve.lat.<class>     — total accept→reply latency (embed/knn/health)
+//   serve.stage.accept    — accept→queue (decode + admission)
+//   serve.stage.queue     — queue→batch  (time waiting for coalescing)
+//   serve.stage.forward   — batch→forward (the batched compute)
+//   serve.stage.reply     — forward→reply (knn + cache insert + write)
+//
+// plus serve.req.<class> / serve.err.<class> counters (the SloTracker's
+// error-rate inputs) and a flight-recorder kResponse event. Cache hits and
+// health checks never enter the batcher, so only the total is recorded for
+// them. The ownership rule that makes cross-thread stamping safe: the
+// context lives on the requesting thread's stack, and the batch worker
+// writes t_batch/t_forward strictly before completing the request's
+// promise (promise/future ordering is the happens-before edge).
+#ifndef EDSR_SRC_SERVE_TRACE_CONTEXT_H_
+#define EDSR_SRC_SERVE_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace edsr::serve {
+
+enum class RequestClass : uint8_t { kEmbed = 0, kKnnLabel = 1, kHealth = 2 };
+
+// Stable lowercase name: "embed" / "knn" / "health".
+const char* RequestClassName(RequestClass klass);
+
+struct TraceContext {
+  uint64_t rid = 0;  // server-assigned, monotone across all connections
+  RequestClass klass = RequestClass::kEmbed;
+  bool cache_hit = false;
+  bool error = false;  // the per-request status was not OK
+  int64_t t_accept_us = 0;
+  int64_t t_queue_us = 0;
+  int64_t t_batch_us = 0;
+  int64_t t_forward_us = 0;
+  int64_t t_reply_us = 0;
+};
+
+// Microseconds on the steady clock (the timebase of every stamp above).
+int64_t TraceNowUs();
+
+// Records the completed context into the histograms/counters documented
+// above. Requires t_accept_us and t_reply_us to be stamped.
+void RecordTrace(const TraceContext& context);
+
+}  // namespace edsr::serve
+
+#endif  // EDSR_SRC_SERVE_TRACE_CONTEXT_H_

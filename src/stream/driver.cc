@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/io/container.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
@@ -213,6 +214,21 @@ util::Status RunCyclesFrom(cl::ContinualStrategy* strategy,
       }
     }
     current.eval_seconds = eval_watch.ElapsedSeconds();
+
+    // Per-cycle gauges: the latest closed cycle's state, readable in-band
+    // (and by a MetricsExporter attached to the same process). Gauges are
+    // views, not telemetry — the deterministic record stays in JSONL.
+    {
+      auto& metrics = obs::MetricsRegistry::Global();
+      metrics.GetGauge("stream.cycle")->Set(static_cast<double>(cycle));
+      metrics.GetGauge("stream.cycle_train_seconds")
+          ->Set(current.train_seconds);
+      metrics.GetGauge("stream.cycle_eval_seconds")->Set(current.eval_seconds);
+      metrics.GetGauge("stream.drift")->Set(current.drift);
+      metrics.GetGauge("stream.buffer_size")
+          ->Set(static_cast<double>(current.buffer_size));
+      metrics.GetGauge("stream.buffer_entropy")->Set(current.buffer_entropy);
+    }
 
     EDSR_LOG(Debug) << strategy->name() << " stream cycle " << cycle << " ("
                     << current.cause << "): samples=" << current.samples

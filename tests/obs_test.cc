@@ -9,13 +9,18 @@
 #include <fstream>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/obs/exporter.h"
+#include "src/obs/flight.h"
+#include "src/obs/histo.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_record.h"
+#include "src/obs/slo.h"
 #include "src/obs/trace.h"
 #include "src/tensor/arena.h"
 
@@ -398,6 +403,330 @@ TEST(RunLogger, UnopenableFileIsNotOkAndWriteIsNoop) {
   Json record = Json::Object();
   EXPECT_FALSE(logger.Write(record));
   EXPECT_EQ(logger.lines_written(), 0);
+}
+
+// ---- LatencyHisto ---------------------------------------------------------
+
+TEST(LatencyHisto, BucketBoundsAreConsistent) {
+  using obs::LatencyHisto;
+  // Every bucket's lower bound must map back to that bucket, and bounds
+  // must be non-decreasing — the walk the quantile query relies on.
+  for (int b = 0; b < LatencyHisto::kNumBuckets; ++b) {
+    int64_t lo = LatencyHisto::BucketLowerBound(b);
+    EXPECT_EQ(LatencyHisto::BucketFor(lo), b) << "bucket " << b;
+    EXPECT_LE(lo, LatencyHisto::BucketUpperBound(b));
+    if (b > 0) {
+      EXPECT_EQ(LatencyHisto::BucketLowerBound(b),
+                LatencyHisto::BucketUpperBound(b - 1) + 1);
+    }
+  }
+  // Values beyond the range clamp into the last bucket instead of indexing
+  // out of bounds.
+  EXPECT_EQ(LatencyHisto::BucketFor(INT64_MAX), LatencyHisto::kNumBuckets - 1);
+}
+
+TEST(LatencyHisto, SmallValuesAreExact) {
+  obs::LatencyHisto* histo =
+      MetricsRegistry::Global().GetLatencyHisto("test.lat.exact");
+  histo->Reset();
+  // Values below kSubCount (32) get one bucket each: percentiles are exact.
+  for (int64_t us = 0; us < 32; ++us) histo->Record(us);
+  obs::LatencyHisto::Snapshot snap = histo->Snap();
+  EXPECT_EQ(snap.count, 32);
+  EXPECT_EQ(snap.Quantile(0.5), 16);  // first value with cumulative > half
+  EXPECT_EQ(snap.Quantile(0.0), 0);
+  EXPECT_EQ(snap.Quantile(1.0), 31);
+  histo->Reset();
+  EXPECT_EQ(histo->Snap().count, 0);
+}
+
+TEST(LatencyHisto, LargeValuesStayWithinRelativeErrorBound) {
+  obs::LatencyHisto* histo =
+      MetricsRegistry::Global().GetLatencyHisto("test.lat.relerr");
+  histo->Reset();
+  // 32 linear sub-buckets per power of two bound the relative error of any
+  // percentile at 1/32 ~= 3.2%.
+  const int64_t values[] = {1000, 10000, 123456, 999999, 5000000, 2000000000};
+  for (int64_t v : values) {
+    histo->Reset();
+    histo->Record(v);
+    int64_t p99 = histo->Snap().Quantile(0.99);
+    EXPECT_GE(p99, v) << v;  // bucket upper bound never under-reports
+    EXPECT_LE(static_cast<double>(p99 - v), 0.033 * static_cast<double>(v))
+        << v;
+  }
+}
+
+TEST(LatencyHisto, QuantileIsCappedByObservedMax) {
+  obs::LatencyHisto* histo =
+      MetricsRegistry::Global().GetLatencyHisto("test.lat.maxcap");
+  histo->Reset();
+  histo->Record(1000);
+  // The p100 never exceeds the true max even though the bucket is coarser.
+  EXPECT_EQ(histo->Snap().Quantile(1.0), 1000);
+  EXPECT_EQ(histo->Snap().max_us, 1000);
+}
+
+TEST(LatencyHisto, ConcurrentRecordsAllLand) {
+  obs::LatencyHisto* histo =
+      MetricsRegistry::Global().GetLatencyHisto("test.lat.mt");
+  histo->Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histo, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histo->Record(static_cast<int64_t>(t) * 100 + i % 100);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::LatencyHisto::Snapshot snap = histo->Snap();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.buckets) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+  histo->Reset();
+}
+
+// ---- Histogram edge cases -------------------------------------------------
+
+TEST(Histogram, ZeroGetsItsOwnBucket) {
+  obs::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.obs.zero");
+  hist->Reset();
+  hist->Observe(0.0);
+  hist->Observe(0.0);
+  hist->Observe(8.0);
+  obs::Histogram::Snapshot snap = hist->Snap();
+  EXPECT_EQ(snap.count, 3);
+  EXPECT_EQ(snap.buckets[0], 2);  // bucket 0 is exactly zero
+  EXPECT_EQ(snap.min, 0.0);
+  // The zero observations must not drag the median estimate negative or
+  // into a fractional bucket: p50 is the zero bucket's bound, exactly 0.
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  hist->Reset();
+}
+
+TEST(Histogram, NegativeObservationAborts) {
+  obs::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.obs.negative");
+  EXPECT_DEATH(hist->Observe(-1.0), "negative or NaN");
+}
+
+// ---- Registry histogram bridge --------------------------------------------
+
+TEST(Metrics, HistogramStatsBridgeThroughValue) {
+  obs::Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("test.obs.bridge");
+  hist->Reset();
+  for (int i = 1; i <= 10; ++i) hist->Observe(static_cast<double>(i));
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_TRUE(registry.Has("test.obs.bridge"));
+  EXPECT_TRUE(registry.Has("test.obs.bridge.count"));
+  EXPECT_EQ(registry.Value("test.obs.bridge.count"), 10.0);
+  EXPECT_EQ(registry.Value("test.obs.bridge.sum"), 55.0);
+  EXPECT_EQ(registry.Value("test.obs.bridge.mean"), 5.5);
+  EXPECT_EQ(registry.Value("test.obs.bridge.min"), 1.0);
+  EXPECT_EQ(registry.Value("test.obs.bridge.max"), 10.0);
+  EXPECT_GT(registry.Value("test.obs.bridge.p99"), 0.0);
+  hist->Reset();
+}
+
+TEST(Metrics, LatencyHistoStatsBridgeThroughValue) {
+  obs::LatencyHisto* histo =
+      MetricsRegistry::Global().GetLatencyHisto("test.lat.bridge");
+  histo->Reset();
+  for (int64_t us = 1; us <= 100; ++us) histo->Record(us);
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  EXPECT_TRUE(registry.Has("test.lat.bridge.p99"));
+  EXPECT_EQ(registry.Value("test.lat.bridge.count"), 100.0);
+  EXPECT_EQ(registry.Value("test.lat.bridge.p50"), 51.0);
+  EXPECT_EQ(registry.Value("test.lat.bridge.p999"), 100.0);
+  histo->Reset();
+}
+
+TEST(Metrics, PrometheusTextCoversAllKinds) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.obs.prom.counter")->Add(2);
+  registry.GetGauge("test.obs.prom.gauge")->Set(0.5);
+  obs::LatencyHisto* histo = registry.GetLatencyHisto("test.lat.prom");
+  histo->Reset();
+  histo->Record(100);
+  std::string text = registry.ToPrometheusText();
+  EXPECT_NE(text.find("test_obs_prom_counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_obs_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_obs_prom_gauge 0.5"), std::string::npos);
+  EXPECT_NE(text.find("test_lat_prom_us{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_lat_prom_us_count 1"), std::string::npos);
+  histo->Reset();
+}
+
+// ---- SLO tracker ----------------------------------------------------------
+
+TEST(Slo, ParsesFullGrammar) {
+  auto parsed = obs::ParseSloSpec("embed:p99<2ms,err<0.1%;knn:p50<500us");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<obs::SloObjective>& objectives = *parsed;
+  ASSERT_EQ(objectives.size(), 3u);
+  EXPECT_EQ(objectives[0].klass, "embed");
+  EXPECT_EQ(objectives[0].metric, obs::SloMetric::kP99);
+  EXPECT_EQ(objectives[0].threshold, 2000.0);  // 2ms in us
+  EXPECT_EQ(objectives[1].metric, obs::SloMetric::kErr);
+  EXPECT_NEAR(objectives[1].threshold, 0.001, 1e-12);
+  EXPECT_EQ(objectives[2].klass, "knn");
+  EXPECT_EQ(objectives[2].threshold, 500.0);
+}
+
+TEST(Slo, RejectsMalformedSpecs) {
+  EXPECT_FALSE(obs::ParseSloSpec("embed").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("embed:p98<1ms").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("embed:p99<").ok());
+  EXPECT_FALSE(obs::ParseSloSpec("embed:p99<abc").ok());
+  EXPECT_FALSE(obs::ParseSloSpec(":p99<1ms").ok());
+}
+
+TEST(Slo, BreachFlipsOnAndOffWithTheWindow) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  obs::LatencyHisto* latency = registry.GetLatencyHisto("test.slo.lat");
+  obs::Counter* requests = registry.GetCounter("test.slo.req");
+  obs::Counter* errors = registry.GetCounter("test.slo.err");
+  latency->Reset();
+  requests->Reset();
+  errors->Reset();
+
+  auto objectives = obs::ParseSloSpec("probe:p99<1ms,err<10%");
+  ASSERT_TRUE(objectives.ok());
+  obs::SloTracker tracker(std::move(objectives).ValueOrDie(), /*window=*/2);
+  tracker.Bind("probe", latency, requests, errors);
+
+  tracker.Evaluate();  // baseline sample
+  EXPECT_EQ(tracker.breached(), 0);
+
+  // A burst of slow, failing traffic inside the window must breach both.
+  for (int i = 0; i < 100; ++i) {
+    latency->Record(5000);  // 5ms >> 1ms
+    requests->Add(1);
+  }
+  errors->Add(50);  // 50% error rate
+  tracker.Evaluate();
+  EXPECT_EQ(tracker.breached(), 2);
+  EXPECT_GT(registry.Value("slo.probe.p99"), 1000.0);
+  EXPECT_EQ(registry.Value("slo.probe.p99.breach"), 1.0);
+  EXPECT_EQ(registry.Value("slo.breached"), 2.0);
+
+  // Quiet ticks age the burst out of the 2-sample window: breach clears.
+  tracker.Evaluate();
+  tracker.Evaluate();
+  EXPECT_EQ(tracker.breached(), 0);
+  EXPECT_EQ(registry.Value("slo.probe.p99.breach"), 0.0);
+
+  obs::Json state = tracker.StateJson();
+  ASSERT_EQ(state.size(), 2);
+  EXPECT_EQ(state.at(0).Find("class")->AsString(), "probe");
+  EXPECT_FALSE(state.at(0).Find("breach")->AsBool());
+}
+
+// ---- Flight recorder ------------------------------------------------------
+
+TEST(Flight, RecordsDumpAndDecodeRoundTrip) {
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  obs::FlightRecorder::Options options;
+  options.dir = ::testing::TempDir();
+  options.capacity = 8;
+  // No handlers: gtest's own death-test machinery must keep its signals.
+  options.install_signal_handlers = false;
+  ASSERT_TRUE(flight.Init(options).ok());
+  EXPECT_TRUE(flight.initialized());
+
+  // 12 events through a capacity-8 ring: the first 5 (init mark + 4) are
+  // overwritten, the dump holds exactly the last 8 in sequence order.
+  for (int i = 0; i < 11; ++i) {
+    flight.Record(obs::FlightRecorder::kRequest, "unit", i, 100 + i);
+  }
+  EXPECT_EQ(flight.events_recorded(), 12u);  // init mark + 11
+
+  std::string dump_path = TestPath("flight_dump.json");
+  ASSERT_TRUE(flight.DumpJson(dump_path).ok());
+  std::ifstream in(dump_path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(text, &parsed)) << text;
+  EXPECT_EQ(parsed.Find("record")->AsString(), "flight");
+  EXPECT_EQ(parsed.Find("capacity")->AsInt(), 8);
+  EXPECT_EQ(parsed.Find("events_recorded")->AsInt(), 12);
+  const Json* events = parsed.Find("events");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_EQ(events->size(), 8);
+  for (int64_t i = 0; i < events->size(); ++i) {
+    const Json& event = events->at(i);
+    EXPECT_EQ(event.Find("seq")->AsInt(), 4 + i);  // oldest surviving seq
+    EXPECT_EQ(event.Find("name")->AsString(), "unit");
+    EXPECT_EQ(event.Find("kind")->AsInt(), obs::FlightRecorder::kRequest);
+  }
+  std::remove(dump_path.c_str());
+
+  // The mapped ring file exists and starts with the magic.
+  std::ifstream bin(flight.bin_path(), std::ios::binary);
+  char magic[8] = {};
+  bin.read(magic, 8);
+  EXPECT_EQ(std::string(magic, 8), "EDSRFLT1");
+}
+
+TEST(Flight, RecordBeforeInitIsANoop) {
+  // A fresh recorder (not the global, which other tests may have inited).
+  // Record on the global before/without init must never crash; observable
+  // behavior is covered by the round-trip test above.
+  obs::FlightRecorder::Global().Record(obs::FlightRecorder::kMark, "noop");
+  SUCCEED();
+}
+
+// ---- MetricsExporter ------------------------------------------------------
+
+TEST(Exporter, WritesMonotoneSeqWithPerfLast) {
+  std::string path = TestPath("exporter_ts.jsonl");
+  std::remove(path.c_str());
+  obs::MetricsExporterOptions options;
+  options.path = path;
+  options.interval_ms = 100000;  // never ticks on its own in this test
+  obs::MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  exporter.TickNow();
+  exporter.TickNow();
+  exporter.Stop();  // writes one final line
+  EXPECT_EQ(exporter.lines_written(), 3);
+
+  std::ifstream in(path);
+  std::string line;
+  int64_t expected_seq = 0;
+  while (std::getline(in, line)) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(line, &parsed)) << line;
+    EXPECT_EQ(parsed.Find("record")->AsString(), "serve_timeseries");
+    EXPECT_EQ(parsed.Find("seq")->AsInt(), expected_seq);
+    // Determinism contract: perf is the LAST key on the line.
+    EXPECT_EQ(parsed.member(parsed.size() - 1).first, "perf");
+    const Json* perf = parsed.Find("perf");
+    ASSERT_TRUE(perf != nullptr);
+    EXPECT_TRUE(perf->Has("ts_ms"));
+    EXPECT_TRUE(perf->Has("uptime_ms"));
+    EXPECT_TRUE(perf->Has("metrics"));
+    ++expected_seq;
+  }
+  EXPECT_EQ(expected_seq, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, UnopenablePathFailsStartCleanly) {
+  obs::MetricsExporterOptions options;
+  options.path = "/nonexistent_dir_obs_test/ts.jsonl";
+  obs::MetricsExporter exporter(options);
+  EXPECT_FALSE(exporter.Start().ok());
+  exporter.Stop();  // must be safe after a failed start
 }
 
 }  // namespace

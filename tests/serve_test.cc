@@ -18,6 +18,7 @@
 #include "src/core/edsr.h"
 #include "src/data/synthetic.h"
 #include "src/obs/metrics.h"
+#include "src/obs/slo.h"
 #include "src/serve/cache.h"
 #include "src/serve/protocol.h"
 #include "src/serve/snapshot.h"
@@ -561,6 +562,204 @@ TEST(ServeCheckpoint, MissingFileIsCleanError) {
   ServeHandle handle(TinyServeOptions());
   util::Status status = handle.LoadAndSwap(TestDir("does_not_exist.ckpt"));
   EXPECT_FALSE(status.ok());
+}
+
+// ---- Live ops plane ------------------------------------------------------
+
+// A loopback server with a two-class bank: the fixture for every ops test.
+struct OpsServer {
+  OpsServer() : handle(TinyServeOptions()), server(&handle) {
+    std::vector<float> bank;
+    std::vector<int64_t> labels = {0, 1};
+    bank.insert(bank.end(), 12, -1.0f);
+    bank.insert(bank.end(), 12, 1.0f);
+    handle.InstallSnapshot(TinyEncoder(7), bank, labels, "ops-test");
+    EDSR_CHECK(server.Start(0).ok());
+  }
+  ~OpsServer() { server.Stop(); }
+
+  ServeHandle handle;
+  TcpServer server;
+};
+
+TEST(ServeOps, MetricsRequestReturnsRegistrySnapshot) {
+  OpsServer ops;
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(ops.server.port()).ok());
+  const int kRequests = 5;
+  for (int r = 0; r < kRequests; ++r) {
+    ASSERT_TRUE(client.Embed(TestInput(r, 12)).status.ok());
+  }
+
+  util::Result<std::string> body = client.Metrics(serve::MetricsMode::kJson);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  obs::Json parsed;
+  ASSERT_TRUE(obs::Json::Parse(*body, &parsed)) << *body;
+  const obs::Json* metrics = parsed.Find("metrics");
+  ASSERT_TRUE(metrics != nullptr);
+  const obs::Json* latency = metrics->Find("latency");
+  ASSERT_TRUE(latency != nullptr);
+  const obs::Json* embed = latency->Find("serve.lat.embed");
+  ASSERT_TRUE(embed != nullptr) << *body;
+  // The registry is process-global, so earlier tests may have contributed.
+  EXPECT_GE(embed->Find("count")->AsInt(), kRequests);
+  EXPECT_GT(embed->Find("p99_us")->AsInt(), 0);
+  // No SLO tracker attached: the slo field is present but empty.
+  const obs::Json* slo = parsed.Find("slo");
+  ASSERT_TRUE(slo != nullptr && slo->is_array());
+  EXPECT_EQ(slo->size(), 0);
+}
+
+TEST(ServeOps, MetricsRequestPrometheusTextMode) {
+  OpsServer ops;
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(ops.server.port()).ok());
+  ASSERT_TRUE(client.Embed(TestInput(1, 12)).status.ok());
+
+  util::Result<std::string> body =
+      client.Metrics(serve::MetricsMode::kPrometheusText);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  EXPECT_NE((*body).find("serve_lat_embed_us{quantile=\"0.99\"}"),
+            std::string::npos)
+      << *body;
+  EXPECT_NE((*body).find("serve_req_embed"), std::string::npos);
+  EXPECT_NE((*body).find("# TYPE"), std::string::npos);
+}
+
+TEST(ServeOps, StatusRequestDescribesTheServer) {
+  OpsServer ops;
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(ops.server.port()).ok());
+  ASSERT_TRUE(client.Embed(TestInput(2, 12)).status.ok());
+
+  util::Result<std::string> body = client.Status();
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  obs::Json parsed;
+  ASSERT_TRUE(obs::Json::Parse(*body, &parsed)) << *body;
+  EXPECT_EQ(parsed.Find("snapshot")->Find("source")->AsString(), "ops-test");
+  EXPECT_GE(parsed.Find("uptime_ms")->AsInt(), 0);
+  // rid 1 was the embed, rid 2 is this status request itself.
+  EXPECT_GE(parsed.Find("last_rid")->AsInt(), 2);
+  EXPECT_EQ(parsed.Find("connections_accepted")->AsInt(), 1);
+  ASSERT_TRUE(parsed.Has("queue"));
+  EXPECT_GE(parsed.Find("queue")->Find("max_batch")->AsInt(), 1);
+  ASSERT_TRUE(parsed.Has("cache"));
+  ASSERT_TRUE(parsed.Has("dispatch"));
+  EXPECT_GE(parsed.Find("dispatch")->Find("threads")->AsInt(), 1);
+  EXPECT_EQ(parsed.Find("slo_breached")->AsInt(), 0);
+}
+
+TEST(ServeOps, StageHistogramsCoverThePipeline) {
+  OpsServer ops;
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(ops.server.port()).ok());
+  ASSERT_TRUE(client.Embed(TestInput(3, 12)).status.ok());
+  // RecordTrace runs after the reply frame is written, so a lone Embed can
+  // race this thread's registry read. The connection thread is sequential:
+  // once this follow-up request is answered, the embed's trace is recorded.
+  ASSERT_TRUE(client.Status().ok());
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const char* stage : {"accept", "queue", "forward", "reply"}) {
+    std::string name = std::string("serve.stage.") + stage;
+    ASSERT_TRUE(registry.Has(name)) << name;
+    EXPECT_GE(registry.Value(name + ".count"), 1.0) << name;
+  }
+}
+
+TEST(ServeOps, SloBreachSurfacesThroughMetricsRequest) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  auto objectives = obs::ParseSloSpec("embed:p99<1us");
+  ASSERT_TRUE(objectives.ok());
+  obs::SloTracker tracker(std::move(objectives).ValueOrDie(), /*window=*/4);
+  tracker.Bind("embed", registry.GetLatencyHisto("serve.lat.embed"),
+               registry.GetCounter("serve.req.embed"),
+               registry.GetCounter("serve.err.embed"));
+
+  OpsServer ops;
+  ops.server.SetSloTracker(&tracker);
+  ServeClient client;
+  ASSERT_TRUE(client.Connect(ops.server.port()).ok());
+
+  // Baseline evaluation (kMetrics evaluates the tracker server-side), then
+  // traffic that cannot possibly meet a 1us p99, then a second evaluation.
+  ASSERT_TRUE(client.Metrics(serve::MetricsMode::kJson).ok());
+  for (int r = 0; r < 8; ++r) {
+    ASSERT_TRUE(client.Embed(TestInput(r, 12)).status.ok());
+  }
+  util::Result<std::string> body = client.Metrics(serve::MetricsMode::kJson);
+  ASSERT_TRUE(body.ok());
+  obs::Json parsed;
+  ASSERT_TRUE(obs::Json::Parse(*body, &parsed)) << *body;
+  const obs::Json* slo = parsed.Find("slo");
+  ASSERT_TRUE(slo != nullptr && slo->is_array());
+  ASSERT_EQ(slo->size(), 1);
+  EXPECT_EQ(slo->at(0).Find("class")->AsString(), "embed");
+  EXPECT_TRUE(slo->at(0).Find("breach")->AsBool()) << *body;
+  EXPECT_EQ(registry.Value("slo.embed.p99.breach"), 1.0);
+  EXPECT_EQ(tracker.breached(), 1);
+
+  // kStatus reports the breach too.
+  util::Result<std::string> status_body = client.Status();
+  ASSERT_TRUE(status_body.ok());
+  obs::Json status_parsed;
+  ASSERT_TRUE(obs::Json::Parse(*status_body, &status_parsed));
+  EXPECT_EQ(status_parsed.Find("slo_breached")->AsInt(), 1);
+
+  // Detach before the tracker goes out of scope.
+  ops.server.SetSloTracker(nullptr);
+}
+
+TEST(ServeOps, ConcurrentMetricsWhileEmbeddingNeverTears) {
+  OpsServer ops;
+  const int64_t rid_before = ops.server.last_rid();
+
+  constexpr int kThreads = 4;
+  constexpr int kRoundsPerThread = 12;
+  // Per frame: one embed + one metrics + one status = 3 rids.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ServeClient client;
+      if (!client.Connect(ops.server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRoundsPerThread; ++r) {
+        if (!client.Embed(TestInput(t * 100 + r, 12)).status.ok()) {
+          failures.fetch_add(1);
+        }
+        serve::MetricsMode mode = (r % 2 == 0)
+                                      ? serve::MetricsMode::kJson
+                                      : serve::MetricsMode::kPrometheusText;
+        util::Result<std::string> metrics = client.Metrics(mode);
+        if (!metrics.ok()) {
+          failures.fetch_add(1);
+        } else if (mode == serve::MetricsMode::kJson) {
+          // Torn/interleaved writes would break the JSON framing.
+          obs::Json parsed;
+          if (!obs::Json::Parse(*metrics, &parsed)) failures.fetch_add(1);
+        } else if ((*metrics).find("serve_lat_embed_us") ==
+                   std::string::npos) {
+          failures.fetch_add(1);
+        }
+        util::Result<std::string> status = client.Status();
+        obs::Json status_parsed;
+        if (!status.ok() || !obs::Json::Parse(*status, &status_parsed)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every frame got a unique, monotone rid: the final last_rid advanced by
+  // exactly the number of requests issued across all connections.
+  EXPECT_EQ(ops.server.last_rid() - rid_before,
+            kThreads * kRoundsPerThread * 3);
+  EXPECT_EQ(ops.server.connections_accepted(), kThreads);
 }
 
 }  // namespace
