@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# kill -9 torture for the learn-serve daemon: land SIGKILL during ingest,
+# mid-training-cycle, and at the checkpoint/swap boundary, restarting after
+# each, and require the final state to be BIT-IDENTICAL to an uninterrupted
+# run over the same stream — same daemon.ckpt bytes, same ingest.journal
+# bytes, same perf-stripped daemon.jsonl records.
+#
+# The feed resumes across kills via the daemon.last_seq gauge: whatever the
+# journal holds is what was consumed, so the client skips exactly that many
+# stream samples and continues. Acks lost in flight (killed between journal
+# append and reply) are therefore harmless, as the contract requires.
+#
+# usage: scripts/daemon_torture.sh [path/to/learn_serve_daemon]
+set -euo pipefail
+
+BIN="${1:-build/examples/learn_serve_daemon}"
+cd "$(dirname "$0")/.."
+test -x "${BIN}" || { echo "missing ${BIN} (build first)" >&2; exit 2; }
+
+WORK="$(mktemp -d)"
+DPID=""
+trap '[ -n "${DPID}" ] && kill -9 "${DPID}" 2>/dev/null; rm -rf "${WORK}"' EXIT
+
+STREAM="SynthCifar10|imbalance:alpha=1.2|label_noise:p=0.1"
+SEED=7
+TRIGGER="count:n=32"
+MICRO=8
+TOTAL=96   # exactly 3 cycles of 32
+CYCLES=3
+
+start_daemon() {  # start_daemon <dir> <out> [extra flags...]
+  local dir="$1" out="$2"
+  shift 2
+  "${BIN}" --dir "${dir}" --trigger "${TRIGGER}" --micro_batch "${MICRO}" \
+      --seed "${SEED}" "$@" > "${out}" 2>/dev/null &
+  DWAIT=$!
+  for _ in $(seq 1 100); do
+    grep -q "^PID " "${out}" 2>/dev/null && break
+    sleep 0.1
+  done
+  PORT="$(awk '/^PORT /{print $2}' "${out}")"
+  DPID="$(awk '/^PID /{print $2}' "${out}")"
+  test -n "${PORT}" || { echo "daemon did not start (${out})" >&2; exit 1; }
+}
+
+kill_daemon() {
+  kill -9 "${DPID}" 2>/dev/null
+  wait "${DWAIT}" 2>/dev/null || true
+  DPID=""
+}
+
+journaled() {  # journaled <port> -> last journaled seq, via daemon.last_seq
+  "${BIN}" --connect "$1" --last_seq | awk '{print $2}'
+}
+
+feed_rest() {  # feed_rest <port>: resume the stream feed up to TOTAL
+  local acked
+  acked="$(journaled "$1")"
+  echo "  journal holds seq ${acked}/${TOTAL}"
+  if [ "${acked}" -lt "${TOTAL}" ]; then
+    "${BIN}" --connect "$1" --stream "${STREAM}" --seed "${SEED}" \
+        --skip "${acked}" --ingest "$((TOTAL - acked))" >/dev/null
+  fi
+}
+
+echo "== straight run (reference) =="
+start_daemon "${WORK}/straight" "${WORK}/straight.out" --no_fsync
+"${BIN}" --connect "${PORT}" --stream "${STREAM}" --seed "${SEED}" \
+    --ingest "${TOTAL}" | grep -q "^INGEST_OK ${TOTAL} 0 ${TOTAL}$"
+"${BIN}" --connect "${PORT}" --wait_cycles "${CYCLES}" \
+    --timeout_ms 60000 >/dev/null
+kill_daemon
+
+echo "== kill 1: during ingest (fsync on, feed in flight) =="
+start_daemon "${WORK}/torture" "${WORK}/t1.out"
+"${BIN}" --connect "${PORT}" --stream "${STREAM}" --seed "${SEED}" \
+    --ingest "${TOTAL}" > "${WORK}/feed1.out" 2>/dev/null &
+FEED=$!
+sleep 0.05
+kill_daemon
+wait "${FEED}" 2>/dev/null || true   # transport errors expected, not fatal
+
+echo "== kill 2: mid-training-cycle (train_hold widens the window) =="
+start_daemon "${WORK}/torture" "${WORK}/t2.out" --no_fsync --train_hold_ms 200
+feed_rest "${PORT}"
+sleep 0.5   # a held micro-batch step is running now
+kill_daemon
+
+echo "== kill 3: at the checkpoint/swap boundary =="
+start_daemon "${WORK}/torture" "${WORK}/t3.out" --no_fsync
+feed_rest "${PORT}"
+"${BIN}" --connect "${PORT}" --wait_cycles 2 --timeout_ms 60000 >/dev/null
+kill_daemon   # lands right after a cycle checkpointed + swapped
+
+echo "== final restart: converge to ${CYCLES} cycles =="
+start_daemon "${WORK}/torture" "${WORK}/t4.out" --no_fsync
+feed_rest "${PORT}"
+"${BIN}" --connect "${PORT}" --wait_cycles "${CYCLES}" \
+    --timeout_ms 60000 >/dev/null
+kill_daemon
+
+echo "== assertions: torture state == straight state =="
+cmp "${WORK}/straight/daemon.ckpt" "${WORK}/torture/daemon.ckpt"
+cmp "${WORK}/straight/ingest.journal" "${WORK}/torture/ingest.journal"
+diff <(sed 's/,"perf".*//' "${WORK}/straight/daemon.jsonl") \
+     <(sed 's/,"perf".*//' "${WORK}/torture/daemon.jsonl")
+echo "daemon_torture: bit-identical after 3 kills"

@@ -11,9 +11,13 @@ standalone kinds "selection" (selection_demo: one record per selector),
 "serve" (serve_embeddings: one record per serving session), "stream"
 (stream_continual: one record per boundary-free consolidation cycle, with
 monotonic cycle indices per (strategy, stream, trigger) cell, a non-empty
-trigger cause, and ID/OOD accuracies in [0, 1]), and "serve_timeseries"
-(the MetricsExporter tick stream: seq strictly increasing from 0, with the
-machine-dependent payload under a closing "perf" object). The validator
+trigger cause, and ID/OOD accuracies in [0, 1]), "daemon"
+(learn_serve_daemon: one record per completed online cycle, with monotonic
+cycle indices per (strategy, preset, trigger) cell, accumulating consumed
+totals, and the journal consumed count agreeing with total_samples), and
+"serve_timeseries" (the MetricsExporter tick stream: seq strictly
+increasing from 0, with the machine-dependent payload under a closing
+"perf" object). The validator
 checks the schema of every record, the sequencing (a "run" header opens each
 run; its declared increment and epoch counts match what follows), the paper
 quantities (loss_components carries L_css everywhere and L_rpl for EDSR
@@ -294,6 +298,61 @@ def validate_stream(rec, raw_line, line_no, stream_cells):
             "stream record does not end with the perf object")
 
 
+def validate_daemon(rec, raw_line, line_no, daemon_cells):
+    """A learn_serve_daemon record: one completed online cycle. Mirrors the
+    stream record (same trigger machinery drives both), with the ingest
+    journal's consumed count in place of the eval accuracies: the daemon
+    never sees ground truth, so there is no ID/OOD probe. `daemon_cells`
+    maps (strategy, preset, trigger) -> (next cycle, last total), keeping
+    per-cell cycle indices monotonic and totals accumulating — a rewritten
+    (crash-recovered) JSONL must replay the identical sequence."""
+    require_keys(rec, ["strategy", "preset", "trigger", "cycle", "cause",
+                       "samples", "micro_batches", "total_samples", "loss",
+                       "drift", "buffer", "journal", "perf"], line_no)
+    for key in ("strategy", "preset", "trigger", "cause"):
+        require(isinstance(rec[key], str) and rec[key], line_no,
+                f"{key} is not a non-empty string")
+    cell = (rec["strategy"], rec["preset"], rec["trigger"])
+    expected_cycle, last_total = daemon_cells.get(cell, (0, 0))
+    require(rec["cycle"] == expected_cycle, line_no,
+            f"daemon cycle {rec['cycle']} out of order for cell {cell} "
+            f"(expected {expected_cycle})")
+    for key in ("samples", "micro_batches"):
+        require(is_num(rec[key]) and rec[key] > 0, line_no,
+                f"{key} is not a positive number")
+    require(is_num(rec["total_samples"]) and
+            rec["total_samples"] == last_total + rec["samples"], line_no,
+            f"total_samples {rec['total_samples']} does not accumulate "
+            f"(previous {last_total} + samples {rec['samples']})")
+    daemon_cells[cell] = (expected_cycle + 1, rec["total_samples"])
+    require(is_num(rec["loss"]), line_no, "loss is not a number")
+    require(is_num(rec["drift"]), line_no, "drift is not a number")
+    buffer = rec["buffer"]
+    require(isinstance(buffer, dict), line_no, "buffer is not an object")
+    require_keys(buffer, ["size", "entropy"], line_no)
+    require(is_num(buffer["size"]) and buffer["size"] >= 0, line_no,
+            "buffer size is not a non-negative number")
+    require(is_num(buffer["entropy"]) and buffer["entropy"] >= 0.0, line_no,
+            "buffer composition entropy is negative")
+    journal = rec["journal"]
+    require(isinstance(journal, dict), line_no, "journal is not an object")
+    require("consumed" in journal, line_no, "journal missing consumed count")
+    require(journal["consumed"] == rec["total_samples"], line_no,
+            f"journal consumed {journal['consumed']} disagrees with "
+            f"total_samples {rec['total_samples']} (acked samples leaked "
+            f"past a cycle boundary)")
+    perf = rec["perf"]
+    require(isinstance(perf, dict), line_no, "perf is not an object")
+    require_keys(perf, ["train_seconds", "cycle_seconds"], line_no)
+    # Same determinism contract as increment/serve/stream records: perf is
+    # the only machine-dependent sub-object (snapshot ids restart per
+    # process) and must close the record.
+    require(list(rec.keys())[-1] == "perf", line_no,
+            "perf must be the last key of a daemon record")
+    require(raw_line.rstrip().endswith("}}"), line_no,
+            "daemon record does not end with the perf object")
+
+
 def validate_serve_timeseries(rec, raw_line, line_no, ts_state):
     """A MetricsExporter tick: the only deterministic field is seq, which
     must count up from 0; everything machine-dependent closes the record
@@ -374,8 +433,9 @@ def validate_flight(path):
 def validate_run_records(path):
     runs = []
     standalone = {"selection": 0, "selection_matrix": 0, "serve": 0,
-                  "stream": 0, "serve_timeseries": 0}
+                  "stream": 0, "daemon": 0, "serve_timeseries": 0}
     stream_cells = {}
+    daemon_cells = {}
     ts_state = {}
     current = None
     line_no = 0
@@ -416,6 +476,9 @@ def validate_run_records(path):
             elif kind == "stream":
                 validate_stream(rec, raw, line_no, stream_cells)
                 standalone["stream"] += 1
+            elif kind == "daemon":
+                validate_daemon(rec, raw, line_no, daemon_cells)
+                standalone["daemon"] += 1
             elif kind == "serve_timeseries":
                 validate_serve_timeseries(rec, raw, line_no, ts_state)
                 standalone["serve_timeseries"] += 1

@@ -6,8 +6,8 @@
 # Opt-in perf gate: `scripts/verify.sh --bench` additionally re-runs the
 # micro-benchmarks from the Release build and fails if any benchmark
 # regressed more than 15% against the committed BENCH_micro_kernels.json /
-# BENCH_train_step.json / BENCH_serve.json / BENCH_selection.json baselines
-# (see scripts/bench_compare.py).
+# BENCH_train_step.json / BENCH_serve.json / BENCH_selection.json /
+# BENCH_daemon.json baselines (see scripts/bench_compare.py).
 set -euo pipefail
 
 RUN_BENCH=0
@@ -153,6 +153,35 @@ diff "${TELEM_DIR}/stream_straight.stripped" \
     "${TELEM_DIR}/stream_resumed.stripped"
 python3 scripts/validate_telemetry.py "${TELEM_DIR}/stream_resumed.jsonl"
 
+echo "== daemon: test label + kill -9 torture =="
+ctest --test-dir build -L daemon --output-on-failure
+# Three SIGKILLs (mid-ingest, mid-training-cycle, at the checkpoint/swap
+# boundary), each followed by a restart; the final checkpoint, journal, and
+# perf-stripped telemetry must be byte-identical to an uninterrupted run.
+scripts/daemon_torture.sh build/examples/learn_serve_daemon
+# Telemetry: a short online session over TCP, then schema-validate the
+# per-cycle daemon records (monotonic cycles, accumulating totals,
+# journal/total agreement, perf last).
+DAEMON_DIR="${TELEM_DIR}/daemon"
+./build/examples/learn_serve_daemon --dir "${DAEMON_DIR}" \
+    --trigger "count:n=32" --micro_batch 8 --no_fsync \
+    > "${TELEM_DIR}/daemon.out" &
+DAEMON_WRAPPER=$!
+for _ in $(seq 1 100); do
+  grep -q "^PID " "${TELEM_DIR}/daemon.out" 2>/dev/null && break
+  sleep 0.1
+done
+DAEMON_PORT="$(awk '/^PORT /{print $2}' "${TELEM_DIR}/daemon.out")"
+DAEMON_PID="$(awk '/^PID /{print $2}' "${TELEM_DIR}/daemon.out")"
+./build/examples/learn_serve_daemon --connect "${DAEMON_PORT}" \
+    --stream "SynthCifar10|label_noise:p=0.1" --seed 7 --ingest 64 \
+    | grep -q "^INGEST_OK 64 0 64$"
+./build/examples/learn_serve_daemon --connect "${DAEMON_PORT}" \
+    --wait_cycles 2 --timeout_ms 60000 >/dev/null
+kill -9 "${DAEMON_PID}"
+wait "${DAEMON_WRAPPER}" 2>/dev/null || true
+python3 scripts/validate_telemetry.py "${DAEMON_DIR}/daemon.jsonl"
+
 echo "== tier 2: sanitize preset (ASan/UBSan) =="
 cmake --preset sanitize
 cmake --build --preset sanitize -j "${JOBS}"
@@ -277,6 +306,16 @@ EOF
       --benchmark_out="${TMP_DIR}/selection.json" >/dev/null
   python3 scripts/bench_compare.py BENCH_selection.json \
       "${TMP_DIR}/selection.json" --threshold 0.3
+  # Daemon gate: ingest-to-ack latency (page-cache and fdatasync arms) and
+  # the hot-swap serve pause against BENCH_daemon.json. 30% threshold: the
+  # fsync arm is at the mercy of the host's storage stack, and the swap arm
+  # measures a full checkpoint load racing a probe thread.
+  ./build/bench/bench_micro_daemon \
+      --benchmark_repetitions=3 \
+      --benchmark_out_format=json \
+      --benchmark_out="${TMP_DIR}/daemon.json" >/dev/null 2>&1
+  python3 scripts/bench_compare.py BENCH_daemon.json \
+      "${TMP_DIR}/daemon.json" --threshold 0.3
 fi
 
 echo "verify.sh: all suites green"

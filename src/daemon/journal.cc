@@ -1,0 +1,158 @@
+#include "src/daemon/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/io/crc32.h"
+#include "src/io/serialize.h"
+#include "src/util/logging.h"
+
+namespace edsr::daemon {
+
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x4C4E4A45;  // "EJNL"
+constexpr size_t kRecordHeaderSize = sizeof(uint32_t) * 3;
+
+util::Status Errno(const std::string& what) {
+  return util::Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+IngestJournal::~IngestJournal() { Close(); }
+
+void IngestJournal::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status IngestJournal::Open(const std::string& path, bool fsync_each,
+                                 std::vector<JournalRecord>* replayed) {
+  if (fd_ >= 0) return util::Status::Internal("journal already open");
+  path_ = path;
+  fsync_each_ = fsync_each;
+  last_seq_ = 0;
+
+  // Scan pass: read the whole file, replay intact records, find the offset
+  // where the clean prefix ends.
+  std::vector<uint8_t> bytes;
+  {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      uint8_t chunk[1 << 16];
+      while (true) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          util::Status status = Errno("read " + path);
+          ::close(fd);
+          return status;
+        }
+        if (n == 0) break;
+        bytes.insert(bytes.end(), chunk, chunk + n);
+      }
+      ::close(fd);
+    } else if (errno != ENOENT) {
+      return Errno("open " + path);
+    }
+  }
+
+  size_t good_end = 0;
+  size_t offset = 0;
+  while (bytes.size() - offset >= kRecordHeaderSize) {
+    uint32_t magic = 0;
+    uint32_t size = 0;
+    uint32_t crc = 0;
+    std::memcpy(&magic, bytes.data() + offset, sizeof(magic));
+    std::memcpy(&size, bytes.data() + offset + 4, sizeof(size));
+    std::memcpy(&crc, bytes.data() + offset + 8, sizeof(crc));
+    if (magic != kJournalMagic) break;
+    if (size > bytes.size() - offset - kRecordHeaderSize) break;  // torn tail
+    const uint8_t* payload = bytes.data() + offset + kRecordHeaderSize;
+    if (io::Crc32(payload, size) != crc) break;
+
+    std::vector<uint8_t> payload_bytes(payload, payload + size);
+    io::BufferReader in(payload_bytes);
+    JournalRecord record;
+    util::Status parsed = [&] {
+      EDSR_RETURN_NOT_OK(in.ReadU64(&record.seq));
+      EDSR_RETURN_NOT_OK(in.ReadI64(&record.label));
+      EDSR_RETURN_NOT_OK(in.ReadFloats(&record.features));
+      return in.ExpectEnd();
+    }();
+    if (!parsed.ok()) break;  // CRC passed but layout didn't — treat as tail
+    if (record.seq != last_seq_ + 1) {
+      return util::Status::IoError(
+          path + ": journal seq " + std::to_string(record.seq) +
+          " follows " + std::to_string(last_seq_) + " (gap = corruption)");
+    }
+    last_seq_ = record.seq;
+    if (replayed != nullptr) replayed->push_back(std::move(record));
+    offset += kRecordHeaderSize + size;
+    good_end = offset;
+  }
+  if (good_end < bytes.size()) {
+    EDSR_LOG(Warning) << "journal " << path << ": truncating torn tail ("
+                      << bytes.size() - good_end << " bytes after record "
+                      << last_seq_ << ")";
+  }
+
+  // Append pass: reopen for writing, dropping the torn tail so the next
+  // Append extends a clean log.
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+  if (fd_ < 0) return Errno("open " + path + " for append");
+  if (::ftruncate(fd_, static_cast<off_t>(good_end)) != 0) {
+    util::Status status = Errno("truncate " + path);
+    Close();
+    return status;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) {
+    util::Status status = Errno("seek " + path);
+    Close();
+    return status;
+  }
+  return util::Status::OK();
+}
+
+util::Status IngestJournal::Append(const JournalRecord& record) {
+  if (fd_ < 0) return util::Status::Internal("journal not open");
+  if (record.seq != last_seq_ + 1) {
+    return util::Status::Internal(
+        "journal append seq " + std::to_string(record.seq) +
+        " does not follow " + std::to_string(last_seq_));
+  }
+  io::BufferWriter payload;
+  payload.WriteU64(record.seq);
+  payload.WriteI64(record.label);
+  payload.WriteFloats(record.features);
+
+  io::BufferWriter frame;
+  frame.WriteU32(kJournalMagic);
+  frame.WriteU32(static_cast<uint32_t>(payload.bytes().size()));
+  frame.WriteU32(io::Crc32(payload.bytes().data(), payload.bytes().size()));
+  frame.WriteBytes(payload.bytes().data(), payload.bytes().size());
+
+  const std::vector<uint8_t>& bytes = frame.bytes();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("append " + path_);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_each_ && ::fdatasync(fd_) != 0) {
+    return Errno("fdatasync " + path_);
+  }
+  last_seq_ = record.seq;
+  return util::Status::OK();
+}
+
+}  // namespace edsr::daemon

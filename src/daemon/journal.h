@@ -1,0 +1,80 @@
+// IngestJournal: the daemon's write-ahead log of accepted samples.
+//
+// Durability contract: a sample is acked to the client only after its
+// record is in the journal, and training cycles consume samples strictly
+// in journal order. A kill -9 at any point therefore loses nothing that
+// was acked: restart replays the journal, skips the prefix the last
+// cycle-boundary checkpoint already consumed, and re-enqueues the rest —
+// the stream the cycle thread sees is byte-for-byte the stream an
+// uninterrupted run would have seen.
+//
+// On-disk format, one record after another (host-endian fixed-width, like
+// the frame protocol and the checkpoint container):
+//
+//   offset 0   u32  record magic 0x4C4E4A45 ("EJNL")
+//   offset 4   u32  payload size
+//   offset 8   u32  crc32(payload)
+//   offset 12  payload:
+//                u64 seq (1-based, strictly consecutive)
+//                i64 observed label (-1 = unlabeled)
+//                floats features (u64 count + raw f32)
+//
+// Each Append is a single write(2) (records are never torn across calls on
+// a local filesystem) followed by an optional fdatasync. Open scans the
+// existing file; the first bad magic / bad CRC / truncated record is
+// treated as a torn tail — everything before it replays, the tail is
+// truncated away so subsequent appends extend a clean log. This mirrors
+// the checkpoint corruption contract: a crash mid-write surfaces as a
+// clean recovery, never an abort.
+#ifndef EDSR_SRC_DAEMON_JOURNAL_H_
+#define EDSR_SRC_DAEMON_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace edsr::daemon {
+
+struct JournalRecord {
+  uint64_t seq = 0;   // 1-based position in the journal
+  int64_t label = -1; // observed label (-1 = unlabeled)
+  std::vector<float> features;
+};
+
+class IngestJournal {
+ public:
+  IngestJournal() = default;
+  ~IngestJournal();
+  IngestJournal(const IngestJournal&) = delete;
+  IngestJournal& operator=(const IngestJournal&) = delete;
+
+  // Opens (creating if absent) `path`, replays every intact record into
+  // *replayed (appending, in order), truncates a torn tail, and leaves the
+  // journal positioned for Append. Records must carry consecutive seqs
+  // starting at 1; a gap is corruption (kIoError).
+  util::Status Open(const std::string& path, bool fsync_each,
+                    std::vector<JournalRecord>* replayed);
+
+  // Appends one record (single write + optional fdatasync). The caller owns
+  // seq assignment (last_seq() + 1).
+  util::Status Append(const JournalRecord& record);
+
+  void Close();
+  bool open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  // Highest seq present in the journal (0 when empty).
+  uint64_t last_seq() const { return last_seq_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_each_ = true;
+  uint64_t last_seq_ = 0;
+};
+
+}  // namespace edsr::daemon
+
+#endif  // EDSR_SRC_DAEMON_JOURNAL_H_

@@ -19,6 +19,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kStatsRequest:
     case MessageType::kMetricsRequest:
     case MessageType::kStatusRequest:
+    case MessageType::kIngestRequest:
       return true;
     default:
       return false;
@@ -33,6 +34,7 @@ bool IsResponseType(MessageType type) {
     case MessageType::kStatsResponse:
     case MessageType::kMetricsResponse:
     case MessageType::kStatusResponse:
+    case MessageType::kIngestResponse:
     case MessageType::kErrorResponse:
       return true;
     default:
@@ -98,6 +100,10 @@ std::vector<uint8_t> EncodeRequest(const Request& request) {
     case MessageType::kKnnLabelRequest:
       payload.WriteFloats(request.input);
       break;
+    case MessageType::kIngestRequest:
+      payload.WriteI64(request.label);
+      payload.WriteFloats(request.input);
+      break;
     case MessageType::kMetricsRequest:
       payload.WriteU8(static_cast<uint8_t>(request.metrics_mode));
       break;
@@ -132,6 +138,10 @@ std::vector<uint8_t> EncodeResponse(const Response& response) {
     case MessageType::kStatusResponse:
       payload.WriteString(response.stats_json);
       break;
+    case MessageType::kIngestResponse:
+      payload.WriteU64(response.ingest_seq);
+      payload.WriteI64(response.pending);
+      break;
     default:
       break;  // error responses carry just the status
   }
@@ -149,9 +159,13 @@ util::Status DecodeRequest(const std::vector<uint8_t>& payload, Request* out) {
   out->type = static_cast<MessageType>(type);
   EDSR_RETURN_NOT_OK(in.ReadU64(&out->request_id));
   out->input.clear();
+  out->label = -1;
   out->metrics_mode = MetricsMode::kJson;
   if (out->type == MessageType::kEmbedRequest ||
       out->type == MessageType::kKnnLabelRequest) {
+    EDSR_RETURN_NOT_OK(in.ReadFloats(&out->input));
+  } else if (out->type == MessageType::kIngestRequest) {
+    EDSR_RETURN_NOT_OK(in.ReadI64(&out->label));
     EDSR_RETURN_NOT_OK(in.ReadFloats(&out->input));
   } else if (out->type == MessageType::kMetricsRequest) {
     uint8_t mode = 0;
@@ -199,6 +213,10 @@ util::Status DecodeResponse(const std::vector<uint8_t>& payload,
     case MessageType::kMetricsResponse:
     case MessageType::kStatusResponse:
       EDSR_RETURN_NOT_OK(in.ReadString(&out->stats_json));
+      break;
+    case MessageType::kIngestResponse:
+      EDSR_RETURN_NOT_OK(in.ReadU64(&out->ingest_seq));
+      EDSR_RETURN_NOT_OK(in.ReadI64(&out->pending));
       break;
     default:
       break;

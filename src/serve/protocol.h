@@ -11,6 +11,8 @@
 //
 // Bodies:
 //   EmbedRequest / KnnLabelRequest : floats input (u64 count + raw f32)
+//   IngestRequest                  : i64 observed label (-1 = unlabeled) |
+//                                    floats input
 //   EmbedResponse                  : u8 status | string message |
 //                                    u64 snapshot id | floats representation
 //   KnnLabelResponse               : u8 status | string message |
@@ -24,6 +26,8 @@
 //   StatsResponse / MetricsResponse / StatusResponse
 //                                  : u8 status | string message |
 //                                    string body
+//   IngestResponse                 : u8 status | string message |
+//                                    u64 journal seq | i64 pending samples
 //   ErrorResponse                  : u8 status | string message
 //
 // Decoding is BufferReader all the way down: every length is validated
@@ -54,12 +58,14 @@ enum class MessageType : uint8_t {
   kStatsRequest = 4,
   kMetricsRequest = 5,
   kStatusRequest = 6,
+  kIngestRequest = 7,
   kEmbedResponse = 65,
   kKnnLabelResponse = 66,
   kHealthResponse = 67,
   kStatsResponse = 68,
   kMetricsResponse = 69,
   kStatusResponse = 70,
+  kIngestResponse = 71,
   kErrorResponse = 127,
 };
 
@@ -69,7 +75,8 @@ enum class MetricsMode : uint8_t { kJson = 0, kPrometheusText = 1 };
 struct Request {
   MessageType type = MessageType::kHealthRequest;
   uint64_t request_id = 0;
-  std::vector<float> input;  // kEmbedRequest / kKnnLabelRequest only
+  std::vector<float> input;  // kEmbedRequest / kKnnLabelRequest / kIngestRequest
+  int64_t label = -1;        // kIngestRequest only (-1 = unlabeled)
   MetricsMode metrics_mode = MetricsMode::kJson;  // kMetricsRequest only
 };
 
@@ -89,6 +96,10 @@ struct Response {
   // (JSON for stats/status and metrics-in-json mode; Prometheus text for
   // metrics-in-text mode).
   std::string stats_json;
+  // kIngestResponse: the write-ahead journal sequence assigned to the
+  // sample and how many journaled samples the next cycle has not consumed.
+  uint64_t ingest_seq = 0;
+  int64_t pending = 0;
 };
 
 // Stable Status <-> wire byte mapping (the in-memory enum order is not a

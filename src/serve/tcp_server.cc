@@ -193,7 +193,8 @@ void TcpServer::ServeLoop(int fd) {
     trace.t_accept_us = TraceNowUs();
     const bool traced = request.type == MessageType::kEmbedRequest ||
                         request.type == MessageType::kKnnLabelRequest ||
-                        request.type == MessageType::kHealthRequest;
+                        request.type == MessageType::kHealthRequest ||
+                        request.type == MessageType::kIngestRequest;
     if (traced) {
       obs::FlightRecorder::Global().Record(
           obs::FlightRecorder::kRequest, "accept",
@@ -270,6 +271,39 @@ Response TcpServer::Dispatch(const Request& request, TraceContext* trace) {
     case MessageType::kStatusRequest: {
       response.type = MessageType::kStatusResponse;
       response.stats_json = StatusJson().Dump();
+      break;
+    }
+    case MessageType::kIngestRequest: {
+      trace->klass = RequestClass::kIngest;
+      trace->cache_hit = true;  // never enters the batcher; total only
+      response.type = MessageType::kIngestResponse;
+      // Dimension gate at the dispatch layer: a frame whose payload width
+      // disagrees with the active snapshot must get a typed reply, never
+      // reach training code that asserts on shape.
+      SnapshotHandle snapshot = handle_->registry()->Current();
+      if (snapshot != nullptr &&
+          static_cast<int64_t>(request.input.size()) !=
+              snapshot->input_dim()) {
+        response.status = util::Status::InvalidArgument(
+            "ingest dim " + std::to_string(request.input.size()) +
+            " does not match active snapshot input dim " +
+            std::to_string(snapshot->input_dim()));
+        EDSR_METRIC_COUNT("serve.ingest.rejected_dim", 1);
+        trace->error = true;
+        break;
+      }
+      if (!ingest_handler_) {
+        response.status = util::Status::NotImplemented(
+            "this server does not accept ingest");
+        EDSR_METRIC_COUNT("serve.ingest.rejected_unconfigured", 1);
+        trace->error = true;
+        break;
+      }
+      IngestResult result = ingest_handler_(request.label, request.input);
+      response.status = std::move(result.status);
+      response.ingest_seq = result.seq;
+      response.pending = result.pending;
+      trace->error = !response.status.ok();
       break;
     }
     default: {
@@ -448,6 +482,26 @@ util::Result<std::string> ServeClient::Status() {
   Response response = std::move(roundtrip).ValueOrDie();
   if (!response.status.ok()) return response.status;
   return std::move(response.stats_json);
+}
+
+ServeClient::IngestReply ServeClient::Ingest(int64_t label,
+                                             const std::vector<float>& input) {
+  Request request;
+  request.type = MessageType::kIngestRequest;
+  request.request_id = next_request_id_++;
+  request.label = label;
+  request.input = input;
+  IngestReply reply;
+  auto roundtrip = Roundtrip(request);
+  if (!roundtrip.ok()) {
+    reply.status = roundtrip.status();
+    return reply;
+  }
+  Response response = std::move(roundtrip).ValueOrDie();
+  reply.status = std::move(response.status);
+  reply.seq = response.ingest_seq;
+  reply.pending = response.pending;
+  return reply;
 }
 
 util::Status ServeClient::SendRaw(const std::vector<uint8_t>& bytes) {

@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,20 @@
 #include "src/util/status.h"
 
 namespace edsr::serve {
+
+// What an application-level ingest sink reports back for one accepted (or
+// rejected) sample; travels to the client as a kIngestResponse.
+struct IngestResult {
+  util::Status status;
+  uint64_t seq = 0;     // write-ahead journal sequence assigned to the sample
+  int64_t pending = 0;  // journaled samples the next cycle has not consumed
+};
+
+// Invoked on the connection thread for every well-formed kIngest frame
+// whose dimension matches the active snapshot. The daemon installs one;
+// a plain serve-only server leaves it unset and answers kNotImplemented.
+using IngestHandler =
+    std::function<IngestResult(int64_t label, const std::vector<float>& input)>;
 
 class TcpServer {
  public:
@@ -61,6 +76,12 @@ class TcpServer {
   // kMetrics query evaluates it first, so breach gauges are fresh in-band.
   void SetSloTracker(obs::SloTracker* slo) { slo_ = slo; }
 
+  // Installs the kIngest sink. Must be called before Start(): connection
+  // threads read the handler without a lock.
+  void SetIngestHandler(IngestHandler handler) {
+    ingest_handler_ = std::move(handler);
+  }
+
   // The last server-assigned request id (0 before any request). Request
   // ids are assigned from one atomic counter at frame-decode time, so they
   // are strictly monotone across all connections.
@@ -77,6 +98,7 @@ class TcpServer {
 
   ServeHandle* handle_;
   obs::SloTracker* slo_ = nullptr;
+  IngestHandler ingest_handler_;
   std::atomic<uint64_t> next_rid_{1};
   int64_t start_us_ = 0;  // TraceNowUs at Start
   int listen_fd_ = -1;
@@ -131,6 +153,16 @@ class ServeClient {
   // depth, cache hit rate, threadpool/dispatch config.
   util::Result<std::string> Metrics(MetricsMode mode = MetricsMode::kJson);
   util::Result<std::string> Status();
+
+  // Streams one sample into the server's ingest sink (label -1 =
+  // unlabeled). The reply carries the journal sequence the daemon assigned
+  // and its pending-sample count.
+  struct IngestReply {
+    util::Status status;
+    uint64_t seq = 0;
+    int64_t pending = 0;
+  };
+  IngestReply Ingest(int64_t label, const std::vector<float>& input);
 
   // Escape hatch for the protocol-fuzz test: writes raw bytes on the socket.
   util::Status SendRaw(const std::vector<uint8_t>& bytes);

@@ -12,6 +12,7 @@ const char* RequestClassName(RequestClass klass) {
     case RequestClass::kEmbed: return "embed";
     case RequestClass::kKnnLabel: return "knn";
     case RequestClass::kHealth: return "health";
+    case RequestClass::kIngest: return "ingest";
   }
   return "?";
 }
@@ -45,9 +46,14 @@ const ClassInstruments& InstrumentsFor(RequestClass klass) {
       obs::MetricsRegistry::Global().GetLatencyHisto("serve.lat.health"),
       obs::MetricsRegistry::Global().GetCounter("serve.req.health"),
       obs::MetricsRegistry::Global().GetCounter("serve.err.health")};
+  static ClassInstruments ingest = {
+      obs::MetricsRegistry::Global().GetLatencyHisto("serve.lat.ingest"),
+      obs::MetricsRegistry::Global().GetCounter("serve.req.ingest"),
+      obs::MetricsRegistry::Global().GetCounter("serve.err.ingest")};
   switch (klass) {
     case RequestClass::kKnnLabel: return knn;
     case RequestClass::kHealth: return health;
+    case RequestClass::kIngest: return ingest;
     case RequestClass::kEmbed: break;
   }
   return embed;

@@ -31,9 +31,14 @@
 
 namespace edsr::serve {
 
-enum class RequestClass : uint8_t { kEmbed = 0, kKnnLabel = 1, kHealth = 2 };
+enum class RequestClass : uint8_t {
+  kEmbed = 0,
+  kKnnLabel = 1,
+  kHealth = 2,
+  kIngest = 3,
+};
 
-// Stable lowercase name: "embed" / "knn" / "health".
+// Stable lowercase name: "embed" / "knn" / "health" / "ingest".
 const char* RequestClassName(RequestClass klass);
 
 struct TraceContext {

@@ -7,6 +7,7 @@
 
 #include "src/io/container.h"
 #include "src/obs/metrics.h"
+#include "src/stream/gate.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/stopwatch.h"
@@ -141,15 +142,16 @@ util::Status RunCyclesFrom(cl::ContinualStrategy* strategy,
                                    ec.message());
     }
   }
-  int64_t cycle = first_cycle;
+  // The gate owns the trigger bookkeeping (per-cycle counters, running
+  // totals); the driver owns the sample budget and the window contents.
+  TriggerGate gate(trigger);
+  gate.Reset(first_cycle, result->total_samples);
   while (options.total_samples - result->total_samples >= 2) {
     EDSR_TRACE_SPAN("stream_cycle");
     util::Stopwatch train_watch;
+    const int64_t cycle = gate.context().cycle;
     StreamCycleResult current;
     current.cycle = cycle;
-    TriggerContext trigger_context;
-    trigger_context.cycle = cycle;
-    trigger_context.total_samples = result->total_samples;
 
     std::vector<StreamSample> window;
     double loss_sum = 0.0;
@@ -175,11 +177,8 @@ util::Status RunCyclesFrom(cl::ContinualStrategy* strategy,
       window.insert(window.end(), std::make_move_iterator(batch.begin()),
                     std::make_move_iterator(batch.end()));
       result->total_samples += n;
-      trigger_context.samples_in_cycle += n;
-      trigger_context.micro_batches_in_cycle += 1;
-      trigger_context.total_samples = result->total_samples;
 
-      current.cause = trigger->ShouldFire(trigger_context, drift_probe);
+      current.cause = gate.OnMicroBatch(n, drift_probe);
       if (current.cause.empty() &&
           options.total_samples - result->total_samples < 2) {
         current.cause = "end";  // stream exhausted before the trigger fired
@@ -190,8 +189,8 @@ util::Status RunCyclesFrom(cl::ContinualStrategy* strategy,
     data::Task window_task =
         TaskFromSamples(window, source->base(), cycle, "stream-window");
     strategy->StreamEndCycle(window_task);
-    current.samples = trigger_context.samples_in_cycle;
-    current.micro_batches = trigger_context.micro_batches_in_cycle;
+    current.samples = gate.context().samples_in_cycle;
+    current.micro_batches = gate.context().micro_batches_in_cycle;
     current.total_samples = result->total_samples;
     current.loss = current.micro_batches > 0
                        ? loss_sum / static_cast<double>(current.micro_batches)
@@ -236,16 +235,17 @@ util::Status RunCyclesFrom(cl::ContinualStrategy* strategy,
                     << " ood=" << current.ood_accuracy * 100.0;
     EmitStreamRecord(strategy, options, current);
     result->cycles.push_back(current);
-    ++cycle;
+    gate.CloseCycle();
 
     if (checkpointing) {
       EDSR_TRACE_SPAN("stream_checkpoint_save");
       EDSR_RETURN_NOT_OK(SaveStreamCheckpoint(CheckpointPath(options),
                                               strategy, source, trigger,
-                                              options, *result, cycle));
+                                              options, *result,
+                                              gate.context().cycle));
     }
     if (options.stop_after_cycle >= 0 &&
-        cycle > options.stop_after_cycle) {
+        gate.context().cycle > options.stop_after_cycle) {
       return util::Status::OK();  // simulated kill; finished stays false
     }
   }

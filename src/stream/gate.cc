@@ -1,0 +1,80 @@
+#include "src/stream/gate.h"
+
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace edsr::stream {
+
+TriggerGate::TriggerGate(CycleTrigger* trigger) : trigger_(trigger) {
+  EDSR_CHECK(trigger != nullptr);
+}
+
+void TriggerGate::Reset(int64_t cycle, int64_t total_samples) {
+  context_ = TriggerContext();
+  context_.cycle = cycle;
+  context_.total_samples = total_samples;
+}
+
+std::string TriggerGate::OnMicroBatch(
+    int64_t samples, const std::function<double()>& drift_probe) {
+  context_.samples_in_cycle += samples;
+  context_.micro_batches_in_cycle += 1;
+  context_.total_samples += samples;
+  return trigger_->ShouldFire(context_, drift_probe);
+}
+
+void TriggerGate::CloseCycle() {
+  context_.cycle += 1;
+  context_.samples_in_cycle = 0;
+  context_.micro_batches_in_cycle = 0;
+}
+
+void TriggerGate::Serialize(io::BufferWriter* out) const {
+  out->WriteI64(context_.samples_in_cycle);
+  out->WriteI64(context_.micro_batches_in_cycle);
+  out->WriteI64(context_.total_samples);
+  out->WriteI64(context_.cycle);
+  out->WriteString(trigger_->name());
+  io::BufferWriter payload;
+  trigger_->Serialize(&payload);
+  out->WriteU64(payload.bytes().size());
+  if (!payload.bytes().empty()) {
+    out->WriteBytes(payload.bytes().data(), payload.bytes().size());
+  }
+}
+
+util::Status TriggerGate::Deserialize(io::BufferReader* in) {
+  TriggerContext restored;
+  EDSR_RETURN_NOT_OK(in->ReadI64(&restored.samples_in_cycle));
+  EDSR_RETURN_NOT_OK(in->ReadI64(&restored.micro_batches_in_cycle));
+  EDSR_RETURN_NOT_OK(in->ReadI64(&restored.total_samples));
+  EDSR_RETURN_NOT_OK(in->ReadI64(&restored.cycle));
+  if (restored.samples_in_cycle < 0 || restored.micro_batches_in_cycle < 0 ||
+      restored.total_samples < 0 || restored.cycle < 0) {
+    return util::Status::IoError("trigger gate: negative counters");
+  }
+  std::string saved_name;
+  EDSR_RETURN_NOT_OK(in->ReadString(&saved_name));
+  if (saved_name != trigger_->name()) {
+    return util::Status::InvalidArgument(
+        "trigger gate: saved trigger kind \"" + saved_name +
+        "\" does not match \"" + trigger_->name() + "\"");
+  }
+  uint64_t payload_size = 0;
+  EDSR_RETURN_NOT_OK(in->ReadU64(&payload_size));
+  if (payload_size > in->remaining()) {
+    return util::Status::IoError("trigger gate: trigger payload truncated");
+  }
+  std::vector<uint8_t> payload(payload_size);
+  if (payload_size > 0) {
+    EDSR_RETURN_NOT_OK(in->ReadBytes(payload.data(), payload_size));
+  }
+  io::BufferReader payload_reader(payload);
+  EDSR_RETURN_NOT_OK(trigger_->Deserialize(&payload_reader));
+  EDSR_RETURN_NOT_OK(payload_reader.ExpectEnd());
+  context_ = restored;
+  return util::Status::OK();
+}
+
+}  // namespace edsr::stream

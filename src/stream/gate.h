@@ -1,0 +1,66 @@
+// TriggerGate: the trigger-evaluation bookkeeping shared by StreamDriver
+// and the online daemon.
+//
+// A CycleTrigger is a pure policy — it looks at a TriggerContext and answers
+// "should the open cycle close?". The bookkeeping around it (per-cycle
+// sample/micro-batch counters, the running total, the completed-cycle
+// counter, carrying trigger-internal state across checkpoints) used to live
+// inline in StreamDriver's cycle loop; the daemon needs the identical
+// bookkeeping off the driver, so it lives here once.
+//
+// Usage: advance the gate with OnMicroBatch() after every trained
+// micro-batch; a non-empty cause string means the cycle should close. After
+// consolidation, CloseCycle() rolls the counters into the next cycle.
+// Serialize/Deserialize capture counters *and* the wrapped trigger's
+// internal state, so a checkpointed gate resumes mid-stream bit-identically.
+#ifndef EDSR_SRC_STREAM_GATE_H_
+#define EDSR_SRC_STREAM_GATE_H_
+
+#include <functional>
+#include <string>
+
+#include "src/io/serialize.h"
+#include "src/stream/trigger.h"
+#include "src/util/status.h"
+
+namespace edsr::stream {
+
+class TriggerGate {
+ public:
+  // `trigger` is not owned and must outlive the gate.
+  explicit TriggerGate(CycleTrigger* trigger);
+
+  // Positions the gate at the start of `cycle` with `total_samples` already
+  // consumed and no open-cycle progress. Used when resuming from a
+  // cycle-boundary checkpoint that stores the counters elsewhere.
+  void Reset(int64_t cycle, int64_t total_samples);
+
+  // Advance by one trained micro-batch of `samples` samples and consult the
+  // trigger. Returns the fire cause ("count", "drift", "max", ...) or ""
+  // to keep streaming. `drift_probe` is forwarded lazily — only drift-style
+  // triggers invoke it.
+  std::string OnMicroBatch(int64_t samples,
+                           const std::function<double()>& drift_probe);
+
+  // Rolls the gate into the next cycle after consolidation ran: increments
+  // the completed-cycle counter and clears the open-cycle counters.
+  void CloseCycle();
+
+  const TriggerContext& context() const { return context_; }
+  CycleTrigger* trigger() const { return trigger_; }
+
+  // Counters plus the wrapped trigger's name and internal state (the same
+  // name + length-prefixed-payload layout as the stream checkpoint's
+  // "stream/trigger" section). Deserialize rejects a payload written by a
+  // different trigger kind.
+  void Serialize(io::BufferWriter* out) const;
+  util::Status Deserialize(io::BufferReader* in);
+
+ private:
+  CycleTrigger* trigger_;
+  TriggerContext context_;
+};
+
+}  // namespace edsr::stream
+
+#endif  // EDSR_SRC_STREAM_GATE_H_
